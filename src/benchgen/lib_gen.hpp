@@ -1,0 +1,35 @@
+// Synthetic standard-cell library generation. Cells follow the structural
+// conventions of the ISPD-2018 libraries: M1 power/ground rails at the row
+// edges, vertical M1 signal-pin bars between them (some L-shaped, some
+// double-width), obstructions in sequential cells, and pins placed near the
+// cell boundary so that abutting instances genuinely compete for access —
+// the condition Step 3's boundary-conflict handling exists for.
+#pragma once
+
+#include <memory>
+
+#include "benchgen/tech_gen.hpp"
+#include "db/lib.hpp"
+
+namespace pao::benchgen {
+
+struct LibParams {
+  NodeParams node;
+  geom::Coord siteWidth = 380;
+  /// Number of combinational master variants to emit (4..18).
+  int numCombMasters = 14;
+  bool withSequential = true;
+  bool withFillers = true;
+  /// Add one BLOCK-class macro master (for the testcases with macros).
+  bool withMacro = false;
+  /// Add a double-height sequential master (the paper's multi-height
+  /// future-work item).
+  bool withMultiHeight = false;
+};
+
+geom::Coord cellHeight(const NodeParams& node);
+
+std::unique_ptr<db::Library> makeLibrary(const LibParams& params,
+                                         const db::Tech& tech);
+
+}  // namespace pao::benchgen

@@ -1,0 +1,140 @@
+#include "benchgen/tech_gen.hpp"
+
+#include <string>
+
+namespace pao::benchgen {
+
+using db::Dir;
+using db::Layer;
+using db::LayerType;
+using db::Tech;
+using geom::Coord;
+using geom::Rect;
+
+NodeParams nodeParams(Node node) {
+  NodeParams p;
+  p.node = node;
+  switch (node) {
+    case Node::k45:
+      // Defaults in the struct are the 45nm-like values.
+      break;
+    case Node::k32:
+      p.m1Pitch = 280;
+      p.m1Width = 100;
+      p.spacing = 100;
+      p.wideSpacing = 200;
+      p.minStep = 90;
+      p.eolSpace = 120;
+      p.eolWidth = 120;
+      p.eolWithin = 50;
+      p.cutSize = 100;
+      p.encAlong = 100;
+      p.encAcross = 10;
+      p.minAreaDbu2 = 40000;
+      p.rowHeightTracks = 9;
+      break;
+    case Node::k14:
+      p.m1Pitch = 160;
+      p.m1Width = 64;
+      p.spacing = 64;
+      p.wideSpacing = 128;
+      p.minStep = 60;
+      p.eolSpace = 80;
+      p.eolWidth = 70;
+      p.eolWithin = 30;
+      p.cutSize = 64;
+      p.encAlong = 70;
+      p.encAcross = 6;
+      p.minAreaDbu2 = 12800;
+      p.rowHeightTracks = 10;
+      p.m1Vertical = true;
+      break;
+  }
+  return p;
+}
+
+std::unique_ptr<db::Tech> makeTech(const NodeParams& p) {
+  auto tech = std::make_unique<Tech>();
+  tech->dbuPerMicron = 2000;
+  switch (p.node) {
+    case Node::k45: tech->name = "synth45"; break;
+    case Node::k32: tech->name = "synth32"; break;
+    case Node::k14: tech->name = "synth14"; break;
+  }
+
+  constexpr int kNumMetal = 9;
+  for (int m = 1; m <= kNumMetal; ++m) {
+    if (m > 1) {
+      Layer& cut = tech->addLayer("V" + std::to_string(m - 1),
+                                  LayerType::kCut);
+      cut.cutSpacing = p.cutSize;  // cut spacing ~ cut size in these nodes
+    }
+    Layer& metal =
+        tech->addLayer("M" + std::to_string(m), LayerType::kRouting);
+    // Alternate preferred directions; upper layers (M7+) are coarser.
+    const bool odd = (m % 2) == 1;
+    const bool vertical = p.m1Vertical ? odd : !odd;
+    metal.dir = vertical ? Dir::kVertical : Dir::kHorizontal;
+    const Coord scale = m >= 7 ? 2 : 1;
+    metal.pitch = p.m1Pitch * scale;
+    metal.width = p.m1Width * scale;
+    metal.minArea = p.minAreaDbu2 * scale;
+    metal.spacingTable = {
+        {0, 0, p.spacing * scale},
+        {2 * metal.width, 2 * metal.width, p.wideSpacing * scale},
+        {6 * metal.width, 6 * metal.width, 2 * p.wideSpacing * scale},
+    };
+    metal.minStep = db::MinStepRule{p.minStep * scale, 1};
+    metal.eol = db::EolRule{p.eolSpace * scale, p.eolWidth * scale,
+                            p.eolWithin * scale};
+  }
+
+  // One default via per cut layer. The bottom enclosure overhangs along the
+  // bottom layer's preferred direction; the top enclosure along the top's.
+  for (int m = 1; m < kNumMetal; ++m) {
+    const Layer* bot = tech->findLayer("M" + std::to_string(m));
+    const Layer* cut = tech->findLayer("V" + std::to_string(m));
+    const Layer* top = tech->findLayer("M" + std::to_string(m + 1));
+    const Coord scale = (m + 1) >= 7 ? 2 : 1;
+    const Coord half = p.cutSize * scale / 2;
+    const Coord along = p.encAlong * scale;
+    const Coord across = p.encAcross * scale;
+
+    db::ViaDef& via = tech->addViaDef("V" + std::to_string(m) + "_0");
+    via.isDefault = true;
+    via.botLayer = bot->index;
+    via.cutLayer = cut->index;
+    via.topLayer = top->index;
+    via.cut = Rect(-half, -half, half, half);
+    const auto enclosure = [&](const Layer& l) {
+      return l.dir == Dir::kHorizontal
+                 ? Rect(-half - along, -half - across, half + along,
+                        half + across)
+                 : Rect(-half - across, -half - along, half + across,
+                        half + along);
+    };
+    via.botEnc = enclosure(*bot);
+    via.topEnc = enclosure(*top);
+
+    // A rotated alternate via (enclosure overhang across the preferred
+    // direction) gives the generator a fallback when the default violates.
+    db::ViaDef& alt = tech->addViaDef("V" + std::to_string(m) + "_1");
+    alt.isDefault = false;
+    alt.botLayer = via.botLayer;
+    alt.cutLayer = via.cutLayer;
+    alt.topLayer = via.topLayer;
+    alt.cut = via.cut;
+    const auto rotated = [&](const Layer& l) {
+      return l.dir == Dir::kHorizontal
+                 ? Rect(-half - across, -half - along, half + across,
+                        half + along)
+                 : Rect(-half - along, -half - across, half + along,
+                        half + across);
+    };
+    alt.botEnc = rotated(*bot);
+    alt.topEnc = via.topEnc;
+  }
+  return tech;
+}
+
+}  // namespace pao::benchgen

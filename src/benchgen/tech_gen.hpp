@@ -1,0 +1,41 @@
+// Synthetic technology generation: 45nm-, 32nm- and 14nm-like nodes with 9
+// routing layers, cut layers and default vias, dimensioned so the design-rule
+// interactions the paper depends on actually occur (wide-pin min-step at
+// on-track points, EOL pressure between abutting cells' vias, via-in-pin
+// enclosure alignment).
+#pragma once
+
+#include <memory>
+
+#include "db/tech.hpp"
+
+namespace pao::benchgen {
+
+enum class Node { k45, k32, k14 };
+
+/// Geometry knobs of a synthetic node, all in DBU (2000 DBU = 1 um).
+struct NodeParams {
+  Node node = Node::k45;
+  geom::Coord m1Pitch = 380;
+  geom::Coord m1Width = 120;
+  geom::Coord spacing = 130;       ///< default min spacing
+  geom::Coord wideSpacing = 240;   ///< spacing for wide (>2x width) shapes
+  geom::Coord minStep = 110;       ///< min step length (kept below the wire width, as real nodes do)
+  geom::Coord eolSpace = 150;
+  geom::Coord eolWidth = 140;
+  geom::Coord eolWithin = 60;
+  geom::Coord cutSize = 140;
+  geom::Coord encAlong = 130;      ///< via enclosure overhang along pref dir
+  geom::Coord encAcross = 10;      ///< overhang across pref dir
+  geom::Coord minAreaDbu2 = 80000;  ///< min metal area in DBU^2
+  int rowHeightTracks = 9;         ///< cell height in M2 pitches
+  bool m1Vertical = false;         ///< 14nm-like: unidirectional vertical M1
+};
+
+NodeParams nodeParams(Node node);
+
+/// Builds a 9-routing-layer technology (M1..M9 with V1..V8 cut layers and a
+/// default via per cut layer) from the node parameters.
+std::unique_ptr<db::Tech> makeTech(const NodeParams& params);
+
+}  // namespace pao::benchgen

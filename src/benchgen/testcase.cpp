@@ -1,0 +1,377 @@
+#include "benchgen/testcase.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+
+namespace pao::benchgen {
+
+using db::Design;
+using db::Instance;
+using db::Master;
+using geom::Coord;
+using geom::Rect;
+
+namespace {
+
+/// Spatial bucket of available sink pins for locality-biased net building.
+struct SinkPool {
+  struct Entry {
+    int inst;
+    int pin;
+  };
+  Coord bucket = 40000;  // ~20 um
+  std::map<std::pair<Coord, Coord>, std::vector<Entry>> buckets;
+
+  void add(const geom::Point& p, Entry e) {
+    buckets[{p.x / bucket, p.y / bucket}].push_back(e);
+  }
+  /// Pops up to `want` entries near `p` (same bucket ring, then anywhere).
+  std::vector<Entry> take(const geom::Point& p, int want,
+                          std::mt19937& rng) {
+    std::vector<Entry> out;
+    const Coord bx = p.x / bucket;
+    const Coord by = p.y / bucket;
+    for (int ring = 0; ring <= 2 && static_cast<int>(out.size()) < want;
+         ++ring) {
+      for (Coord dx = -ring; dx <= ring; ++dx) {
+        for (Coord dy = -ring; dy <= ring; ++dy) {
+          if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+          auto it = buckets.find({bx + dx, by + dy});
+          if (it == buckets.end()) continue;
+          auto& v = it->second;
+          while (!v.empty() && static_cast<int>(out.size()) < want) {
+            const std::size_t pick = rng() % v.size();
+            out.push_back(v[pick]);
+            v[pick] = v.back();
+            v.pop_back();
+          }
+          if (v.empty()) buckets.erase(it);
+        }
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+Testcase generate(const TestcaseSpec& spec, double scale) {
+  Testcase tc;
+  tc.spec = spec;
+  const NodeParams node = nodeParams(spec.node);
+  tc.tech = makeTech(node);
+
+  LibParams lp;
+  lp.node = node;
+  lp.siteWidth = spec.siteWidth;
+  lp.numCombMasters = spec.numCombMasters;
+  lp.withMacro = spec.numMacros > 0;
+  lp.withMultiHeight = spec.multiHeightFraction > 0;
+  tc.lib = makeLibrary(lp, *tc.tech);
+
+  auto design = std::make_unique<Design>();
+  design->name = spec.name;
+  design->tech = tc.tech.get();
+  design->lib = tc.lib.get();
+
+  std::mt19937 rng(spec.seed);
+  const std::size_t numCells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   static_cast<double>(spec.numCells) * scale));
+  const std::size_t numNets = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(spec.numNets) * scale));
+  const int numIoPins =
+      static_cast<int>(static_cast<double>(spec.numIoPins) * scale);
+
+  // Collect placeable core masters (weighted toward small cells) + fillers.
+  std::vector<const Master*> coreMasters;
+  std::vector<const Master*> fillers;
+  const Master* macro = nullptr;
+  const Master* multiHeight = nullptr;
+  for (const auto& mp : tc.lib->masters()) {
+    if (mp->name == "DFFHX1") {
+      multiHeight = mp.get();
+      continue;  // placed via multiHeightFraction, not the general pool
+    }
+    switch (mp->cls) {
+      case db::MasterClass::kCore:
+        coreMasters.push_back(mp.get());
+        if (mp->width <= spec.siteWidth * 3) {
+          coreMasters.push_back(mp.get());  // double weight for small cells
+        }
+        break;
+      case db::MasterClass::kFiller:
+        fillers.push_back(mp.get());
+        break;
+      case db::MasterClass::kBlock:
+        macro = mp.get();
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Die sizing: rows^2 * height / siteWidth ~ total cell sites / utilization.
+  double avgSites = 0;
+  for (const Master* m : coreMasters) {
+    avgSites += static_cast<double>(m->width) / spec.siteWidth;
+  }
+  avgSites /= static_cast<double>(coreMasters.size());
+  const Coord height = cellHeight(node);
+  const double totalSites =
+      static_cast<double>(numCells) * avgSites / spec.utilization;
+  int numRows = std::max(
+      2, static_cast<int>(std::sqrt(totalSites * spec.siteWidth / height)));
+  const Coord rowSites = std::max<Coord>(
+      8, static_cast<Coord>(totalSites / numRows) + 1);
+  const Coord dieW = rowSites * spec.siteWidth;
+  const Coord dieH = numRows * height;
+  design->dieArea = {0, 0, dieW, dieH};
+
+  // Track patterns: both axes on every routing layer. All patterns start at
+  // half the BASE (M1) pitch so coarser upper-layer tracks remain a subset
+  // of the base grid and stacked vias land on shared intersections.
+  for (const db::Layer& l : tc.tech->layers()) {
+    if (l.type != db::LayerType::kRouting) continue;
+    db::TrackPattern ty;
+    ty.layer = l.index;
+    ty.axis = db::Dir::kHorizontal;
+    ty.start = node.m1Pitch / 2;
+    ty.step = l.pitch;
+    ty.count = static_cast<int>((dieH - ty.start) / l.pitch);
+    design->trackPatterns.push_back(ty);
+    db::TrackPattern tx = ty;
+    tx.axis = db::Dir::kVertical;
+    tx.count = static_cast<int>((dieW - tx.start) / l.pitch);
+    design->trackPatterns.push_back(tx);
+  }
+
+  // Macros occupy a block in the top-right corner.
+  std::vector<Rect> blocked;
+  if (macro != nullptr) {
+    Coord mx = dieW;
+    Coord my = dieH;
+    for (int i = 0; i < spec.numMacros; ++i) {
+      mx -= macro->width + spec.siteWidth * 4;
+      if (mx < dieW / 2) {
+        mx = dieW - macro->width - spec.siteWidth * 4;
+        my -= macro->height + height;
+      }
+      if (my < dieH / 2) break;
+      Instance inst;
+      inst.name = "macro_" + std::to_string(i);
+      inst.master = macro;
+      inst.origin = {mx, my - macro->height};
+      inst.orient = geom::Orient::R0;
+      // Placement keepout halo around the macro (as placers enforce), so
+      // standard-cell pin access never reaches into the macro blockage.
+      blocked.push_back(inst.bbox().bloat(node.m1Pitch * 2));
+      design->instances.push_back(std::move(inst));
+    }
+  }
+
+  // Row-based placement with random gaps; a gap may receive a filler (the
+  // cluster then continues through it). Double-height cells reserve their
+  // span in the row above.
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::size_t placed = 0;
+  int instId = 0;
+  std::vector<std::vector<std::pair<Coord, Coord>>> reserved(numRows + 1);
+  const auto isReserved = [&](int row, Coord x1, Coord x2) {
+    if (row >= static_cast<int>(reserved.size())) return false;
+    for (const auto& [a, b] : reserved[row]) {
+      if (x1 < b && a < x2) return true;
+    }
+    return false;
+  };
+  for (int r = 0; r < numRows && placed < numCells; ++r) {
+    const Coord y = static_cast<Coord>(r) * height;
+    design->rows.push_back({"ROW_" + std::to_string(r), "core",
+                            {0, y},
+                            r % 2 == 0 ? geom::Orient::R0 : geom::Orient::MX,
+                            static_cast<int>(rowSites), spec.siteWidth,
+                            height});
+    Coord x = 0;
+    while (x < dieW && placed < numCells) {
+      if (uni(rng) > spec.utilization) {
+        // Leave a gap of 1-3 sites, sometimes filled with a filler cell.
+        const Coord gapSites = 1 + static_cast<Coord>(rng() % 3);
+        if (!fillers.empty() && uni(rng) < 0.4) {
+          const Master* f = fillers[rng() % fillers.size()];
+          if (x + f->width <= dieW && !isReserved(r, x, x + f->width)) {
+            Instance inst;
+            inst.name = "fill_" + std::to_string(instId++);
+            inst.master = f;
+            inst.origin = {x, y};
+            inst.orient =
+                r % 2 == 0 ? geom::Orient::R0 : geom::Orient::MX;
+            design->instances.push_back(std::move(inst));
+            x += f->width;
+            continue;
+          }
+        }
+        x += gapSites * spec.siteWidth;
+        continue;
+      }
+      const Master* m = coreMasters[rng() % coreMasters.size()];
+      bool isMulti = false;
+      if (multiHeight != nullptr && r + 1 < numRows &&
+          uni(rng) < spec.multiHeightFraction &&
+          !isReserved(r + 1, x, x + multiHeight->width)) {
+        m = multiHeight;
+        isMulti = true;
+      }
+      if (x + m->width > dieW) break;
+      if (isReserved(r, x, x + m->width)) {
+        x += spec.siteWidth;
+        continue;
+      }
+      const Rect bbox{x, y, x + m->width,
+                      y + (isMulti ? 2 * height : height)};
+      const bool hitsMacro =
+          std::any_of(blocked.begin(), blocked.end(),
+                      [&](const Rect& b) { return b.overlaps(bbox); });
+      if (hitsMacro) {
+        x += spec.siteWidth * 4;
+        continue;
+      }
+      if (isMulti) reserved[r + 1].emplace_back(x, x + m->width);
+      Instance inst;
+      inst.name = "inst_" + std::to_string(instId++);
+      inst.master = m;
+      inst.origin = {x, y};
+      // Row orientation with occasional mirroring about y. Double-height
+      // cells keep their internal rail structure: R0/MY only.
+      const bool flipRow = r % 2 != 0 && !isMulti;
+      const bool mirror = uni(rng) < 0.35;
+      inst.orient = flipRow ? (mirror ? geom::Orient::R180 : geom::Orient::MX)
+                            : (mirror ? geom::Orient::MY : geom::Orient::R0);
+      design->instances.push_back(std::move(inst));
+      x += m->width;
+      ++placed;
+    }
+  }
+  design->buildInstanceIndex();
+
+  // Netlist: drivers are output pins (Z/Q), sinks are inputs; nets connect a
+  // driver to 1-4 nearby sinks.
+  std::vector<std::pair<int, int>> drivers;
+  SinkPool sinks;
+  for (int i = 0; i < static_cast<int>(design->instances.size()); ++i) {
+    const Instance& inst = design->instances[i];
+    if (inst.master->cls != db::MasterClass::kCore &&
+        inst.master->cls != db::MasterClass::kBlock) {
+      continue;
+    }
+    for (int p = 0; p < static_cast<int>(inst.master->pins.size()); ++p) {
+      const db::Pin& pin = inst.master->pins[p];
+      if (pin.use != db::PinUse::kSignal && pin.use != db::PinUse::kClock) {
+        continue;
+      }
+      if (pin.name == "Z" || pin.name == "Q" || pin.name[0] == 'P') {
+        drivers.emplace_back(i, p);
+      } else {
+        sinks.add(inst.origin, {i, p});
+      }
+    }
+  }
+  std::shuffle(drivers.begin(), drivers.end(), rng);
+
+  std::size_t netCount = 0;
+  for (const auto& [di, dp] : drivers) {
+    if (netCount >= numNets) break;
+    const int fanout = 1 + static_cast<int>(rng() % 4);
+    const std::vector<SinkPool::Entry> picked =
+        sinks.take(design->instances[di].origin, fanout, rng);
+    if (picked.empty()) continue;
+    db::Net net;
+    net.name = "net_" + std::to_string(netCount++);
+    net.terms.push_back({di, dp, -1});
+    for (const SinkPool::Entry& e : picked) {
+      net.terms.push_back({e.inst, e.pin, -1});
+    }
+    design->nets.push_back(std::move(net));
+  }
+
+  // IO pins on the die boundary (M4), appended to random nets.
+  if (numIoPins > 0 && !design->nets.empty()) {
+    const db::Layer* m4 = tc.tech->findLayer("M4");
+    const Coord w = m4->width;
+    for (int i = 0; i < numIoPins; ++i) {
+      db::IoPin pin;
+      pin.name = "io_" + std::to_string(i);
+      pin.layer = m4->index;
+      const int side = i % 4;
+      const Coord t = static_cast<Coord>(rng() % std::max<Coord>(1, dieW));
+      const Coord tv = static_cast<Coord>(rng() % std::max<Coord>(1, dieH));
+      switch (side) {
+        case 0: pin.rect = {t, 0, t + 4 * w, 2 * w}; break;
+        case 1: pin.rect = {t, dieH - 2 * w, t + 4 * w, dieH}; break;
+        case 2: pin.rect = {0, tv, 2 * w, tv + 4 * w}; break;
+        default: pin.rect = {dieW - 2 * w, tv, dieW, tv + 4 * w}; break;
+      }
+      const int ioIdx = static_cast<int>(design->ioPins.size());
+      design->ioPins.push_back(std::move(pin));
+      db::Net& net = design->nets[rng() % design->nets.size()];
+      net.terms.push_back({-1, -1, ioIdx});
+    }
+  }
+
+  tc.design = std::move(design);
+  return tc;
+}
+
+std::vector<TestcaseSpec> ispd18Suite() {
+  // Table I statistics; siteWidth choices steer #unique instances toward the
+  // paper's per-testcase counts (see DESIGN.md §3).
+  std::vector<TestcaseSpec> suite;
+  const auto add = [&](std::string name, Node node, std::size_t cells,
+                       int macros, std::size_t nets, int ios, Coord site,
+                       int masters, unsigned seed, double w, double h) {
+    TestcaseSpec s;
+    s.name = std::move(name);
+    s.node = node;
+    s.numCells = cells;
+    s.numMacros = macros;
+    s.numNets = nets;
+    s.numIoPins = ios;
+    s.siteWidth = site;
+    s.numCombMasters = masters;
+    s.seed = seed;
+    s.paperDieWmm = w;
+    s.paperDieHmm = h;
+    suite.push_back(std::move(s));
+  };
+  //    name            node       #cells macros  #nets  #io  site masters seed  die
+  add("ispd18_test1", Node::k45, 8879, 0, 3153, 0, 190, 8, 11, 0.20, 0.19);
+  add("ispd18_test2", Node::k45, 35913, 0, 36834, 1211, 190, 10, 12, 0.65, 0.57);
+  add("ispd18_test3", Node::k45, 35973, 4, 36700, 1211, 190, 10, 13, 0.99, 0.70);
+  add("ispd18_test4", Node::k32, 72094, 0, 72401, 1211, 96, 16, 14, 0.89, 0.61);
+  add("ispd18_test5", Node::k32, 71954, 0, 72394, 1211, 96, 16, 15, 0.93, 0.92);
+  add("ispd18_test6", Node::k32, 107919, 0, 107701, 1211, 96, 17, 16, 0.86, 0.53);
+  add("ispd18_test7", Node::k32, 179865, 16, 179863, 1211, 280, 8, 17, 1.36, 1.33);
+  add("ispd18_test8", Node::k32, 191987, 16, 179863, 1211, 140, 10, 18, 1.36, 1.33);
+  add("ispd18_test9", Node::k32, 192911, 0, 178857, 1211, 140, 10, 19, 0.91, 0.78);
+  add("ispd18_test10", Node::k32, 290386, 0, 182000, 1211, 140, 10, 20, 0.91, 0.87);
+  return suite;
+}
+
+TestcaseSpec aes14Spec() {
+  TestcaseSpec s;
+  s.name = "aes_14nm";
+  s.node = Node::k14;
+  s.numCells = 20000;
+  s.numNets = 17000;
+  s.numIoPins = 256;
+  s.siteWidth = 48;
+  s.numCombMasters = 16;
+  // Multi-height cells appear in advanced FinFET nodes (the paper's
+  // future-work item exercised here).
+  s.multiHeightFraction = 0.05;
+  s.seed = 42;
+  return s;
+}
+
+}  // namespace pao::benchgen

@@ -1,0 +1,58 @@
+// Synthetic testcase generation: row-based placements, track patterns,
+// locality-biased netlists and boundary IO pins, with presets dimensioned
+// after Table I of the paper (the ISPD-2018 initial detailed routing
+// benchmark suite) plus the 14nm AES-like case of Experiment 3.
+//
+// The real contest tarballs are not redistributable here; see DESIGN.md §3
+// for why these synthetic analogues preserve the behaviours under test.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchgen/lib_gen.hpp"
+#include "db/design.hpp"
+
+namespace pao::benchgen {
+
+struct TestcaseSpec {
+  std::string name;
+  Node node = Node::k45;
+  std::size_t numCells = 1000;  ///< standard cells (Table I "#Standard cell")
+  int numMacros = 0;
+  std::size_t numNets = 1000;
+  int numIoPins = 0;
+  /// Site width in DBU; its ratio to the track pitches steers the number of
+  /// distinct track-offset classes and hence #unique instances.
+  geom::Coord siteWidth = 380;
+  int numCombMasters = 14;
+  double utilization = 0.85;
+  /// Fraction of placements drawn from the double-height master (requires
+  /// the row above to be free at that span).
+  double multiHeightFraction = 0.0;
+  unsigned seed = 1;
+  /// Table I die size (mm), for reporting only; the generated die is sized
+  /// from the cell area and utilization.
+  double paperDieWmm = 0;
+  double paperDieHmm = 0;
+};
+
+struct Testcase {
+  TestcaseSpec spec;
+  std::unique_ptr<db::Tech> tech;
+  std::unique_ptr<db::Library> lib;
+  std::unique_ptr<db::Design> design;
+};
+
+/// Generates a testcase; `scale` in (0,1] shrinks cell/net/IO counts
+/// proportionally (unique-instance structure is preserved) so the full
+/// experiment suite stays tractable on small machines.
+Testcase generate(const TestcaseSpec& spec, double scale = 1.0);
+
+/// The ten ispd18_test* analogues (Table I statistics).
+std::vector<TestcaseSpec> ispd18Suite();
+/// The 20K-instance 14nm AES-like case (Experiment 3's preliminary study).
+TestcaseSpec aes14Spec();
+
+}  // namespace pao::benchgen

@@ -1,0 +1,55 @@
+#include "db/design.hpp"
+
+namespace pao::db {
+
+bool TrackPattern::onTrack(Coord v) const {
+  if (step <= 0 || count <= 0) return false;
+  if (v < start) return false;
+  const Coord d = v - start;
+  return d % step == 0 && d / step < count;
+}
+
+std::vector<Coord> TrackPattern::coordsIn(Coord lo, Coord hi) const {
+  std::vector<Coord> out;
+  if (step <= 0 || count <= 0) return out;
+  // First track index at or above lo.
+  Coord i = lo <= start ? 0 : (lo - start + step - 1) / step;
+  for (; i < count; ++i) {
+    const Coord c = start + i * step;
+    if (c > hi) break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+int Design::findInstance(std::string_view instName) const {
+  const auto it = instByName_.find(std::string(instName));
+  return it == instByName_.end() ? -1 : it->second;
+}
+
+std::vector<const TrackPattern*> Design::tracks(int layer, Dir axis) const {
+  std::vector<const TrackPattern*> out;
+  for (const TrackPattern& tp : trackPatterns) {
+    if (tp.layer == layer && tp.axis == axis) out.push_back(&tp);
+  }
+  return out;
+}
+
+std::size_t Design::numNetInstTerms() const {
+  std::size_t n = 0;
+  for (const Net& net : nets) {
+    for (const NetTerm& t : net.terms) {
+      if (!t.isIo()) ++n;
+    }
+  }
+  return n;
+}
+
+void Design::buildInstanceIndex() {
+  instByName_.clear();
+  for (int i = 0; i < static_cast<int>(instances.size()); ++i) {
+    instByName_[instances[i].name] = i;
+  }
+}
+
+}  // namespace pao::db

@@ -1,0 +1,109 @@
+// Design (DEF-side) model: die area, placement rows, routing track patterns,
+// placed instances, and nets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+#include "geom/orient.hpp"
+
+namespace pao::db {
+
+/// DEF TRACKS statement: `count` tracks on `layer` at `start + i*step`.
+/// `axis` is the coordinate the tracks fix: kHorizontal tracks fix y
+/// (wires run horizontally along them), kVertical tracks fix x.
+struct TrackPattern {
+  int layer = -1;
+  Dir axis = Dir::kHorizontal;
+  Coord start = 0;
+  Coord step = 0;
+  int count = 0;
+
+  /// Coordinate of track i.
+  Coord coord(int i) const { return start + static_cast<Coord>(i) * step; }
+  /// True when `v` lies exactly on a track of this pattern.
+  bool onTrack(Coord v) const;
+  /// All track coordinates within [lo, hi].
+  std::vector<Coord> coordsIn(Coord lo, Coord hi) const;
+};
+
+struct Row {
+  std::string name;
+  std::string site;
+  geom::Point origin;
+  geom::Orient orient = geom::Orient::R0;
+  int numSites = 0;
+  Coord siteWidth = 0;
+  Coord height = 0;
+};
+
+class Instance {
+ public:
+  std::string name;
+  const Master* master = nullptr;
+  geom::Point origin;
+  geom::Orient orient = geom::Orient::R0;
+
+  geom::Transform transform() const {
+    return geom::Transform(origin, orient, master->size());
+  }
+  geom::Rect bbox() const {
+    const geom::Point sz = geom::swapsAxes(orient)
+                               ? geom::Point{master->height, master->width}
+                               : geom::Point{master->width, master->height};
+    return {origin.x, origin.y, origin.x + sz.x, origin.y + sz.y};
+  }
+};
+
+/// One connection of a net: instance pin (instIdx >= 0) or an IO pin
+/// (instIdx == -1, ioPinIdx into Design::ioPins()).
+struct NetTerm {
+  int instIdx = -1;
+  int pinIdx = -1;   ///< pin index within the instance's master
+  int ioPinIdx = -1; ///< index into Design::ioPins when instIdx == -1
+
+  bool isIo() const { return instIdx < 0; }
+};
+
+struct IoPin {
+  std::string name;
+  int layer = -1;
+  geom::Rect rect;  ///< absolute design coordinates
+};
+
+struct Net {
+  std::string name;
+  std::vector<NetTerm> terms;
+};
+
+class Design {
+ public:
+  std::string name;
+  const Tech* tech = nullptr;
+  const Library* lib = nullptr;
+  geom::Rect dieArea;
+
+  std::vector<Instance> instances;
+  std::vector<Net> nets;
+  std::vector<IoPin> ioPins;
+  std::vector<TrackPattern> trackPatterns;
+  std::vector<Row> rows;
+
+  int findInstance(std::string_view instName) const;
+  /// Track patterns on `layer` whose axis matches `axis`.
+  std::vector<const TrackPattern*> tracks(int layer, Dir axis) const;
+  /// Total number of net-attached instance pin terms across all nets.
+  std::size_t numNetInstTerms() const;
+
+  void buildInstanceIndex();
+
+ private:
+  std::unordered_map<std::string, int> instByName_;
+};
+
+}  // namespace pao::db

@@ -1,0 +1,64 @@
+#include "db/legality.hpp"
+
+#include <algorithm>
+
+#include "geom/grid_index.hpp"
+
+namespace pao::db {
+
+std::string PlacementViolation::describe(const Design& design) const {
+  std::string out;
+  switch (kind) {
+    case Kind::kOffDie: out = "off-die "; break;
+    case Kind::kOffSite: out = "off-site "; break;
+    case Kind::kOverlap: out = "overlap "; break;
+    case Kind::kNoRow: out = "no-row "; break;
+  }
+  if (instA >= 0) out += design.instances[instA].name;
+  if (instB >= 0) out += " / " + design.instances[instB].name;
+  return out;
+}
+
+std::vector<PlacementViolation> checkPlacement(const Design& design) {
+  std::vector<PlacementViolation> out;
+  using Kind = PlacementViolation::Kind;
+
+  // Row lookup by y (multi-height cells sit on a row like everyone else).
+  std::vector<const Row*> rows;
+  for (const Row& r : design.rows) rows.push_back(&r);
+
+  geom::GridIndex<int> index(1 << 14);
+  for (int i = 0; i < static_cast<int>(design.instances.size()); ++i) {
+    const Instance& inst = design.instances[i];
+    const geom::Rect bbox = inst.bbox();
+
+    if (!design.dieArea.empty() && !design.dieArea.contains(bbox)) {
+      out.push_back({Kind::kOffDie, i, -1});
+    }
+
+    if (!rows.empty() && inst.master->cls != MasterClass::kBlock) {
+      const Row* row = nullptr;
+      for (const Row* r : rows) {
+        if (r->origin.y == inst.origin.y) {
+          row = r;
+          break;
+        }
+      }
+      if (row == nullptr) {
+        out.push_back({Kind::kNoRow, i, -1});
+      } else if (row->siteWidth > 0 &&
+                 (inst.origin.x - row->origin.x) % row->siteWidth != 0) {
+        out.push_back({Kind::kOffSite, i, -1});
+      }
+    }
+
+    // Overlaps against previously indexed instances.
+    index.query(bbox, [&](const geom::Rect& other, int j) {
+      if (other.overlaps(bbox)) out.push_back({Kind::kOverlap, j, i});
+    });
+    index.insert(bbox, i);
+  }
+  return out;
+}
+
+}  // namespace pao::db

@@ -1,0 +1,77 @@
+#include "db/tech.hpp"
+
+#include <algorithm>
+
+namespace pao::db {
+
+Coord Layer::spacing(Coord w, Coord runLength) const {
+  if (spacingTable.empty()) return 0;
+  // Entries are sorted by (width, prl); pick the largest spacing among rows
+  // whose thresholds are met. LEF semantics: a row applies when the wider
+  // shape's width > row.width and PRL > row.prl (the first row has width 0 and
+  // prl 0 thresholds meaning "always").
+  Coord s = spacingTable.front().spacing;
+  for (const SpacingTableEntry& e : spacingTable) {
+    if (w > e.width && runLength > e.prl) s = std::max(s, e.spacing);
+  }
+  return s;
+}
+
+Coord Layer::minSpacing() const {
+  return spacingTable.empty() ? 0 : spacingTable.front().spacing;
+}
+
+Layer& Tech::addLayer(std::string layerName, LayerType type) {
+  Layer& l = layers_.emplace_back();
+  l.name = std::move(layerName);
+  l.type = type;
+  l.index = static_cast<int>(layers_.size()) - 1;
+  layerByName_[l.name] = l.index;
+  return l;
+}
+
+ViaDef& Tech::addViaDef(std::string viaName) {
+  ViaDef& v = viaDefs_.emplace_back();
+  v.name = std::move(viaName);
+  viaByName_[v.name] = static_cast<int>(viaDefs_.size()) - 1;
+  return v;
+}
+
+const Layer* Tech::findLayer(std::string_view layerName) const {
+  const auto it = layerByName_.find(std::string(layerName));
+  return it == layerByName_.end() ? nullptr : &layers_[it->second];
+}
+
+const ViaDef* Tech::findViaDef(std::string_view viaName) const {
+  const auto it = viaByName_.find(std::string(viaName));
+  return it == viaByName_.end() ? nullptr : &viaDefs_[it->second];
+}
+
+std::vector<const ViaDef*> Tech::viaDefsFromLayer(int botLayer) const {
+  std::vector<const ViaDef*> out;
+  for (const ViaDef& v : viaDefs_) {
+    if (v.botLayer == botLayer) out.push_back(&v);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ViaDef* a, const ViaDef* b) {
+                     return a->isDefault > b->isDefault;
+                   });
+  return out;
+}
+
+int Tech::numRoutingLayers() const {
+  int n = 0;
+  for (const Layer& l : layers_) {
+    if (l.type == LayerType::kRouting) ++n;
+  }
+  return n;
+}
+
+int Tech::routingLayerAbove(int layerIdx) const {
+  for (int i = layerIdx + 1; i < static_cast<int>(layers_.size()); ++i) {
+    if (layers_[i].type == LayerType::kRouting) return i;
+  }
+  return -1;
+}
+
+}  // namespace pao::db

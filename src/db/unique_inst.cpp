@@ -1,0 +1,53 @@
+#include "db/unique_inst.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace pao::db {
+
+std::vector<Coord> trackOffsets(const Design& design, const Instance& inst) {
+  std::vector<Coord> offsets;
+  offsets.reserve(design.trackPatterns.size());
+  for (const TrackPattern& tp : design.trackPatterns) {
+    if (tp.step <= 0) {
+      offsets.push_back(0);
+      continue;
+    }
+    const Coord v =
+        tp.axis == Dir::kHorizontal ? inst.origin.y : inst.origin.x;
+    const Coord m = (v - tp.start) % tp.step;
+    offsets.push_back(m < 0 ? m + tp.step : m);
+  }
+  return offsets;
+}
+
+UniqueInstances extractUniqueInstances(const Design& design) {
+  UniqueInstances out;
+  out.classOf.assign(design.instances.size(), -1);
+
+  using Key = std::tuple<const Master*, geom::Orient, std::vector<Coord>>;
+  std::map<Key, int> classIdx;
+
+  for (int i = 0; i < static_cast<int>(design.instances.size()); ++i) {
+    const Instance& inst = design.instances[i];
+    Key key{inst.master, inst.orient, trackOffsets(design, inst)};
+    const auto it = classIdx.find(key);
+    if (it == classIdx.end()) {
+      UniqueInstance ui;
+      ui.master = inst.master;
+      ui.orient = inst.orient;
+      ui.offsets = std::get<2>(key);
+      ui.representative = i;
+      ui.members.push_back(i);
+      classIdx.emplace(std::move(key), static_cast<int>(out.classes.size()));
+      out.classOf[i] = static_cast<int>(out.classes.size());
+      out.classes.push_back(std::move(ui));
+    } else {
+      out.classes[it->second].members.push_back(i);
+      out.classOf[i] = it->second;
+    }
+  }
+  return out;
+}
+
+}  // namespace pao::db

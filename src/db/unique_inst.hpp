@@ -1,0 +1,38 @@
+// Unique-instance extraction (paper Sec. II-A): instances sharing the same
+// signature — (cell master, orientation, offsets to every track pattern in
+// the design) — have identical intra-cell pin access and are analyzed once.
+#pragma once
+
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace pao::db {
+
+struct UniqueInstance {
+  const Master* master = nullptr;
+  geom::Orient orient = geom::Orient::R0;
+  /// One offset per design track pattern: the instance origin coordinate
+  /// (x for vertical-axis patterns, y for horizontal) modulo the track step.
+  std::vector<Coord> offsets;
+  /// Index of a representative placed instance in Design::instances.
+  int representative = -1;
+  /// All placed instances sharing this signature.
+  std::vector<int> members;
+};
+
+struct UniqueInstances {
+  std::vector<UniqueInstance> classes;
+  /// instIdx -> index into `classes` (-1 for non-core masters if skipped).
+  std::vector<int> classOf;
+};
+
+/// Groups Design::instances into unique-instance classes. Filler cells
+/// (masters with no signal pins) still get classes — they participate in
+/// boundary DRC — but callers typically skip them for access analysis.
+UniqueInstances extractUniqueInstances(const Design& design);
+
+/// The track-offset part of an instance's signature.
+std::vector<Coord> trackOffsets(const Design& design, const Instance& inst);
+
+}  // namespace pao::db

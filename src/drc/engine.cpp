@@ -1,0 +1,231 @@
+#include "drc/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "geom/polygon.hpp"
+
+namespace pao::drc {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+DrcEngine::DrcEngine(const db::Tech& tech)
+    : tech_(&tech), region_(static_cast<int>(tech.layers().size())) {}
+
+std::vector<Shape> DrcEngine::viaShapes(const db::ViaDef& via, Point p,
+                                        int net, bool fixed) const {
+  std::vector<Shape> out;
+  out.push_back({via.botEncAt(p), via.botLayer, net, ShapeKind::kVia, fixed});
+  out.push_back({via.cutAt(p), via.cutLayer, net, ShapeKind::kVia, fixed});
+  out.push_back({via.topEncAt(p), via.topLayer, net, ShapeKind::kVia, fixed});
+  return out;
+}
+
+std::vector<geom::Rect> DrcEngine::mergedComponent(
+    const Rect& seed, int layer, int net, std::span<const Shape> extra) const {
+  std::vector<Rect> comp{seed};
+  std::deque<Rect> frontier{seed};
+  const auto absorbed = [&](const Rect& r) {
+    return std::find(comp.begin(), comp.end(), r) != comp.end();
+  };
+  // Bounded flood fill over touching same-net shapes. The bound keeps the
+  // incremental check local; standard-cell pins have few rects.
+  constexpr std::size_t kMaxComponent = 64;
+  while (!frontier.empty() && comp.size() < kMaxComponent) {
+    const Rect cur = frontier.front();
+    frontier.pop_front();
+    queryWithExtra(layer, cur, extra, [&](const Shape& s) {
+      if (s.net != net || comp.size() >= kMaxComponent) return;
+      if (!s.rect.intersects(cur) || absorbed(s.rect)) return;
+      comp.push_back(s.rect);
+      frontier.push_back(s.rect);
+    });
+  }
+  return comp;
+}
+
+std::vector<Violation> DrcEngine::checkVia(const db::ViaDef& via, Point p,
+                                           int net,
+                                           std::span<const Shape> extra) const {
+  std::vector<Violation> out;
+
+  const auto checkMetalRect = [&](const Rect& enc, int layerIdx) {
+    const db::Layer& layer = tech_->layer(layerIdx);
+    const Shape cand{enc, layerIdx, net, ShapeKind::kVia, false};
+    const Coord halo = maxSpacingHalo(layer);
+
+    // Spacing / shorts against conflicting context shapes.
+    queryWithExtra(layerIdx, enc.bloat(halo), extra, [&](const Shape& s) {
+      if (auto v = checkSpacingPair(layer, cand, s)) out.push_back(*v);
+    });
+
+    // Min step and EOL over the merged same-net component. Only violations
+    // in the via's vicinity are attributed to it — a long pin bar may carry
+    // pre-existing artifacts far away that the via did not cause.
+    const Coord window =
+        halo + (layer.minStep ? layer.minStep->minStepLength : 0);
+    const Rect vicinity = enc.bloat(window);
+    const std::vector<Rect> comp = mergedComponent(enc, layerIdx, net, extra);
+    for (Violation v : checkMinStep(layer, comp)) {
+      if (v.bbox.intersects(vicinity)) out.push_back(v);
+    }
+    if (layer.eol) {
+      // Build a local context holding nearby conflicting shapes plus extras.
+      Rect compBox;
+      for (const Rect& r : comp) compBox = compBox.merge(r);
+      RegionQuery local(static_cast<int>(tech_->layers().size()));
+      queryWithExtra(layerIdx, compBox.bloat(halo), extra,
+                     [&](const Shape& s) {
+                       if (s.net != net || s.net == Shape::kObsNet) {
+                         local.add(s);
+                       }
+                     });
+      for (Violation v : checkEol(layer, comp, net, local)) {
+        if (v.bbox.intersects(vicinity)) out.push_back(v);
+      }
+    }
+  };
+
+  checkMetalRect(via.botEncAt(p), via.botLayer);
+  checkMetalRect(via.topEncAt(p), via.topLayer);
+
+  // Cut spacing.
+  const db::Layer& cutLayer = tech_->layer(via.cutLayer);
+  const Shape cutCand{via.cutAt(p), via.cutLayer, net, ShapeKind::kVia, false};
+  queryWithExtra(via.cutLayer, cutCand.rect.bloat(cutLayer.cutSpacing), extra,
+                 [&](const Shape& s) {
+                   if (auto v = checkCutSpacingPair(cutLayer, cutCand, s)) {
+                     out.push_back(*v);
+                   }
+                 });
+  return out;
+}
+
+std::vector<Violation> DrcEngine::checkWire(const Rect& r, int layerIdx,
+                                            int net,
+                                            std::span<const Shape> extra) const {
+  std::vector<Violation> out;
+  const db::Layer& layer = tech_->layer(layerIdx);
+  const Shape cand{r, layerIdx, net, ShapeKind::kWire, false};
+  queryWithExtra(layerIdx, r.bloat(maxSpacingHalo(layer)), extra,
+                 [&](const Shape& s) {
+                   if (auto v = checkSpacingPair(layer, cand, s)) {
+                     out.push_back(*v);
+                   }
+                 });
+  return out;
+}
+
+std::vector<Violation> DrcEngine::checkViaPair(const db::ViaDef& viaA,
+                                               Point pa, int netA,
+                                               const db::ViaDef& viaB,
+                                               Point pb, int netB) const {
+  const std::vector<Shape> aShapes = viaShapes(viaA, pa, netA);
+  return checkVia(viaB, pb, netB, aShapes);
+}
+
+std::vector<Violation> DrcEngine::checkAll() const {
+  std::vector<Violation> out;
+  const int numLayers = static_cast<int>(tech_->layers().size());
+
+  for (int li = 0; li < numLayers; ++li) {
+    const db::Layer& layer = tech_->layer(li);
+    const std::vector<Shape>& shapes = region_.shapesOnLayer(li);
+
+    if (layer.type == db::LayerType::kCut) {
+      geom::GridIndex<std::size_t> idx;
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        idx.insert(shapes[i].rect, i);
+      }
+      for (std::size_t i = 0; i < shapes.size(); ++i) {
+        idx.query(shapes[i].rect.bloat(layer.cutSpacing),
+                  [&](const Rect&, std::size_t j) {
+                    if (j <= i) return;
+                    if (shapes[i].fixed && shapes[j].fixed) return;
+                    if (auto v = checkCutSpacingPair(layer, shapes[i],
+                                                     shapes[j])) {
+                      out.push_back(*v);
+                    }
+                  });
+      }
+      continue;
+    }
+    if (layer.type != db::LayerType::kRouting) continue;
+
+    // Pairwise spacing (skip fixed-fixed: library geometry is self-clean).
+    const Coord halo = maxSpacingHalo(layer);
+    geom::GridIndex<std::size_t> idx;
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      idx.insert(shapes[i].rect, i);
+    }
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      idx.query(shapes[i].rect.bloat(halo), [&](const Rect&, std::size_t j) {
+        if (j <= i) return;
+        if (shapes[i].fixed && shapes[j].fixed) return;
+        if (auto v = checkSpacingPair(layer, shapes[i], shapes[j])) {
+          out.push_back(*v);
+        }
+      });
+    }
+
+    // Per-net merged components: min step, min area, EOL. Components made
+    // only of fixed shapes are skipped (library pins are self-clean), and
+    // min area exempts components anchored to a pin shape.
+    std::map<int, std::vector<const Shape*>> byNet;
+    for (const Shape& s : shapes) {
+      if (s.net == Shape::kObsNet) continue;
+      byNet[s.net].push_back(&s);
+    }
+    for (const auto& [net, netShapes] : byNet) {
+      // Union-find over this net's shapes by geometric adjacency.
+      const std::size_t n = netShapes.size();
+      std::vector<std::size_t> parent(n);
+      for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+      const auto find = [&](std::size_t i) {
+        while (parent[i] != i) {
+          parent[i] = parent[parent[i]];
+          i = parent[i];
+        }
+        return i;
+      };
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (netShapes[i]->rect.intersects(netShapes[j]->rect)) {
+            parent[find(i)] = find(j);
+          }
+        }
+      }
+      std::map<std::size_t, std::vector<const Shape*>> comps;
+      for (std::size_t i = 0; i < n; ++i) comps[find(i)].push_back(netShapes[i]);
+
+      for (const auto& [root, members] : comps) {
+        bool anyRouted = false;
+        bool anyFixed = false;
+        std::vector<Rect> comp;
+        comp.reserve(members.size());
+        for (const Shape* s : members) {
+          comp.push_back(s->rect);
+          anyRouted = anyRouted || !s->fixed;
+          anyFixed = anyFixed || s->fixed;
+        }
+        if (!anyRouted) continue;
+        for (Violation v : checkMinStep(layer, comp)) {
+          v.netA = net;
+          out.push_back(v);
+        }
+        if (layer.minArea > 0 && !anyFixed) {
+          if (auto v = checkMinArea(layer, comp, net)) out.push_back(*v);
+        }
+        for (Violation v : checkEol(layer, comp, net, region_)) {
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pao::drc

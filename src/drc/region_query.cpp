@@ -1,0 +1,31 @@
+#include "drc/region_query.hpp"
+
+namespace pao::drc {
+
+RegionQuery::RegionQuery(int numLayers, geom::Coord binSize) {
+  layers_.reserve(numLayers);
+  for (int i = 0; i < numLayers; ++i) layers_.emplace_back(binSize);
+  byLayer_.resize(numLayers);
+}
+
+void RegionQuery::add(const Shape& s) {
+  if (s.layer < 0 || s.layer >= numLayers() || s.rect.empty()) return;
+  layers_[s.layer].insert(s.rect, s);
+  byLayer_[s.layer].push_back(s);
+  ++count_;
+}
+
+void RegionQuery::clear() {
+  for (auto& g : layers_) g.clear();
+  for (auto& v : byLayer_) v.clear();
+  count_ = 0;
+}
+
+std::vector<Shape> RegionQuery::queryShapes(int layer,
+                                            const geom::Rect& box) const {
+  std::vector<Shape> out;
+  query(layer, box, [&](const Shape& s) { out.push_back(s); });
+  return out;
+}
+
+}  // namespace pao::drc

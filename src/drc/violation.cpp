@@ -1,0 +1,27 @@
+#include "drc/violation.hpp"
+
+#include <sstream>
+
+namespace pao::drc {
+
+std::string_view toString(RuleKind k) {
+  switch (k) {
+    case RuleKind::kMetalSpacing: return "MetalSpacing";
+    case RuleKind::kMinStep: return "MinStep";
+    case RuleKind::kEndOfLine: return "EndOfLine";
+    case RuleKind::kMinArea: return "MinArea";
+    case RuleKind::kCutSpacing: return "CutSpacing";
+    case RuleKind::kShort: return "Short";
+    case RuleKind::kOffGrid: return "OffGrid";
+  }
+  return "Unknown";
+}
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  os << toString(kind) << " layer=" << layer << " at " << bbox
+     << " nets=(" << netA << "," << netB << ")";
+  return os.str();
+}
+
+}  // namespace pao::drc

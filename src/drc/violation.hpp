@@ -1,0 +1,36 @@
+// DRC violation record shared by all checks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace pao::drc {
+
+enum class RuleKind : std::uint8_t {
+  kMetalSpacing,
+  kMinStep,
+  kEndOfLine,
+  kMinArea,
+  kCutSpacing,
+  kShort,
+  kOffGrid,
+};
+
+std::string_view toString(RuleKind k);
+
+struct Violation {
+  RuleKind kind = RuleKind::kMetalSpacing;
+  int layer = -1;
+  geom::Rect bbox;  ///< marker region
+  /// Nets involved (-1 for obstructions / blockages).
+  int netA = -1;
+  int netB = -1;
+
+  std::string describe() const;
+};
+
+}  // namespace pao::drc

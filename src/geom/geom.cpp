@@ -1,0 +1,20 @@
+#include "geom/geom.hpp"
+
+#include <ostream>
+
+namespace pao::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.xlo << ", " << r.ylo << " ; " << r.xhi << ", " << r.yhi
+            << "]";
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& i) {
+  return os << "[" << i.lo << ", " << i.hi << "]";
+}
+
+}  // namespace pao::geom

@@ -1,0 +1,198 @@
+// Basic integer geometry types for layout: points, rectangles, intervals,
+// segments. All coordinates are in database units (DBU).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+
+namespace pao::geom {
+
+using Coord = std::int64_t;
+using Area = std::int64_t;
+
+inline constexpr Coord kCoordMax = std::numeric_limits<Coord>::max() / 4;
+inline constexpr Coord kCoordMin = std::numeric_limits<Coord>::min() / 4;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(Coord px, Coord py) : x(px), y(py) {}
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan distance between two points.
+constexpr Coord manhattanDist(const Point& a, const Point& b) {
+  const Coord dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Coord dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Closed integer interval [lo, hi]. Empty if lo > hi.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;
+
+  constexpr Interval() = default;
+  constexpr Interval(Coord l, Coord h) : lo(l), hi(h) {}
+
+  constexpr bool empty() const { return lo > hi; }
+  constexpr Coord length() const { return empty() ? 0 : hi - lo; }
+  constexpr bool contains(Coord v) const { return lo <= v && v <= hi; }
+  constexpr bool overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+  constexpr Interval intersect(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+  /// Length of overlap; 0 when intervals are disjoint or merely touch.
+  constexpr Coord overlapLength(const Interval& o) const {
+    const Interval i = intersect(o);
+    return i.empty() ? 0 : i.hi - i.lo;
+  }
+  /// Gap between disjoint intervals; 0 when they overlap or touch.
+  constexpr Coord gap(const Interval& o) const {
+    if (hi < o.lo) return o.lo - hi;
+    if (o.hi < lo) return lo - o.hi;
+    return 0;
+  }
+
+  friend constexpr bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Axis-aligned rectangle with inclusive-exclusive semantics left to the
+/// caller; geometrically we treat it as the closed region [xlo,xhi]x[ylo,yhi].
+/// A rect is empty when xlo > xhi or ylo > yhi.
+struct Rect {
+  Coord xlo = 0;
+  Coord ylo = 0;
+  Coord xhi = -1;
+  Coord yhi = -1;
+
+  constexpr Rect() = default;
+  constexpr Rect(Coord x1, Coord y1, Coord x2, Coord y2)
+      : xlo(std::min(x1, x2)),
+        ylo(std::min(y1, y2)),
+        xhi(std::max(x1, x2)),
+        yhi(std::max(y1, y2)) {}
+  constexpr Rect(const Point& lo, const Point& hi)
+      : Rect(lo.x, lo.y, hi.x, hi.y) {}
+
+  friend constexpr bool operator==(const Rect&, const Rect&) = default;
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  constexpr bool empty() const { return xlo > xhi || ylo > yhi; }
+  constexpr Coord width() const { return empty() ? 0 : xhi - xlo; }
+  constexpr Coord height() const { return empty() ? 0 : yhi - ylo; }
+  /// The smaller of width/height — the "wire width" of a shape.
+  constexpr Coord minDim() const { return std::min(width(), height()); }
+  constexpr Coord maxDim() const { return std::max(width(), height()); }
+  constexpr Area area() const { return empty() ? 0 : width() * height(); }
+  constexpr Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  constexpr Point ll() const { return {xlo, ylo}; }
+  constexpr Point ur() const { return {xhi, yhi}; }
+  constexpr Interval xSpan() const { return {xlo, xhi}; }
+  constexpr Interval ySpan() const { return {ylo, yhi}; }
+
+  constexpr bool contains(const Point& p) const {
+    return !empty() && xlo <= p.x && p.x <= xhi && ylo <= p.y && p.y <= yhi;
+  }
+  constexpr bool contains(const Rect& r) const {
+    return !empty() && !r.empty() && xlo <= r.xlo && r.xhi <= xhi &&
+           ylo <= r.ylo && r.yhi <= yhi;
+  }
+  /// True when the closed regions share at least a point (touching counts).
+  constexpr bool intersects(const Rect& r) const {
+    return !empty() && !r.empty() && xlo <= r.xhi && r.xlo <= xhi &&
+           ylo <= r.yhi && r.ylo <= yhi;
+  }
+  /// True when the open interiors overlap (touching does NOT count).
+  constexpr bool overlaps(const Rect& r) const {
+    return !empty() && !r.empty() && xlo < r.xhi && r.xlo < xhi &&
+           ylo < r.yhi && r.ylo < yhi;
+  }
+  constexpr Rect intersect(const Rect& r) const {
+    return rawRect(std::max(xlo, r.xlo), std::max(ylo, r.ylo),
+                   std::min(xhi, r.xhi), std::min(yhi, r.yhi));
+  }
+  constexpr Rect bloat(Coord d) const {
+    return rawRect(xlo - d, ylo - d, xhi + d, yhi + d);
+  }
+  constexpr Rect bloat(Coord dx, Coord dy) const {
+    return rawRect(xlo - dx, ylo - dy, xhi + dx, yhi + dy);
+  }
+  constexpr Rect translate(Coord dx, Coord dy) const {
+    return rawRect(xlo + dx, ylo + dy, xhi + dx, yhi + dy);
+  }
+  constexpr Rect merge(const Rect& r) const {
+    if (empty()) return r;
+    if (r.empty()) return *this;
+    return rawRect(std::min(xlo, r.xlo), std::min(ylo, r.ylo),
+                   std::max(xhi, r.xhi), std::max(yhi, r.yhi));
+  }
+
+  /// Construct without lo/hi normalization (may produce an empty rect).
+  static constexpr Rect rawRect(Coord x1, Coord y1, Coord x2, Coord y2) {
+    Rect r;
+    r.xlo = x1;
+    r.ylo = y1;
+    r.xhi = x2;
+    r.yhi = y2;
+    return r;
+  }
+};
+
+/// Projected run length between two rects: the larger of the x-span overlap
+/// and y-span overlap (negative values clamp to the signed gap convention used
+/// by spacing rules: PRL > 0 means the rects face each other).
+constexpr Coord prl(const Rect& a, const Rect& b) {
+  const Coord px = std::min(a.xhi, b.xhi) - std::max(a.xlo, b.xlo);
+  const Coord py = std::min(a.yhi, b.yhi) - std::max(a.ylo, b.ylo);
+  return std::max(px, py);
+}
+
+/// Euclidean-square distance between two closed rects (0 when touching or
+/// overlapping). Uses squared distance to stay in integer arithmetic.
+constexpr Area distSquared(const Rect& a, const Rect& b) {
+  const Coord dx = std::max<Coord>({a.xlo - b.xhi, b.xlo - a.xhi, 0});
+  const Coord dy = std::max<Coord>({a.ylo - b.yhi, b.ylo - a.yhi, 0});
+  return dx * dx + dy * dy;
+}
+
+/// Max of the per-axis gaps — the "box distance" used by corner-to-corner
+/// spacing checks under the max metric.
+constexpr Coord maxAxisGap(const Rect& a, const Rect& b) {
+  const Coord dx = std::max<Coord>({a.xlo - b.xhi, b.xlo - a.xhi, 0});
+  const Coord dy = std::max<Coord>({a.ylo - b.yhi, b.ylo - a.yhi, 0});
+  return std::max(dx, dy);
+}
+
+constexpr Coord manhattanDist(const Rect& a, const Rect& b) {
+  const Coord dx = std::max<Coord>({a.xlo - b.xhi, b.xlo - a.xhi, 0});
+  const Coord dy = std::max<Coord>({a.ylo - b.yhi, b.ylo - a.yhi, 0});
+  return dx + dy;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+std::ostream& operator<<(std::ostream& os, const Interval& i);
+
+}  // namespace pao::geom
+
+template <>
+struct std::hash<pao::geom::Point> {
+  std::size_t operator()(const pao::geom::Point& p) const noexcept {
+    const std::size_t hx = std::hash<pao::geom::Coord>{}(p.x);
+    const std::size_t hy = std::hash<pao::geom::Coord>{}(p.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};

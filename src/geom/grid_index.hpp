@@ -1,0 +1,86 @@
+// Uniform-bucket spatial index over axis-aligned rectangles. This is the
+// region-query backbone of the DRC engine: inserted items are binned into
+// fixed-size grid cells and rectangle queries visit only overlapping bins.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace pao::geom {
+
+template <typename T>
+class GridIndex {
+ public:
+  /// `cellSize` trades memory for query selectivity; a few track pitches is a
+  /// good default for standard-cell-scale layouts.
+  explicit GridIndex(Coord cellSize = 4096) : cellSize_(cellSize) {}
+
+  void insert(const Rect& bbox, T value) {
+    const std::size_t idx = items_.size();
+    items_.push_back({bbox, std::move(value)});
+    forEachBin(bbox, [&](std::int64_t key) { bins_[key].push_back(idx); });
+  }
+
+  void clear() {
+    items_.clear();
+    bins_.clear();
+  }
+
+  std::size_t size() const { return items_.size(); }
+
+  /// Invokes `fn(bbox, value)` for every item whose bbox intersects `query`
+  /// (closed-region semantics: touching counts).
+  template <typename Fn>
+  void query(const Rect& query, Fn&& fn) const {
+    std::unordered_set<std::size_t> seen;
+    forEachBin(query, [&](std::int64_t key) {
+      const auto it = bins_.find(key);
+      if (it == bins_.end()) return;
+      for (const std::size_t idx : it->second) {
+        if (!items_[idx].bbox.intersects(query)) continue;
+        if (seen.insert(idx).second) fn(items_[idx].bbox, items_[idx].value);
+      }
+    });
+  }
+
+  /// Convenience: collects matching values into a vector.
+  std::vector<T> queryValues(const Rect& query) const {
+    std::vector<T> out;
+    this->query(query, [&](const Rect&, const T& v) { out.push_back(v); });
+    return out;
+  }
+
+ private:
+  struct Item {
+    Rect bbox;
+    T value;
+  };
+
+  template <typename Fn>
+  void forEachBin(const Rect& r, Fn&& fn) const {
+    if (r.empty()) return;
+    const std::int64_t x1 = floorDiv(r.xlo);
+    const std::int64_t x2 = floorDiv(r.xhi);
+    const std::int64_t y1 = floorDiv(r.ylo);
+    const std::int64_t y2 = floorDiv(r.yhi);
+    for (std::int64_t gy = y1; gy <= y2; ++gy) {
+      for (std::int64_t gx = x1; gx <= x2; ++gx) {
+        fn((gy << 21) ^ gx);
+      }
+    }
+  }
+
+  std::int64_t floorDiv(Coord v) const {
+    return v >= 0 ? v / cellSize_ : (v - cellSize_ + 1) / cellSize_;
+  }
+
+  Coord cellSize_;
+  std::vector<Item> items_;
+  std::unordered_map<std::int64_t, std::vector<std::size_t>> bins_;
+};
+
+}  // namespace pao::geom

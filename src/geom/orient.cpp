@@ -1,0 +1,86 @@
+#include "geom/orient.hpp"
+
+namespace pao::geom {
+
+std::string_view toString(Orient o) {
+  switch (o) {
+    case Orient::R0: return "R0";
+    case Orient::R90: return "R90";
+    case Orient::R180: return "R180";
+    case Orient::R270: return "R270";
+    case Orient::MX: return "MX";
+    case Orient::MY: return "MY";
+    case Orient::MX90: return "MX90";
+    case Orient::MY90: return "MY90";
+  }
+  return "R0";
+}
+
+Orient orientFromString(std::string_view s) {
+  if (s == "R0" || s == "N") return Orient::R0;
+  if (s == "R90" || s == "W") return Orient::R90;
+  if (s == "R180" || s == "S") return Orient::R180;
+  if (s == "R270" || s == "E") return Orient::R270;
+  if (s == "MX" || s == "FS") return Orient::MX;
+  if (s == "MY" || s == "FN") return Orient::MY;
+  if (s == "MX90" || s == "FW") return Orient::MX90;
+  if (s == "MY90" || s == "FE") return Orient::MY90;
+  return Orient::R0;
+}
+
+Transform::Transform(Point origin, Orient orient, Point masterSize)
+    : origin_(origin), orient_(orient), size_(masterSize) {
+  // After rotating the master bbox [0,w]x[0,h] about (0,0), its lower-left
+  // moves; postOff_ brings it back to (0,0) so that adding origin_ places the
+  // transformed bbox lower-left at the placement point.
+  const Rect rotated = Rect(rotate({0, 0}), rotate({size_.x, size_.y}));
+  postOff_ = {-rotated.xlo, -rotated.ylo};
+}
+
+Point Transform::rotate(const Point& p) const {
+  switch (orient_) {
+    case Orient::R0: return {p.x, p.y};
+    case Orient::R90: return {-p.y, p.x};
+    case Orient::R180: return {-p.x, -p.y};
+    case Orient::R270: return {p.y, -p.x};
+    case Orient::MX: return {p.x, -p.y};
+    case Orient::MY: return {-p.x, p.y};
+    case Orient::MX90: return {p.y, p.x};    // mirror about x then rotate 90
+    case Orient::MY90: return {-p.y, -p.x};  // mirror about y then rotate 90
+  }
+  return p;
+}
+
+Point Transform::rotateInverse(const Point& p) const {
+  switch (orient_) {
+    case Orient::R0: return {p.x, p.y};
+    case Orient::R90: return {p.y, -p.x};
+    case Orient::R180: return {-p.x, -p.y};
+    case Orient::R270: return {-p.y, p.x};
+    case Orient::MX: return {p.x, -p.y};
+    case Orient::MY: return {-p.x, p.y};
+    case Orient::MX90: return {p.y, p.x};
+    case Orient::MY90: return {-p.y, -p.x};
+  }
+  return p;
+}
+
+Point Transform::apply(const Point& p) const {
+  const Point r = rotate(p);
+  return {r.x + postOff_.x + origin_.x, r.y + postOff_.y + origin_.y};
+}
+
+Rect Transform::apply(const Rect& r) const {
+  return Rect(apply(r.ll()), apply(r.ur()));
+}
+
+Point Transform::applyInverse(const Point& p) const {
+  const Point r{p.x - postOff_.x - origin_.x, p.y - postOff_.y - origin_.y};
+  return rotateInverse(r);
+}
+
+Rect Transform::applyInverse(const Rect& r) const {
+  return Rect(applyInverse(r.ll()), applyInverse(r.ur()));
+}
+
+}  // namespace pao::geom

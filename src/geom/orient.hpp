@@ -1,0 +1,55 @@
+// DEF-style placement orientations and the affine transform that maps
+// cell-master coordinates into design coordinates.
+#pragma once
+
+#include <string_view>
+
+#include "geom/geom.hpp"
+
+namespace pao::geom {
+
+/// The eight DEF orientations. R90/R270/MX90/MY90 swap width and height.
+enum class Orient : std::uint8_t { R0, R90, R180, R270, MX, MY, MX90, MY90 };
+
+std::string_view toString(Orient o);
+/// Parses a DEF orientation keyword ("N","S","E","W","FN","FS","FE","FW" or
+/// "R0".."MY90"); returns R0 for unknown input.
+Orient orientFromString(std::string_view s);
+
+/// True when the orientation exchanges the x and y axes.
+constexpr bool swapsAxes(Orient o) {
+  return o == Orient::R90 || o == Orient::R270 || o == Orient::MX90 ||
+         o == Orient::MY90;
+}
+
+/// Affine transform: rotate/mirror about the master origin, then translate so
+/// the transformed master bbox lower-left lands at `origin` (DEF COMPONENTS
+/// placement semantics, assuming the master bbox lower-left is (0,0)).
+class Transform {
+ public:
+  Transform() = default;
+
+  /// `masterSize` is the (width, height) of the cell master with its bbox
+  /// lower-left at (0,0); `origin` is the placement location.
+  Transform(Point origin, Orient orient, Point masterSize);
+
+  Point apply(const Point& p) const;
+  Rect apply(const Rect& r) const;
+  /// Maps a design coordinate back into master coordinates.
+  Point applyInverse(const Point& p) const;
+  Rect applyInverse(const Rect& r) const;
+
+  Orient orient() const { return orient_; }
+  Point origin() const { return origin_; }
+
+ private:
+  Point rotate(const Point& p) const;
+  Point rotateInverse(const Point& p) const;
+
+  Point origin_;
+  Orient orient_ = Orient::R0;
+  Point size_;      // master (w, h)
+  Point postOff_;   // translation applied after rotation
+};
+
+}  // namespace pao::geom

@@ -1,0 +1,321 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace pao::geom {
+
+namespace {
+
+/// Merges a set of closed intervals into a minimal disjoint set.
+std::vector<Interval> mergeIntervals(std::vector<Interval> ivs) {
+  std::vector<Interval> out;
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+  });
+  for (const Interval& iv : ivs) {
+    if (iv.empty()) continue;
+    if (!out.empty() && iv.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, iv.hi);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+std::vector<Rect> transpose(const std::vector<Rect>& rects) {
+  std::vector<Rect> out;
+  out.reserve(rects.size());
+  for (const Rect& r : rects) out.emplace_back(r.ylo, r.xlo, r.yhi, r.xhi);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Rect> unionSlabs(std::vector<Rect> rects) {
+  std::erase_if(rects, [](const Rect& r) { return r.empty() || r.area() == 0; });
+  if (rects.empty()) return {};
+
+  std::vector<Coord> ys;
+  ys.reserve(rects.size() * 2);
+  for (const Rect& r : rects) {
+    ys.push_back(r.ylo);
+    ys.push_back(r.yhi);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  std::vector<Rect> out;
+  // Open rects from the previous band keyed by x-interval, for vertical merge.
+  std::map<std::pair<Coord, Coord>, std::size_t> open;
+  for (std::size_t bi = 0; bi + 1 < ys.size(); ++bi) {
+    const Coord y1 = ys[bi];
+    const Coord y2 = ys[bi + 1];
+    std::vector<Interval> xs;
+    for (const Rect& r : rects) {
+      if (r.ylo <= y1 && r.yhi >= y2) xs.push_back(r.xSpan());
+    }
+    std::map<std::pair<Coord, Coord>, std::size_t> nextOpen;
+    for (const Interval& iv : mergeIntervals(std::move(xs))) {
+      const auto key = std::make_pair(iv.lo, iv.hi);
+      const auto it = open.find(key);
+      if (it != open.end() && out[it->second].yhi == y1) {
+        out[it->second].yhi = y2;  // extend the slab from the previous band
+        nextOpen[key] = it->second;
+      } else {
+        out.emplace_back(iv.lo, y1, iv.hi, y2);
+        nextOpen[key] = out.size() - 1;
+      }
+    }
+    open = std::move(nextOpen);
+  }
+  return out;
+}
+
+Area unionArea(const std::vector<Rect>& rects) {
+  Area a = 0;
+  for (const Rect& r : unionSlabs(rects)) a += r.area();
+  return a;
+}
+
+std::vector<std::vector<Rect>> connectedComponents(
+    const std::vector<Rect>& rects) {
+  const std::size_t n = rects.size();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&](std::size_t i) {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rects[i].intersects(rects[j])) parent[find(i)] = find(j);
+    }
+  }
+  std::unordered_map<std::size_t, std::size_t> rootToIdx;
+  std::vector<std::vector<Rect>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] = rootToIdx.try_emplace(root, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(rects[i]);
+  }
+  return out;
+}
+
+namespace {
+
+struct RawEdge {
+  Point from;
+  Point to;
+};
+
+/// Sweeps one scanline worth of horizontal (or, transposed, vertical) edge
+/// contributions and appends net boundary edges. `plus` intervals carry
+/// weight +1, `minus` weight -1; net +1 emits a forward edge, net -1 a
+/// reversed edge, at the given fixed coordinate.
+void sweepLine(Coord fixed, bool horizontal, std::vector<Interval> plus,
+               std::vector<Interval> minus, std::vector<RawEdge>& out) {
+  // Event-based coverage count over the variable axis.
+  std::map<Coord, int> delta;
+  for (const Interval& iv : plus) {
+    delta[iv.lo] += 1;
+    delta[iv.hi] -= 1;
+  }
+  for (const Interval& iv : minus) {
+    delta[iv.lo] -= 1;
+    delta[iv.hi] += 1;
+  }
+  int cover = 0;
+  Coord start = 0;
+  int prevSign = 0;
+  for (const auto& [pos, d] : delta) {
+    if (prevSign != 0 && pos > start) {
+      const Point a = horizontal ? Point{start, fixed} : Point{fixed, start};
+      const Point b = horizontal ? Point{pos, fixed} : Point{fixed, pos};
+      if (prevSign > 0) {
+        out.push_back({a, b});  // bottom (+x) or left-swept equivalent
+      } else {
+        out.push_back({b, a});  // top (-x)
+      }
+    }
+    cover += d;
+    start = pos;
+    prevSign = cover > 0 ? 1 : (cover < 0 ? -1 : 0);
+  }
+}
+
+/// Turn preference: sharpest left turn first, so rings that touch at a corner
+/// stay separate and interiors stay on the left.
+int turnScore(const Point& inDir, const Point& outDir) {
+  // cross > 0: left turn; cross == 0 && dot > 0: straight; cross < 0: right.
+  const Coord cross = inDir.x * outDir.y - inDir.y * outDir.x;
+  const Coord dot = inDir.x * outDir.x + inDir.y * outDir.y;
+  if (cross > 0) return 0;             // left
+  if (cross == 0 && dot > 0) return 1; // straight
+  if (cross < 0) return 2;             // right
+  return 3;                            // U-turn
+}
+
+Point dirOf(const RawEdge& e) {
+  return {e.to.x == e.from.x ? 0 : (e.to.x > e.from.x ? 1 : -1),
+          e.to.y == e.from.y ? 0 : (e.to.y > e.from.y ? 1 : -1)};
+}
+
+}  // namespace
+
+std::vector<BoundaryRing> unionBoundary(const std::vector<Rect>& rects) {
+  const std::vector<Rect> slabs = unionSlabs(rects);
+  if (slabs.empty()) return {};
+
+  std::vector<RawEdge> edges;
+
+  // Horizontal boundary edges: group slab bottoms (+1) and tops (-1) by y.
+  {
+    std::map<Coord, std::pair<std::vector<Interval>, std::vector<Interval>>> byY;
+    for (const Rect& s : slabs) {
+      byY[s.ylo].first.push_back(s.xSpan());
+      byY[s.yhi].second.push_back(s.xSpan());
+    }
+    for (auto& [y, pm] : byY) {
+      sweepLine(y, /*horizontal=*/true, std::move(pm.first),
+                std::move(pm.second), edges);
+    }
+  }
+  // Vertical boundary edges: rights carry +1 (direction +y, interior left),
+  // lefts carry -1 (direction -y).
+  {
+    std::map<Coord, std::pair<std::vector<Interval>, std::vector<Interval>>> byX;
+    for (const Rect& s : slabs) {
+      byX[s.xhi].first.push_back(s.ySpan());
+      byX[s.xlo].second.push_back(s.ySpan());
+    }
+    std::vector<RawEdge> vertical;
+    for (auto& [x, pm] : byX) {
+      sweepLine(x, /*horizontal=*/false, std::move(pm.first),
+                std::move(pm.second), vertical);
+    }
+    edges.insert(edges.end(), vertical.begin(), vertical.end());
+  }
+
+  // Stitch directed edges into rings; interior is on the left of every edge.
+  std::unordered_map<Point, std::vector<std::size_t>> outgoing;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    outgoing[edges[i].from].push_back(i);
+  }
+  std::vector<bool> used(edges.size(), false);
+  std::vector<BoundaryRing> rings;
+  for (std::size_t seed = 0; seed < edges.size(); ++seed) {
+    if (used[seed]) continue;
+    BoundaryRing ring;
+    std::size_t cur = seed;
+    while (!used[cur]) {
+      used[cur] = true;
+      ring.push_back({edges[cur].from, edges[cur].to});
+      const Point at = edges[cur].to;
+      const auto it = outgoing.find(at);
+      if (it == outgoing.end()) break;  // should not happen for valid input
+      const Point inDir = dirOf(edges[cur]);
+      std::size_t best = edges.size();
+      int bestScore = 4;
+      for (const std::size_t cand : it->second) {
+        if (used[cand]) continue;
+        const int score = turnScore(inDir, dirOf(edges[cand]));
+        if (score < bestScore) {
+          bestScore = score;
+          best = cand;
+        }
+      }
+      if (best == edges.size()) break;  // ring closed
+      cur = best;
+    }
+    // Merge collinear consecutive edges, including across the wrap point.
+    BoundaryRing merged;
+    for (const BoundaryEdge& e : ring) {
+      if (!merged.empty()) {
+        BoundaryEdge& last = merged.back();
+        const bool collinear = (last.horizontal() && e.horizontal() &&
+                                last.from.y == e.from.y) ||
+                               (!last.horizontal() && !e.horizontal() &&
+                                last.from.x == e.from.x);
+        if (collinear && last.to == e.from) {
+          last.to = e.to;
+          continue;
+        }
+      }
+      merged.push_back(e);
+    }
+    if (merged.size() >= 2) {
+      BoundaryEdge& last = merged.back();
+      BoundaryEdge& first = merged.front();
+      const bool collinear =
+          (last.horizontal() && first.horizontal() &&
+           last.from.y == first.from.y) ||
+          (!last.horizontal() && !first.horizontal() &&
+           last.from.x == first.from.x);
+      if (collinear && last.to == first.from) {
+        first.from = last.from;
+        merged.pop_back();
+      }
+    }
+    if (!merged.empty()) rings.push_back(std::move(merged));
+  }
+  return rings;
+}
+
+std::vector<Rect> maxRects(const std::vector<Rect>& rects) {
+  std::vector<Rect> out;
+
+  const auto extendVertically = [](const std::vector<Rect>& slabs,
+                                   std::vector<Rect>& result) {
+    for (const Rect& s : slabs) {
+      Coord lo = s.ylo;
+      Coord hi = s.yhi;
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const Rect& t : slabs) {
+          if (t.yhi == lo && t.xlo <= s.xlo && t.xhi >= s.xhi) {
+            lo = t.ylo;
+            grew = true;
+          }
+          if (t.ylo == hi && t.xlo <= s.xlo && t.xhi >= s.xhi) {
+            hi = t.yhi;
+            grew = true;
+          }
+        }
+      }
+      result.emplace_back(s.xlo, lo, s.xhi, hi);
+    }
+  };
+
+  extendVertically(unionSlabs(rects), out);
+  std::vector<Rect> vOut;
+  extendVertically(unionSlabs(transpose(rects)), vOut);
+  for (const Rect& r : transpose(vOut)) out.push_back(r);
+
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Drop rects that are strictly contained in another (non-maximal).
+  std::vector<Rect> maximal;
+  for (const Rect& r : out) {
+    bool dominated = false;
+    for (const Rect& o : out) {
+      if (o != r && o.contains(r)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(r);
+  }
+  return maximal;
+}
+
+}  // namespace pao::geom

@@ -1,0 +1,243 @@
+#include "lefdef/def_parser.hpp"
+
+#include "lefdef/lexer.hpp"
+
+namespace pao::lefdef {
+
+namespace {
+
+using db::Design;
+using geom::Coord;
+
+class DefParser {
+ public:
+  DefParser(std::string_view text, Design& design)
+      : lex_(text), design_(design) {}
+
+  void run() {
+    while (!lex_.done()) {
+      const std::string_view tok = lex_.peek();
+      if (tok == "DESIGN") {
+        lex_.next();
+        design_.name = std::string(lex_.next());
+        lex_.expect(";");
+      } else if (tok == "UNITS") {
+        lex_.next();
+        lex_.expect("DISTANCE");
+        lex_.expect("MICRONS");
+        dbu_ = static_cast<int>(lex_.nextInt());
+        lex_.expect(";");
+      } else if (tok == "DIEAREA") {
+        lex_.next();
+        lex_.expect("(");
+        const Coord x1 = lex_.nextInt();
+        const Coord y1 = lex_.nextInt();
+        lex_.expect(")");
+        lex_.expect("(");
+        const Coord x2 = lex_.nextInt();
+        const Coord y2 = lex_.nextInt();
+        lex_.expect(")");
+        lex_.expect(";");
+        design_.dieArea = {x1, y1, x2, y2};
+      } else if (tok == "ROW") {
+        parseRow();
+      } else if (tok == "TRACKS") {
+        parseTracks();
+      } else if (tok == "COMPONENTS") {
+        parseComponents();
+      } else if (tok == "PINS") {
+        parsePins();
+      } else if (tok == "NETS") {
+        parseNets();
+      } else if (tok == "END") {
+        lex_.next();
+        if (!lex_.done()) lex_.next();
+      } else {
+        lex_.skipStatement();
+      }
+    }
+    design_.buildInstanceIndex();
+  }
+
+ private:
+  void parseRow() {
+    lex_.expect("ROW");
+    db::Row& row = design_.rows.emplace_back();
+    row.name = std::string(lex_.next());
+    row.site = std::string(lex_.next());
+    row.origin.x = lex_.nextInt();
+    row.origin.y = lex_.nextInt();
+    row.orient = geom::orientFromString(lex_.next());
+    if (lex_.accept("DO")) {
+      row.numSites = static_cast<int>(lex_.nextInt());
+      lex_.expect("BY");
+      lex_.nextInt();  // rows in y (always 1 for std rows)
+      lex_.expect("STEP");
+      row.siteWidth = lex_.nextInt();
+      lex_.nextInt();  // y step
+    }
+    lex_.expect(";");
+  }
+
+  void parseTracks() {
+    lex_.expect("TRACKS");
+    db::TrackPattern tp;
+    const std::string_view axis = lex_.next();
+    // DEF TRACKS X: vertical tracks (fixed x); TRACKS Y: horizontal tracks.
+    tp.axis = axis == "X" ? db::Dir::kVertical : db::Dir::kHorizontal;
+    tp.start = lex_.nextInt();
+    lex_.expect("DO");
+    tp.count = static_cast<int>(lex_.nextInt());
+    lex_.expect("STEP");
+    tp.step = lex_.nextInt();
+    lex_.expect("LAYER");
+    const db::Layer* layer = design_.tech->findLayer(lex_.next());
+    if (layer == nullptr) throw ParseError("TRACKS references unknown layer");
+    tp.layer = layer->index;
+    lex_.expect(";");
+    design_.trackPatterns.push_back(tp);
+  }
+
+  void parseComponents() {
+    lex_.expect("COMPONENTS");
+    lex_.nextInt();
+    lex_.expect(";");
+    while (lex_.accept("-")) {
+      db::Instance inst;
+      inst.name = std::string(lex_.next());
+      const std::string masterName(lex_.next());
+      inst.master = design_.lib->findMaster(masterName);
+      if (inst.master == nullptr) {
+        throw ParseError("component references unknown master " + masterName);
+      }
+      while (!lex_.accept(";")) {
+        if (lex_.accept("+")) {
+          const std::string_view kw = lex_.next();
+          if (kw == "PLACED" || kw == "FIXED") {
+            lex_.expect("(");
+            inst.origin.x = lex_.nextInt();
+            inst.origin.y = lex_.nextInt();
+            lex_.expect(")");
+            inst.orient = geom::orientFromString(lex_.next());
+          }
+        } else {
+          lex_.next();
+        }
+      }
+      design_.instances.push_back(std::move(inst));
+    }
+    lex_.expect("END");
+    lex_.expect("COMPONENTS");
+  }
+
+  void parsePins() {
+    lex_.expect("PINS");
+    lex_.nextInt();
+    lex_.expect(";");
+    while (lex_.accept("-")) {
+      db::IoPin pin;
+      pin.name = std::string(lex_.next());
+      geom::Rect shape;
+      geom::Point placed;
+      while (!lex_.accept(";")) {
+        if (lex_.accept("+")) {
+          const std::string_view kw = lex_.next();
+          if (kw == "LAYER") {
+            const db::Layer* layer = design_.tech->findLayer(lex_.next());
+            pin.layer = layer ? layer->index : -1;
+            lex_.expect("(");
+            const Coord x1 = lex_.nextInt();
+            const Coord y1 = lex_.nextInt();
+            lex_.expect(")");
+            lex_.expect("(");
+            const Coord x2 = lex_.nextInt();
+            const Coord y2 = lex_.nextInt();
+            lex_.expect(")");
+            shape = {x1, y1, x2, y2};
+          } else if (kw == "PLACED" || kw == "FIXED") {
+            lex_.expect("(");
+            placed.x = lex_.nextInt();
+            placed.y = lex_.nextInt();
+            lex_.expect(")");
+            lex_.next();  // orient
+          }
+        } else {
+          lex_.next();
+        }
+      }
+      pin.rect = shape.translate(placed.x, placed.y);
+      design_.ioPins.push_back(std::move(pin));
+    }
+    lex_.expect("END");
+    lex_.expect("PINS");
+    design_.buildInstanceIndex();
+  }
+
+  void parseNets() {
+    lex_.expect("NETS");
+    lex_.nextInt();
+    lex_.expect(";");
+    design_.buildInstanceIndex();
+    while (lex_.accept("-")) {
+      db::Net& net = design_.nets.emplace_back();
+      net.name = std::string(lex_.next());
+      while (!lex_.accept(";")) {
+        if (lex_.peek() == "+") {
+          // '+' attributes (ROUTED wiring, USE, ...) follow the terms; skip
+          // the remainder of this net statement.
+          while (!lex_.accept(";")) lex_.next();
+          break;
+        }
+        if (lex_.accept("(")) {
+          const std::string a(lex_.next());
+          const std::string b(lex_.next());
+          lex_.expect(")");
+          db::NetTerm term;
+          if (a == "PIN") {
+            for (int i = 0; i < static_cast<int>(design_.ioPins.size()); ++i) {
+              if (design_.ioPins[i].name == b) {
+                term.ioPinIdx = i;
+                break;
+              }
+            }
+            if (term.ioPinIdx < 0) {
+              throw ParseError("net references unknown IO pin " + b);
+            }
+          } else {
+            term.instIdx = design_.findInstance(a);
+            if (term.instIdx < 0) {
+              throw ParseError("net references unknown component " + a);
+            }
+            const db::Master& m = *design_.instances[term.instIdx].master;
+            for (int i = 0; i < static_cast<int>(m.pins.size()); ++i) {
+              if (m.pins[i].name == b) {
+                term.pinIdx = i;
+                break;
+              }
+            }
+            if (term.pinIdx < 0) {
+              throw ParseError("net references unknown pin " + b + " on " + a);
+            }
+          }
+          net.terms.push_back(term);
+        } else {
+          lex_.next();
+        }
+      }
+    }
+    lex_.expect("END");
+    lex_.expect("NETS");
+  }
+
+  Lexer lex_;
+  Design& design_;
+  int dbu_ = 2000;
+};
+
+}  // namespace
+
+void parseDef(std::string_view text, db::Design& design) {
+  DefParser(text, design).run();
+}
+
+}  // namespace pao::lefdef

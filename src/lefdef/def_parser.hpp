@@ -1,0 +1,16 @@
+// DEF subset parser: DESIGN/UNITS/DIEAREA, ROW, TRACKS, COMPONENTS, PINS,
+// NETS. Populates a db::Design bound to an already-parsed Tech and Library.
+#pragma once
+
+#include <string_view>
+
+#include "db/design.hpp"
+
+namespace pao::lefdef {
+
+/// Parses DEF text into `design` (design.tech and design.lib must already
+/// point at the technology and library the DEF references). Throws
+/// ParseError on malformed input or unknown master/pin references.
+void parseDef(std::string_view text, db::Design& design);
+
+}  // namespace pao::lefdef

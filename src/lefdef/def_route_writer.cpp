@@ -1,0 +1,97 @@
+#include "lefdef/def_route_writer.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "lefdef/def_writer.hpp"
+
+namespace pao::lefdef {
+
+namespace {
+
+/// The default via def whose cut layer is `cutLayer`, else any matching.
+const db::ViaDef* viaForCutLayer(const db::Tech& tech, int cutLayer) {
+  const db::ViaDef* any = nullptr;
+  for (const db::ViaDef& v : tech.viaDefs()) {
+    if (v.cutLayer != cutLayer) continue;
+    if (v.isDefault) return &v;
+    if (any == nullptr) any = &v;
+  }
+  return any;
+}
+
+}  // namespace
+
+std::string writeRoutedDef(const db::Design& design,
+                           const std::vector<RoutedShape>& routed) {
+  // Start from the plain DEF and splice routing into the NETS section.
+  const std::string base = writeDef(design);
+
+  // Group routed shapes per net.
+  std::map<int, std::vector<const RoutedShape*>> byNet;
+  for (const RoutedShape& s : routed) {
+    if (s.net >= 0 && s.net < static_cast<int>(design.nets.size())) {
+      byNet[s.net].push_back(&s);
+    }
+  }
+
+  std::ostringstream os;
+  const std::string marker = "NETS " + std::to_string(design.nets.size()) +
+                             " ;\n";
+  const std::size_t netsPos = base.find(marker);
+  if (netsPos == std::string::npos) return base;  // defensive
+  os << base.substr(0, netsPos);
+
+  os << "NETS " << design.nets.size() << " ;\n";
+  for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
+    const db::Net& net = design.nets[n];
+    os << " - " << net.name;
+    for (const db::NetTerm& t : net.terms) {
+      if (t.isIo()) {
+        os << " ( PIN " << design.ioPins[t.ioPinIdx].name << " )";
+      } else {
+        const db::Instance& inst = design.instances[t.instIdx];
+        os << " ( " << inst.name << " "
+           << inst.master->pins[t.pinIdx].name << " )";
+      }
+    }
+    const auto it = byNet.find(n);
+    if (it != byNet.end()) {
+      bool first = true;
+      for (const RoutedShape* s : it->second) {
+        const db::Layer& layer = design.tech->layer(s->layer);
+        if (s->isVia) {
+          const db::ViaDef* via = viaForCutLayer(*design.tech, s->layer);
+          if (via == nullptr) continue;
+          const geom::Point c = s->rect.center();
+          os << "\n  " << (first ? "+ ROUTED " : "NEW ")
+             << design.tech->layer(via->botLayer).name << " ( " << c.x
+             << " " << c.y << " ) " << via->name;
+          first = false;
+          continue;
+        }
+        if (layer.type != db::LayerType::kRouting) continue;
+        // Centerline of the wire rect along its long axis.
+        const geom::Point c = s->rect.center();
+        geom::Point a = c;
+        geom::Point b = c;
+        if (s->rect.width() >= s->rect.height()) {
+          a.x = s->rect.xlo + s->rect.height() / 2;
+          b.x = s->rect.xhi - s->rect.height() / 2;
+        } else {
+          a.y = s->rect.ylo + s->rect.width() / 2;
+          b.y = s->rect.yhi - s->rect.width() / 2;
+        }
+        os << "\n  " << (first ? "+ ROUTED " : "NEW ") << layer.name << " ( "
+           << a.x << " " << a.y << " )";
+        if (b != a) os << " ( " << b.x << " " << b.y << " )";
+        first = false;
+      }
+    }
+    os << " ;\n";
+  }
+  os << "END NETS\n\nEND DESIGN\n";
+  return os.str();
+}
+
+}  // namespace pao::lefdef

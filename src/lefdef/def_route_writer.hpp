@@ -1,0 +1,28 @@
+// DEF writer extension: emits the design WITH routed regular wiring
+// (`+ ROUTED layer ( x y ) ( x y ) ... ( x y ) VIA`), so results can be
+// inspected in any DEF viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace pao::lefdef {
+
+/// A routed element in a neutral form (the router converts its shapes).
+struct RoutedShape {
+  int net = -1;    ///< index into Design::nets
+  int layer = -1;  ///< tech layer index: routing layer (wire/patch) or cut
+                   ///< layer (via location)
+  geom::Rect rect;
+  bool isVia = false;  ///< when true, `rect` is the cut shape
+};
+
+/// Like writeDef, plus per-net ROUTED wiring statements built from `routed`.
+/// Wires become centerline segments (or single-point pads when square-ish);
+/// vias are emitted by the default via def of their cut layer.
+std::string writeRoutedDef(const db::Design& design,
+                           const std::vector<RoutedShape>& routed);
+
+}  // namespace pao::lefdef

@@ -1,0 +1,67 @@
+#include "lefdef/def_writer.hpp"
+
+#include <sstream>
+
+namespace pao::lefdef {
+
+std::string writeDef(const db::Design& d) {
+  std::ostringstream os;
+  os << "VERSION 5.8 ;\n";
+  os << "DESIGN " << d.name << " ;\n";
+  os << "UNITS DISTANCE MICRONS " << (d.tech ? d.tech->dbuPerMicron : 2000)
+     << " ;\n";
+  os << "DIEAREA ( " << d.dieArea.xlo << " " << d.dieArea.ylo << " ) ( "
+     << d.dieArea.xhi << " " << d.dieArea.yhi << " ) ;\n\n";
+
+  for (const db::Row& r : d.rows) {
+    os << "ROW " << r.name << " " << r.site << " " << r.origin.x << " "
+       << r.origin.y << " " << geom::toString(r.orient) << " DO "
+       << r.numSites << " BY 1 STEP " << r.siteWidth << " 0 ;\n";
+  }
+  os << "\n";
+
+  for (const db::TrackPattern& tp : d.trackPatterns) {
+    os << "TRACKS " << (tp.axis == db::Dir::kVertical ? "X" : "Y") << " "
+       << tp.start << " DO " << tp.count << " STEP " << tp.step << " LAYER "
+       << d.tech->layer(tp.layer).name << " ;\n";
+  }
+  os << "\n";
+
+  os << "COMPONENTS " << d.instances.size() << " ;\n";
+  for (const db::Instance& inst : d.instances) {
+    os << " - " << inst.name << " " << inst.master->name << " + PLACED ( "
+       << inst.origin.x << " " << inst.origin.y << " ) "
+       << geom::toString(inst.orient) << " ;\n";
+  }
+  os << "END COMPONENTS\n\n";
+
+  os << "PINS " << d.ioPins.size() << " ;\n";
+  for (const db::IoPin& p : d.ioPins) {
+    // Shapes are stored in absolute coordinates; emit with PLACED (0 0).
+    os << " - " << p.name << " + NET " << p.name << " + LAYER "
+       << d.tech->layer(p.layer).name << " ( " << p.rect.xlo << " "
+       << p.rect.ylo << " ) ( " << p.rect.xhi << " " << p.rect.yhi
+       << " ) + PLACED ( 0 0 ) N ;\n";
+  }
+  os << "END PINS\n\n";
+
+  os << "NETS " << d.nets.size() << " ;\n";
+  for (const db::Net& n : d.nets) {
+    os << " - " << n.name;
+    for (const db::NetTerm& t : n.terms) {
+      if (t.isIo()) {
+        os << " ( PIN " << d.ioPins[t.ioPinIdx].name << " )";
+      } else {
+        const db::Instance& inst = d.instances[t.instIdx];
+        os << " ( " << inst.name << " " << inst.master->pins[t.pinIdx].name
+           << " )";
+      }
+    }
+    os << " ;\n";
+  }
+  os << "END NETS\n\n";
+  os << "END DESIGN\n";
+  return os.str();
+}
+
+}  // namespace pao::lefdef

@@ -1,0 +1,12 @@
+// DEF subset writer matching the parser's statement subset.
+#pragma once
+
+#include <string>
+
+#include "db/design.hpp"
+
+namespace pao::lefdef {
+
+std::string writeDef(const db::Design& design);
+
+}  // namespace pao::lefdef

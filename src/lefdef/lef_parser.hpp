@@ -1,0 +1,17 @@
+// LEF subset parser: UNITS, LAYER (routing + cut with the rules the DRC
+// engine models), VIA, SITE, and MACRO (CLASS/SIZE/PIN/PORT/OBS).
+// Populates a db::Tech and db::Library.
+#pragma once
+
+#include <string_view>
+
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+
+namespace pao::lefdef {
+
+/// Parses LEF text into `tech` and `lib`. Throws ParseError on malformed
+/// input. Statements outside the supported subset are skipped.
+void parseLef(std::string_view text, db::Tech& tech, db::Library& lib);
+
+}  // namespace pao::lefdef

@@ -1,0 +1,168 @@
+#include "lefdef/lef_writer.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace pao::lefdef {
+
+namespace {
+
+/// Formats a DBU distance as microns with enough digits to round-trip.
+std::string um(geom::Coord dbu, int dbuPerMicron) {
+  std::ostringstream os;
+  os << std::setprecision(12) << static_cast<double>(dbu) / dbuPerMicron;
+  return os.str();
+}
+
+}  // namespace
+
+std::string writeLef(const db::Tech& tech, const db::Library& lib) {
+  std::ostringstream os;
+  const int dbu = tech.dbuPerMicron;
+  os << "VERSION 5.8 ;\n";
+  os << "BUSBITCHARS \"[]\" ;\n";
+  os << "DIVIDERCHAR \"/\" ;\n";
+  os << "UNITS\n  DATABASE MICRONS " << dbu << " ;\nEND UNITS\n\n";
+
+  for (const db::Layer& l : tech.layers()) {
+    os << "LAYER " << l.name << "\n";
+    switch (l.type) {
+      case db::LayerType::kRouting:
+        os << "  TYPE ROUTING ;\n";
+        os << "  DIRECTION "
+           << (l.dir == db::Dir::kVertical ? "VERTICAL" : "HORIZONTAL")
+           << " ;\n";
+        if (l.pitch > 0) os << "  PITCH " << um(l.pitch, dbu) << " ;\n";
+        if (l.width > 0) os << "  WIDTH " << um(l.width, dbu) << " ;\n";
+        if (l.minArea > 0) {
+          os << "  AREA "
+             << static_cast<double>(l.minArea) / dbu / dbu << " ;\n";
+        }
+        if (!l.spacingTable.empty()) {
+          if (l.spacingTable.size() == 1 && l.spacingTable[0].width == 0) {
+            os << "  SPACING " << um(l.spacingTable[0].spacing, dbu) << " ;\n";
+          } else {
+            // Reconstruct the PARALLELRUNLENGTH table: collect distinct PRLs.
+            std::vector<geom::Coord> prls;
+            for (const auto& e : l.spacingTable) {
+              if (std::find(prls.begin(), prls.end(), e.prl) == prls.end()) {
+                prls.push_back(e.prl);
+              }
+            }
+            os << "  SPACINGTABLE PARALLELRUNLENGTH";
+            for (const geom::Coord p : prls) os << " " << um(p, dbu);
+            std::vector<geom::Coord> widths;
+            for (const auto& e : l.spacingTable) {
+              if (std::find(widths.begin(), widths.end(), e.width) ==
+                  widths.end()) {
+                widths.push_back(e.width);
+              }
+            }
+            for (const geom::Coord w : widths) {
+              os << "\n    WIDTH " << um(w, dbu);
+              for (const geom::Coord p : prls) {
+                // Dense grid entry: the effective spacing for a shape just
+                // over this width/PRL threshold, so the parsed table is
+                // behaviorally identical to the source.
+                os << " " << um(l.spacing(w + 1, p + 1), dbu);
+              }
+            }
+            os << " ;\n";
+          }
+        }
+        if (l.eol) {
+          os << "  SPACING " << um(l.eol->space, dbu) << " ENDOFLINE "
+             << um(l.eol->eolWidth, dbu) << " WITHIN "
+             << um(l.eol->within, dbu) << " ;\n";
+        }
+        if (l.minStep) {
+          os << "  MINSTEP " << um(l.minStep->minStepLength, dbu)
+             << " MAXEDGES " << l.minStep->maxEdges << " ;\n";
+        }
+        break;
+      case db::LayerType::kCut:
+        os << "  TYPE CUT ;\n";
+        if (l.cutSpacing > 0) {
+          os << "  SPACING " << um(l.cutSpacing, dbu) << " ;\n";
+        }
+        break;
+      case db::LayerType::kMasterslice:
+        os << "  TYPE MASTERSLICE ;\n";
+        break;
+    }
+    os << "END " << l.name << "\n\n";
+  }
+
+  const auto rect = [&](const geom::Rect& r) {
+    std::ostringstream s;
+    s << um(r.xlo, dbu) << " " << um(r.ylo, dbu) << " " << um(r.xhi, dbu)
+      << " " << um(r.yhi, dbu);
+    return s.str();
+  };
+
+  for (const db::ViaDef& v : tech.viaDefs()) {
+    os << "VIA " << v.name << (v.isDefault ? " DEFAULT" : "") << "\n";
+    os << "  LAYER " << tech.layer(v.botLayer).name << " ;\n";
+    os << "    RECT " << rect(v.botEnc) << " ;\n";
+    os << "  LAYER " << tech.layer(v.cutLayer).name << " ;\n";
+    os << "    RECT " << rect(v.cut) << " ;\n";
+    os << "  LAYER " << tech.layer(v.topLayer).name << " ;\n";
+    os << "    RECT " << rect(v.topEnc) << " ;\n";
+    os << "END " << v.name << "\n\n";
+  }
+
+  for (const auto& mp : lib.masters()) {
+    const db::Master& m = *mp;
+    os << "MACRO " << m.name << "\n";
+    os << "  CLASS ";
+    switch (m.cls) {
+      case db::MasterClass::kCore: os << "CORE"; break;
+      case db::MasterClass::kBlock: os << "BLOCK"; break;
+      case db::MasterClass::kFiller: os << "CORE SPACER"; break;
+      case db::MasterClass::kEndcap: os << "ENDCAP"; break;
+    }
+    os << " ;\n";
+    os << "  ORIGIN 0 0 ;\n";
+    os << "  SIZE " << um(m.width, dbu) << " BY " << um(m.height, dbu)
+       << " ;\n";
+    for (const db::Pin& p : m.pins) {
+      os << "  PIN " << p.name << "\n";
+      os << "    USE ";
+      switch (p.use) {
+        case db::PinUse::kSignal: os << "SIGNAL"; break;
+        case db::PinUse::kPower: os << "POWER"; break;
+        case db::PinUse::kGround: os << "GROUND"; break;
+        case db::PinUse::kClock: os << "CLOCK"; break;
+      }
+      os << " ;\n";
+      os << "    PORT\n";
+      int lastLayer = -1;
+      for (const db::PinShape& s : p.shapes) {
+        if (s.layer != lastLayer) {
+          os << "      LAYER " << tech.layer(s.layer).name << " ;\n";
+          lastLayer = s.layer;
+        }
+        os << "      RECT " << rect(s.rect) << " ;\n";
+      }
+      os << "    END\n";
+      os << "  END " << p.name << "\n";
+    }
+    if (!m.obstructions.empty()) {
+      os << "  OBS\n";
+      int lastLayer = -1;
+      for (const db::Obstruction& o : m.obstructions) {
+        if (o.layer != lastLayer) {
+          os << "    LAYER " << tech.layer(o.layer).name << " ;\n";
+          lastLayer = o.layer;
+        }
+        os << "    RECT " << rect(o.rect) << " ;\n";
+      }
+      os << "  END\n";
+    }
+    os << "END " << m.name << "\n\n";
+  }
+  os << "END LIBRARY\n";
+  return os.str();
+}
+
+}  // namespace pao::lefdef

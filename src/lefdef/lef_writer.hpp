@@ -1,0 +1,14 @@
+// LEF subset writer: emits the same statement subset the parser reads, so
+// Tech+Library round-trip through text.
+#pragma once
+
+#include <string>
+
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+
+namespace pao::lefdef {
+
+std::string writeLef(const db::Tech& tech, const db::Library& lib);
+
+}  // namespace pao::lefdef

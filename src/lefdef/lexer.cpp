@@ -1,0 +1,109 @@
+#include "lefdef/lexer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+namespace pao::lefdef {
+
+Lexer::Lexer(std::string_view text) {
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ';' || c == '(' || c == ')') {
+      tokens_.emplace_back(1, c);
+      lines_.push_back(line);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && text[j] != '"') ++j;
+      tokens_.emplace_back(text.substr(i + 1, j - i - 1));
+      lines_.push_back(line);
+      i = j < n ? j + 1 : j;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && !std::isspace(static_cast<unsigned char>(text[j])) &&
+           text[j] != ';' && text[j] != '(' && text[j] != ')' &&
+           text[j] != '#') {
+      ++j;
+    }
+    tokens_.emplace_back(text.substr(i, j - i));
+    lines_.push_back(line);
+    i = j;
+  }
+}
+
+std::string_view Lexer::peek(std::size_t ahead) const {
+  return pos_ + ahead < tokens_.size() ? std::string_view(tokens_[pos_ + ahead])
+                                       : std::string_view();
+}
+
+std::string_view Lexer::next() {
+  if (done()) throw ParseError("unexpected end of input");
+  return tokens_[pos_++];
+}
+
+bool Lexer::accept(std::string_view tok) {
+  if (!done() && tokens_[pos_] == tok) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+void Lexer::expect(std::string_view tok) {
+  if (done() || tokens_[pos_] != tok) {
+    throw ParseError("line " + std::to_string(line()) + ": expected '" +
+                     std::string(tok) + "', got '" + std::string(peek()) +
+                     "'");
+  }
+  ++pos_;
+}
+
+void Lexer::skipStatement() {
+  while (!done() && next() != ";") {
+  }
+}
+
+double Lexer::nextDouble() {
+  const std::string tok(next());
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(line()) + ": expected number, got '" +
+                     tok + "'");
+  }
+}
+
+long long Lexer::nextInt() {
+  return static_cast<long long>(std::llround(nextDouble()));
+}
+
+geom::Coord Lexer::nextDbu(int dbuPerMicron) {
+  return static_cast<geom::Coord>(std::llround(nextDouble() * dbuPerMicron));
+}
+
+std::size_t Lexer::line() const {
+  if (lines_.empty()) return 0;
+  return pos_ < lines_.size() ? lines_[pos_] : lines_.back();
+}
+
+}  // namespace pao::lefdef

@@ -1,0 +1,50 @@
+// Shared tokenizer for the LEF/DEF parsers. LEF/DEF are whitespace-separated
+// token streams where ';', '(' and ')' are standalone tokens, '#' starts a
+// comment, and double-quoted strings are single tokens.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.hpp"
+
+namespace pao::lefdef {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text);
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  /// Current token without consuming ("" at end of input).
+  std::string_view peek(std::size_t ahead = 0) const;
+  /// Consumes and returns the current token.
+  std::string_view next();
+  /// Consumes the current token iff it equals `tok`.
+  bool accept(std::string_view tok);
+  /// Consumes the current token, raising ParseError unless it equals `tok`.
+  void expect(std::string_view tok);
+  /// Consumes tokens up to and including the next ';'.
+  void skipStatement();
+
+  /// Consumes a token and parses it as a decimal number (may be fractional).
+  double nextDouble();
+  /// Consumes a token and parses it as an integer.
+  long long nextInt();
+  /// nextDouble() scaled by dbuPerMicron and rounded — LEF distances.
+  geom::Coord nextDbu(int dbuPerMicron);
+
+  std::size_t line() const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::vector<std::size_t> lines_;
+  std::size_t pos_ = 0;
+};
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pao::lefdef

@@ -1,0 +1,158 @@
+#include "pao/access_cache.hpp"
+
+#include <sstream>
+
+#include "geom/orient.hpp"
+
+namespace pao::core {
+
+const ClassAccess* AccessCache::find(const Key& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &it->second;
+}
+
+void AccessCache::store(const Key& key, ClassAccess originRelative) {
+  entries_.insert_or_assign(key, std::move(originRelative));
+}
+
+void AccessCache::clear() {
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+ClassAccess AccessCache::translate(const ClassAccess& ca,
+                                   geom::Point origin) {
+  ClassAccess out = ca;
+  for (std::vector<AccessPoint>& pinAps : out.pinAps) {
+    for (AccessPoint& ap : pinAps) ap.loc = ap.loc + origin;
+  }
+  return out;
+}
+
+
+namespace {
+
+/// One line per record; fields are space-separated. Format:
+///   ENTRY <master> <orient> <numOffsets> <offsets...>
+///   PIN <numAps>
+///   AP <x> <y> <layer> <prefType> <nonPrefType> <dirs> <numVias> <names...>
+///   ORDER <numPins> <positions...>
+///   PATTERN <cost> <validated> <numIdx> <apIdx...>
+constexpr const char* kHeader = "PAO_ACCESS_CACHE v1";
+
+}  // namespace
+
+std::string AccessCache::save(const db::Tech& /*tech*/) const {
+  std::ostringstream os;
+  os << kHeader << "\n";
+  for (const auto& [key, ca] : entries_) {
+    const auto& [master, orient, offsets] = key;
+    os << "ENTRY " << master->name << " "
+       << geom::toString(orient) << " " << offsets.size();
+    for (const geom::Coord o : offsets) os << " " << o;
+    os << "\n";
+    os << "PINS " << ca.pinAps.size() << "\n";
+    for (const std::vector<AccessPoint>& pinAps : ca.pinAps) {
+      os << "PIN " << pinAps.size() << "\n";
+      for (const AccessPoint& ap : pinAps) {
+        os << "AP " << ap.loc.x << " " << ap.loc.y << " " << ap.layer << " "
+           << static_cast<int>(ap.prefType) << " "
+           << static_cast<int>(ap.nonPrefType) << " "
+           << static_cast<int>(ap.dirs) << " " << ap.viaDefs.size();
+        for (const db::ViaDef* via : ap.viaDefs) os << " " << via->name;
+        os << "\n";
+      }
+    }
+    os << "ORDER " << ca.pinOrder.size();
+    for (const int p : ca.pinOrder) os << " " << p;
+    os << "\n";
+    os << "PATTERNS " << ca.patterns.size() << "\n";
+    for (const AccessPattern& pat : ca.patterns) {
+      os << "PATTERN " << pat.cost << " " << (pat.validated ? 1 : 0) << " "
+         << pat.apIdx.size();
+      for (const int i : pat.apIdx) os << " " << i;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
+                              const db::Library& lib) {
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);
+  if (line != kHeader) return 0;
+
+  std::size_t loaded = 0;
+  std::string tok;
+  while (is >> tok) {
+    if (tok != "ENTRY") return loaded;  // malformed; keep what we have
+    std::string masterName, orientStr;
+    std::size_t numOffsets = 0;
+    is >> masterName >> orientStr >> numOffsets;
+    std::vector<geom::Coord> offsets(numOffsets);
+    for (geom::Coord& o : offsets) is >> o;
+    const db::Master* master = lib.findMaster(masterName);
+
+    ClassAccess ca;
+    std::size_t numPins = 0;
+    is >> tok >> numPins;  // PINS
+    ca.pinAps.resize(numPins);
+    bool ok = master != nullptr;
+    for (std::vector<AccessPoint>& pinAps : ca.pinAps) {
+      std::size_t numAps = 0;
+      is >> tok >> numAps;  // PIN
+      pinAps.resize(numAps);
+      for (AccessPoint& ap : pinAps) {
+        int pref = 0, nonPref = 0, dirs = 0;
+        std::size_t numVias = 0;
+        is >> tok >> ap.loc.x >> ap.loc.y >> ap.layer >> pref >> nonPref >>
+            dirs >> numVias;  // AP
+        ap.prefType = static_cast<CoordType>(pref);
+        ap.nonPrefType = static_cast<CoordType>(nonPref);
+        ap.dirs = static_cast<std::uint8_t>(dirs);
+        for (std::size_t v = 0; v < numVias; ++v) {
+          std::string viaName;
+          is >> viaName;
+          const db::ViaDef* via = tech.findViaDef(viaName);
+          if (via != nullptr) {
+            ap.viaDefs.push_back(via);
+          } else {
+            ok = false;
+          }
+        }
+      }
+    }
+    std::size_t numOrder = 0;
+    is >> tok >> numOrder;  // ORDER
+    ca.pinOrder.resize(numOrder);
+    for (int& p : ca.pinOrder) is >> p;
+    std::size_t numPatterns = 0;
+    is >> tok >> numPatterns;  // PATTERNS
+    ca.patterns.resize(numPatterns);
+    for (AccessPattern& pat : ca.patterns) {
+      int validated = 0;
+      std::size_t numIdx = 0;
+      is >> tok >> pat.cost >> validated >> numIdx;  // PATTERN
+      pat.validated = validated != 0;
+      pat.apIdx.resize(numIdx);
+      for (int& i : pat.apIdx) is >> i;
+    }
+    if (ok) {
+      entries_.insert_or_assign(
+          Key{master, geom::orientFromString(orientStr), std::move(offsets)},
+          std::move(ca));
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace pao::core

@@ -1,0 +1,61 @@
+// Cross-run cache of intra-cell access analysis, keyed by the unique
+// instance signature (master, orientation, track offsets). Because the
+// signature fully determines Steps 1-2 (paper Sec. II-A), results survive
+// arbitrary placement changes — exactly what an incremental placement loop
+// needs: moving one cell invalidates nothing, it merely looks up (or adds)
+// the signature at the new location.
+//
+// Entries are stored origin-relative (representative origin subtracted), so
+// a hit is valid for any placement of the signature.
+#pragma once
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "db/unique_inst.hpp"
+#include "pao/cluster_select.hpp"
+
+namespace pao::core {
+
+class AccessCache {
+ public:
+  using Key =
+      std::tuple<const db::Master*, geom::Orient, std::vector<geom::Coord>>;
+
+  static Key keyOf(const db::UniqueInstance& ui) {
+    return {ui.master, ui.orient, ui.offsets};
+  }
+
+  /// Origin-relative entry, or nullptr on miss. find() counts hit/miss
+  /// statistics.
+  const ClassAccess* find(const Key& key);
+  void store(const Key& key, ClassAccess originRelative);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  void clear();
+
+  /// Translates an origin-relative entry to a representative placed at
+  /// `origin` (or the reverse with a negated origin).
+  static ClassAccess translate(const ClassAccess& ca, geom::Point origin);
+
+  /// Serializes all entries to a line-oriented text format. Master pointers
+  /// are written by name and re-resolved against a Library on load, so the
+  /// cache survives across processes as long as the library matches.
+  std::string save(const db::Tech& tech) const;
+  /// Merges entries from `text` (produced by save) into this cache.
+  /// Entries referencing unknown masters or vias are skipped. Returns the
+  /// number of entries loaded.
+  std::size_t load(const std::string& text, const db::Tech& tech,
+                   const db::Library& lib);
+
+ private:
+  std::map<Key, ClassAccess> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace pao::core

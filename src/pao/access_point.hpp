@@ -1,0 +1,61 @@
+// Access point model (paper Sec. II-B/II-C): an x-y location on a pin shape
+// plus the directions (planar east/west/north/south and via "up") from which
+// the detailed router may end routing there, with the list of DRC-valid
+// up-vias (primary first) and the coordinate-type cost that prioritized it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "db/tech.hpp"
+#include "geom/geom.hpp"
+
+namespace pao::core {
+
+/// Coordinate types of Sec. II-C; enum values are the paper's cost values.
+enum class CoordType : std::uint8_t {
+  kOnTrack = 0,
+  kHalfTrack = 1,
+  kShapeCenter = 2,
+  kEnclosureBoundary = 3,
+};
+
+constexpr int cost(CoordType t) { return static_cast<int>(t); }
+
+/// Access directions as a bitmask.
+enum AccessDir : std::uint8_t {
+  kEast = 1 << 0,
+  kWest = 1 << 1,
+  kNorth = 1 << 2,
+  kSouth = 1 << 3,
+  kUp = 1 << 4,
+};
+
+struct AccessPoint {
+  geom::Point loc;   ///< design coordinates of the representative instance
+  int layer = -1;    ///< routing layer of the pin shape
+  CoordType prefType = CoordType::kOnTrack;     ///< preferred-direction coord
+  CoordType nonPrefType = CoordType::kOnTrack;  ///< non-preferred-direction
+  std::uint8_t dirs = 0;  ///< valid AccessDir bits
+  /// DRC-valid up-vias; front() is the primary via.
+  std::vector<const db::ViaDef*> viaDefs;
+
+  bool hasUp() const { return (dirs & kUp) != 0; }
+  const db::ViaDef* primaryVia() const {
+    return viaDefs.empty() ? nullptr : viaDefs.front();
+  }
+  /// Coordinate-type cost (lower is better; Sec. II-C).
+  int typeCost() const { return cost(prefType) + cost(nonPrefType); }
+};
+
+/// An access pattern (Sec. II-B2): one access point index per signal pin of a
+/// unique instance, mutually DRC-compatible via their primary vias.
+struct AccessPattern {
+  /// apIdx[i] indexes into the i-th signal pin's access point list.
+  std::vector<int> apIdx;
+  long long cost = 0;
+  /// True when post-validation found no DRCs among all primary vias.
+  bool validated = false;
+};
+
+}  // namespace pao::core

@@ -1,0 +1,279 @@
+#include "pao/cluster_select.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pao::core {
+
+namespace {
+constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+}
+
+ClusterSelector::ClusterSelector(const db::Design& design,
+                                 const db::UniqueInstances& unique,
+                                 const std::vector<ClassAccess>& classes,
+                                 ClusterSelectConfig cfg)
+    : design_(&design),
+      unique_(&unique),
+      classes_(&classes),
+      cfg_(cfg),
+      pairEngine_(*design.tech) {
+  buildClusters();
+}
+
+void ClusterSelector::buildClusters() {
+  // Group instances by row, sort by x, split at gaps. A multi-height
+  // instance spans several rows and joins the cluster of each row its bbox
+  // covers (its pattern choice is then pinned after the first cluster that
+  // decides it — see run()).
+  std::map<geom::Coord, std::vector<int>> byRow;
+  std::vector<geom::Coord> rowYs;
+  for (const db::Instance& inst : design_->instances) {
+    rowYs.push_back(inst.origin.y);
+  }
+  std::sort(rowYs.begin(), rowYs.end());
+  rowYs.erase(std::unique(rowYs.begin(), rowYs.end()), rowYs.end());
+  for (int i = 0; i < static_cast<int>(design_->instances.size()); ++i) {
+    const geom::Rect bbox = design_->instances[i].bbox();
+    for (const geom::Coord y : rowYs) {
+      if (y >= bbox.ylo && y < bbox.yhi) byRow[y].push_back(i);
+    }
+  }
+  for (auto& [y, insts] : byRow) {
+    std::sort(insts.begin(), insts.end(), [&](int a, int b) {
+      return design_->instances[a].origin.x < design_->instances[b].origin.x;
+    });
+    std::vector<int> cur;
+    geom::Coord prevEnd = 0;
+    for (const int idx : insts) {
+      const db::Instance& inst = design_->instances[idx];
+      if (!cur.empty() && inst.origin.x > prevEnd) {
+        clusters_.push_back(std::move(cur));
+        cur.clear();
+      }
+      cur.push_back(idx);
+      prevEnd = inst.bbox().xhi;
+    }
+    if (!cur.empty()) clusters_.push_back(std::move(cur));
+  }
+}
+
+std::vector<ClusterSelector::PlacedAp> ClusterSelector::boundaryAps(
+    int inst, int pat, bool rightSide) const {
+  std::vector<PlacedAp> out;
+  const int cls = unique_->classOf[inst];
+  if (cls < 0) return out;
+  const ClassAccess& ca = (*classes_)[cls];
+  if (pat < 0 || pat >= static_cast<int>(ca.patterns.size())) return out;
+  const db::UniqueInstance& ui = unique_->classes[cls];
+  const geom::Point repOrigin =
+      design_->instances[ui.representative].origin;
+  const geom::Point memOrigin = design_->instances[inst].origin;
+  const geom::Point delta{memOrigin.x - repOrigin.x,
+                          memOrigin.y - repOrigin.y};
+
+  const auto add = [&](int pinPos) {
+    const int apIdx = ca.patterns[pat].apIdx[pinPos];
+    if (apIdx < 0) return;
+    const AccessPoint& ap = ca.pinAps[pinPos][apIdx];
+    // Net identity folds instance and MASTER pin index together — the same
+    // scheme edgeShapes() uses, so a via and its own pin bar share a net in
+    // the pairwise check.
+    const int masterPin = ui.master->signalPinIndices()[pinPos];
+    out.push_back({&ap, ap.loc + delta, inst * 64 + masterPin});
+  };
+
+  if (ca.pinOrder.empty()) return out;
+  if (cfg_.boundaryPinsOnly) {
+    add(rightSide ? ca.pinOrder.back() : ca.pinOrder.front());
+  } else {
+    for (const int pinPos : ca.pinOrder) add(pinPos);
+  }
+  return out;
+}
+
+std::vector<drc::Shape> ClusterSelector::edgeShapes(int inst,
+                                                    geom::Coord boundaryX,
+                                                    geom::Coord halo) const {
+  std::vector<drc::Shape> out;
+  const db::Instance& instance = design_->instances[inst];
+  const geom::Transform xf = instance.transform();
+  const geom::Rect band{boundaryX - halo, instance.bbox().ylo - halo,
+                        boundaryX + halo, instance.bbox().yhi + halo};
+  const db::Master& master = *instance.master;
+  for (int p = 0; p < static_cast<int>(master.pins.size()); ++p) {
+    const db::Pin& pin = master.pins[p];
+    const bool isSupply =
+        pin.use == db::PinUse::kPower || pin.use == db::PinUse::kGround;
+    const int net = isSupply ? drc::Shape::kObsNet : inst * 64 + p;
+    for (const db::PinShape& s : pin.shapes) {
+      const geom::Rect r = xf.apply(s.rect);
+      if (r.intersects(band)) {
+        out.push_back({r, s.layer, net, drc::ShapeKind::kPin, true});
+      }
+    }
+  }
+  for (const db::Obstruction& o : master.obstructions) {
+    const geom::Rect r = xf.apply(o.rect);
+    if (r.intersects(band)) {
+      out.push_back({r, o.layer, drc::Shape::kObsNet,
+                     drc::ShapeKind::kObstruction, true});
+    }
+  }
+  return out;
+}
+
+bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
+                                         int patB) {
+  const int clsA = unique_->classOf[instA];
+  const int clsB = unique_->classOf[instB];
+  const geom::Point oa = design_->instances[instA].origin;
+  const geom::Point ob = design_->instances[instB].origin;
+  const auto key = std::make_tuple(clsA, patA, clsB, patB, ob.x - oa.x,
+                                   ob.y - oa.y);
+  const auto it = pairCache_.find(key);
+  if (it != pairCache_.end()) return it->second;
+
+  // Only the up-vias of boundary access points participate (Sec. III-C);
+  // each one is checked against the facing via and the facing instance's
+  // fixed shapes near the shared cell edge.
+  const geom::Coord boundaryX = design_->instances[instB].origin.x;
+  geom::Coord halo = 0;
+  for (const db::Layer& l : design_->tech->layers()) {
+    halo = std::max(halo, drc::maxSpacingHalo(l) * 2);
+  }
+  const std::vector<drc::Shape> edgeA = edgeShapes(instA, boundaryX, halo);
+  const std::vector<drc::Shape> edgeB = edgeShapes(instB, boundaryX, halo);
+
+  bool clean = true;
+  const std::vector<PlacedAp> left = boundaryAps(instA, patA, /*right=*/true);
+  const std::vector<PlacedAp> right =
+      boundaryAps(instB, patB, /*right=*/false);
+  const auto viaClean = [&](const PlacedAp& ap,
+                            const std::vector<drc::Shape>& ownEdge,
+                            const std::vector<drc::Shape>& otherEdge,
+                            const PlacedAp* other) {
+    if (ap.ap->primaryVia() == nullptr) return true;
+    // The via's own cell shapes come along (its own pin bar shares the via's
+    // net id) so merged-component rules see the real pin geometry; conflicts
+    // against the own cell were already cleared in Step 2.
+    std::vector<drc::Shape> extra = otherEdge;
+    extra.insert(extra.end(), ownEdge.begin(), ownEdge.end());
+    if (other != nullptr && other->ap->primaryVia() != nullptr) {
+      for (const drc::Shape& s : pairEngine_.viaShapes(
+               *other->ap->primaryVia(), other->loc, other->net)) {
+        extra.push_back(s);
+      }
+    }
+    ++numPairChecks_;
+    return pairEngine_.isViaClean(*ap.ap->primaryVia(), ap.loc, ap.net,
+                                  extra);
+  };
+  for (const PlacedAp& a : left) {
+    for (const PlacedAp& b : right) {
+      if (!viaClean(a, edgeA, edgeB, &b) || !viaClean(b, edgeB, edgeA, &a)) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean) break;
+    // A boundary via may clip the neighbor's fixed shapes even when the
+    // neighbor has no via nearby.
+    if (right.empty() && !viaClean(a, edgeA, edgeB, nullptr)) clean = false;
+  }
+  if (left.empty()) {
+    for (const PlacedAp& b : right) {
+      if (!viaClean(b, edgeB, edgeA, nullptr)) {
+        clean = false;
+        break;
+      }
+    }
+  }
+  pairCache_.emplace(key, clean);
+  return clean;
+}
+
+std::vector<int> ClusterSelector::run() {
+  std::vector<int> chosen(design_->instances.size(), -1);
+
+  for (const std::vector<int>& cluster : clusters_) {
+    // DP over instances, one vertex per (instance, pattern).
+    const int n = static_cast<int>(cluster.size());
+    std::vector<std::vector<long long>> cost(n);
+    std::vector<std::vector<int>> prev(n);
+
+    const auto numPatterns = [&](int pos) {
+      const int cls = unique_->classOf[cluster[pos]];
+      return cls < 0 ? 0
+                     : static_cast<int>((*classes_)[cls].patterns.size());
+    };
+    const auto patternCost = [&](int pos, int p) {
+      const int cls = unique_->classOf[cluster[pos]];
+      return (*classes_)[cls].patterns[p].cost;
+    };
+
+    // Instances without patterns (fillers, pinless cells) are transparent:
+    // they keep -1 and the DP skips over them. Compact the cluster first.
+    std::vector<int> active;
+    for (int i = 0; i < n; ++i) {
+      if (numPatterns(i) > 0) active.push_back(i);
+    }
+    if (active.empty()) continue;
+
+    const int an = static_cast<int>(active.size());
+    cost.assign(an, {});
+    prev.assign(an, {});
+    for (int i = 0; i < an; ++i) {
+      cost[i].assign(numPatterns(active[i]), kInf);
+      prev[i].assign(numPatterns(active[i]), -1);
+    }
+    // A pattern already chosen by an earlier (multi-height) cluster pass is
+    // pinned: the DP may only use that vertex for the instance.
+    const auto allowed = [&](int pos, int p) {
+      const int pre = chosen[cluster[pos]];
+      return pre < 0 || pre == p;
+    };
+    for (int p = 0; p < numPatterns(active[0]); ++p) {
+      if (!allowed(active[0], p)) continue;
+      cost[0][p] = patternCost(active[0], p);
+    }
+    for (int i = 1; i < an; ++i) {
+      const int instB = cluster[active[i]];
+      const int instA = cluster[active[i - 1]];
+      // Patterns only interact across a shared cell edge; when an inactive
+      // (pattern-less) instance separates them, the pair is compatible.
+      const bool adjacent = active[i] == active[i - 1] + 1;
+      for (int q = 0; q < numPatterns(active[i]); ++q) {
+        if (!allowed(active[i], q)) continue;
+        for (int p = 0; p < numPatterns(active[i - 1]); ++p) {
+          if (cost[i - 1][p] >= kInf) continue;
+          long long ec = patternCost(active[i], q);
+          if (adjacent && !patternsCompatible(instA, p, instB, q)) {
+            ec += cfg_.drcCost;
+          }
+          if (cost[i - 1][p] + ec < cost[i][q]) {
+            cost[i][q] = cost[i - 1][p] + ec;
+            prev[i][q] = p;
+          }
+        }
+      }
+    }
+
+    // Trace back.
+    int best = -1;
+    long long bestCost = kInf;
+    for (int q = 0; q < static_cast<int>(cost[an - 1].size()); ++q) {
+      if (cost[an - 1][q] < bestCost) {
+        bestCost = cost[an - 1][q];
+        best = q;
+      }
+    }
+    for (int i = an - 1; i >= 0 && best >= 0; --i) {
+      chosen[cluster[active[i]]] = best;
+      best = prev[i][best];
+    }
+  }
+  return chosen;
+}
+
+}  // namespace pao::core

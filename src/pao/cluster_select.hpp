@@ -1,0 +1,87 @@
+// Step 3 — cluster-based access pattern selection (paper Sec. III-C).
+//
+// Instances are grouped by row; every maximal run of abutting instances (no
+// empty site between neighbors) forms a cluster. Within a cluster the same
+// DP as Step 2 runs with instances in left-to-right order as the groups and
+// each unique instance's access patterns as the group's vertices. Edge costs
+// DRC-check only the up-vias of the *boundary* access points of the two
+// facing patterns (the rightmost pin of the left instance against the
+// leftmost pin of the right instance), and results are memoized by
+// (class, pattern, class, pattern, relative offset) so repeated abutments of
+// the same unique-instance pair cost one check.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "db/unique_inst.hpp"
+#include "drc/engine.hpp"
+#include "pao/access_point.hpp"
+
+namespace pao::core {
+
+struct ClusterSelectConfig {
+  long long drcCost = 32768;
+  /// Check every pin pair across the boundary instead of only the two facing
+  /// boundary pins (ablation; the paper checks boundary pins only).
+  bool boundaryPinsOnly = true;
+};
+
+/// Per-unique-instance access data produced by Steps 1-2, in representative
+/// design coordinates.
+struct ClassAccess {
+  std::vector<std::vector<AccessPoint>> pinAps;  ///< per signal pin
+  std::vector<AccessPattern> patterns;
+  std::vector<int> pinOrder;  ///< Step-2 ordered signal-pin positions
+};
+
+class ClusterSelector {
+ public:
+  ClusterSelector(const db::Design& design, const db::UniqueInstances& unique,
+                  const std::vector<ClassAccess>& classes,
+                  ClusterSelectConfig cfg = {});
+
+  /// Runs clustering + DP; returns the chosen pattern index per instance
+  /// (-1 for instances whose class has no patterns, e.g. pinless fillers).
+  std::vector<int> run();
+
+  /// Clusters found (instance indices, left to right) — exposed for tests.
+  const std::vector<std::vector<int>>& clusters() const { return clusters_; }
+  std::size_t numPairChecks() const { return numPairChecks_; }
+
+ private:
+  void buildClusters();
+  /// DRC compatibility of two neighboring instances' patterns (memoized).
+  /// Checks the facing boundary access points' up-vias against each other
+  /// AND against the neighbor instance's fixed shapes near the shared edge,
+  /// so a pattern whose boundary via clears the neighbor's vias but clips a
+  /// neighbor pin bar is still rejected.
+  bool patternsCompatible(int instA, int patA, int instB, int patB);
+  /// Fixed shapes (pins/obstructions) of `inst` within `halo` of the
+  /// vertical line x = `boundaryX`, with per-pin synthetic net ids.
+  std::vector<drc::Shape> edgeShapes(int inst, geom::Coord boundaryX,
+                                     geom::Coord halo) const;
+  /// Boundary access point of `pattern` on the given side (false = left/
+  /// first ordered pin, true = right/last), translated to the member
+  /// instance's coordinates; nullptr when the pattern lacks one.
+  struct PlacedAp {
+    const AccessPoint* ap = nullptr;
+    geom::Point loc;
+    int net = 0;
+  };
+  std::vector<PlacedAp> boundaryAps(int inst, int pat, bool rightSide) const;
+
+  const db::Design* design_;
+  const db::UniqueInstances* unique_;
+  const std::vector<ClassAccess>* classes_;
+  ClusterSelectConfig cfg_;
+  drc::DrcEngine pairEngine_;  ///< context-free engine for via-pair checks
+  std::vector<std::vector<int>> clusters_;
+  std::map<std::tuple<int, int, int, int, geom::Coord, geom::Coord>, bool>
+      pairCache_;
+  std::size_t numPairChecks_ = 0;
+};
+
+}  // namespace pao::core

@@ -1,0 +1,59 @@
+// Quality evaluators for the paper's two access metrics, independent of the
+// generators they judge:
+//   - Experiment 1 (Table II): #dirty APs — access points whose primary via
+//     placement is NOT DRC-clean against the intra-cell context;
+//   - Experiment 2 (Table III): #failed pins — net-attached instance pins
+//     left without a DRC-clean access point once every instance has chosen
+//     its pattern and neighbors are taken into account.
+#pragma once
+
+#include <vector>
+
+#include "pao/oracle.hpp"
+
+namespace pao::core {
+
+struct DirtyApStats {
+  std::size_t totalAps = 0;
+  std::size_t dirtyAps = 0;
+};
+
+/// Re-validates every generated access point's primary via with the full DRC
+/// rule set against its unique instance's intra-cell context.
+DirtyApStats countDirtyAps(const db::Design& design,
+                           const OracleResult& result);
+
+struct FailedPinDetail {
+  int instIdx = -1;
+  int sigPinPos = -1;
+  /// Empty when the pin simply has no chosen access point.
+  std::vector<drc::Violation> violations;
+};
+
+struct FailedPinStats {
+  std::size_t totalPins = 0;   ///< net-attached instance pins
+  std::size_t failedPins = 0;  ///< pins without a DRC-clean access point
+  /// Populated when requested (diagnostics); capped by the caller's limit.
+  std::vector<FailedPinDetail> details;
+};
+
+/// How a pin counts as "having a DRC-clean access point".
+enum class FailedPinCriterion {
+  /// Strict: the pattern-chosen access via must be clean in the full design
+  /// context including every other pin's chosen via (used for PAAF).
+  kChosenAp,
+  /// Lenient: at least one of the pin's generated access points must have a
+  /// clean via against the fixed design context (used for the TrRte
+  /// baseline, which has no pattern-choice mechanism to hold it to).
+  kAnyAp,
+};
+
+/// Evaluates every net-attached instance pin against the fully populated
+/// design context (all instances' pins and obstructions) and counts the pins
+/// without a DRC-clean access point per the criterion.
+FailedPinStats countFailedPins(
+    const db::Design& design, const OracleResult& result,
+    std::size_t maxDetails = 0,
+    FailedPinCriterion criterion = FailedPinCriterion::kChosenAp);
+
+}  // namespace pao::core

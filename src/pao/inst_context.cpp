@@ -1,0 +1,55 @@
+#include "pao/inst_context.hpp"
+
+#include <algorithm>
+
+namespace pao::core {
+
+InstContext::InstContext(const db::Design& design, const db::UniqueInstance& ui)
+    : design_(&design),
+      ui_(&ui),
+      xform_(design.instances.at(ui.representative).transform()),
+      engine_(*design.tech) {
+  const db::Master& master = *ui.master;
+  signalPins_ = master.signalPinIndices();
+
+  for (int pi = 0; pi < static_cast<int>(master.pins.size()); ++pi) {
+    const db::Pin& pin = master.pins[pi];
+    const bool isSupply =
+        pin.use == db::PinUse::kPower || pin.use == db::PinUse::kGround;
+    for (const db::PinShape& s : pin.shapes) {
+      // Supply rails behave like foreign metal for every signal pin.
+      const int net = isSupply ? drc::Shape::kObsNet : pinNet(pi);
+      engine_.region().add({xform_.apply(s.rect), s.layer, net,
+                            drc::ShapeKind::kPin, /*fixed=*/true});
+    }
+  }
+  for (const db::Obstruction& o : master.obstructions) {
+    engine_.region().add({xform_.apply(o.rect), o.layer, drc::Shape::kObsNet,
+                          drc::ShapeKind::kObstruction, /*fixed=*/true});
+  }
+}
+
+std::vector<geom::Rect> InstContext::pinShapes(int pinIdx, int layer) const {
+  std::vector<geom::Rect> out;
+  for (const db::PinShape& s : ui_->master->pins.at(pinIdx).shapes) {
+    if (s.layer == layer) out.push_back(xform_.apply(s.rect));
+  }
+  return out;
+}
+
+std::vector<geom::Rect> InstContext::pinMaxRects(int pinIdx, int layer) const {
+  return geom::maxRects(pinShapes(pinIdx, layer));
+}
+
+std::vector<int> InstContext::pinLayers(int pinIdx) const {
+  std::vector<int> out;
+  for (const db::PinShape& s : ui_->master->pins.at(pinIdx).shapes) {
+    if (std::find(out.begin(), out.end(), s.layer) == out.end()) {
+      out.push_back(s.layer);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pao::core

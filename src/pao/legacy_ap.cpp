@@ -1,0 +1,162 @@
+#include "pao/legacy_ap.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace pao::core {
+
+using db::Dir;
+using db::Layer;
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+LegacyApGenerator::LegacyApGenerator(const InstContext& ctx) : ctx_(&ctx) {
+  const int numLayers =
+      static_cast<int>(ctx.design().tech->layers().size());
+  for (int li = 0; li < numLayers; ++li) {
+    for (const drc::Shape& s : ctx.engine().region().shapesOnLayer(li)) {
+      allShapes_.push_back(s);
+    }
+  }
+}
+
+bool LegacyApGenerator::crudeValidate(const AccessPoint& ap,
+                                      const db::ViaDef& via,
+                                      int pinIdx) const {
+  const int net = ctx_->pinNet(pinIdx);
+  const Rect enc = via.botEncAt(ap.loc);
+  const db::Layer& layer = ctx_->design().tech->layer(ap.layer);
+  const Coord space = layer.minSpacing();
+
+  // v0.0.6.0-style approximation, part 1: the enclosure must stay inside the
+  // pin shape's span across the preferred direction (a via-in-pin check that
+  // avoids the obvious corner min-steps but none of the subtler ones).
+  bool coveredAcross = false;
+  for (const Rect& pinRect : ctx_->pinShapes(pinIdx, ap.layer)) {
+    const bool horiz = layer.dir == db::Dir::kHorizontal;
+    const geom::Interval encSpan = horiz ? enc.ySpan() : enc.xSpan();
+    const geom::Interval pinSpan = horiz ? pinRect.ySpan() : pinRect.xSpan();
+    if (pinSpan.contains(encSpan.lo) && pinSpan.contains(encSpan.hi)) {
+      coveredAcross = true;
+      break;
+    }
+  }
+  if (!coveredAcross) return false;
+
+  // Part 2: neither enclosure may overlap foreign metal, and each must keep
+  // the default min spacing from it — evaluated with a linear pass over
+  // every cell shape (no spatial index, no PRL/width spacing table, no
+  // corner-to-corner spacing, no min-step, no EOL, no cut rules).
+  const auto encClean = [&](const Rect& encRect, int layerIdx,
+                            Coord minSpace) {
+    for (const drc::Shape& s : allShapes_) {
+      if (s.layer != layerIdx) continue;
+      if (s.net == net && s.net != drc::Shape::kObsNet) continue;
+      if (s.rect.overlaps(encRect)) return false;
+      if (geom::prl(encRect, s.rect) > 0 &&
+          geom::maxAxisGap(encRect, s.rect) < minSpace) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const db::Layer& topLayer = ctx_->design().tech->layer(via.topLayer);
+  return encClean(enc, ap.layer, space) &&
+         encClean(via.topEncAt(ap.loc), via.topLayer, topLayer.minSpacing());
+}
+
+std::vector<AccessPoint> LegacyApGenerator::generate(int pinIdx) const {
+  std::vector<AccessPoint> aps;
+  std::unordered_set<Point> seen;
+  const db::Design& design = ctx_->design();
+
+  for (const int li : ctx_->pinLayers(pinIdx)) {
+    const Layer& layer = design.tech->layer(li);
+    if (layer.type != db::LayerType::kRouting) continue;
+    const bool horiz = layer.dir == Dir::kHorizontal;
+    const int upper = design.tech->routingLayerAbove(li);
+
+    for (const Rect& shape : ctx_->pinShapes(pinIdx, li)) {
+      // On-track grid only: own-layer tracks along the preferred axis,
+      // upper-layer tracks across it.
+      std::vector<Coord> prefs;
+      for (const db::TrackPattern* tp : design.tracks(
+               li, horiz ? Dir::kHorizontal : Dir::kVertical)) {
+        const geom::Interval span = horiz ? shape.ySpan() : shape.xSpan();
+        for (const Coord c : tp->coordsIn(span.lo, span.hi)) {
+          prefs.push_back(c);
+        }
+      }
+      std::vector<Coord> nonPrefs;
+      const int tl = upper >= 0 ? upper : li;
+      for (const db::TrackPattern* tp :
+           design.tracks(tl, horiz ? Dir::kVertical : Dir::kHorizontal)) {
+        const geom::Interval span = horiz ? shape.xSpan() : shape.ySpan();
+        for (const Coord c : tp->coordsIn(span.lo, span.hi)) {
+          nonPrefs.push_back(c);
+        }
+      }
+      for (const Coord pc : prefs) {
+        for (const Coord npc : nonPrefs) {
+          AccessPoint ap;
+          ap.loc = horiz ? Point{npc, pc} : Point{pc, npc};
+          ap.layer = li;
+          ap.prefType = CoordType::kOnTrack;
+          ap.nonPrefType = CoordType::kOnTrack;
+          if (!seen.insert(ap.loc).second) continue;
+          for (const db::ViaDef* via : design.tech->viaDefsFromLayer(li)) {
+            if (crudeValidate(ap, *via, pinIdx)) ap.viaDefs.push_back(via);
+          }
+          // Planar escape probes, with the same brute-force scan per stub.
+          const Coord stubHalf = layer.width / 2;
+          const Coord stubLen = layer.pitch * 2;
+          const struct {
+            AccessDir dir;
+            Rect r;
+          } probes[] = {
+              {kEast, Rect(ap.loc.x, ap.loc.y - stubHalf, ap.loc.x + stubLen,
+                           ap.loc.y + stubHalf)},
+              {kWest, Rect(ap.loc.x - stubLen, ap.loc.y - stubHalf, ap.loc.x,
+                           ap.loc.y + stubHalf)},
+              {kNorth, Rect(ap.loc.x - stubHalf, ap.loc.y, ap.loc.x + stubHalf,
+                            ap.loc.y + stubLen)},
+              {kSouth, Rect(ap.loc.x - stubHalf, ap.loc.y - stubLen,
+                            ap.loc.x + stubHalf, ap.loc.y + stubHalf)},
+          };
+          for (const auto& probe : probes) {
+            bool clear = true;
+            for (const drc::Shape& s : allShapes_) {
+              if (s.layer != li) continue;
+              if (s.net == ctx_->pinNet(pinIdx) &&
+                  s.net != drc::Shape::kObsNet) {
+                continue;
+              }
+              if (s.rect.overlaps(probe.r)) {
+                clear = false;
+                break;
+              }
+            }
+            if (clear) ap.dirs |= probe.dir;
+          }
+          if (!ap.viaDefs.empty()) {
+            ap.dirs |= kUp;
+            aps.push_back(std::move(ap));
+          }
+        }
+      }
+    }
+  }
+  return aps;
+}
+
+std::vector<std::vector<AccessPoint>> LegacyApGenerator::generateAll() const {
+  std::vector<std::vector<AccessPoint>> out;
+  out.reserve(ctx_->signalPins().size());
+  for (const int pinIdx : ctx_->signalPins()) {
+    out.push_back(generate(pinIdx));
+  }
+  return out;
+}
+
+}  // namespace pao::core

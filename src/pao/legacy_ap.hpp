@@ -1,0 +1,37 @@
+// Baseline pin access in the style of TritonRoute v0.0.6.0, the comparison
+// point of Tables II and III ("TrRte"). Characteristic differences from the
+// PAAF generator, mirroring the pre-paper release:
+//   - only on-track candidate points (no half-track / shape-center /
+//     enclosure-boundary ladder), so fewer points on off-track pin geometry;
+//   - validation checks only that the via enclosure stays inside the pin
+//     bbox and does not overlap obstructions / foreign metal — spacing is
+//     approximated and min-step / EOL are not checked at all, so some
+//     emitted points carry DRCs ("dirty APs");
+//   - no early termination and a brute-force scan over all cell shapes per
+//     candidate, so it does strictly more work per pin.
+#pragma once
+
+#include <vector>
+
+#include "pao/access_point.hpp"
+#include "pao/inst_context.hpp"
+
+namespace pao::core {
+
+class LegacyApGenerator {
+ public:
+  explicit LegacyApGenerator(const InstContext& ctx);
+
+  std::vector<AccessPoint> generate(int pinIdx) const;
+  std::vector<std::vector<AccessPoint>> generateAll() const;
+
+ private:
+  bool crudeValidate(const AccessPoint& ap, const db::ViaDef& via,
+                     int pinIdx) const;
+
+  const InstContext* ctx_;
+  /// Flat copy of all cell shapes for the deliberately naive linear scans.
+  std::vector<drc::Shape> allShapes_;
+};
+
+}  // namespace pao::core

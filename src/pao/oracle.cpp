@@ -1,0 +1,192 @@
+#include "pao/oracle.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace pao::core {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The TrRte baseline has no pattern stage: every pin just takes its first
+/// access point.
+AccessPattern firstApPattern(const std::vector<std::vector<AccessPoint>>& aps) {
+  AccessPattern pat;
+  pat.apIdx.reserve(aps.size());
+  for (const std::vector<AccessPoint>& pinAps : aps) {
+    pat.apIdx.push_back(pinAps.empty() ? -1 : 0);
+  }
+  pat.validated = false;  // never checked, by construction of the baseline
+  return pat;
+}
+
+}  // namespace
+
+OracleConfig withoutBcaConfig() {
+  OracleConfig cfg;
+  cfg.patternGen.numPatterns = 1;
+  cfg.patternGen.boundaryAware = false;
+  return cfg;
+}
+
+OracleConfig withBcaConfig() {
+  OracleConfig cfg;
+  cfg.patternGen.numPatterns = 3;
+  cfg.patternGen.boundaryAware = true;
+  return cfg;
+}
+
+OracleConfig legacyConfig() {
+  OracleConfig cfg;
+  cfg.legacyMode = true;
+  cfg.runClusterSelection = false;
+  return cfg;
+}
+
+std::size_t OracleResult::totalAps() const {
+  std::size_t n = 0;
+  for (const ClassAccess& ca : classes) {
+    for (const std::vector<AccessPoint>& aps : ca.pinAps) n += aps.size();
+  }
+  return n;
+}
+
+std::optional<OracleResult::ChosenAp> OracleResult::chosenAp(
+    const db::Design& design, int instIdx, int sigPinPos) const {
+  const int cls = unique.classOf[instIdx];
+  if (cls < 0) return std::nullopt;
+  const ClassAccess& ca = classes[cls];
+  const int pat = chosenPattern[instIdx];
+  if (pat < 0 || pat >= static_cast<int>(ca.patterns.size())) {
+    return std::nullopt;
+  }
+  if (sigPinPos >= static_cast<int>(ca.patterns[pat].apIdx.size())) {
+    return std::nullopt;
+  }
+  const int apIdx = ca.patterns[pat].apIdx[sigPinPos];
+  if (apIdx < 0) return std::nullopt;
+  const AccessPoint& ap = ca.pinAps[sigPinPos][apIdx];
+  const db::UniqueInstance& ui = unique.classes[cls];
+  const geom::Point repOrigin = design.instances[ui.representative].origin;
+  const geom::Point origin = design.instances[instIdx].origin;
+  return ChosenAp{&ap, ap.loc + (origin - repOrigin)};
+}
+
+PinAccessOracle::PinAccessOracle(const db::Design& design, OracleConfig cfg)
+    : design_(&design), cfg_(cfg) {}
+
+OracleResult PinAccessOracle::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  OracleResult result;
+  result.unique = db::extractUniqueInstances(*design_);
+  result.classes.resize(result.unique.classes.size());
+
+  // Steps 1 and 2, per unique instance: independent work items, optionally
+  // spread over worker threads (unique instances never share mutable state;
+  // the cache is guarded by a mutex).
+  std::mutex cacheMu;
+  std::atomic<long long> step1Us{0};
+  std::atomic<long long> step2Us{0};
+  const auto analyzeClass = [&](std::size_t c) {
+    const db::UniqueInstance& ui = result.unique.classes[c];
+    if (ui.master->signalPinIndices().empty()) return;  // fillers etc.
+    ClassAccess& ca = result.classes[c];
+    const geom::Point repOrigin =
+        design_->instances[ui.representative].origin;
+
+    if (cfg_.cache != nullptr && !cfg_.legacyMode) {
+      const AccessCache::Key key = AccessCache::keyOf(ui);
+      std::lock_guard<std::mutex> lock(cacheMu);
+      if (const ClassAccess* hit = cfg_.cache->find(key)) {
+        ca = AccessCache::translate(*hit, repOrigin);
+        return;
+      }
+    }
+
+    const InstContext ctx(*design_, ui);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (cfg_.legacyMode) {
+      ca.pinAps = LegacyApGenerator(ctx).generateAll();
+    } else {
+      ApGenConfig apCfg = cfg_.apGen;
+      // Macro (block) pins admit planar access: via access is only
+      // mandatory for standard cells (paper footnote 1).
+      if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
+      ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
+    }
+    step1Us += static_cast<long long>(secondsSince(t1) * 1e6);
+
+    const auto t2 = std::chrono::steady_clock::now();
+    if (cfg_.legacyMode) {
+      ca.patterns.push_back(firstApPattern(ca.pinAps));
+      for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
+        if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
+      }
+    } else {
+      PatternGenerator gen(ctx, ca.pinAps, cfg_.patternGen);
+      ca.patterns = gen.run();
+      ca.pinOrder = gen.pinOrder();
+    }
+    step2Us += static_cast<long long>(secondsSince(t2) * 1e6);
+
+    if (cfg_.cache != nullptr && !cfg_.legacyMode) {
+      const ClassAccess normalized =
+          AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
+      std::lock_guard<std::mutex> lock(cacheMu);
+      cfg_.cache->store(AccessCache::keyOf(ui), normalized);
+    }
+  };
+
+  const std::size_t numClasses = result.unique.classes.size();
+  int threads = cfg_.numThreads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads <= 1 || numClasses < 2) {
+    for (std::size_t c = 0; c < numClasses; ++c) analyzeClass(c);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const int n = std::min<int>(threads, static_cast<int>(numClasses));
+    pool.reserve(n);
+    for (int t = 0; t < n; ++t) {
+      pool.emplace_back([&] {
+        for (std::size_t c = next.fetch_add(1); c < numClasses;
+             c = next.fetch_add(1)) {
+          analyzeClass(c);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+  result.step1Seconds = static_cast<double>(step1Us.load()) / 1e6;
+  result.step2Seconds = static_cast<double>(step2Us.load()) / 1e6;
+
+  // Step 3, per cluster across the whole design.
+  const auto t3 = std::chrono::steady_clock::now();
+  if (cfg_.runClusterSelection) {
+    ClusterSelector selector(*design_, result.unique, result.classes,
+                             cfg_.clusterSelect);
+    result.chosenPattern = selector.run();
+  } else {
+    result.chosenPattern.assign(design_->instances.size(), -1);
+    for (std::size_t i = 0; i < design_->instances.size(); ++i) {
+      const int cls = result.unique.classOf[i];
+      if (cls >= 0 && !result.classes[cls].patterns.empty()) {
+        result.chosenPattern[i] = 0;
+      }
+    }
+  }
+  result.step3Seconds += secondsSince(t3);
+  result.wallSeconds = secondsSince(t0);
+  return result;
+}
+
+}  // namespace pao::core

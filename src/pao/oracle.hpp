@@ -1,0 +1,91 @@
+// PinAccessOracle — the facade that runs the full three-step pin access
+// analysis flow of the paper on a design:
+//   Step 1  pin-based access point generation per unique instance,
+//   Step 2  DP-based access pattern generation per unique instance,
+//   Step 3  DP-based access pattern selection per instance cluster.
+// A legacy mode substitutes the TritonRoute-v0.0.6.0-style generator and a
+// trivial first-point "pattern", reproducing the paper's TrRte baseline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "db/unique_inst.hpp"
+#include "pao/access_cache.hpp"
+#include "pao/ap_gen.hpp"
+#include "pao/cluster_select.hpp"
+#include "pao/legacy_ap.hpp"
+#include "pao/pattern_gen.hpp"
+
+namespace pao::core {
+
+struct OracleConfig {
+  ApGenConfig apGen;
+  PatternGenConfig patternGen;
+  ClusterSelectConfig clusterSelect;
+  /// TrRte baseline: legacy AP generation, first-AP patterns, no Step 3 DP.
+  bool legacyMode = false;
+  /// Run the Step-3 cluster DP (always true in the paper's full flow; with a
+  /// single pattern per class the DP is trivially the identity).
+  bool runClusterSelection = true;
+  /// Worker threads for Steps 1-2 over unique instances (the paper's
+  /// "support of multi-threading" future-work item). 1 = serial;
+  /// 0 = hardware concurrency.
+  int numThreads = 1;
+  /// Optional cross-run cache of intra-cell results keyed by signature —
+  /// reusable across placement changes. Not owned; may be nullptr.
+  AccessCache* cache = nullptr;
+};
+
+/// Convenience preset: PAAF without boundary-conflict awareness (Table III
+/// "w/o BCA" column) — a single pattern per unique instance.
+OracleConfig withoutBcaConfig();
+/// PAAF with BCA (Table III "w/ BCA") — up to three diversified patterns.
+OracleConfig withBcaConfig();
+/// TrRte v0.0.6.0-style baseline.
+OracleConfig legacyConfig();
+
+struct OracleResult {
+  db::UniqueInstances unique;
+  /// Per unique-instance class, parallel to unique.classes. Classes of
+  /// masters without signal pins have empty pinAps/patterns.
+  std::vector<ClassAccess> classes;
+  /// Chosen pattern per instance (-1 when the class has none).
+  std::vector<int> chosenPattern;
+
+  /// Step timings. With numThreads > 1, step1/step2 report summed per-class
+  /// CPU time; wallSeconds reports end-to-end wall time either way.
+  double step1Seconds = 0;
+  double step2Seconds = 0;
+  double step3Seconds = 0;
+  double wallSeconds = 0;
+  double totalSeconds() const {
+    return step1Seconds + step2Seconds + step3Seconds;
+  }
+
+  /// Total access points generated across all unique-instance pins
+  /// (Table II "Total #APs").
+  std::size_t totalAps() const;
+  /// The access point chosen for (instance, signal-pin position), translated
+  /// to the instance's placement; nullopt when the pin has no chosen access.
+  struct ChosenAp {
+    const AccessPoint* ap;
+    geom::Point loc;
+  };
+  std::optional<ChosenAp> chosenAp(const db::Design& design, int instIdx,
+                                   int sigPinPos) const;
+};
+
+class PinAccessOracle {
+ public:
+  explicit PinAccessOracle(const db::Design& design, OracleConfig cfg = {});
+
+  /// Runs the configured flow end to end.
+  OracleResult run();
+
+ private:
+  const db::Design* design_;
+  OracleConfig cfg_;
+};
+
+}  // namespace pao::core

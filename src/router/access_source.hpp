@@ -1,0 +1,50 @@
+// Pin-access sources for the detailed router: where each net-attached
+// instance pin will be contacted. Experiment 3 compares three sources —
+// the TrRte-style first point, a Dr. CU-style greedy per-pin nearest point
+// (no pattern compatibility), and the PAAF pattern-selected point.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "pao/oracle.hpp"
+
+namespace pao::router {
+
+/// One pin contact: drop `via` at `loc` (the access point, design coords).
+struct PinContact {
+  const db::ViaDef* via = nullptr;
+  geom::Point loc;
+};
+
+enum class AccessMode {
+  kFirstAp,       ///< TrRte baseline: first generated AP per pin
+  kGreedyNearest, ///< Dr. CU proxy: per-pin AP nearest the net centroid
+  kPattern,       ///< PAAF: the cluster-selected pattern's AP
+};
+
+class AccessSource {
+ public:
+  /// `result` must come from a PinAccessOracle run on `design` (legacy
+  /// config for kFirstAp, full config for the others).
+  AccessSource(const db::Design& design, const core::OracleResult& result,
+               AccessMode mode);
+
+  /// Contact for instance `instIdx`'s signal-pin position `sigPinPos`;
+  /// nullopt when the pin has no usable access point.
+  std::optional<PinContact> contact(int instIdx, int sigPinPos) const;
+
+  AccessMode mode() const { return mode_; }
+
+ private:
+  std::optional<PinContact> fromAp(int instIdx, const core::AccessPoint& ap)
+      const;
+
+  const db::Design* design_;
+  const core::OracleResult* result_;
+  AccessMode mode_;
+  /// Net centroid per (inst, sigPinPos) for the greedy mode.
+  std::map<std::pair<int, int>, geom::Point> centroid_;
+};
+
+}  // namespace pao::router

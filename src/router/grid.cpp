@@ -1,0 +1,166 @@
+#include "router/grid.hpp"
+
+#include <algorithm>
+
+#include "drc/region_query.hpp"
+
+namespace pao::router {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+RoutingGrid::RoutingGrid(const db::Design& design) : design_(&design) {
+  const db::Tech& tech = *design.tech;
+  const int numLayers = static_cast<int>(tech.layers().size());
+  horiz_.assign(numLayers, false);
+  isRouting_.assign(numLayers, false);
+  for (const db::Layer& l : tech.layers()) {
+    horiz_[l.index] = l.dir == db::Dir::kHorizontal;
+    isRouting_[l.index] = l.type == db::LayerType::kRouting;
+  }
+
+  // Global coordinate sets: union of all vertical (x) / horizontal (y)
+  // track coordinates in the design.
+  for (const db::TrackPattern& tp : design.trackPatterns) {
+    if (!isRouting_[tp.layer]) continue;
+    std::vector<Coord>& dst = tp.axis == db::Dir::kVertical ? xs_ : ys_;
+    for (const Coord c :
+         tp.coordsIn(design.dieArea.xlo, design.dieArea.xhi)) {
+      dst.push_back(c);
+    }
+  }
+  const auto uniq = [](std::vector<Coord>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq(xs_);
+  uniq(ys_);
+
+  // Per layer: which indices of the across-direction coordinate set carry a
+  // track of that layer.
+  onLayerTrack_.assign(numLayers, {});
+  for (int li = 0; li < numLayers; ++li) {
+    if (!isRouting_[li]) continue;
+    const std::vector<Coord>& across = horiz_[li] ? ys_ : xs_;
+    std::vector<bool> onTrack(across.size(), false);
+    for (const db::TrackPattern* tp : design.tracks(
+             li, horiz_[li] ? db::Dir::kHorizontal : db::Dir::kVertical)) {
+      for (std::size_t i = 0; i < across.size(); ++i) {
+        if (tp->onTrack(across[i])) onTrack[i] = true;
+      }
+    }
+    onLayerTrack_[li] = std::move(onTrack);
+  }
+}
+
+bool RoutingGrid::valid(const Node& n) const {
+  if (n.layer < 0 || n.layer >= numLayers() || !isRouting_[n.layer]) {
+    return false;
+  }
+  if (n.xi < 0 || n.xi >= static_cast<int>(xs_.size())) return false;
+  if (n.yi < 0 || n.yi >= static_cast<int>(ys_.size())) return false;
+  const int across = horiz_[n.layer] ? n.yi : n.xi;
+  return onLayerTrack_[n.layer][across];
+}
+
+int RoutingGrid::indexNear(const std::vector<Coord>& v, Coord c) const {
+  const auto it = std::lower_bound(v.begin(), v.end(), c);
+  if (it == v.begin()) return 0;
+  if (it == v.end()) return static_cast<int>(v.size()) - 1;
+  const int hi = static_cast<int>(it - v.begin());
+  return (c - v[hi - 1] <= v[hi] - c) ? hi - 1 : hi;
+}
+
+Node RoutingGrid::snap(int layer, Point p) const {
+  Node n;
+  n.layer = layer;
+  n.xi = indexNear(xs_, p.x);
+  n.yi = indexNear(ys_, p.y);
+  if (valid(n)) return n;
+  // Walk the across-direction index outward until a layer track is hit.
+  const std::vector<Coord>& across = horiz_[layer] ? ys_ : xs_;
+  int& idx = horiz_[layer] ? n.yi : n.xi;
+  const int base = idx;
+  for (int d = 1; d < static_cast<int>(across.size()); ++d) {
+    for (const int cand : {base - d, base + d}) {
+      if (cand < 0 || cand >= static_cast<int>(across.size())) continue;
+      idx = cand;
+      if (valid(n)) return n;
+    }
+  }
+  idx = base;
+  return n;  // possibly invalid; caller checks
+}
+
+void RoutingGrid::occupy(const Node& n, int net) {
+  occupancy_[keyOf(n)] = net;
+}
+
+int RoutingGrid::occupant(const Node& n) const {
+  const auto it = occupancy_.find(keyOf(n));
+  return it == occupancy_.end() ? kFree : it->second;
+}
+
+void RoutingGrid::addOwner(Owners& o, int net) {
+  if (o.a == net || o.b == net) return;
+  if (o.a == kFree) {
+    o.a = net;
+  } else if (o.b == kFree) {
+    o.b = net;
+  } else {
+    o.a = drc::Shape::kObsNet;  // third distinct owner: blocked for all
+    o.b = kFree;
+  }
+}
+
+bool RoutingGrid::blocksNet(const Owners& o, int net) {
+  if (o.a == drc::Shape::kObsNet || o.b == drc::Shape::kObsNet) return true;
+  if (o.a != kFree && o.a != net) return true;
+  if (o.b != kFree && o.b != net) return true;
+  return false;
+}
+
+void RoutingGrid::blockFixedShape(const Rect& r, int layer, int net,
+                                  Coord wireHalo, Coord viaHaloX,
+                                  Coord viaHaloY) {
+  if (layer < 0 || layer >= numLayers() || !isRouting_[layer]) return;
+  const auto mark = [&](std::unordered_map<NodeKey, Owners>& store,
+                        Coord haloX, Coord haloY) {
+    const Rect blocked = r.bloat(haloX, haloY);
+    const auto lo = std::lower_bound(xs_.begin(), xs_.end(), blocked.xlo);
+    const auto hi = std::upper_bound(xs_.begin(), xs_.end(), blocked.xhi);
+    for (auto xit = lo; xit != hi; ++xit) {
+      const int xi = static_cast<int>(xit - xs_.begin());
+      const auto ylo = std::lower_bound(ys_.begin(), ys_.end(), blocked.ylo);
+      const auto yhi = std::upper_bound(ys_.begin(), ys_.end(), blocked.yhi);
+      for (auto yit = ylo; yit != yhi; ++yit) {
+        const int yi = static_cast<int>(yit - ys_.begin());
+        const Node n{layer, xi, yi};
+        if (!valid(n)) continue;
+        addOwner(store[keyOf(n)], net);
+      }
+    }
+  };
+  mark(blocked_, wireHalo, wireHalo);
+  mark(viaBlocked_, viaHaloX, viaHaloY);
+}
+
+bool RoutingGrid::blockedFor(const Node& n, int net) const {
+  const auto it = blocked_.find(keyOf(n));
+  return it != blocked_.end() && blocksNet(it->second, net);
+}
+
+bool RoutingGrid::viaBlockedFor(const Node& n, int net) const {
+  const auto it = viaBlocked_.find(keyOf(n));
+  return it != viaBlocked_.end() && blocksNet(it->second, net);
+}
+
+bool RoutingGrid::hardBlocked(const Node& n) const {
+  const auto it = blocked_.find(keyOf(n));
+  if (it == blocked_.end()) return false;
+  return it->second.a == drc::Shape::kObsNet ||
+         it->second.b == drc::Shape::kObsNet;
+}
+
+}  // namespace pao::router

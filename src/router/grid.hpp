@@ -1,0 +1,98 @@
+// Track-aligned 3D routing grid. Node (layer, xi, yi) lives on the global
+// coordinate sets xs/ys (the finest vertical/horizontal track grids in the
+// design); a layer only admits nodes whose across-direction coordinate lies
+// on one of that layer's own tracks. Edges run along each layer's preferred
+// direction plus vias between vertically adjacent routing layers.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "db/design.hpp"
+
+namespace pao::router {
+
+using NodeKey = std::uint64_t;
+
+struct Node {
+  int layer = -1;  ///< routing layer index into Tech::layers()
+  int xi = -1;     ///< index into xs()
+  int yi = -1;     ///< index into ys()
+
+  friend bool operator==(const Node&, const Node&) = default;
+};
+
+class RoutingGrid {
+ public:
+  explicit RoutingGrid(const db::Design& design);
+
+  const std::vector<geom::Coord>& xs() const { return xs_; }
+  const std::vector<geom::Coord>& ys() const { return ys_; }
+
+  geom::Point pointOf(const Node& n) const {
+    return {xs_[n.xi], ys_[n.yi]};
+  }
+  NodeKey keyOf(const Node& n) const {
+    return (static_cast<NodeKey>(n.layer) << 48) |
+           (static_cast<NodeKey>(n.xi) << 24) | static_cast<NodeKey>(n.yi);
+  }
+
+  /// True when the layer admits a node at this across-direction index.
+  bool valid(const Node& n) const;
+  /// Nearest valid node to `p` on `layer`.
+  Node snap(int layer, geom::Point p) const;
+
+  /// Occupancy: a node claimed by net `net` blocks every other net.
+  void occupy(const Node& n, int net);
+  /// Returns the net occupying `n`, or kFree.
+  int occupant(const Node& n) const;
+  static constexpr int kFree = -2;
+
+  /// Marks nodes near fixed metal of net `net` (kObsNet blocks everyone).
+  /// Nodes within `wireHalo` (isotropic) become unusable for foreign WIRES;
+  /// nodes within the anisotropic (viaHaloX, viaHaloY) — matching the via
+  /// enclosure's asymmetric reach — become unusable for foreign VIA
+  /// landings.
+  void blockFixedShape(const geom::Rect& r, int layer, int net,
+                       geom::Coord wireHalo, geom::Coord viaHaloX,
+                       geom::Coord viaHaloY);
+  /// True when `net` may not run a wire through node `n`.
+  bool blockedFor(const Node& n, int net) const;
+  /// True when `net` may not land a via at node `n`.
+  bool viaBlockedFor(const Node& n, int net) const;
+  /// True when node `n` is blocked by an obstruction (or an owner overflow)
+  /// rather than by another net's halo — crossing it means real metal
+  /// overlap, not merely a spacing risk.
+  bool hardBlocked(const Node& n) const;
+
+  /// Whether wires on `layer` run horizontally.
+  bool horizontal(int layer) const { return horiz_.at(layer); }
+  int numLayers() const { return static_cast<int>(horiz_.size()); }
+
+ private:
+  int indexNear(const std::vector<geom::Coord>& v, geom::Coord c) const;
+
+  const db::Design* design_;
+  std::vector<geom::Coord> xs_;
+  std::vector<geom::Coord> ys_;
+  std::vector<bool> horiz_;          ///< per tech layer index
+  std::vector<bool> isRouting_;      ///< per tech layer index
+  /// Per layer: which x (vertical layers) / y (horizontal) indices carry a
+  /// track of that layer.
+  std::vector<std::vector<bool>> onLayerTrack_;
+  std::unordered_map<NodeKey, int> occupancy_;
+  /// Blockage entry: up to two distinct owner nets can share a node's halo
+  /// (their own shapes); a third distinct owner collapses it to obs. A node
+  /// is blocked for net N when any stored owner differs from N.
+  struct Owners {
+    int a = kFree;
+    int b = kFree;
+  };
+  static void addOwner(Owners& o, int net);
+  static bool blocksNet(const Owners& o, int net);
+  std::unordered_map<NodeKey, Owners> blocked_;
+  std::unordered_map<NodeKey, Owners> viaBlocked_;
+};
+
+}  // namespace pao::router

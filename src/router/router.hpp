@@ -1,0 +1,133 @@
+// A compact track-based detailed router (the TritonRoute stand-in of
+// Experiment 3). Nets are routed one by one with multi-target A* over the
+// routing grid; pins are entered through the access vias supplied by an
+// AccessSource. The routed layout (wires + vias + pin/obstruction context)
+// is DRC-counted with the full engine — the #DRC metric of Experiment 3.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "drc/engine.hpp"
+#include "drc/region_query.hpp"
+#include "router/access_source.hpp"
+#include "router/grid.hpp"
+
+namespace pao::router {
+
+struct RouteShape {
+  geom::Rect rect;
+  int layer = -1;
+  int net = -1;
+  bool isVia = false;
+  /// Shape belongs to a pin-access via or its landing patch.
+  bool isAccess = false;
+};
+
+struct RouteStats {
+  std::size_t routedNets = 0;
+  std::size_t failedNets = 0;   ///< no path found for at least one term
+  std::size_t rippedNets = 0;   ///< nets re-routed by rip-up passes
+  std::size_t skippedTerms = 0; ///< terms with no usable pin access
+  std::size_t wireShapes = 0;
+  std::size_t viaCount = 0;
+  /// Path searches that hit the expansion cap vs exhausted the frontier.
+  std::size_t searchCapAborts = 0;
+  std::size_t searchExhausted = 0;
+  /// Terminals that needed the relaxed (blockage-as-cost) retry.
+  std::size_t relaxedRetries = 0;
+  double seconds = 0;
+};
+
+struct RouteResult {
+  std::vector<RouteShape> shapes;
+  RouteStats stats;
+  std::vector<drc::Violation> violations;  ///< full-layout DRC afterwards
+  /// Violations whose marker touches a pin-access via or landing patch —
+  /// the pin-access-quality signal Experiment 3 compares (the remainder is
+  /// router noise independent of the access source).
+  std::size_t accessViolations = 0;
+};
+
+struct RouterConfig {
+  /// Cost of one via transition relative to one grid step.
+  long long viaCost = 4;
+  /// Keep wires off the lowest routing layer (M1 belongs to the cells and
+  /// the access vias); set false to allow M1 routing.
+  bool reserveBottomLayer = true;
+  /// Abandon a net term after exploring this many nodes.
+  std::size_t maxExpansions = 200000;
+  /// Highest routing layer to use (tech layer index; -1 = all).
+  int maxLayer = -1;
+  /// Run the final full-layout DRC count.
+  bool countDrcs = true;
+  /// Rip-up-and-reroute passes over nets whose wiring participates in DRC
+  /// violations (0 disables; requires countDrcs).
+  int ripupPasses = 5;
+};
+
+class DetailedRouter {
+ public:
+  DetailedRouter(const db::Design& design, const AccessSource& access,
+                 RouterConfig cfg = {});
+
+  RouteResult run();
+
+ private:
+  /// Places the access vias and landing patches of every term of `netIdx`
+  /// and returns the terminal grid nodes (phase 1 — all nets' access is
+  /// fixed and blocked before any wire is routed, as in TritonRoute).
+  std::vector<Node> placeTerms(int netIdx, std::vector<RouteShape>& shapes,
+                               RouteStats& stats);
+  /// Routes one net between its prepared terminals; returns false when any
+  /// terminal could not be reached.
+  bool routeNet(int netIdx, const std::vector<Node>& termNodes,
+                std::vector<RouteShape>& shapes, RouteStats& stats);
+  /// Multi-target A* from `source` to any node in `targets` (keys).
+  /// Returns the path (source..target) or empty.
+  /// `relaxed` turns soft blockages into a large cost instead of a hard
+  /// skip — the escape hatch when halo conservatism seals a pin in (the
+  /// resulting violations are counted honestly by the final DRC pass).
+  std::vector<Node> findPath(const Node& source,
+                             const std::unordered_map<NodeKey, Node>& targets,
+                             int net, RouteStats& stats, bool relaxed);
+  void emitPath(const std::vector<Node>& path, int net,
+                std::vector<RouteShape>& shapes, RouteStats& stats);
+
+  /// Emits a shape and registers it as a soft blockage so later nets avoid
+  /// it (node occupancy alone cannot protect off-grid via enclosures).
+  void placeShape(const RouteShape& s, std::vector<RouteShape>& shapes);
+  /// True when `r` keeps min spacing from all foreign fixed metal on
+  /// `layer` — used to site min-area pads legally.
+  bool padFits(const geom::Rect& r, int layer, int net) const;
+  /// Emits the best-fitting min-area pad near `at` on `layer` (candidates:
+  /// centered, shifted low, shifted high along the preferred direction).
+  void emitMinAreaPad(geom::Point at, int layer, int net,
+                      std::vector<RouteShape>& shapes, RouteStats& stats,
+                      bool isAccess);
+  /// Post-routing repair: pads every routed component still below min area.
+  void repairMinArea(std::vector<RouteShape>& shapes, RouteStats& stats);
+  /// Registers an existing shape's grid blockage (the non-emitting half of
+  /// placeShape) — used when rebuilding the grid during rip-up.
+  void registerShape(const RouteShape& s);
+  /// Seeds grid blockage + the fixed region query from the design.
+  void seedFixed(const std::map<std::pair<int, int>, int>& netOf);
+  /// Full-layout DRC over fixed + routed shapes.
+  std::vector<drc::Violation> runDrc(
+      const std::vector<RouteShape>& shapes,
+      const std::map<std::pair<int, int>, int>& netOf) const;
+
+  const db::Design* design_;
+  const AccessSource* access_;
+  RouterConfig cfg_;
+  RoutingGrid grid_;
+  std::vector<geom::Coord> wireHalo_;  ///< per tech layer
+  std::vector<geom::Coord> viaHaloX_;
+  std::vector<geom::Coord> viaHaloY_;
+  /// Fixed design metal (pins, obstructions, IO pins) for pad legality.
+  drc::RegionQuery fixed_;
+  /// Routed metal so far (same legality purpose).
+  drc::RegionQuery routed_;
+};
+
+}  // namespace pao::router

@@ -1,0 +1,43 @@
+// SVG snapshots of layout regions: fixed cell geometry, routed metal,
+// access vias and DRC markers — the medium of the paper's Fig. 8 ("dashed
+// red boxes are DRCs") for visual inspection of pin access quality.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+#include "drc/violation.hpp"
+
+namespace pao::viz {
+
+/// A shape to draw, independent of which subsystem produced it.
+struct VizShape {
+  geom::Rect rect;
+  int layer = -1;  ///< tech layer index (drives the color)
+  enum class Kind {
+    kPin,
+    kObstruction,
+    kWire,
+    kVia,
+    kAccessVia,
+  } kind = Kind::kWire;
+};
+
+struct SvgOptions {
+  /// Pixels per DBU.
+  double scale = 0.02;
+  /// Include instance outlines and names.
+  bool drawInstances = true;
+  /// Restrict drawn layers to at most this routing-layer index (-1 = all).
+  int maxLayer = -1;
+};
+
+/// Renders `window` of the design (instances, their pin/obs geometry) plus
+/// the extra shapes and violation markers into a standalone SVG document.
+std::string renderRegion(const db::Design& design, geom::Rect window,
+                         const std::vector<VizShape>& extra,
+                         const std::vector<drc::Violation>& violations,
+                         const SvgOptions& options = {});
+
+}  // namespace pao::viz

@@ -1,0 +1,187 @@
+// Access cache + multi-threaded oracle tests: placement-loop reuse and the
+// paper's multi-threading future-work item.
+#include "pao/access_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/testcase.hpp"
+#include "pao/evaluate.hpp"
+#include "pao/oracle.hpp"
+
+namespace pao::core {
+namespace {
+
+benchgen::Testcase smallCase() {
+  benchgen::TestcaseSpec spec = benchgen::ispd18Suite()[0];
+  spec.numCells = 200;
+  spec.numNets = 100;
+  return benchgen::generate(spec, 1.0);
+}
+
+bool sameAccess(const OracleResult& a, const OracleResult& b,
+                const db::Design& design) {
+  if (a.chosenPattern != b.chosenPattern) return false;
+  for (int i = 0; i < static_cast<int>(design.instances.size()); ++i) {
+    const int cls = a.unique.classOf[i];
+    if (cls < 0 || a.classes[cls].pinAps.empty()) continue;
+    for (int p = 0; p < static_cast<int>(a.classes[cls].pinAps.size());
+         ++p) {
+      const auto apA = a.chosenAp(design, i, p);
+      const auto apB = b.chosenAp(design, i, p);
+      if (apA.has_value() != apB.has_value()) return false;
+      if (apA && apA->loc != apB->loc) return false;
+    }
+  }
+  return true;
+}
+
+TEST(AccessCache, SecondRunHitsEveryClass) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+
+  PinAccessOracle first(*tc.design, cfg);
+  const OracleResult r1 = first.run();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), cache.misses());
+
+  PinAccessOracle second(*tc.design, cfg);
+  const OracleResult r2 = second.run();
+  EXPECT_EQ(cache.misses(), cache.size());  // no new misses
+  EXPECT_GT(cache.hits(), 0u);
+  // Cached Steps 1-2 contribute no fresh per-class time.
+  EXPECT_EQ(r2.step1Seconds, 0.0);
+  EXPECT_EQ(r2.step2Seconds, 0.0);
+  EXPECT_TRUE(sameAccess(r1, r2, *tc.design));
+}
+
+TEST(AccessCache, CachedResultsSurvivePlacementMove) {
+  benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+
+  PinAccessOracle warm(*tc.design, cfg);
+  const FailedPinStats before =
+      countFailedPins(*tc.design, warm.run());
+
+  // Move one instance by exactly one track period in x: same signature,
+  // everything reusable.
+  db::Instance& inst = tc.design->instances[5];
+  const db::Layer* m2 = tc.design->tech->findLayer("M2");
+  inst.origin.x += m2->pitch;
+  const std::size_t missesBefore = cache.misses();
+
+  PinAccessOracle moved(*tc.design, cfg);
+  const OracleResult res = moved.run();
+  EXPECT_EQ(cache.misses(), missesBefore);   // all hits: nothing recomputed
+  const DirtyApStats dirty = countDirtyAps(*tc.design, res);
+  EXPECT_EQ(dirty.dirtyAps, 0u);
+  const FailedPinStats after = countFailedPins(*tc.design, res);
+  EXPECT_EQ(after.failedPins, before.failedPins);
+}
+
+TEST(AccessCache, TranslateShiftsAllAccessPoints) {
+  ClassAccess ca;
+  ca.pinAps.resize(2);
+  AccessPoint ap;
+  ap.loc = {100, 200};
+  ca.pinAps[0].push_back(ap);
+  ap.loc = {300, 400};
+  ca.pinAps[1].push_back(ap);
+  const ClassAccess moved = AccessCache::translate(ca, {10, -20});
+  EXPECT_EQ(moved.pinAps[0][0].loc, geom::Point(110, 180));
+  EXPECT_EQ(moved.pinAps[1][0].loc, geom::Point(310, 380));
+}
+
+TEST(AccessCache, ClearResets) {
+  AccessCache cache;
+  cache.store({nullptr, geom::Orient::R0, {}}, ClassAccess{});
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(AccessCache, SaveLoadRoundTrip) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+  PinAccessOracle warm(*tc.design, cfg);
+  const OracleResult r1 = warm.run();
+
+  const std::string text = cache.save(*tc.tech);
+  EXPECT_FALSE(text.empty());
+
+  AccessCache restored;
+  const std::size_t loaded = restored.load(text, *tc.tech, *tc.lib);
+  EXPECT_EQ(loaded, cache.size());
+  EXPECT_EQ(restored.size(), cache.size());
+
+  // A run against the restored cache is all hits and produces the same
+  // access as the original.
+  OracleConfig cfg2 = withBcaConfig();
+  cfg2.cache = &restored;
+  PinAccessOracle cold(*tc.design, cfg2);
+  const OracleResult r2 = cold.run();
+  EXPECT_EQ(restored.misses(), 0u);
+  EXPECT_TRUE(sameAccess(r1, r2, *tc.design));
+}
+
+TEST(AccessCache, LoadRejectsGarbage) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  EXPECT_EQ(cache.load("not a cache file", *tc.tech, *tc.lib), 0u);
+  EXPECT_EQ(cache.load("", *tc.tech, *tc.lib), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AccessCache, LoadSkipsUnknownMasters) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+  PinAccessOracle warm(*tc.design, cfg);
+  warm.run();
+  const std::string text = cache.save(*tc.tech);
+
+  // A different library (missing every master) accepts nothing.
+  db::Library empty;
+  AccessCache other;
+  EXPECT_EQ(other.load(text, *tc.tech, empty), 0u);
+}
+
+TEST(OracleThreads, ParallelRunMatchesSerial) {
+  const benchgen::Testcase tc = smallCase();
+
+  OracleConfig serialCfg = withBcaConfig();
+  serialCfg.numThreads = 1;
+  PinAccessOracle serial(*tc.design, serialCfg);
+  const OracleResult a = serial.run();
+
+  OracleConfig parCfg = withBcaConfig();
+  parCfg.numThreads = 4;
+  PinAccessOracle parallel(*tc.design, parCfg);
+  const OracleResult b = parallel.run();
+
+  EXPECT_TRUE(sameAccess(a, b, *tc.design));
+  EXPECT_EQ(countDirtyAps(*tc.design, b).dirtyAps, 0u);
+  EXPECT_EQ(countFailedPins(*tc.design, b).failedPins,
+            countFailedPins(*tc.design, a).failedPins);
+}
+
+TEST(OracleThreads, HardwareConcurrencyMode) {
+  const benchgen::Testcase tc = smallCase();
+  OracleConfig cfg = withBcaConfig();
+  cfg.numThreads = 0;  // auto
+  PinAccessOracle oracle(*tc.design, cfg);
+  const OracleResult res = oracle.run();
+  EXPECT_GT(res.wallSeconds, 0.0);
+  EXPECT_EQ(countDirtyAps(*tc.design, res).dirtyAps, 0u);
+}
+
+}  // namespace
+}  // namespace pao::core

@@ -1,0 +1,163 @@
+#include "pao/cluster_select.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pao/ap_gen.hpp"
+#include "pao/pattern_gen.hpp"
+#include "test_util.hpp"
+
+namespace pao::core {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+/// A cell whose boundary pins sit close enough to the edges that two
+/// abutting instances' same-y boundary vias conflict, while staggered-y
+/// choices are compatible: pin A near the left edge, pin Z near the right.
+/// (Tiny tech: cell 1200 wide, enclosure reach 150+50, spacing 100.)
+class ClusterFixture : public ::testing::Test {
+ protected:
+  void buildDesign(const std::vector<Point>& origins,
+                   int numPatterns = 3) {
+    td_ = test::makeTinyDesign({{0, Rect{150, 300, 250, 1100}}});
+    db::Master* m = const_cast<db::Master*>(td_.lib->findMaster("CELL"));
+    m->pins[0].shapes[0].rect = Rect{150, 300, 250, 1100};  // A, left
+    db::Pin& z = m->pins.emplace_back();
+    z.name = "Z";
+    z.use = db::PinUse::kSignal;
+    z.shapes.push_back({0, Rect{1010, 300, 1110, 1100}});  // near right edge
+
+    db::Design& d = *td_.design;
+    d.instances.clear();
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      db::Instance inst;
+      inst.name = "u" + std::to_string(i);
+      inst.master = m;
+      inst.origin = origins[i];
+      inst.orient = geom::Orient::R0;
+      d.instances.push_back(inst);
+    }
+    d.buildInstanceIndex();
+
+    unique_ = db::extractUniqueInstances(d);
+    classes_.clear();
+    classes_.resize(unique_.classes.size());
+    for (std::size_t c = 0; c < unique_.classes.size(); ++c) {
+      const InstContext ctx(d, unique_.classes[c]);
+      ClassAccess& ca = classes_[c];
+      ca.pinAps = AccessPointGenerator(ctx).generateAll();
+      PatternGenConfig cfg;
+      cfg.numPatterns = numPatterns;
+      PatternGenerator gen(ctx, ca.pinAps, cfg);
+      ca.patterns = gen.run();
+      ca.pinOrder = gen.pinOrder();
+    }
+  }
+
+  test::TinyDesign td_;
+  db::UniqueInstances unique_;
+  std::vector<ClassAccess> classes_;
+};
+
+TEST_F(ClusterFixture, ClustersSplitAtGaps) {
+  buildDesign({{0, 0}, {1200, 0}, {3600, 0}, {0, 1200}});
+  ClusterSelector sel(*td_.design, unique_, classes_);
+  ASSERT_EQ(sel.clusters().size(), 3u);
+  EXPECT_EQ(sel.clusters()[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(sel.clusters()[1], (std::vector<int>{2}));
+  EXPECT_EQ(sel.clusters()[2], (std::vector<int>{3}));
+}
+
+TEST_F(ClusterFixture, EveryInstanceGetsAPattern) {
+  buildDesign({{0, 0}, {1200, 0}, {2400, 0}});
+  ClusterSelector sel(*td_.design, unique_, classes_);
+  const std::vector<int> chosen = sel.run();
+  ASSERT_EQ(chosen.size(), 3u);
+  for (const int c : chosen) EXPECT_GE(c, 0);
+}
+
+TEST_F(ClusterFixture, AbuttingInstancesChooseCompatiblePatterns) {
+  buildDesign({{0, 0}, {1200, 0}});
+  ClusterSelector sel(*td_.design, unique_, classes_);
+  const std::vector<int> chosen = sel.run();
+
+  // Verify the selection with an independent DRC check of the facing vias.
+  const ClassAccess& ca = classes_[unique_.classOf[0]];
+  const int rightPin = ca.pinOrder.back();
+  const int leftPin = ca.pinOrder.front();
+  const int apR = ca.patterns[chosen[0]].apIdx[rightPin];
+  const int apL = ca.patterns[chosen[1]].apIdx[leftPin];
+  ASSERT_GE(apR, 0);
+  ASSERT_GE(apL, 0);
+  const AccessPoint& right = ca.pinAps[rightPin][apR];
+  const AccessPoint& left = ca.pinAps[leftPin][apL];
+
+  drc::DrcEngine engine(*td_.tech);
+  const Point leftLoc = left.loc + Point{1200, 0};  // u1 is shifted by 1200
+  EXPECT_TRUE(engine
+                  .checkViaPair(*right.primaryVia(), right.loc, 1,
+                                *left.primaryVia(), leftLoc, 2)
+                  .empty())
+      << "selected boundary vias conflict: " << right.loc << " vs "
+      << leftLoc;
+}
+
+TEST_F(ClusterFixture, SinglePatternModeStillSelects) {
+  buildDesign({{0, 0}, {1200, 0}}, /*numPatterns=*/1);
+  ClusterSelector sel(*td_.design, unique_, classes_);
+  const std::vector<int> chosen = sel.run();
+  EXPECT_EQ(chosen[0], 0);
+  EXPECT_EQ(chosen[1], 0);
+}
+
+TEST_F(ClusterFixture, PairChecksAreMemoizedAcrossRepeats) {
+  // Ten identical abutting pairs: the (class, pattern, offset) cache should
+  // keep pair checks far below pairs * patterns^2.
+  std::vector<Point> origins;
+  for (int i = 0; i < 20; ++i) origins.push_back({i * 1200, 0});
+  buildDesign(origins);
+  ClusterSelector sel(*td_.design, unique_, classes_);
+  sel.run();
+  // 19 abutments, 3x3 pattern combos each; without memoization that is
+  // > 170 pair evaluations (x2 directions) — with it, at most one per
+  // distinct (pattern, pattern) combo.
+  EXPECT_LE(sel.numPairChecks(), 2u * 9u);
+}
+
+TEST_F(ClusterFixture, FillersAreTransparent) {
+  buildDesign({{0, 0}, {1200, 0}});
+  // Insert a pattern-less filler class between the two cells by giving the
+  // design a third instance of a pinless master.
+  db::Library fillLib;
+  db::Master& filler = fillLib.addMaster("FILL");
+  filler.width = 600;
+  filler.height = 1200;
+  db::Instance inst;
+  inst.name = "fill0";
+  inst.master = &filler;
+  inst.origin = {2400, 0};
+  td_.design->instances.push_back(inst);
+  td_.design->buildInstanceIndex();
+  unique_ = db::extractUniqueInstances(*td_.design);
+  // Rebuild class access for the new class layout: the filler class gets no
+  // patterns.
+  std::vector<ClassAccess> classes(unique_.classes.size());
+  for (std::size_t c = 0; c < unique_.classes.size(); ++c) {
+    if (unique_.classes[c].master->signalPinIndices().empty()) continue;
+    const InstContext ctx(*td_.design, unique_.classes[c]);
+    ClassAccess& ca = classes[c];
+    ca.pinAps = AccessPointGenerator(ctx).generateAll();
+    PatternGenerator gen(ctx, ca.pinAps);
+    ca.patterns = gen.run();
+    ca.pinOrder = gen.pinOrder();
+  }
+  ClusterSelector sel(*td_.design, unique_, classes);
+  const std::vector<int> chosen = sel.run();
+  EXPECT_GE(chosen[0], 0);
+  EXPECT_GE(chosen[1], 0);
+  EXPECT_EQ(chosen[2], -1);  // filler has no pattern
+}
+
+}  // namespace
+}  // namespace pao::core

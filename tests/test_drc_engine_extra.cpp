@@ -1,0 +1,98 @@
+// Additional DRC engine coverage: wire checks, extra-shape context,
+// via-pair semantics and batch-scan corner cases.
+#include <gtest/gtest.h>
+
+#include "drc/engine.hpp"
+#include "test_util.hpp"
+
+namespace pao::drc {
+namespace {
+
+using geom::Point;
+using geom::Rect;
+
+class EngineExtra : public ::testing::Test {
+ protected:
+  EngineExtra() : tech_(test::makeTinyTech()), engine_(*tech_) {
+    m1_ = tech_->findLayer("M1")->index;
+    m2_ = tech_->findLayer("M2")->index;
+    via_ = tech_->findViaDef("V1_0");
+  }
+  std::unique_ptr<db::Tech> tech_;
+  DrcEngine engine_;
+  int m1_ = -1, m2_ = -1;
+  const db::ViaDef* via_ = nullptr;
+};
+
+TEST_F(EngineExtra, CheckWireRespectsExtraContext) {
+  // Empty region: the wire is clean; with an extra foreign shape nearby it
+  // violates spacing.
+  const Rect wire{0, 0, 1000, 100};
+  EXPECT_TRUE(engine_.checkWire(wire, m1_, 1).empty());
+  const std::vector<Shape> extra = {
+      {{0, 150, 1000, 250}, m1_, 2, ShapeKind::kWire, false}};
+  EXPECT_FALSE(engine_.checkWire(wire, m1_, 1, extra).empty());
+  // Same-net extra shape: no conflict.
+  const std::vector<Shape> sameNet = {
+      {{0, 150, 1000, 250}, m1_, 1, ShapeKind::kWire, false}};
+  EXPECT_TRUE(engine_.checkWire(wire, m1_, 1, sameNet).empty());
+}
+
+TEST_F(EngineExtra, ViaShapesProduceThreeLayers) {
+  const auto shapes = engine_.viaShapes(*via_, {500, 500}, 3);
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0].layer, via_->botLayer);
+  EXPECT_EQ(shapes[1].layer, via_->cutLayer);
+  EXPECT_EQ(shapes[2].layer, via_->topLayer);
+  for (const Shape& s : shapes) EXPECT_EQ(s.net, 3);
+}
+
+TEST_F(EngineExtra, ViaPairSameNetMergesInsteadOfConflicting) {
+  // Two same-net vias 200 apart: bottom enclosures overlap -> same net, so
+  // no short; cut spacing still applies between distinct same-net cuts.
+  const auto violations =
+      engine_.checkViaPair(*via_, {500, 500}, 7, *via_, {700, 500}, 7);
+  for (const Violation& v : violations) {
+    EXPECT_NE(v.kind, RuleKind::kShort) << v.describe();
+  }
+}
+
+TEST_F(EngineExtra, CheckAllEmptyRegionIsClean) {
+  EXPECT_TRUE(engine_.checkAll().empty());
+}
+
+TEST_F(EngineExtra, CheckAllCountsCutLayerPairs) {
+  const int v1 = tech_->findLayer("V1")->index;
+  engine_.region().add({{0, 0, 100, 100}, v1, 1, ShapeKind::kVia, false});
+  engine_.region().add({{150, 0, 250, 100}, v1, 2, ShapeKind::kVia, false});
+  int cuts = 0;
+  for (const Violation& v : engine_.checkAll()) {
+    if (v.kind == RuleKind::kCutSpacing) ++cuts;
+  }
+  EXPECT_EQ(cuts, 1);
+}
+
+TEST_F(EngineExtra, MergedComponentCapsGracefully) {
+  // A very long chain of same-net shapes: the incremental check stays local
+  // (bounded component) and still terminates quickly.
+  for (int i = 0; i < 200; ++i) {
+    engine_.region().add({{i * 500, 0, i * 500 + 600, 100}, m1_, 1,
+                          ShapeKind::kPin, true});
+  }
+  const auto violations = engine_.checkVia(*via_, {300, 50}, 1);
+  // No crash / hang; result content is whatever the rules say.
+  SUCCEED();
+  (void)violations;
+}
+
+TEST_F(EngineExtra, MaxSpacingHaloCoversEolAndTable) {
+  const db::Layer& m1 = tech_->layer(m1_);
+  const geom::Coord halo = maxSpacingHalo(m1);
+  EXPECT_GE(halo, m1.eol->space + m1.eol->within);
+  for (const db::SpacingTableEntry& e : m1.spacingTable) {
+    EXPECT_GE(halo, e.spacing);
+  }
+}
+
+}  // namespace
+}  // namespace pao::drc

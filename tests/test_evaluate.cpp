@@ -1,0 +1,86 @@
+// Evaluator tests: dirty-AP counting, failed-pin criteria, diagnostics.
+#include "pao/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/testcase.hpp"
+
+namespace pao::core {
+namespace {
+
+class EvaluateFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    benchgen::TestcaseSpec spec = benchgen::ispd18Suite()[0];
+    spec.numCells = 150;
+    spec.numNets = 80;
+    tc_ = new benchgen::Testcase(benchgen::generate(spec, 1.0));
+  }
+  static void TearDownTestSuite() {
+    delete tc_;
+    tc_ = nullptr;
+  }
+  static benchgen::Testcase* tc_;
+};
+
+benchgen::Testcase* EvaluateFixture::tc_ = nullptr;
+
+TEST_F(EvaluateFixture, DirtyApTotalsMatchOracleTotals) {
+  PinAccessOracle oracle(*tc_->design, withBcaConfig());
+  const OracleResult res = oracle.run();
+  const DirtyApStats stats = countDirtyAps(*tc_->design, res);
+  EXPECT_EQ(stats.totalAps, res.totalAps());
+}
+
+TEST_F(EvaluateFixture, ForcedBadChoiceIsDetected) {
+  // Sabotage the result: point one instance at a pattern index that does
+  // not exist; its pins must then count as failed.
+  PinAccessOracle oracle(*tc_->design, withBcaConfig());
+  OracleResult res = oracle.run();
+  const FailedPinStats before = countFailedPins(*tc_->design, res);
+  ASSERT_EQ(before.failedPins, 0u);
+
+  int victim = -1;
+  std::size_t victimPins = 0;
+  for (const db::Net& net : tc_->design->nets) {
+    for (const db::NetTerm& t : net.terms) {
+      if (t.isIo()) continue;
+      if (victim < 0) victim = t.instIdx;
+      if (t.instIdx == victim) ++victimPins;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  res.chosenPattern[victim] = -1;
+  const FailedPinStats after = countFailedPins(*tc_->design, res);
+  EXPECT_EQ(after.failedPins, victimPins);
+}
+
+TEST_F(EvaluateFixture, DetailsAreCapped) {
+  PinAccessOracle oracle(*tc_->design, legacyConfig());
+  const OracleResult res = oracle.run();
+  const FailedPinStats stats =
+      countFailedPins(*tc_->design, res, 3, FailedPinCriterion::kChosenAp);
+  EXPECT_GT(stats.failedPins, 3u);
+  EXPECT_EQ(stats.details.size(), 3u);
+}
+
+TEST_F(EvaluateFixture, AnyApCriterionIsLenient) {
+  PinAccessOracle oracle(*tc_->design, legacyConfig());
+  const OracleResult res = oracle.run();
+  const FailedPinStats strict =
+      countFailedPins(*tc_->design, res, 0, FailedPinCriterion::kChosenAp);
+  const FailedPinStats lenient =
+      countFailedPins(*tc_->design, res, 0, FailedPinCriterion::kAnyAp);
+  EXPECT_LE(lenient.failedPins, strict.failedPins);
+  EXPECT_EQ(lenient.totalPins, strict.totalPins);
+}
+
+TEST_F(EvaluateFixture, OnlyNetAttachedPinsAreCounted) {
+  PinAccessOracle oracle(*tc_->design, withBcaConfig());
+  const OracleResult res = oracle.run();
+  const FailedPinStats stats = countFailedPins(*tc_->design, res);
+  EXPECT_EQ(stats.totalPins, tc_->design->numNetInstTerms());
+}
+
+}  // namespace
+}  // namespace pao::core

@@ -1,0 +1,130 @@
+#include "geom/geom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pao::geom {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+  const Point a{3, 4};
+  const Point b{-1, 2};
+  EXPECT_EQ(a + b, Point(2, 6));
+  EXPECT_EQ(a - b, Point(4, 2));
+  EXPECT_TRUE(b < a);
+  EXPECT_EQ(manhattanDist(a, b), 6);
+}
+
+TEST(Interval, BasicPredicates) {
+  const Interval iv{10, 20};
+  EXPECT_FALSE(iv.empty());
+  EXPECT_EQ(iv.length(), 10);
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(20));
+  EXPECT_FALSE(iv.contains(21));
+  EXPECT_TRUE(Interval().empty());
+  EXPECT_EQ(Interval().length(), 0);
+}
+
+TEST(Interval, OverlapAndGap) {
+  const Interval a{0, 10};
+  const Interval b{5, 15};
+  const Interval c{20, 30};
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_EQ(a.overlapLength(b), 5);
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_EQ(a.overlapLength(c), 0);
+  EXPECT_EQ(a.gap(c), 10);
+  EXPECT_EQ(c.gap(a), 10);
+  EXPECT_EQ(a.gap(b), 0);
+  // Touching intervals overlap (closed semantics) with zero overlap length.
+  const Interval d{10, 12};
+  EXPECT_TRUE(a.overlaps(d));
+  EXPECT_EQ(a.overlapLength(d), 0);
+}
+
+TEST(Rect, NormalizationAndAccessors) {
+  const Rect r{30, 40, 10, 20};  // constructor normalizes corners
+  EXPECT_EQ(r.xlo, 10);
+  EXPECT_EQ(r.ylo, 20);
+  EXPECT_EQ(r.xhi, 30);
+  EXPECT_EQ(r.yhi, 40);
+  EXPECT_EQ(r.width(), 20);
+  EXPECT_EQ(r.height(), 20);
+  EXPECT_EQ(r.area(), 400);
+  EXPECT_EQ(r.center(), Point(20, 30));
+  EXPECT_EQ(r.minDim(), 20);
+  EXPECT_TRUE(Rect().empty());
+  EXPECT_EQ(Rect().area(), 0);
+}
+
+TEST(Rect, ContainsAndIntersects) {
+  const Rect r{0, 0, 100, 100};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{100, 100}));
+  EXPECT_FALSE(r.contains(Point{101, 50}));
+  EXPECT_TRUE(r.contains(Rect{10, 10, 90, 90}));
+  EXPECT_FALSE(r.contains(Rect{10, 10, 110, 90}));
+
+  // Touching rects intersect (closed) but do not overlap (open interiors).
+  const Rect t{100, 0, 200, 100};
+  EXPECT_TRUE(r.intersects(t));
+  EXPECT_FALSE(r.overlaps(t));
+  const Rect o{50, 50, 150, 150};
+  EXPECT_TRUE(r.overlaps(o));
+  EXPECT_EQ(r.intersect(o), Rect(50, 50, 100, 100));
+  EXPECT_TRUE(r.intersect(t).empty() == false);
+  EXPECT_EQ(r.intersect(t).area(), 0);
+}
+
+TEST(Rect, BloatTranslateMerge) {
+  const Rect r{10, 10, 20, 20};
+  EXPECT_EQ(r.bloat(5), Rect(5, 5, 25, 25));
+  EXPECT_EQ(r.bloat(5, 10), Rect(5, 0, 25, 30));
+  EXPECT_EQ(r.translate(3, -3), Rect(13, 7, 23, 17));
+  EXPECT_EQ(r.merge(Rect(100, 100, 110, 110)), Rect(10, 10, 110, 110));
+  EXPECT_EQ(Rect().merge(r), r);
+  EXPECT_EQ(r.merge(Rect()), r);
+}
+
+TEST(Rect, Prl) {
+  const Rect a{0, 0, 100, 100};
+  // Side by side with 60 units of shared y-span: PRL = 60.
+  EXPECT_EQ(prl(a, Rect(150, 40, 250, 200)), 60);
+  // Diagonal: no shared span on either axis -> negative PRL.
+  EXPECT_LT(prl(a, Rect(150, 150, 250, 250)), 0);
+  // Overlapping shapes: PRL is the larger overlap span.
+  EXPECT_EQ(prl(a, Rect(50, 50, 80, 200)), 50);
+}
+
+TEST(Rect, Distances) {
+  const Rect a{0, 0, 100, 100};
+  const Rect right{150, 0, 200, 100};
+  EXPECT_EQ(distSquared(a, right), 50 * 50);
+  EXPECT_EQ(maxAxisGap(a, right), 50);
+  EXPECT_EQ(manhattanDist(a, right), 50);
+
+  const Rect diag{130, 140, 200, 200};
+  EXPECT_EQ(distSquared(a, diag), 30 * 30 + 40 * 40);
+  EXPECT_EQ(maxAxisGap(a, diag), 40);
+  EXPECT_EQ(manhattanDist(a, diag), 70);
+
+  EXPECT_EQ(distSquared(a, Rect(50, 50, 60, 60)), 0);
+  EXPECT_EQ(maxAxisGap(a, Rect(100, 100, 200, 200)), 0);  // touching corner
+}
+
+TEST(Geom, StreamOutput) {
+  std::ostringstream os;
+  os << Point{1, 2} << " " << Rect{0, 0, 3, 4} << " " << Interval{5, 6};
+  EXPECT_EQ(os.str(), "(1, 2) [0, 0 ; 3, 4] [5, 6]");
+}
+
+TEST(Point, HashDistinguishesCoordinates) {
+  const std::hash<Point> h;
+  EXPECT_NE(h({1, 2}), h({2, 1}));
+  EXPECT_EQ(h({7, 7}), h({7, 7}));
+}
+
+}  // namespace
+}  // namespace pao::geom

@@ -1,0 +1,87 @@
+#include "geom/grid_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace pao::geom {
+namespace {
+
+TEST(GridIndex, EmptyQuery) {
+  GridIndex<int> idx;
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.queryValues({0, 0, 100, 100}).empty());
+}
+
+TEST(GridIndex, InsertAndHit) {
+  GridIndex<int> idx;
+  idx.insert({0, 0, 10, 10}, 1);
+  idx.insert({100, 100, 110, 110}, 2);
+  EXPECT_EQ(idx.size(), 2u);
+  const auto hits = idx.queryValues({5, 5, 6, 6});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(GridIndex, TouchingCountsAsHit) {
+  GridIndex<int> idx;
+  idx.insert({0, 0, 10, 10}, 7);
+  EXPECT_EQ(idx.queryValues({10, 10, 20, 20}).size(), 1u);
+  EXPECT_TRUE(idx.queryValues({11, 11, 20, 20}).empty());
+}
+
+TEST(GridIndex, LargeItemSpanningManyBinsReportedOnce) {
+  GridIndex<int> idx(16);  // tiny bins force multi-bin items
+  idx.insert({0, 0, 1000, 1000}, 42);
+  const auto hits = idx.queryValues({0, 0, 1000, 1000});
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(GridIndex, NegativeCoordinates) {
+  GridIndex<int> idx(64);
+  idx.insert({-100, -100, -50, -50}, 1);
+  idx.insert({-10, -10, 10, 10}, 2);
+  EXPECT_EQ(idx.queryValues({-80, -80, -60, -60}).size(), 1u);
+  EXPECT_EQ(idx.queryValues({-200, -200, 200, 200}).size(), 2u);
+}
+
+TEST(GridIndex, ClearResets) {
+  GridIndex<int> idx;
+  idx.insert({0, 0, 1, 1}, 1);
+  idx.clear();
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(idx.queryValues({0, 0, 10, 10}).empty());
+}
+
+/// Property: results always match a brute-force scan.
+TEST(GridIndex, MatchesBruteForce) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<Coord> pos(-5000, 5000);
+  std::uniform_int_distribution<Coord> size(1, 800);
+
+  GridIndex<std::size_t> idx(512);
+  std::vector<Rect> rects;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const Coord x = pos(rng);
+    const Coord y = pos(rng);
+    const Rect r{x, y, x + size(rng), y + size(rng)};
+    rects.push_back(r);
+    idx.insert(r, i);
+  }
+  for (int q = 0; q < 100; ++q) {
+    const Coord x = pos(rng);
+    const Coord y = pos(rng);
+    const Rect query{x, y, x + size(rng), y + size(rng)};
+    auto got = idx.queryValues(query);
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (rects[i].intersects(query)) want.push_back(i);
+    }
+    EXPECT_EQ(got, want);
+  }
+}
+
+}  // namespace
+}  // namespace pao::geom

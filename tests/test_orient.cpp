@@ -1,0 +1,96 @@
+#include "geom/orient.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pao::geom {
+namespace {
+
+constexpr Point kSize{100, 200};  // master is 100 wide, 200 tall
+
+TEST(Orient, StringRoundTrip) {
+  for (const Orient o : {Orient::R0, Orient::R90, Orient::R180, Orient::R270,
+                         Orient::MX, Orient::MY, Orient::MX90, Orient::MY90}) {
+    EXPECT_EQ(orientFromString(toString(o)), o);
+  }
+  // DEF letter aliases.
+  EXPECT_EQ(orientFromString("N"), Orient::R0);
+  EXPECT_EQ(orientFromString("S"), Orient::R180);
+  EXPECT_EQ(orientFromString("FS"), Orient::MX);
+  EXPECT_EQ(orientFromString("FN"), Orient::MY);
+  EXPECT_EQ(orientFromString("bogus"), Orient::R0);
+}
+
+TEST(Orient, SwapsAxes) {
+  EXPECT_FALSE(swapsAxes(Orient::R0));
+  EXPECT_FALSE(swapsAxes(Orient::MX));
+  EXPECT_FALSE(swapsAxes(Orient::MY));
+  EXPECT_FALSE(swapsAxes(Orient::R180));
+  EXPECT_TRUE(swapsAxes(Orient::R90));
+  EXPECT_TRUE(swapsAxes(Orient::R270));
+  EXPECT_TRUE(swapsAxes(Orient::MX90));
+  EXPECT_TRUE(swapsAxes(Orient::MY90));
+}
+
+TEST(Transform, R0IsTranslation) {
+  const Transform t({1000, 2000}, Orient::R0, kSize);
+  EXPECT_EQ(t.apply(Point{10, 20}), Point(1010, 2020));
+  EXPECT_EQ(t.apply(Rect{0, 0, 100, 200}), Rect(1000, 2000, 1100, 2200));
+}
+
+TEST(Transform, BboxLowerLeftLandsAtOrigin) {
+  // For every orientation, the transformed master bbox must sit exactly at
+  // the placement origin (DEF semantics).
+  const Rect master{0, 0, kSize.x, kSize.y};
+  for (const Orient o : {Orient::R0, Orient::R90, Orient::R180, Orient::R270,
+                         Orient::MX, Orient::MY, Orient::MX90, Orient::MY90}) {
+    const Transform t({500, 700}, o, kSize);
+    const Rect placed = t.apply(master);
+    EXPECT_EQ(placed.ll(), Point(500, 700)) << toString(o);
+    const Point expectSize =
+        swapsAxes(o) ? Point{kSize.y, kSize.x} : kSize;
+    EXPECT_EQ(placed.width(), expectSize.x) << toString(o);
+    EXPECT_EQ(placed.height(), expectSize.y) << toString(o);
+  }
+}
+
+TEST(Transform, MxMirrorsAboutX) {
+  // MX flips y within the cell: a point near the bottom maps near the top.
+  const Transform t({0, 0}, Orient::MX, kSize);
+  EXPECT_EQ(t.apply(Point{10, 0}), Point(10, 200));
+  EXPECT_EQ(t.apply(Point{10, 200}), Point(10, 0));
+}
+
+TEST(Transform, MyMirrorsAboutY) {
+  const Transform t({0, 0}, Orient::MY, kSize);
+  EXPECT_EQ(t.apply(Point{0, 20}), Point(100, 20));
+  EXPECT_EQ(t.apply(Point{100, 20}), Point(0, 20));
+}
+
+TEST(Transform, R180IsPointReflection) {
+  const Transform t({0, 0}, Orient::R180, kSize);
+  EXPECT_EQ(t.apply(Point{0, 0}), Point(100, 200));
+  EXPECT_EQ(t.apply(Point{100, 200}), Point(0, 0));
+  EXPECT_EQ(t.apply(Point{30, 50}), Point(70, 150));
+}
+
+TEST(Transform, R90SwapsDimensions) {
+  const Transform t({0, 0}, Orient::R90, kSize);
+  const Rect placed = t.apply(Rect{0, 0, 100, 200});
+  EXPECT_EQ(placed, Rect(0, 0, 200, 100));
+}
+
+TEST(Transform, InverseRoundTripsAllOrients) {
+  const Point samples[] = {{0, 0}, {100, 200}, {37, 111}, {99, 1}};
+  for (const Orient o : {Orient::R0, Orient::R90, Orient::R180, Orient::R270,
+                         Orient::MX, Orient::MY, Orient::MX90, Orient::MY90}) {
+    const Transform t({1234, -567}, o, kSize);
+    for (const Point& p : samples) {
+      EXPECT_EQ(t.applyInverse(t.apply(p)), p) << toString(o);
+    }
+    const Rect r{10, 20, 60, 180};
+    EXPECT_EQ(t.applyInverse(t.apply(r)), r) << toString(o);
+  }
+}
+
+}  // namespace
+}  // namespace pao::geom

@@ -1,0 +1,106 @@
+// Shared fixtures: a hand-built minimal technology/design pair whose
+// geometry is small enough to reason about exactly in tests.
+#pragma once
+
+#include <memory>
+
+#include "db/design.hpp"
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+
+namespace pao::test {
+
+/// Two routing layers (M1 horizontal, M2 vertical) + V1 with one default via.
+/// All numbers are chosen round: pitch 400, wire width 100, spacing 100,
+/// cut 100x100, bottom enclosure overhang 100 along / 10 across, min step
+/// 120, EOL space 120 / width 110 / within 50, min area 60000.
+inline std::unique_ptr<db::Tech> makeTinyTech() {
+  auto tech = std::make_unique<db::Tech>();
+  tech->name = "tiny";
+  tech->dbuPerMicron = 2000;
+
+  db::Layer& m1 = tech->addLayer("M1", db::LayerType::kRouting);
+  m1.dir = db::Dir::kHorizontal;
+  m1.pitch = 400;
+  m1.width = 100;
+  m1.minArea = 60000;
+  m1.spacingTable = {{0, 0, 100}, {200, 200, 200}};
+  m1.minStep = db::MinStepRule{120, 1};
+  m1.eol = db::EolRule{120, 110, 50};
+
+  db::Layer& v1 = tech->addLayer("V1", db::LayerType::kCut);
+  v1.cutSpacing = 100;
+
+  db::Layer& m2 = tech->addLayer("M2", db::LayerType::kRouting);
+  m2.dir = db::Dir::kVertical;
+  m2.pitch = 400;
+  m2.width = 100;
+  m2.minArea = 60000;
+  m2.spacingTable = {{0, 0, 100}, {200, 200, 200}};
+  m2.minStep = db::MinStepRule{120, 1};
+  m2.eol = db::EolRule{120, 110, 50};
+
+  db::ViaDef& via = tech->addViaDef("V1_0");
+  via.isDefault = true;
+  via.botLayer = m1.index;
+  via.cutLayer = v1.index;
+  via.topLayer = m2.index;
+  via.cut = {-50, -50, 50, 50};
+  via.botEnc = {-150, -60, 150, 60};   // overhang 100 along x, 10 along y
+  via.topEnc = {-60, -150, 60, 150};
+  return tech;
+}
+
+/// One-master design: cell 1200x1200 with a single signal pin shape given by
+/// the caller, placed at origin (R0), with M1 horizontal tracks at
+/// y = 200 + k*400 and M2 vertical tracks at x = 200 + k*400.
+struct TinyDesign {
+  std::unique_ptr<db::Tech> tech;
+  std::unique_ptr<db::Library> lib;
+  std::unique_ptr<db::Design> design;
+};
+
+inline TinyDesign makeTinyDesign(
+    const std::vector<db::PinShape>& pinShapes,
+    const std::vector<db::Obstruction>& obs = {}) {
+  TinyDesign td;
+  td.tech = makeTinyTech();
+  td.lib = std::make_unique<db::Library>();
+  db::Master& m = td.lib->addMaster("CELL");
+  m.width = 1200;
+  m.height = 1200;
+  db::Pin& pin = m.pins.emplace_back();
+  pin.name = "A";
+  pin.use = db::PinUse::kSignal;
+  pin.shapes = pinShapes;
+  m.obstructions = obs;
+
+  td.design = std::make_unique<db::Design>();
+  td.design->name = "tiny";
+  td.design->tech = td.tech.get();
+  td.design->lib = td.lib.get();
+  td.design->dieArea = {0, 0, 4800, 4800};
+  for (const char* lname : {"M1", "M2"}) {
+    const db::Layer* l = td.design->tech->findLayer(lname);
+    db::TrackPattern ty;
+    ty.layer = l->index;
+    ty.axis = db::Dir::kHorizontal;
+    ty.start = 200;
+    ty.step = 400;
+    ty.count = 12;
+    td.design->trackPatterns.push_back(ty);
+    db::TrackPattern tx = ty;
+    tx.axis = db::Dir::kVertical;
+    td.design->trackPatterns.push_back(tx);
+  }
+  db::Instance inst;
+  inst.name = "u1";
+  inst.master = &m;
+  inst.origin = {0, 0};
+  inst.orient = geom::Orient::R0;
+  td.design->instances.push_back(inst);
+  td.design->buildInstanceIndex();
+  return td;
+}
+
+}  // namespace pao::test

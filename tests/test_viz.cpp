@@ -1,0 +1,75 @@
+// SVG renderer tests: structure, clipping, layer filtering.
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace pao::viz {
+namespace {
+
+TEST(Svg, DocumentStructure) {
+  const test::TinyDesign td =
+      test::makeTinyDesign({{0, geom::Rect{140, 300, 260, 900}}});
+  const std::string svg =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, {}, {});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // The cell outline and its pin shape appear.
+  EXPECT_NE(svg.find("u1"), std::string::npos);
+  EXPECT_NE(svg.find("fill-opacity=\"0.45\""), std::string::npos);
+}
+
+TEST(Svg, ShapesOutsideWindowAreClipped) {
+  const test::TinyDesign td =
+      test::makeTinyDesign({{0, geom::Rect{140, 300, 260, 900}}});
+  std::vector<VizShape> extra;
+  extra.push_back({{5000, 5000, 5200, 5200}, 0, VizShape::Kind::kWire});
+  const std::string with =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, extra, {});
+  const std::string without =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, {}, {});
+  // The off-window shape contributes nothing.
+  EXPECT_EQ(with, without);
+}
+
+TEST(Svg, ViolationsAreDashedMarkers) {
+  const test::TinyDesign td =
+      test::makeTinyDesign({{0, geom::Rect{140, 300, 260, 900}}});
+  drc::Violation v;
+  v.kind = drc::RuleKind::kShort;
+  v.layer = 0;
+  v.bbox = {500, 500, 700, 700};
+  const std::string svg =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, {}, {v});
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);
+  EXPECT_NE(svg.find("#e00000"), std::string::npos);
+}
+
+TEST(Svg, LayerFilterHidesUpperLayers) {
+  const test::TinyDesign td =
+      test::makeTinyDesign({{0, geom::Rect{140, 300, 260, 900}}});
+  std::vector<VizShape> extra;
+  const int m2 = td.tech->findLayer("M2")->index;
+  extra.push_back({{100, 100, 400, 400}, m2, VizShape::Kind::kWire});
+  SvgOptions onlyM1;
+  onlyM1.maxLayer = td.tech->findLayer("M1")->index;
+  const std::string filtered =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, extra, {}, onlyM1);
+  const std::string full =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, extra, {});
+  EXPECT_LT(filtered.size(), full.size());
+}
+
+TEST(Svg, AccessViasGetOutline) {
+  const test::TinyDesign td =
+      test::makeTinyDesign({{0, geom::Rect{140, 300, 260, 900}}});
+  std::vector<VizShape> extra;
+  extra.push_back({{180, 540, 480, 660}, 0, VizShape::Kind::kAccessVia});
+  const std::string svg =
+      renderRegion(*td.design, {0, 0, 2400, 2400}, extra, {});
+  EXPECT_NE(svg.find("stroke=\"#000000\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pao::viz

@@ -1,0 +1,228 @@
+// pao_cli — command-line front end for the library.
+//
+//   pao_cli gen <preset> <scale> <out-prefix>      synthesize a testcase to
+//                                                  <out-prefix>.lef/.def
+//   pao_cli analyze <lef> <def> [options]          run pin access analysis
+//   pao_cli route <lef> <def> [options]            PAAF + detailed routing
+//   pao_cli list                                   list testcase presets
+//
+// analyze options:
+//   --mode bca|nobca|legacy    flow preset (default bca)
+//   --threads N                Steps 1-2 worker threads (default 1, 0=auto)
+//   --report-failed N          print up to N failed-pin diagnostics
+// route options:
+//   --out <file.def>           write the routed design as DEF
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "benchgen/testcase.hpp"
+#include "db/legality.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_route_writer.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/lef_writer.hpp"
+#include "pao/evaluate.hpp"
+#include "router/router.hpp"
+
+namespace {
+
+using namespace pao;
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  pao_cli gen <preset> <scale> <out-prefix>\n"
+      "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
+      " [--report-failed N]\n"
+      "  pao_cli route <lef> <def> [--out routed.def]\n"
+      "  pao_cli list\n");
+  return 2;
+}
+
+std::string slurp(const char* path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+struct LoadedDesign {
+  db::Tech tech;
+  db::Library lib;
+  db::Design design;
+};
+
+void load(LoadedDesign& ld, const char* lefPath, const char* defPath) {
+  lefdef::parseLef(slurp(lefPath), ld.tech, ld.lib);
+  ld.design.tech = &ld.tech;
+  ld.design.lib = &ld.lib;
+  lefdef::parseDef(slurp(defPath), ld.design);
+  std::printf("loaded '%s': %zu layers, %zu masters, %zu instances, %zu "
+              "nets\n",
+              ld.design.name.c_str(), ld.tech.layers().size(),
+              ld.lib.masters().size(), ld.design.instances.size(),
+              ld.design.nets.size());
+}
+
+int cmdList() {
+  std::printf("%-16s %10s %8s %10s %6s\n", "preset", "#cells", "#macros",
+              "#nets", "node");
+  int idx = 0;
+  for (const benchgen::TestcaseSpec& s : benchgen::ispd18Suite()) {
+    std::printf("%-2d %-13s %10zu %8d %10zu %6s\n", idx++, s.name.c_str(),
+                s.numCells, s.numMacros, s.numNets,
+                s.node == benchgen::Node::k45 ? "45nm" : "32nm");
+  }
+  const benchgen::TestcaseSpec aes = benchgen::aes14Spec();
+  std::printf("%-2s %-13s %10zu %8d %10zu %6s\n", "a", aes.name.c_str(),
+              aes.numCells, aes.numMacros, aes.numNets, "14nm");
+  return 0;
+}
+
+int cmdGen(int argc, char** argv) {
+  if (argc < 5) return usage();
+  const std::string which = argv[2];
+  const double scale = std::atof(argv[3]);
+  const std::string prefix = argv[4];
+
+  benchgen::TestcaseSpec spec;
+  if (which == "a" || which == "aes14") {
+    spec = benchgen::aes14Spec();
+  } else {
+    const int idx = std::atoi(which.c_str());
+    const auto suite = benchgen::ispd18Suite();
+    if (idx < 0 || idx >= static_cast<int>(suite.size())) return usage();
+    spec = suite[idx];
+  }
+  const benchgen::Testcase tc =
+      benchgen::generate(spec, scale > 0 ? scale : 1.0);
+
+  std::ofstream lef(prefix + ".lef");
+  lef << lefdef::writeLef(*tc.tech, *tc.lib);
+  std::ofstream def(prefix + ".def");
+  def << lefdef::writeDef(*tc.design);
+  std::printf("wrote %s.lef / %s.def (%zu instances, %zu nets)\n",
+              prefix.c_str(), prefix.c_str(), tc.design->instances.size(),
+              tc.design->nets.size());
+  return 0;
+}
+
+int cmdAnalyze(int argc, char** argv) {
+  if (argc < 4) return usage();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
+
+  core::OracleConfig cfg = core::withBcaConfig();
+  std::size_t reportFailed = 0;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const std::string mode = argv[++i];
+      if (mode == "legacy") cfg = core::legacyConfig();
+      if (mode == "nobca") cfg = core::withoutBcaConfig();
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.numThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--report-failed") == 0 && i + 1 < argc) {
+      reportFailed = static_cast<std::size_t>(std::atoi(argv[++i]));
+    }
+  }
+
+  // Sanity-check the placement before analyzing it.
+  const auto placement = db::checkPlacement(ld.design);
+  if (!placement.empty()) {
+    std::printf("placement warnings: %zu (first: %s)\n", placement.size(),
+                placement.front().describe(ld.design).c_str());
+  }
+
+  core::PinAccessOracle oracle(ld.design, cfg);
+  const core::OracleResult res = oracle.run();
+  const core::DirtyApStats dirty = core::countDirtyAps(ld.design, res);
+  const core::FailedPinStats failed = core::countFailedPins(
+      ld.design, res, reportFailed,
+      cfg.legacyMode ? core::FailedPinCriterion::kAnyAp
+                     : core::FailedPinCriterion::kChosenAp);
+
+  std::printf("\npin access report\n");
+  std::printf("  unique instances : %zu\n", res.unique.classes.size());
+  std::printf("  access points    : %zu (dirty: %zu)\n", dirty.totalAps,
+              dirty.dirtyAps);
+  std::printf("  failed pins      : %zu / %zu\n", failed.failedPins,
+              failed.totalPins);
+  std::printf("  runtime          : %.2f s wall (steps %.2f / %.2f / %.2f)\n",
+              res.wallSeconds, res.step1Seconds, res.step2Seconds,
+              res.step3Seconds);
+  for (const core::FailedPinDetail& d : failed.details) {
+    const db::Instance& inst = ld.design.instances[d.instIdx];
+    std::printf("  FAILED %s (master %s) signal pin #%d\n",
+                inst.name.c_str(), inst.master->name.c_str(), d.sigPinPos);
+    for (const drc::Violation& v : d.violations) {
+      std::printf("    %s\n", v.describe().c_str());
+    }
+  }
+  return failed.failedPins == 0 ? 0 : 1;
+}
+
+int cmdRoute(int argc, char** argv) {
+  if (argc < 4) return usage();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
+  const char* outPath = nullptr;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    }
+  }
+
+  core::PinAccessOracle oracle(ld.design, core::withBcaConfig());
+  const core::OracleResult access = oracle.run();
+  router::AccessSource source(ld.design, access,
+                              router::AccessMode::kPattern);
+  router::DetailedRouter rtr(ld.design, source);
+  const router::RouteResult rr = rtr.run();
+
+  std::printf("\nrouting report\n");
+  std::printf("  nets             : %zu routed, %zu failed\n",
+              rr.stats.routedNets, rr.stats.failedNets);
+  std::printf("  pin terms        : %zu unconnected\n",
+              rr.stats.skippedTerms);
+  std::printf("  vias / wires     : %zu / %zu\n", rr.stats.viaCount,
+              rr.stats.wireShapes);
+  std::printf("  DRC violations   : %zu total, %zu access-related\n",
+              rr.violations.size(), rr.accessViolations);
+  std::printf("  runtime          : %.2f s\n", rr.stats.seconds);
+
+  if (outPath != nullptr) {
+    std::vector<lefdef::RoutedShape> routed;
+    for (const router::RouteShape& s : rr.shapes) {
+      const db::Layer& layer = ld.tech.layer(s.layer);
+      if (s.isVia && layer.type == db::LayerType::kCut) {
+        routed.push_back({s.net, s.layer, s.rect, true});
+      } else if (!s.isVia && layer.type == db::LayerType::kRouting) {
+        routed.push_back({s.net, s.layer, s.rect, false});
+      }
+    }
+    std::ofstream out(outPath);
+    out << lefdef::writeRoutedDef(ld.design, routed);
+    std::printf("  wrote %s\n", outPath);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return cmdList();
+  if (cmd == "gen") return cmdGen(argc, argv);
+  if (cmd == "analyze") return cmdAnalyze(argc, argv);
+  if (cmd == "route") return cmdRoute(argc, argv);
+  return usage();
+}
