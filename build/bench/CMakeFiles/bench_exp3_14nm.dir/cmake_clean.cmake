@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_14nm.dir/bench_exp3_14nm.cpp.o"
+  "CMakeFiles/bench_exp3_14nm.dir/bench_exp3_14nm.cpp.o.d"
+  "bench_exp3_14nm"
+  "bench_exp3_14nm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_14nm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exp3_routing.dir/bench_exp3_routing.cpp.o"
+  "CMakeFiles/bench_exp3_routing.dir/bench_exp3_routing.cpp.o.d"
+  "bench_exp3_routing"
+  "bench_exp3_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exp3_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

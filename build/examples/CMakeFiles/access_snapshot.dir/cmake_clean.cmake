@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_snapshot.dir/access_snapshot.cpp.o"
+  "CMakeFiles/access_snapshot.dir/access_snapshot.cpp.o.d"
+  "access_snapshot"
+  "access_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

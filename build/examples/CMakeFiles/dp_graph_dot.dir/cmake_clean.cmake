@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_graph_dot.dir/dp_graph_dot.cpp.o"
+  "CMakeFiles/dp_graph_dot.dir/dp_graph_dot.cpp.o.d"
+  "dp_graph_dot"
+  "dp_graph_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_graph_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

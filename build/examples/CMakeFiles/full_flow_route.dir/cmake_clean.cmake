@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_flow_route.dir/full_flow_route.cpp.o"
+  "CMakeFiles/full_flow_route.dir/full_flow_route.cpp.o.d"
+  "full_flow_route"
+  "full_flow_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_flow_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

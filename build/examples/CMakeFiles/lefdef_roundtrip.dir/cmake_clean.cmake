@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lefdef_roundtrip.dir/lefdef_roundtrip.cpp.o"
+  "CMakeFiles/lefdef_roundtrip.dir/lefdef_roundtrip.cpp.o.d"
+  "lefdef_roundtrip"
+  "lefdef_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lefdef_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

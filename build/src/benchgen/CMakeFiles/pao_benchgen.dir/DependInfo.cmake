@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchgen/lib_gen.cpp" "src/benchgen/CMakeFiles/pao_benchgen.dir/lib_gen.cpp.o" "gcc" "src/benchgen/CMakeFiles/pao_benchgen.dir/lib_gen.cpp.o.d"
+  "/root/repo/src/benchgen/tech_gen.cpp" "src/benchgen/CMakeFiles/pao_benchgen.dir/tech_gen.cpp.o" "gcc" "src/benchgen/CMakeFiles/pao_benchgen.dir/tech_gen.cpp.o.d"
+  "/root/repo/src/benchgen/testcase.cpp" "src/benchgen/CMakeFiles/pao_benchgen.dir/testcase.cpp.o" "gcc" "src/benchgen/CMakeFiles/pao_benchgen.dir/testcase.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/pao_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_benchgen.dir/lib_gen.cpp.o"
+  "CMakeFiles/pao_benchgen.dir/lib_gen.cpp.o.d"
+  "CMakeFiles/pao_benchgen.dir/tech_gen.cpp.o"
+  "CMakeFiles/pao_benchgen.dir/tech_gen.cpp.o.d"
+  "CMakeFiles/pao_benchgen.dir/testcase.cpp.o"
+  "CMakeFiles/pao_benchgen.dir/testcase.cpp.o.d"
+  "libpao_benchgen.a"
+  "libpao_benchgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_benchgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

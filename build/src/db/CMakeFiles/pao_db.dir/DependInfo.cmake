@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/design.cpp" "src/db/CMakeFiles/pao_db.dir/design.cpp.o" "gcc" "src/db/CMakeFiles/pao_db.dir/design.cpp.o.d"
+  "/root/repo/src/db/legality.cpp" "src/db/CMakeFiles/pao_db.dir/legality.cpp.o" "gcc" "src/db/CMakeFiles/pao_db.dir/legality.cpp.o.d"
+  "/root/repo/src/db/lib.cpp" "src/db/CMakeFiles/pao_db.dir/lib.cpp.o" "gcc" "src/db/CMakeFiles/pao_db.dir/lib.cpp.o.d"
+  "/root/repo/src/db/tech.cpp" "src/db/CMakeFiles/pao_db.dir/tech.cpp.o" "gcc" "src/db/CMakeFiles/pao_db.dir/tech.cpp.o.d"
+  "/root/repo/src/db/unique_inst.cpp" "src/db/CMakeFiles/pao_db.dir/unique_inst.cpp.o" "gcc" "src/db/CMakeFiles/pao_db.dir/unique_inst.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_db.dir/design.cpp.o"
+  "CMakeFiles/pao_db.dir/design.cpp.o.d"
+  "CMakeFiles/pao_db.dir/legality.cpp.o"
+  "CMakeFiles/pao_db.dir/legality.cpp.o.d"
+  "CMakeFiles/pao_db.dir/lib.cpp.o"
+  "CMakeFiles/pao_db.dir/lib.cpp.o.d"
+  "CMakeFiles/pao_db.dir/tech.cpp.o"
+  "CMakeFiles/pao_db.dir/tech.cpp.o.d"
+  "CMakeFiles/pao_db.dir/unique_inst.cpp.o"
+  "CMakeFiles/pao_db.dir/unique_inst.cpp.o.d"
+  "libpao_db.a"
+  "libpao_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

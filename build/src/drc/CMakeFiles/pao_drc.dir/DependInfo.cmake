@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drc/checks.cpp" "src/drc/CMakeFiles/pao_drc.dir/checks.cpp.o" "gcc" "src/drc/CMakeFiles/pao_drc.dir/checks.cpp.o.d"
+  "/root/repo/src/drc/engine.cpp" "src/drc/CMakeFiles/pao_drc.dir/engine.cpp.o" "gcc" "src/drc/CMakeFiles/pao_drc.dir/engine.cpp.o.d"
+  "/root/repo/src/drc/region_query.cpp" "src/drc/CMakeFiles/pao_drc.dir/region_query.cpp.o" "gcc" "src/drc/CMakeFiles/pao_drc.dir/region_query.cpp.o.d"
+  "/root/repo/src/drc/violation.cpp" "src/drc/CMakeFiles/pao_drc.dir/violation.cpp.o" "gcc" "src/drc/CMakeFiles/pao_drc.dir/violation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/pao_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

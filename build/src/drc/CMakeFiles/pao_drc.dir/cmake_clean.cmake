@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_drc.dir/checks.cpp.o"
+  "CMakeFiles/pao_drc.dir/checks.cpp.o.d"
+  "CMakeFiles/pao_drc.dir/engine.cpp.o"
+  "CMakeFiles/pao_drc.dir/engine.cpp.o.d"
+  "CMakeFiles/pao_drc.dir/region_query.cpp.o"
+  "CMakeFiles/pao_drc.dir/region_query.cpp.o.d"
+  "CMakeFiles/pao_drc.dir/violation.cpp.o"
+  "CMakeFiles/pao_drc.dir/violation.cpp.o.d"
+  "libpao_drc.a"
+  "libpao_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

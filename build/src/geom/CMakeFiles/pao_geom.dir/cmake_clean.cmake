@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_geom.dir/geom.cpp.o"
+  "CMakeFiles/pao_geom.dir/geom.cpp.o.d"
+  "CMakeFiles/pao_geom.dir/orient.cpp.o"
+  "CMakeFiles/pao_geom.dir/orient.cpp.o.d"
+  "CMakeFiles/pao_geom.dir/polygon.cpp.o"
+  "CMakeFiles/pao_geom.dir/polygon.cpp.o.d"
+  "libpao_geom.a"
+  "libpao_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lefdef/def_parser.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_parser.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_parser.cpp.o.d"
+  "/root/repo/src/lefdef/def_route_writer.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_route_writer.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_route_writer.cpp.o.d"
+  "/root/repo/src/lefdef/def_writer.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_writer.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/def_writer.cpp.o.d"
+  "/root/repo/src/lefdef/lef_parser.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/lef_parser.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/lef_parser.cpp.o.d"
+  "/root/repo/src/lefdef/lef_writer.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/lef_writer.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/lef_writer.cpp.o.d"
+  "/root/repo/src/lefdef/lexer.cpp" "src/lefdef/CMakeFiles/pao_lefdef.dir/lexer.cpp.o" "gcc" "src/lefdef/CMakeFiles/pao_lefdef.dir/lexer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/pao_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_lefdef.dir/def_parser.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/def_parser.cpp.o.d"
+  "CMakeFiles/pao_lefdef.dir/def_route_writer.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/def_route_writer.cpp.o.d"
+  "CMakeFiles/pao_lefdef.dir/def_writer.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/def_writer.cpp.o.d"
+  "CMakeFiles/pao_lefdef.dir/lef_parser.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/lef_parser.cpp.o.d"
+  "CMakeFiles/pao_lefdef.dir/lef_writer.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/lef_writer.cpp.o.d"
+  "CMakeFiles/pao_lefdef.dir/lexer.cpp.o"
+  "CMakeFiles/pao_lefdef.dir/lexer.cpp.o.d"
+  "libpao_lefdef.a"
+  "libpao_lefdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_lefdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpao_lefdef.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pao/access_cache.cpp" "src/pao/CMakeFiles/pao_core.dir/access_cache.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/access_cache.cpp.o.d"
+  "/root/repo/src/pao/ap_gen.cpp" "src/pao/CMakeFiles/pao_core.dir/ap_gen.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/ap_gen.cpp.o.d"
+  "/root/repo/src/pao/cluster_select.cpp" "src/pao/CMakeFiles/pao_core.dir/cluster_select.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/cluster_select.cpp.o.d"
+  "/root/repo/src/pao/evaluate.cpp" "src/pao/CMakeFiles/pao_core.dir/evaluate.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/pao/inst_context.cpp" "src/pao/CMakeFiles/pao_core.dir/inst_context.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/inst_context.cpp.o.d"
+  "/root/repo/src/pao/legacy_ap.cpp" "src/pao/CMakeFiles/pao_core.dir/legacy_ap.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/legacy_ap.cpp.o.d"
+  "/root/repo/src/pao/oracle.cpp" "src/pao/CMakeFiles/pao_core.dir/oracle.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/oracle.cpp.o.d"
+  "/root/repo/src/pao/pattern_gen.cpp" "src/pao/CMakeFiles/pao_core.dir/pattern_gen.cpp.o" "gcc" "src/pao/CMakeFiles/pao_core.dir/pattern_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drc/CMakeFiles/pao_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/pao_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

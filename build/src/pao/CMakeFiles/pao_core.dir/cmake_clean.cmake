@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_core.dir/access_cache.cpp.o"
+  "CMakeFiles/pao_core.dir/access_cache.cpp.o.d"
+  "CMakeFiles/pao_core.dir/ap_gen.cpp.o"
+  "CMakeFiles/pao_core.dir/ap_gen.cpp.o.d"
+  "CMakeFiles/pao_core.dir/cluster_select.cpp.o"
+  "CMakeFiles/pao_core.dir/cluster_select.cpp.o.d"
+  "CMakeFiles/pao_core.dir/evaluate.cpp.o"
+  "CMakeFiles/pao_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/pao_core.dir/inst_context.cpp.o"
+  "CMakeFiles/pao_core.dir/inst_context.cpp.o.d"
+  "CMakeFiles/pao_core.dir/legacy_ap.cpp.o"
+  "CMakeFiles/pao_core.dir/legacy_ap.cpp.o.d"
+  "CMakeFiles/pao_core.dir/oracle.cpp.o"
+  "CMakeFiles/pao_core.dir/oracle.cpp.o.d"
+  "CMakeFiles/pao_core.dir/pattern_gen.cpp.o"
+  "CMakeFiles/pao_core.dir/pattern_gen.cpp.o.d"
+  "libpao_core.a"
+  "libpao_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_router.dir/access_source.cpp.o"
+  "CMakeFiles/pao_router.dir/access_source.cpp.o.d"
+  "CMakeFiles/pao_router.dir/grid.cpp.o"
+  "CMakeFiles/pao_router.dir/grid.cpp.o.d"
+  "CMakeFiles/pao_router.dir/router.cpp.o"
+  "CMakeFiles/pao_router.dir/router.cpp.o.d"
+  "libpao_router.a"
+  "libpao_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_viz.dir/svg.cpp.o"
+  "CMakeFiles/pao_viz.dir/svg.cpp.o.d"
+  "libpao_viz.a"
+  "libpao_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

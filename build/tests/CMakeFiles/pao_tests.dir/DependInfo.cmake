@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_access_cache.cpp" "tests/CMakeFiles/pao_tests.dir/test_access_cache.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_access_cache.cpp.o.d"
+  "/root/repo/tests/test_access_source.cpp" "tests/CMakeFiles/pao_tests.dir/test_access_source.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_access_source.cpp.o.d"
+  "/root/repo/tests/test_ap_gen.cpp" "tests/CMakeFiles/pao_tests.dir/test_ap_gen.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_ap_gen.cpp.o.d"
+  "/root/repo/tests/test_benchgen.cpp" "tests/CMakeFiles/pao_tests.dir/test_benchgen.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_benchgen.cpp.o.d"
+  "/root/repo/tests/test_cluster_select.cpp" "tests/CMakeFiles/pao_tests.dir/test_cluster_select.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_cluster_select.cpp.o.d"
+  "/root/repo/tests/test_db.cpp" "tests/CMakeFiles/pao_tests.dir/test_db.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_db.cpp.o.d"
+  "/root/repo/tests/test_drc.cpp" "tests/CMakeFiles/pao_tests.dir/test_drc.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_drc.cpp.o.d"
+  "/root/repo/tests/test_drc_engine_extra.cpp" "tests/CMakeFiles/pao_tests.dir/test_drc_engine_extra.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_drc_engine_extra.cpp.o.d"
+  "/root/repo/tests/test_evaluate.cpp" "tests/CMakeFiles/pao_tests.dir/test_evaluate.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_evaluate.cpp.o.d"
+  "/root/repo/tests/test_geom.cpp" "tests/CMakeFiles/pao_tests.dir/test_geom.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_geom.cpp.o.d"
+  "/root/repo/tests/test_grid_index.cpp" "tests/CMakeFiles/pao_tests.dir/test_grid_index.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_grid_index.cpp.o.d"
+  "/root/repo/tests/test_lefdef.cpp" "tests/CMakeFiles/pao_tests.dir/test_lefdef.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_lefdef.cpp.o.d"
+  "/root/repo/tests/test_multiheight.cpp" "tests/CMakeFiles/pao_tests.dir/test_multiheight.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_multiheight.cpp.o.d"
+  "/root/repo/tests/test_oracle.cpp" "tests/CMakeFiles/pao_tests.dir/test_oracle.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_oracle.cpp.o.d"
+  "/root/repo/tests/test_orient.cpp" "tests/CMakeFiles/pao_tests.dir/test_orient.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_orient.cpp.o.d"
+  "/root/repo/tests/test_pattern_gen.cpp" "tests/CMakeFiles/pao_tests.dir/test_pattern_gen.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_pattern_gen.cpp.o.d"
+  "/root/repo/tests/test_polygon.cpp" "tests/CMakeFiles/pao_tests.dir/test_polygon.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_polygon.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pao_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/pao_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/pao_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/pao_tests.dir/test_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/router/CMakeFiles/pao_router.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/pao_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/pao/CMakeFiles/pao_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchgen/CMakeFiles/pao_benchgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/lefdef/CMakeFiles/pao_lefdef.dir/DependInfo.cmake"
+  "/root/repo/build/src/drc/CMakeFiles/pao_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/pao_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/pao_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

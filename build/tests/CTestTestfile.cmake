@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/pao_tests[1]_include.cmake")
+add_test(cli_list "/root/repo/build/tools/pao_cli" "list")
+set_tests_properties(cli_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_gen_analyze "sh" "-c" "/root/repo/build/tools/pao_cli gen 0 0.005 /root/repo/build/smoke     && /root/repo/build/tools/pao_cli analyze /root/repo/build/smoke.lef /root/repo/build/smoke.def --threads 2")
+set_tests_properties(cli_gen_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_route "sh" "-c" "/root/repo/build/tools/pao_cli gen 0 0.005 /root/repo/build/smoke_r     && /root/repo/build/tools/pao_cli route /root/repo/build/smoke_r.lef /root/repo/build/smoke_r.def --out /root/repo/build/smoke_routed.def")
+set_tests_properties(cli_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;38;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_lefdef_roundtrip "/root/repo/build/examples/lefdef_roundtrip")
+set_tests_properties(example_lefdef_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;42;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bench_fig3_selfcheck "/root/repo/build/bench/bench_fig3_coord_types")
+set_tests_properties(bench_fig3_selfcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;43;add_test;/root/repo/tests/CMakeLists.txt;0;")

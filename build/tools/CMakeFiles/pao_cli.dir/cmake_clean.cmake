@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pao_cli.dir/pao_cli.cpp.o"
+  "CMakeFiles/pao_cli.dir/pao_cli.cpp.o.d"
+  "pao_cli"
+  "pao_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pao_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
