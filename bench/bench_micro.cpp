@@ -3,13 +3,17 @@
 // selection.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "benchgen/testcase.hpp"
 #include "db/unique_inst.hpp"
+#include "drc/engine.hpp"
 #include "geom/polygon.hpp"
 #include "pao/ap_gen.hpp"
 #include "pao/cluster_select.hpp"
 #include "pao/evaluate.hpp"
 #include "pao/pattern_gen.hpp"
+#include "util/executor.hpp"
 
 using namespace pao;
 
@@ -115,6 +119,95 @@ void BM_UniqueInstanceExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_UniqueInstanceExtraction);
+
+/// The mixed preset's full fixed layout loaded into a DRC engine, plus a
+/// blanket of routed wires so every shard kind (pairwise spacing, cut
+/// spacing, per-net components) has real work. Built once.
+const drc::DrcEngine& mixedLayoutEngine() {
+  static const auto* holder = [] {
+    struct Holder {
+      benchgen::Testcase tc;
+      std::unique_ptr<drc::DrcEngine> engine;
+    };
+    auto* h = new Holder{benchgen::generate(benchgen::mixedSpec(), 0.05), {}};
+    const db::Design& design = *h->tc.design;
+    h->engine = std::make_unique<drc::DrcEngine>(*design.tech);
+    drc::RegionQuery& region = h->engine->region();
+    int syntheticNet = 0;
+    for (const db::Instance& inst : design.instances) {
+      const geom::Transform xf = inst.transform();
+      for (const db::Pin& pin : inst.master->pins) {
+        const int net = syntheticNet++;
+        for (const db::PinShape& sh : pin.shapes) {
+          region.add({xf.apply(sh.rect), sh.layer, net,
+                      drc::ShapeKind::kPin, true});
+        }
+      }
+      for (const db::Obstruction& o : inst.master->obstructions) {
+        region.add({xf.apply(o.rect), o.layer, drc::Shape::kObsNet,
+                    drc::ShapeKind::kObstruction, true});
+      }
+    }
+    // Routed wires striping the die on every routing layer; the deliberate
+    // irregular pitch plants occasional spacing/min-area violations.
+    const geom::Rect die = design.dieArea;
+    for (const db::Layer& l : design.tech->layers()) {
+      if (l.type != db::LayerType::kRouting) continue;
+      const geom::Coord pitch = l.pitch * 3 + (l.index % 3) * 7;
+      int wire = 0;
+      if (l.dir == db::Dir::kHorizontal) {
+        for (geom::Coord y = die.ylo + pitch; y < die.yhi; y += pitch) {
+          region.add({{die.xlo, y, die.xhi, y + l.width}, l.index,
+                      1000000 + wire++, drc::ShapeKind::kWire, false});
+        }
+      } else {
+        for (geom::Coord x = die.xlo + pitch; x < die.xhi; x += pitch) {
+          region.add({{x, die.ylo, x + l.width, die.yhi}, l.index,
+                      1000000 + wire++, drc::ShapeKind::kWire, false});
+        }
+      }
+    }
+    return h;
+  }();
+  return *holder->engine;
+}
+
+/// checkAll batch-check throughput at various thread counts over the same
+/// layout — the speedup column of the PR-1 acceptance criteria (needs a
+/// multi-core host to show scaling; threads cap at hardware concurrency).
+void BM_CheckAllMixed(benchmark::State& state) {
+  const drc::DrcEngine& engine = mixedLayoutEngine();
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t violations = 0;
+  for (auto _ : state) {
+    violations = engine.checkAll(threads).size();
+    benchmark::DoNotOptimize(violations);
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["hw_threads"] =
+      static_cast<double>(util::resolveThreads(0));
+}
+BENCHMARK(BM_CheckAllMixed)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Raw executor overhead/scaling on uneven CPU-bound tasks.
+void BM_ParallelForUneven(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<long long> sum{0};
+    util::parallelFor(
+        256,
+        [&](std::size_t i) {
+          long long acc = 0;
+          const long long iters = 1000 + (i % 17) * 4000;
+          for (long long k = 0; k < iters; ++k) acc += (acc ^ k) % 977;
+          sum += acc;
+        },
+        threads);
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK(BM_ParallelForUneven)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -118,12 +118,14 @@ std::unique_ptr<db::Tech> makeTech(const NodeParams& p) {
 
     // A rotated alternate via (enclosure overhang across the preferred
     // direction) gives the generator a fallback when the default violates.
+    // addViaDef may reallocate the via-def vector, so `via` is dangling from
+    // here on — the shared fields come from the same locals it was built of.
     db::ViaDef& alt = tech->addViaDef("V" + std::to_string(m) + "_1");
     alt.isDefault = false;
-    alt.botLayer = via.botLayer;
-    alt.cutLayer = via.cutLayer;
-    alt.topLayer = via.topLayer;
-    alt.cut = via.cut;
+    alt.botLayer = bot->index;
+    alt.cutLayer = cut->index;
+    alt.topLayer = top->index;
+    alt.cut = Rect(-half, -half, half, half);
     const auto rotated = [&](const Layer& l) {
       return l.dir == Dir::kHorizontal
                  ? Rect(-half - across, -half - along, half + across,
@@ -132,7 +134,7 @@ std::unique_ptr<db::Tech> makeTech(const NodeParams& p) {
                         half + across);
     };
     alt.botEnc = rotated(*bot);
-    alt.topEnc = via.topEnc;
+    alt.topEnc = enclosure(*top);
   }
   return tech;
 }

@@ -358,6 +358,21 @@ std::vector<TestcaseSpec> ispd18Suite() {
   return suite;
 }
 
+TestcaseSpec mixedSpec() {
+  TestcaseSpec s;
+  s.name = "mixed";
+  s.node = Node::k45;
+  s.numCells = 6000;
+  s.numMacros = 2;
+  s.numNets = 5500;
+  s.numIoPins = 64;
+  s.siteWidth = 190;
+  s.numCombMasters = 10;
+  s.multiHeightFraction = 0.08;
+  s.seed = 7;
+  return s;
+}
+
 TestcaseSpec aes14Spec() {
   TestcaseSpec s;
   s.name = "aes_14nm";

@@ -54,5 +54,9 @@ Testcase generate(const TestcaseSpec& spec, double scale = 1.0);
 std::vector<TestcaseSpec> ispd18Suite();
 /// The 20K-instance 14nm AES-like case (Experiment 3's preliminary study).
 TestcaseSpec aes14Spec();
+/// A mid-size mixed-workload case (standard cells + macros + multi-height
+/// rows) stressing every batch-check shard kind at once; used by the
+/// parallel-DRC micro-benchmarks and the determinism regression tests.
+TestcaseSpec mixedSpec();
 
 }  // namespace pao::benchgen

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
+#include <utility>
 
 #include "geom/polygon.hpp"
+#include "util/executor.hpp"
 
 namespace pao::drc {
 
@@ -127,104 +130,157 @@ std::vector<Violation> DrcEngine::checkViaPair(const db::ViaDef& viaA,
   return checkVia(viaB, pb, netB, aShapes);
 }
 
-std::vector<Violation> DrcEngine::checkAll() const {
-  std::vector<Violation> out;
+std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
   const int numLayers = static_cast<int>(tech_->layers().size());
+  const int threads = util::resolveThreads(numThreads);
+
+  // The batch check is sharded into independent tasks: contiguous shape
+  // ranges for the pairwise loops and net ranges for the merged-component
+  // rules, all built over per-layer indices that are only read concurrently.
+  // The merged output is canonically sorted, so the shard layout (and hence
+  // the thread count) never changes the returned vector.
+  std::vector<std::function<void(std::vector<Violation>&)>> tasks;
+  std::deque<geom::GridIndex<std::size_t>> indices;
+  std::deque<std::vector<std::pair<int, std::vector<const Shape*>>>> netLists;
+
+  const auto rangeChunks = [&](std::size_t count,
+                               const std::function<void(
+                                   std::size_t, std::size_t,
+                                   std::vector<Violation>&)>& body) {
+    const std::size_t chunk =
+        std::max<std::size_t>(1, (count + threads * 4 - 1) / (threads * 4));
+    for (std::size_t lo = 0; lo < count; lo += chunk) {
+      const std::size_t hi = std::min(count, lo + chunk);
+      tasks.push_back([body, lo, hi](std::vector<Violation>& out) {
+        body(lo, hi, out);
+      });
+    }
+  };
 
   for (int li = 0; li < numLayers; ++li) {
     const db::Layer& layer = tech_->layer(li);
     const std::vector<Shape>& shapes = region_.shapesOnLayer(li);
 
     if (layer.type == db::LayerType::kCut) {
-      geom::GridIndex<std::size_t> idx;
+      geom::GridIndex<std::size_t>& idx = indices.emplace_back();
       for (std::size_t i = 0; i < shapes.size(); ++i) {
         idx.insert(shapes[i].rect, i);
       }
-      for (std::size_t i = 0; i < shapes.size(); ++i) {
-        idx.query(shapes[i].rect.bloat(layer.cutSpacing),
-                  [&](const Rect&, std::size_t j) {
-                    if (j <= i) return;
-                    if (shapes[i].fixed && shapes[j].fixed) return;
-                    if (auto v = checkCutSpacingPair(layer, shapes[i],
-                                                     shapes[j])) {
-                      out.push_back(*v);
-                    }
-                  });
-      }
+      rangeChunks(shapes.size(), [&layer, &shapes, &idx](
+                                     std::size_t lo, std::size_t hi,
+                                     std::vector<Violation>& out) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          idx.query(shapes[i].rect.bloat(layer.cutSpacing),
+                    [&](const Rect&, std::size_t j) {
+                      if (j <= i) return;
+                      if (shapes[i].fixed && shapes[j].fixed) return;
+                      if (auto v = checkCutSpacingPair(layer, shapes[i],
+                                                       shapes[j])) {
+                        out.push_back(*v);
+                      }
+                    });
+        }
+      });
       continue;
     }
     if (layer.type != db::LayerType::kRouting) continue;
 
     // Pairwise spacing (skip fixed-fixed: library geometry is self-clean).
     const Coord halo = maxSpacingHalo(layer);
-    geom::GridIndex<std::size_t> idx;
+    geom::GridIndex<std::size_t>& idx = indices.emplace_back();
     for (std::size_t i = 0; i < shapes.size(); ++i) {
       idx.insert(shapes[i].rect, i);
     }
-    for (std::size_t i = 0; i < shapes.size(); ++i) {
-      idx.query(shapes[i].rect.bloat(halo), [&](const Rect&, std::size_t j) {
-        if (j <= i) return;
-        if (shapes[i].fixed && shapes[j].fixed) return;
-        if (auto v = checkSpacingPair(layer, shapes[i], shapes[j])) {
-          out.push_back(*v);
-        }
-      });
-    }
+    rangeChunks(shapes.size(), [&layer, &shapes, &idx, halo](
+                                   std::size_t lo, std::size_t hi,
+                                   std::vector<Violation>& out) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        idx.query(shapes[i].rect.bloat(halo),
+                  [&](const Rect&, std::size_t j) {
+                    if (j <= i) return;
+                    if (shapes[i].fixed && shapes[j].fixed) return;
+                    if (auto v = checkSpacingPair(layer, shapes[i],
+                                                  shapes[j])) {
+                      out.push_back(*v);
+                    }
+                  });
+      }
+    });
 
     // Per-net merged components: min step, min area, EOL. Components made
     // only of fixed shapes are skipped (library pins are self-clean), and
-    // min area exempts components anchored to a pin shape.
+    // min area exempts components anchored to a pin shape. Nets are
+    // independent, so they shard by net range.
     std::map<int, std::vector<const Shape*>> byNet;
     for (const Shape& s : shapes) {
       if (s.net == Shape::kObsNet) continue;
       byNet[s.net].push_back(&s);
     }
-    for (const auto& [net, netShapes] : byNet) {
-      // Union-find over this net's shapes by geometric adjacency.
-      const std::size_t n = netShapes.size();
-      std::vector<std::size_t> parent(n);
-      for (std::size_t i = 0; i < n; ++i) parent[i] = i;
-      const auto find = [&](std::size_t i) {
-        while (parent[i] != i) {
-          parent[i] = parent[parent[i]];
-          i = parent[i];
+    auto& nets = netLists.emplace_back(byNet.begin(), byNet.end());
+    rangeChunks(nets.size(), [this, &layer, &nets](
+                                 std::size_t lo, std::size_t hi,
+                                 std::vector<Violation>& out) {
+      for (std::size_t ni = lo; ni < hi; ++ni) {
+        const auto& [net, netShapes] = nets[ni];
+        // Union-find over this net's shapes by geometric adjacency.
+        const std::size_t n = netShapes.size();
+        std::vector<std::size_t> parent(n);
+        for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+        const auto find = [&](std::size_t i) {
+          while (parent[i] != i) {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+          }
+          return i;
+        };
+        for (std::size_t i = 0; i < n; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            if (netShapes[i]->rect.intersects(netShapes[j]->rect)) {
+              parent[find(i)] = find(j);
+            }
+          }
         }
-        return i;
-      };
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-          if (netShapes[i]->rect.intersects(netShapes[j]->rect)) {
-            parent[find(i)] = find(j);
+        std::map<std::size_t, std::vector<const Shape*>> comps;
+        for (std::size_t i = 0; i < n; ++i) {
+          comps[find(i)].push_back(netShapes[i]);
+        }
+
+        for (const auto& [root, members] : comps) {
+          bool anyRouted = false;
+          bool anyFixed = false;
+          std::vector<Rect> comp;
+          comp.reserve(members.size());
+          for (const Shape* s : members) {
+            comp.push_back(s->rect);
+            anyRouted = anyRouted || !s->fixed;
+            anyFixed = anyFixed || s->fixed;
+          }
+          if (!anyRouted) continue;
+          for (Violation v : checkMinStep(layer, comp)) {
+            v.netA = net;
+            out.push_back(v);
+          }
+          if (layer.minArea > 0 && !anyFixed) {
+            if (auto v = checkMinArea(layer, comp, net)) out.push_back(*v);
+          }
+          for (Violation v : checkEol(layer, comp, net, region_)) {
+            out.push_back(v);
           }
         }
       }
-      std::map<std::size_t, std::vector<const Shape*>> comps;
-      for (std::size_t i = 0; i < n; ++i) comps[find(i)].push_back(netShapes[i]);
-
-      for (const auto& [root, members] : comps) {
-        bool anyRouted = false;
-        bool anyFixed = false;
-        std::vector<Rect> comp;
-        comp.reserve(members.size());
-        for (const Shape* s : members) {
-          comp.push_back(s->rect);
-          anyRouted = anyRouted || !s->fixed;
-          anyFixed = anyFixed || s->fixed;
-        }
-        if (!anyRouted) continue;
-        for (Violation v : checkMinStep(layer, comp)) {
-          v.netA = net;
-          out.push_back(v);
-        }
-        if (layer.minArea > 0 && !anyFixed) {
-          if (auto v = checkMinArea(layer, comp, net)) out.push_back(*v);
-        }
-        for (Violation v : checkEol(layer, comp, net, region_)) {
-          out.push_back(v);
-        }
-      }
-    }
+    });
   }
+
+  std::vector<std::vector<Violation>> shardOut(tasks.size());
+  util::parallelFor(
+      tasks.size(), [&](std::size_t t) { tasks[t](shardOut[t]); },
+      numThreads);
+
+  std::vector<Violation> out;
+  for (std::vector<Violation>& shard : shardOut) {
+    out.insert(out.end(), shard.begin(), shard.end());
+  }
+  sortViolations(out);
   return out;
 }
 

@@ -52,7 +52,11 @@ class DrcEngine {
 
   /// Full-layout batch check over everything in the region query. Pairs of
   /// fixed shapes are skipped (library geometry is assumed self-clean).
-  std::vector<Violation> checkAll() const;
+  /// With numThreads != 1 the work is sharded by layer-local shape ranges
+  /// and per-net components over the executor; the result is canonically
+  /// sorted (violationLess) in every mode, so thread count never changes
+  /// the returned vector.
+  std::vector<Violation> checkAll(int numThreads = 1) const;
 
  private:
   /// Same-net shapes on `layer` connected (transitively touching) to `seed`,

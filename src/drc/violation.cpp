@@ -1,6 +1,8 @@
 #include "drc/violation.hpp"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace pao::drc {
 
@@ -22,6 +24,19 @@ std::string Violation::describe() const {
   os << toString(kind) << " layer=" << layer << " at " << bbox
      << " nets=(" << netA << "," << netB << ")";
   return os.str();
+}
+
+bool violationLess(const Violation& a, const Violation& b) {
+  const auto key = [](const Violation& v) {
+    return std::make_tuple(v.layer, static_cast<int>(v.kind), v.bbox.xlo,
+                           v.bbox.ylo, v.bbox.xhi, v.bbox.yhi, v.netA,
+                           v.netB);
+  };
+  return key(a) < key(b);
+}
+
+void sortViolations(std::vector<Violation>& violations) {
+  std::sort(violations.begin(), violations.end(), violationLess);
 }
 
 }  // namespace pao::drc

@@ -31,6 +31,16 @@ struct Violation {
   int netB = -1;
 
   std::string describe() const;
+
+  friend bool operator==(const Violation&, const Violation&) = default;
 };
+
+/// Canonical violation ordering — (layer, kind, bbox, nets) — used to merge
+/// per-shard results of the parallel batch check into a schedule-independent
+/// sequence. Serial checkAll sorts with the same key so serial and parallel
+/// runs return identical vectors, not just identical sets.
+bool violationLess(const Violation& a, const Violation& b);
+
+void sortViolations(std::vector<Violation>& violations);
 
 }  // namespace pao::drc

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+
+#include "util/executor.hpp"
 
 namespace pao::core {
 
@@ -131,8 +134,11 @@ bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
   const geom::Point ob = design_->instances[instB].origin;
   const auto key = std::make_tuple(clsA, patA, clsB, patB, ob.x - oa.x,
                                    ob.y - oa.y);
-  const auto it = pairCache_.find(key);
-  if (it != pairCache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    const auto it = pairCache_.find(key);
+    if (it != pairCache_.end()) return it->second;
+  }
 
   // Only the up-vias of boundary access points participate (Sec. III-C);
   // each one is checked against the facing via and the facing instance's
@@ -189,91 +195,132 @@ bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
       }
     }
   }
-  pairCache_.emplace(key, clean);
+  {
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    pairCache_.emplace(key, clean);
+  }
   return clean;
 }
 
 std::vector<int> ClusterSelector::run() {
   std::vector<int> chosen(design_->instances.size(), -1);
 
-  for (const std::vector<int>& cluster : clusters_) {
-    // DP over instances, one vertex per (instance, pattern).
-    const int n = static_cast<int>(cluster.size());
-    std::vector<std::vector<long long>> cost(n);
-    std::vector<std::vector<int>> prev(n);
-
-    const auto numPatterns = [&](int pos) {
-      const int cls = unique_->classOf[cluster[pos]];
-      return cls < 0 ? 0
-                     : static_cast<int>((*classes_)[cls].patterns.size());
-    };
-    const auto patternCost = [&](int pos, int p) {
-      const int cls = unique_->classOf[cluster[pos]];
-      return (*classes_)[cls].patterns[p].cost;
-    };
-
-    // Instances without patterns (fillers, pinless cells) are transparent:
-    // they keep -1 and the DP skips over them. Compact the cluster first.
-    std::vector<int> active;
-    for (int i = 0; i < n; ++i) {
-      if (numPatterns(i) > 0) active.push_back(i);
+  // Clusters are almost always instance-disjoint and can run concurrently;
+  // only multi-height instances appear in several clusters, and those
+  // clusters must keep their serial order (the first cluster to decide an
+  // instance pins its pattern for the later ones). Wave scheduling encodes
+  // exactly that dependency: a cluster's wave is one past the latest wave of
+  // any earlier cluster sharing an instance, so same-wave clusters are
+  // instance-disjoint and waves replay the serial pinning order.
+  std::vector<std::size_t> waveOf(clusters_.size(), 0);
+  std::size_t lastWave = 0;
+  {
+    std::unordered_map<int, std::size_t> instWave;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+      std::size_t w = 0;
+      for (const int inst : clusters_[c]) {
+        const auto it = instWave.find(inst);
+        if (it != instWave.end()) w = std::max(w, it->second + 1);
+      }
+      waveOf[c] = w;
+      lastWave = std::max(lastWave, w);
+      for (const int inst : clusters_[c]) {
+        auto [it, inserted] = instWave.try_emplace(inst, w);
+        if (!inserted) it->second = std::max(it->second, w);
+      }
     }
-    if (active.empty()) continue;
+  }
 
-    const int an = static_cast<int>(active.size());
-    cost.assign(an, {});
-    prev.assign(an, {});
-    for (int i = 0; i < an; ++i) {
-      cost[i].assign(numPatterns(active[i]), kInf);
-      prev[i].assign(numPatterns(active[i]), -1);
-    }
-    // A pattern already chosen by an earlier (multi-height) cluster pass is
-    // pinned: the DP may only use that vertex for the instance.
-    const auto allowed = [&](int pos, int p) {
-      const int pre = chosen[cluster[pos]];
-      return pre < 0 || pre == p;
-    };
-    for (int p = 0; p < numPatterns(active[0]); ++p) {
-      if (!allowed(active[0], p)) continue;
-      cost[0][p] = patternCost(active[0], p);
-    }
-    for (int i = 1; i < an; ++i) {
-      const int instB = cluster[active[i]];
-      const int instA = cluster[active[i - 1]];
-      // Patterns only interact across a shared cell edge; when an inactive
-      // (pattern-less) instance separates them, the pair is compatible.
-      const bool adjacent = active[i] == active[i - 1] + 1;
-      for (int q = 0; q < numPatterns(active[i]); ++q) {
-        if (!allowed(active[i], q)) continue;
-        for (int p = 0; p < numPatterns(active[i - 1]); ++p) {
-          if (cost[i - 1][p] >= kInf) continue;
-          long long ec = patternCost(active[i], q);
-          if (adjacent && !patternsCompatible(instA, p, instB, q)) {
-            ec += cfg_.drcCost;
-          }
-          if (cost[i - 1][p] + ec < cost[i][q]) {
-            cost[i][q] = cost[i - 1][p] + ec;
-            prev[i][q] = p;
-          }
+  std::vector<std::vector<std::size_t>> waves(lastWave + 1);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    waves[waveOf[c]].push_back(c);
+  }
+  for (const std::vector<std::size_t>& wave : waves) {
+    util::parallelFor(
+        wave.size(),
+        [&](std::size_t i) { selectCluster(clusters_[wave[i]], chosen); },
+        cfg_.numThreads);
+  }
+  return chosen;
+}
+
+void ClusterSelector::selectCluster(const std::vector<int>& cluster,
+                                    std::vector<int>& chosen) {
+  // DP over instances, one vertex per (instance, pattern).
+  const int n = static_cast<int>(cluster.size());
+  std::vector<std::vector<long long>> cost(n);
+  std::vector<std::vector<int>> prev(n);
+
+  const auto numPatterns = [&](int pos) {
+    const int cls = unique_->classOf[cluster[pos]];
+    return cls < 0 ? 0
+                   : static_cast<int>((*classes_)[cls].patterns.size());
+  };
+  const auto patternCost = [&](int pos, int p) {
+    const int cls = unique_->classOf[cluster[pos]];
+    return (*classes_)[cls].patterns[p].cost;
+  };
+
+  // Instances without patterns (fillers, pinless cells) are transparent:
+  // they keep -1 and the DP skips over them. Compact the cluster first.
+  std::vector<int> active;
+  for (int i = 0; i < n; ++i) {
+    if (numPatterns(i) > 0) active.push_back(i);
+  }
+  if (active.empty()) return;
+
+  const int an = static_cast<int>(active.size());
+  cost.assign(an, {});
+  prev.assign(an, {});
+  for (int i = 0; i < an; ++i) {
+    cost[i].assign(numPatterns(active[i]), kInf);
+    prev[i].assign(numPatterns(active[i]), -1);
+  }
+  // A pattern already chosen by an earlier (multi-height) cluster pass is
+  // pinned: the DP may only use that vertex for the instance.
+  const auto allowed = [&](int pos, int p) {
+    const int pre = chosen[cluster[pos]];
+    return pre < 0 || pre == p;
+  };
+  for (int p = 0; p < numPatterns(active[0]); ++p) {
+    if (!allowed(active[0], p)) continue;
+    cost[0][p] = patternCost(active[0], p);
+  }
+  for (int i = 1; i < an; ++i) {
+    const int instB = cluster[active[i]];
+    const int instA = cluster[active[i - 1]];
+    // Patterns only interact across a shared cell edge; when an inactive
+    // (pattern-less) instance separates them, the pair is compatible.
+    const bool adjacent = active[i] == active[i - 1] + 1;
+    for (int q = 0; q < numPatterns(active[i]); ++q) {
+      if (!allowed(active[i], q)) continue;
+      for (int p = 0; p < numPatterns(active[i - 1]); ++p) {
+        if (cost[i - 1][p] >= kInf) continue;
+        long long ec = patternCost(active[i], q);
+        if (adjacent && !patternsCompatible(instA, p, instB, q)) {
+          ec += cfg_.drcCost;
+        }
+        if (cost[i - 1][p] + ec < cost[i][q]) {
+          cost[i][q] = cost[i - 1][p] + ec;
+          prev[i][q] = p;
         }
       }
     }
+  }
 
-    // Trace back.
-    int best = -1;
-    long long bestCost = kInf;
-    for (int q = 0; q < static_cast<int>(cost[an - 1].size()); ++q) {
-      if (cost[an - 1][q] < bestCost) {
-        bestCost = cost[an - 1][q];
-        best = q;
-      }
-    }
-    for (int i = an - 1; i >= 0 && best >= 0; --i) {
-      chosen[cluster[active[i]]] = best;
-      best = prev[i][best];
+  // Trace back.
+  int best = -1;
+  long long bestCost = kInf;
+  for (int q = 0; q < static_cast<int>(cost[an - 1].size()); ++q) {
+    if (cost[an - 1][q] < bestCost) {
+      bestCost = cost[an - 1][q];
+      best = q;
     }
   }
-  return chosen;
+  for (int i = an - 1; i >= 0 && best >= 0; --i) {
+    chosen[cluster[active[i]]] = best;
+    best = prev[i][best];
+  }
 }
 
 }  // namespace pao::core

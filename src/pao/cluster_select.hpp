@@ -11,8 +11,10 @@
 // the same unique-instance pair cost one check.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <tuple>
 #include <vector>
 
@@ -27,6 +29,11 @@ struct ClusterSelectConfig {
   /// Check every pin pair across the boundary instead of only the two facing
   /// boundary pins (ablation; the paper checks boundary pins only).
   bool boundaryPinsOnly = true;
+  /// Worker threads for the per-cluster DP. Clusters are scheduled in waves
+  /// so that clusters sharing a (multi-height) instance keep their serial
+  /// pinning order; the chosen patterns are identical for any thread count.
+  /// 1 = serial; 0 = hardware concurrency.
+  int numThreads = 1;
 };
 
 /// Per-unique-instance access data produced by Steps 1-2, in representative
@@ -49,10 +56,17 @@ class ClusterSelector {
 
   /// Clusters found (instance indices, left to right) — exposed for tests.
   const std::vector<std::vector<int>>& clusters() const { return clusters_; }
-  std::size_t numPairChecks() const { return numPairChecks_; }
+  /// Pair checks performed. With numThreads > 1 two workers may race to
+  /// compute the same uncached pair, so the count can exceed the serial one;
+  /// the boolean results (and hence the selection) are unaffected.
+  std::size_t numPairChecks() const { return numPairChecks_.load(); }
 
  private:
   void buildClusters();
+  /// Runs the DP of one cluster, writing only its own instances' entries of
+  /// `chosen` (safe to run concurrently for instance-disjoint clusters).
+  void selectCluster(const std::vector<int>& cluster,
+                     std::vector<int>& chosen);
   /// DRC compatibility of two neighboring instances' patterns (memoized).
   /// Checks the facing boundary access points' up-vias against each other
   /// AND against the neighbor instance's fixed shapes near the shared edge,
@@ -79,9 +93,13 @@ class ClusterSelector {
   ClusterSelectConfig cfg_;
   drc::DrcEngine pairEngine_;  ///< context-free engine for via-pair checks
   std::vector<std::vector<int>> clusters_;
+  /// Memoized pair compatibility, shared across concurrently-running
+  /// clusters; guarded by cacheMu_ (the cached function is pure, so the
+  /// access order cannot change any result).
+  std::mutex cacheMu_;
   std::map<std::tuple<int, int, int, int, geom::Coord, geom::Coord>, bool>
       pairCache_;
-  std::size_t numPairChecks_ = 0;
+  std::atomic<std::size_t> numPairChecks_{0};
 };
 
 }  // namespace pao::core

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <mutex>
 #include <optional>
-#include <thread>
+
+#include "util/executor.hpp"
 
 namespace pao::core {
 
@@ -144,36 +145,20 @@ OracleResult PinAccessOracle::run() {
     }
   };
 
-  const std::size_t numClasses = result.unique.classes.size();
-  int threads = cfg_.numThreads;
-  if (threads <= 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-  }
-  if (threads <= 1 || numClasses < 2) {
-    for (std::size_t c = 0; c < numClasses; ++c) analyzeClass(c);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::thread> pool;
-    const int n = std::min<int>(threads, static_cast<int>(numClasses));
-    pool.reserve(n);
-    for (int t = 0; t < n; ++t) {
-      pool.emplace_back([&] {
-        for (std::size_t c = next.fetch_add(1); c < numClasses;
-             c = next.fetch_add(1)) {
-          analyzeClass(c);
-        }
-      });
-    }
-    for (std::thread& t : pool) t.join();
-  }
+  // Each class writes only its own result slot, so ordering is deterministic
+  // regardless of the schedule.
+  util::parallelFor(result.unique.classes.size(), analyzeClass,
+                    cfg_.numThreads);
   result.step1Seconds = static_cast<double>(step1Us.load()) / 1e6;
   result.step2Seconds = static_cast<double>(step2Us.load()) / 1e6;
 
-  // Step 3, per cluster across the whole design.
+  // Step 3, cluster DP across the whole design (clusters run in parallel in
+  // dependency waves — see ClusterSelectConfig::numThreads).
   const auto t3 = std::chrono::steady_clock::now();
   if (cfg_.runClusterSelection) {
-    ClusterSelector selector(*design_, result.unique, result.classes,
-                             cfg_.clusterSelect);
+    ClusterSelectConfig csCfg = cfg_.clusterSelect;
+    csCfg.numThreads = cfg_.numThreads;
+    ClusterSelector selector(*design_, result.unique, result.classes, csCfg);
     result.chosenPattern = selector.run();
   } else {
     result.chosenPattern.assign(design_->instances.size(), -1);

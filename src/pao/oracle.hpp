@@ -28,9 +28,11 @@ struct OracleConfig {
   /// Run the Step-3 cluster DP (always true in the paper's full flow; with a
   /// single pattern per class the DP is trivially the identity).
   bool runClusterSelection = true;
-  /// Worker threads for Steps 1-2 over unique instances (the paper's
-  /// "support of multi-threading" future-work item). 1 = serial;
-  /// 0 = hardware concurrency.
+  /// Worker threads for the whole flow (the paper's "support of
+  /// multi-threading" future-work item): Steps 1-2 over unique instances and
+  /// the Step-3 cluster DP all run on the shared executor, and the value is
+  /// forwarded into ClusterSelectConfig::numThreads. Results are identical
+  /// for any thread count. 1 = serial; 0 = hardware concurrency.
   int numThreads = 1;
   /// Optional cross-run cache of intra-cell results keyed by signature —
   /// reusable across placement changes. Not owned; may be nullptr.
@@ -53,8 +55,10 @@ struct OracleResult {
   /// Chosen pattern per instance (-1 when the class has none).
   std::vector<int> chosenPattern;
 
-  /// Step timings. With numThreads > 1, step1/step2 report summed per-class
-  /// CPU time; wallSeconds reports end-to-end wall time either way.
+  /// Step timings. step1Seconds/step2Seconds report summed per-class CPU
+  /// time for EVERY thread count (serial included), so they are comparable
+  /// across runs; with numThreads > 1 they exceed the elapsed time.
+  /// step3Seconds and wallSeconds are end-to-end wall time.
   double step1Seconds = 0;
   double step2Seconds = 0;
   double step3Seconds = 0;

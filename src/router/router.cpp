@@ -8,6 +8,7 @@
 #include "geom/polygon.hpp"
 
 #include "geom/grid_index.hpp"
+#include "util/executor.hpp"
 
 namespace pao::router {
 
@@ -98,11 +99,19 @@ RouteResult DetailedRouter::run() {
 
   // Phase 1: place every net's access vias first so all routing sees all
   // pin contacts as blockages (mirrors TritonRoute's flow, where pin access
-  // is resolved before track assignment).
+  // is resolved before track assignment). Planning is per-net independent
+  // and runs on the executor; commits stay serial in net order so the
+  // emitted shape sequence is identical for any thread count.
+  std::vector<TermPlan> plans(design.nets.size());
+  util::parallelFor(
+      design.nets.size(),
+      [&](std::size_t n) { plans[n] = planTerms(static_cast<int>(n)); },
+      cfg_.numThreads);
   std::vector<std::vector<Node>> termNodes(design.nets.size());
   for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
-    termNodes[n] = placeTerms(n, result.shapes, result.stats);
+    termNodes[n] = commitTerms(plans[n], result.shapes, result.stats);
   }
+  plans.clear();
 
   // Phase 2: route nets in index order.
   std::vector<bool> failed(design.nets.size(), false);
@@ -278,7 +287,7 @@ std::vector<drc::Violation> DetailedRouter::runDrc(
                                   : drc::ShapeKind::kWire,
                          false});
   }
-  return engine.checkAll();
+  return engine.checkAll(cfg_.numThreads);
 }
 
 bool DetailedRouter::padFits(const Rect& r, int layer, int net) const {
@@ -366,21 +375,20 @@ void DetailedRouter::repairMinArea(std::vector<RouteShape>& shapes,
   }
 }
 
-std::vector<Node> DetailedRouter::placeTerms(int netIdx,
-                                             std::vector<RouteShape>& shapes,
-                                             RouteStats& stats) {
+DetailedRouter::TermPlan DetailedRouter::planTerms(int netIdx) const {
   const db::Net& net = design_->nets[netIdx];
+  TermPlan plan;
+  plan.netIdx = netIdx;
   // Terminal nodes: pin contacts enter through their access via's top layer;
   // IO pins connect directly on their own layer.
-  std::vector<Node> termNodes;
   for (const db::NetTerm& t : net.terms) {
     if (t.isIo()) {
       const db::IoPin& io = design_->ioPins[t.ioPinIdx];
       const Node n = grid_.snap(io.layer, io.rect.center());
       if (grid_.valid(n)) {
-        termNodes.push_back(n);
+        plan.termNodes.push_back(n);
       } else {
-        ++stats.skippedTerms;
+        ++plan.skippedTerms;
       }
       continue;
     }
@@ -393,24 +401,23 @@ std::vector<Node> DetailedRouter::placeTerms(int netIdx,
     const auto contact =
         pos >= 0 ? access_->contact(t.instIdx, pos) : std::nullopt;
     if (!contact) {
-      ++stats.skippedTerms;
+      ++plan.skippedTerms;
       continue;
     }
-    // Drop the access via (and register its shapes as blockage for later
-    // nets — node occupancy cannot protect off-grid enclosures).
+    // Drop the access via (its shapes become blockage for later nets at
+    // commit time — node occupancy cannot protect off-grid enclosures).
     const db::ViaDef& via = *contact->via;
-    placeShape({via.botEncAt(contact->loc), via.botLayer, netIdx, true,
-                true},
-               shapes);
-    placeShape({via.cutAt(contact->loc), via.cutLayer, netIdx, true, true},
-               shapes);
-    placeShape({via.topEncAt(contact->loc), via.topLayer, netIdx, true, true},
-               shapes);
-    ++stats.viaCount;
+    plan.shapes.push_back(
+        {via.botEncAt(contact->loc), via.botLayer, netIdx, true, true});
+    plan.shapes.push_back(
+        {via.cutAt(contact->loc), via.cutLayer, netIdx, true, true});
+    plan.shapes.push_back(
+        {via.topEncAt(contact->loc), via.topLayer, netIdx, true, true});
+    ++plan.viaCount;
 
     const Node n = grid_.snap(via.topLayer, contact->loc);
     if (!grid_.valid(n)) {
-      ++stats.skippedTerms;
+      ++plan.skippedTerms;
       continue;
     }
     // Landing jog: reaches the (possibly off-track) access point from the
@@ -431,26 +438,36 @@ std::vector<Node> DetailedRouter::placeTerms(int netIdx,
                                  : Point{contact->loc.x, np.y};
       const auto leg = [&](const Point& a, const Point& b) {
         if (a == b) return;
-        placeShape({Rect{std::min(a.x, b.x) - half, std::min(a.y, b.y) - half,
-                         std::max(a.x, b.x) + half, std::max(a.y, b.y) + half},
-                    via.topLayer, netIdx, false, true},
-                   shapes);
-        ++stats.wireShapes;
+        plan.shapes.push_back(
+            {Rect{std::min(a.x, b.x) - half, std::min(a.y, b.y) - half,
+                  std::max(a.x, b.x) + half, std::max(a.y, b.y) + half},
+             via.topLayer, netIdx, false, true});
+        ++plan.wireShapes;
       };
       leg(contact->loc, corner);
       leg(corner, np);
       // Cap the landing node with the enclosure footprint so the wire that
       // leaves the node does not form a sub-minStep neck between the jog
       // metal and the next via's enclosure.
-      placeShape({via.topEnc.translate(np.x, np.y), via.topLayer, netIdx,
-                  false, true},
-                 shapes);
-      ++stats.wireShapes;
+      plan.shapes.push_back({via.topEnc.translate(np.x, np.y), via.topLayer,
+                             netIdx, false, true});
+      ++plan.wireShapes;
     }
-    grid_.occupy(n, netIdx);
-    termNodes.push_back(n);
+    plan.occupyNodes.push_back(n);
+    plan.termNodes.push_back(n);
   }
-  return termNodes;
+  return plan;
+}
+
+std::vector<Node> DetailedRouter::commitTerms(const TermPlan& plan,
+                                              std::vector<RouteShape>& shapes,
+                                              RouteStats& stats) {
+  for (const RouteShape& s : plan.shapes) placeShape(s, shapes);
+  for (const Node& n : plan.occupyNodes) grid_.occupy(n, plan.netIdx);
+  stats.skippedTerms += plan.skippedTerms;
+  stats.viaCount += plan.viaCount;
+  stats.wireShapes += plan.wireShapes;
+  return plan.termNodes;
 }
 
 bool DetailedRouter::routeNet(int netIdx, const std::vector<Node>& termNodes,

@@ -64,6 +64,11 @@ struct RouterConfig {
   /// Rip-up-and-reroute passes over nets whose wiring participates in DRC
   /// violations (0 disables; requires countDrcs).
   int ripupPasses = 5;
+  /// Worker threads for the per-net access planning phase and the batch DRC
+  /// passes. Wire routing itself stays serial (net order is the determinism
+  /// contract), so the routed output is bit-identical for any thread count.
+  /// 1 = serial; 0 = hardware concurrency.
+  int numThreads = 1;
 };
 
 class DetailedRouter {
@@ -74,11 +79,29 @@ class DetailedRouter {
   RouteResult run();
 
  private:
-  /// Places the access vias and landing patches of every term of `netIdx`
-  /// and returns the terminal grid nodes (phase 1 — all nets' access is
-  /// fixed and blocked before any wire is routed, as in TritonRoute).
-  std::vector<Node> placeTerms(int netIdx, std::vector<RouteShape>& shapes,
-                               RouteStats& stats);
+  /// Everything phase 1 wants to do for one net, precomputed without
+  /// touching shared state: the access-via and landing-patch shapes, the
+  /// terminal grid nodes, and the stat deltas. Plans only read the access
+  /// source and construction-time grid geometry, so all nets plan in
+  /// parallel; committing stays serial in net order.
+  struct TermPlan {
+    int netIdx = -1;
+    std::vector<RouteShape> shapes;
+    std::vector<Node> termNodes;
+    std::vector<Node> occupyNodes;  ///< instance-term nodes to claim
+    std::size_t skippedTerms = 0;
+    std::size_t viaCount = 0;
+    std::size_t wireShapes = 0;
+  };
+  /// Computes the access placement of every term of `netIdx` (phase 1 — all
+  /// nets' access is fixed and blocked before any wire is routed, as in
+  /// TritonRoute). Pure: no member state is modified.
+  TermPlan planTerms(int netIdx) const;
+  /// Applies a plan: emits its shapes (registering blockage), claims its
+  /// nodes and folds its stats; returns the terminal grid nodes.
+  std::vector<Node> commitTerms(const TermPlan& plan,
+                                std::vector<RouteShape>& shapes,
+                                RouteStats& stats);
   /// Routes one net between its prepared terminals; returns false when any
   /// terminal could not be reached.
   bool routeNet(int netIdx, const std::vector<Node>& termNodes,

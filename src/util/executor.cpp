@@ -1,0 +1,82 @@
+#include "util/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pao::util {
+
+namespace {
+
+/// Set while a thread is draining a parallelFor — a nested call sees it and
+/// runs inline instead of spawning a second pool.
+thread_local bool gInsideParallelFor = false;
+
+}  // namespace
+
+int resolveThreads(int numThreads) {
+  if (numThreads >= 1) return numThreads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int numThreads) {
+  if (n == 0) return;
+
+  // First-failing-index exception, independent of schedule.
+  std::mutex failMu;
+  std::size_t failIdx = n;
+  std::exception_ptr failure;
+  const auto recordFailure = [&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(failMu);
+    if (i < failIdx) {
+      failIdx = i;
+      failure = std::current_exception();
+    }
+  };
+
+  const int workers =
+      gInsideParallelFor
+          ? 1
+          : static_cast<int>(std::min<std::size_t>(
+                static_cast<std::size_t>(resolveThreads(numThreads)), n));
+
+  if (workers <= 1) {
+    const bool wasInside = gInsideParallelFor;
+    gInsideParallelFor = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        recordFailure(i);
+      }
+    }
+    gInsideParallelFor = wasInside;
+  } else {
+    std::atomic<std::size_t> next{0};
+    const auto drain = [&] {
+      gInsideParallelFor = true;
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        try {
+          fn(i);
+        } catch (...) {
+          recordFailure(i);
+        }
+      }
+      gInsideParallelFor = false;
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (int t = 1; t < workers; ++t) pool.emplace_back(drain);
+    drain();  // the calling thread works too
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace pao::util

@@ -1,0 +1,35 @@
+// Shared parallel executor for the library's batch workloads (the paper's
+// "support of multi-threading" future-work item). One primitive —
+// parallelFor — runs n independent index-addressed tasks over a bounded
+// worker pool with semantics chosen so callers stay deterministic:
+//
+//   * Result ordering is the caller's: tasks write into slot i of a
+//     pre-sized output, so the result sequence is independent of the
+//     schedule. parallelFor itself never reorders anything.
+//   * Every index is attempted even after a failure, and the exception of
+//     the LOWEST failing index is rethrown — identical to what a caller
+//     observes serially when each task's failure is recorded and the first
+//     one reported, regardless of thread count or timing.
+//   * Nested calls degrade to serial on the calling worker instead of
+//     spawning threads-squared workers, so library layers may parallelize
+//     independently (e.g. a parallel DRC shard calling a helper that is
+//     itself parallel elsewhere).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace pao::util {
+
+/// Worker count a request resolves to: n >= 1 is taken as-is; n <= 0 means
+/// std::thread::hardware_concurrency (at least 1).
+int resolveThreads(int numThreads);
+
+/// Invokes fn(i) for every i in [0, n) across up to resolveThreads(numThreads)
+/// workers (the calling thread is one of them). Tasks must be independent;
+/// scheduling is dynamic (work-stealing via a shared atomic cursor) so uneven
+/// task costs balance. See the header comment for the determinism contract.
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
+                 int numThreads);
+
+}  // namespace pao::util

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "drc/engine.hpp"
 #include "test_util.hpp"
 
@@ -214,6 +217,42 @@ TEST_F(DrcFixture, CheckAllFindsPlantedViolations) {
   }
   EXPECT_EQ(spacing, 1);
   EXPECT_EQ(minArea, 1);
+}
+
+TEST_F(DrcFixture, CheckAllParallelMatchesSerial) {
+  // Determinism regression for the sharded batch check: a layout dense
+  // enough to split across many shards (wires, vias, obstructions and a few
+  // planted violations) must yield the exact same canonically-sorted
+  // violation vector for every thread count.
+  for (int i = 0; i < 60; ++i) {
+    const geom::Coord x = (i % 10) * 600;
+    const geom::Coord y = (i / 10) * 400;
+    // Wires on M1/M2; every 7th pair is squeezed under min spacing.
+    const geom::Coord squeeze = (i % 7 == 0) ? 60 : 0;
+    engine_.region().add(
+        {{x, y, x + 500, y + 100}, m1_, i, ShapeKind::kWire, false});
+    engine_.region().add({{x, y + 200 - squeeze, x + 500, y + 300 - squeeze},
+                          m2_, i + 1000, ShapeKind::kWire, false});
+    // Vias; every 9th pair under cut spacing.
+    if (i % 3 == 0) {
+      const geom::Coord cutGap = (i % 9 == 0) ? 80 : 300;
+      engine_.region().add(
+          {{x, y + 80, x + 100, y + 180}, v1_, i, ShapeKind::kVia, false});
+      engine_.region().add({{x + 100 + cutGap, y + 80, x + 200 + cutGap,
+                             y + 180},
+                            v1_, i + 1, ShapeKind::kVia, false});
+    }
+    // Undersized stub wires for min-area / min-step hits.
+    if (i % 11 == 0) {
+      engine_.region().add({{x + 5000, y, x + 5100, y + 90}, m1_, i + 2000,
+                            ShapeKind::kWire, false});
+    }
+  }
+  const std::vector<Violation> serial = engine_.checkAll(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_TRUE(std::is_sorted(serial.begin(), serial.end(), violationLess));
+  EXPECT_EQ(engine_.checkAll(4), serial);
+  EXPECT_EQ(engine_.checkAll(0), serial);
 }
 
 TEST_F(DrcFixture, CheckAllSkipsFixedPairs) {

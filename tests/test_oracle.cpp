@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "benchgen/testcase.hpp"
 #include "pao/evaluate.hpp"
 
@@ -123,6 +125,57 @@ TEST_F(OracleFixture, TimingsAreRecorded) {
   EXPECT_GT(res.step2Seconds, 0.0);
   EXPECT_GE(res.step3Seconds, 0.0);
   EXPECT_GT(res.totalSeconds(), 0.0);
+  // wallSeconds is end-to-end wall time and so covers all three steps; in a
+  // serial run the summed per-class CPU times cannot exceed it by much, but
+  // the cheap invariants are positivity and covering step 3's wall time.
+  EXPECT_GT(res.wallSeconds, 0.0);
+  EXPECT_GE(res.wallSeconds, res.step3Seconds);
+}
+
+TEST_F(OracleFixture, ThreadCountDoesNotChangeResult) {
+  // The PR-1 determinism contract: the full flow (Steps 1-3) must produce an
+  // identical OracleResult for any thread count. Compares every semantic
+  // field; timings are excluded by construction.
+  const auto runWith = [&](int threads) {
+    OracleConfig cfg = withBcaConfig();
+    cfg.numThreads = threads;
+    return PinAccessOracle(*tc_->design, cfg).run();
+  };
+  const OracleResult base = runWith(1);
+  for (int threads : {4, 0}) {
+    const OracleResult res = runWith(threads);
+    SCOPED_TRACE("numThreads=" + std::to_string(threads));
+    EXPECT_EQ(res.unique.classOf, base.unique.classOf);
+    EXPECT_EQ(res.chosenPattern, base.chosenPattern);
+    ASSERT_EQ(res.classes.size(), base.classes.size());
+    for (std::size_t c = 0; c < base.classes.size(); ++c) {
+      const ClassAccess& a = res.classes[c];
+      const ClassAccess& b = base.classes[c];
+      SCOPED_TRACE("class " + std::to_string(c));
+      EXPECT_EQ(a.pinOrder, b.pinOrder);
+      ASSERT_EQ(a.patterns.size(), b.patterns.size());
+      for (std::size_t p = 0; p < b.patterns.size(); ++p) {
+        EXPECT_EQ(a.patterns[p].apIdx, b.patterns[p].apIdx);
+        EXPECT_EQ(a.patterns[p].cost, b.patterns[p].cost);
+        EXPECT_EQ(a.patterns[p].validated, b.patterns[p].validated);
+      }
+      ASSERT_EQ(a.pinAps.size(), b.pinAps.size());
+      for (std::size_t pin = 0; pin < b.pinAps.size(); ++pin) {
+        ASSERT_EQ(a.pinAps[pin].size(), b.pinAps[pin].size());
+        for (std::size_t i = 0; i < b.pinAps[pin].size(); ++i) {
+          const AccessPoint& x = a.pinAps[pin][i];
+          const AccessPoint& y = b.pinAps[pin][i];
+          EXPECT_EQ(x.loc, y.loc);
+          EXPECT_EQ(x.layer, y.layer);
+          EXPECT_EQ(x.prefType, y.prefType);
+          EXPECT_EQ(x.nonPrefType, y.nonPrefType);
+          EXPECT_EQ(x.dirs, y.dirs);
+          // ViaDef identity (pointers into the shared Tech) and order.
+          EXPECT_EQ(x.viaDefs, y.viaDefs);
+        }
+      }
+    }
+  }
 }
 
 TEST(OracleConfigs, PresetsMatchPaperSetups) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "benchgen/testcase.hpp"
+#include "lefdef/def_route_writer.hpp"
 #include "pao/evaluate.hpp"
 #include "test_util.hpp"
 
@@ -158,6 +162,35 @@ TEST_F(RouterFixture, RipupReducesViolations) {
   if (!before.violations.empty()) {
     EXPECT_GT(after.stats.rippedNets, 0u);
   }
+}
+
+TEST_F(RouterFixture, RoutedDefByteIdenticalAcrossThreads) {
+  // The parallel planning phase must not perturb routed output: the DEF
+  // written from a multi-threaded run is byte-identical to the serial one
+  // (commits stay serial and in net order).
+  core::PinAccessOracle oracle(*tc_->design, core::withBcaConfig());
+  const core::OracleResult res = oracle.run();
+  AccessSource access(*tc_->design, res, AccessMode::kPattern);
+
+  const auto routedDefWith = [&](int threads) {
+    RouterConfig cfg;
+    cfg.numThreads = threads;
+    const RouteResult rr = DetailedRouter(*tc_->design, access, cfg).run();
+    std::vector<lefdef::RoutedShape> routed;
+    for (const RouteShape& s : rr.shapes) {
+      const db::Layer& layer = tc_->tech->layer(s.layer);
+      if (s.isVia && layer.type == db::LayerType::kCut) {
+        routed.push_back({s.net, s.layer, s.rect, true});
+      } else if (!s.isVia && layer.type == db::LayerType::kRouting) {
+        routed.push_back({s.net, s.layer, s.rect, false});
+      }
+    }
+    return lefdef::writeRoutedDef(*tc_->design, routed);
+  };
+  const std::string serial = routedDefWith(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(routedDefWith(4), serial);
+  EXPECT_EQ(routedDefWith(0), serial);
 }
 
 TEST_F(RouterFixture, DisabledDrcCountSkipsViolations) {

@@ -42,9 +42,11 @@ inline std::unique_ptr<db::Tech> makeTinyTech() {
 
   db::ViaDef& via = tech->addViaDef("V1_0");
   via.isDefault = true;
-  via.botLayer = m1.index;
-  via.cutLayer = v1.index;
-  via.topLayer = m2.index;
+  // Earlier addLayer references are dangling after the vector grew; re-look
+  // the indices up instead.
+  via.botLayer = tech->findLayer("M1")->index;
+  via.cutLayer = tech->findLayer("V1")->index;
+  via.topLayer = tech->findLayer("M2")->index;
   via.cut = {-50, -50, 50, 50};
   via.botEnc = {-150, -60, 150, 60};   // overhang 100 along x, 10 along y
   via.topEnc = {-60, -150, 60, 150};

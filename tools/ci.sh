@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI entry point: builds and tests the tree twice —
+#   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces)
+#   2. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+#                      parallel executor paths in DrcEngine::checkAll, the
+#                      oracle Steps 1-3 and router planning)
+# Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
+set -eu
+
+SRC=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+JOBS=$(nproc 2>/dev/null || echo 2)
+
+echo "== Release build =="
+cmake -B "$SRC/build-ci-release" -S "$SRC" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$SRC/build-ci-release" -j "$JOBS"
+ctest --test-dir "$SRC/build-ci-release" --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer build =="
+cmake -B "$SRC/build-ci-tsan" -S "$SRC" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAO_SANITIZE=thread
+cmake --build "$SRC/build-ci-tsan" -j "$JOBS"
+# TSan slows execution ~5-15x; keep -j so independent tests overlap.
+ctest --test-dir "$SRC/build-ci-tsan" --output-on-failure -j "$JOBS"
+
+echo "== CI OK =="

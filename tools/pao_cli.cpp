@@ -12,6 +12,9 @@
 //   --report-failed N          print up to N failed-pin diagnostics
 // route options:
 //   --out <file.def>           write the routed design as DEF
+//   --threads N                worker threads for oracle, access planning
+//                              and batch DRC (default 1, 0=auto); routed
+//                              output is identical for any value
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,7 +41,7 @@ int usage() {
       "  pao_cli gen <preset> <scale> <out-prefix>\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
       " [--report-failed N]\n"
-      "  pao_cli route <lef> <def> [--out routed.def]\n"
+      "  pao_cli route <lef> <def> [--out routed.def] [--threads N]\n"
       "  pao_cli list\n");
   return 2;
 }
@@ -174,17 +177,24 @@ int cmdRoute(int argc, char** argv) {
   LoadedDesign ld;
   load(ld, argv[2], argv[3]);
   const char* outPath = nullptr;
+  int numThreads = 1;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       outPath = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      numThreads = std::atoi(argv[++i]);
     }
   }
 
-  core::PinAccessOracle oracle(ld.design, core::withBcaConfig());
+  core::OracleConfig oracleCfg = core::withBcaConfig();
+  oracleCfg.numThreads = numThreads;
+  core::PinAccessOracle oracle(ld.design, oracleCfg);
   const core::OracleResult access = oracle.run();
   router::AccessSource source(ld.design, access,
                               router::AccessMode::kPattern);
-  router::DetailedRouter rtr(ld.design, source);
+  router::RouterConfig routerCfg;
+  routerCfg.numThreads = numThreads;
+  router::DetailedRouter rtr(ld.design, source, routerCfg);
   const router::RouteResult rr = rtr.run();
 
   std::printf("\nrouting report\n");
