@@ -118,8 +118,8 @@ std::unique_ptr<db::Tech> makeTech(const NodeParams& p) {
 
     // A rotated alternate via (enclosure overhang across the preferred
     // direction) gives the generator a fallback when the default violates.
-    // addViaDef may reallocate the via-def vector, so `via` is dangling from
-    // here on — the shared fields come from the same locals it was built of.
+    // `via` stays valid across this addViaDef: Tech backs via defs with a
+    // deque, so add* references are stable.
     db::ViaDef& alt = tech->addViaDef("V" + std::to_string(m) + "_1");
     alt.isDefault = false;
     alt.botLayer = bot->index;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -97,15 +98,20 @@ class Tech {
   std::string name;
   int dbuPerMicron = 2000;
 
+  /// References returned by addLayer/addViaDef are stable for the lifetime
+  /// of the Tech: storage is a std::deque, which never relocates existing
+  /// elements on growth. Callers may hold a Layer&/ViaDef& across later
+  /// addLayer/addViaDef calls (pao_lint's pointer-stability rule guards the
+  /// vector-backed pattern this replaced).
   Layer& addLayer(std::string name, LayerType type);
   ViaDef& addViaDef(std::string name);
 
-  const std::vector<Layer>& layers() const { return layers_; }
-  std::vector<Layer>& layers() { return layers_; }
+  const std::deque<Layer>& layers() const { return layers_; }
+  std::deque<Layer>& layers() { return layers_; }
   const Layer& layer(int idx) const { return layers_.at(idx); }
   const Layer* findLayer(std::string_view name) const;
 
-  const std::vector<ViaDef>& viaDefs() const { return viaDefs_; }
+  const std::deque<ViaDef>& viaDefs() const { return viaDefs_; }
   const ViaDef* findViaDef(std::string_view name) const;
   /// All via defs whose bottom routing layer is `botLayer`, default-first.
   std::vector<const ViaDef*> viaDefsFromLayer(int botLayer) const;
@@ -116,8 +122,10 @@ class Tech {
   int routingLayerAbove(int layerIdx) const;
 
  private:
-  std::vector<Layer> layers_;
-  std::vector<ViaDef> viaDefs_;
+  // Deques: element references survive emplace_back (unlike std::vector),
+  // which is what makes the stability guarantee on add* above hold.
+  std::deque<Layer> layers_;
+  std::deque<ViaDef> viaDefs_;
   std::unordered_map<std::string, int> layerByName_;
   std::unordered_map<std::string, int> viaByName_;
 };

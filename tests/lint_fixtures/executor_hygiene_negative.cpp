@@ -1,0 +1,29 @@
+// Known-negative fixture for the executor-hygiene rule. NOT compiled.
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+// Fine: querying hardware concurrency is not thread creation.
+unsigned hwThreads() {
+  return std::thread::hardware_concurrency();
+}
+
+// Fine: slot writes through a const-capture lambda.
+std::vector<int> slotWrites(std::size_t n) {
+  std::vector<int> out(n);
+  util::parallelFor(
+      n, [&out](std::size_t i) { out[i] = static_cast<int>(i) * 2; }, 0);
+  return out;
+}
+
+// Suppressed with justification: e.g. a benchmark that must own its pool.
+void suppressedRawThread() {
+  // pao-lint: allow(executor-hygiene): measures bare thread spawn cost
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,27 @@
+// Known-positive fixture for the executor-hygiene rule. NOT compiled —
+// consumed by tests/test_lint.cpp as lint input only.
+#include <cstddef>
+#include <future>
+#include <thread>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+void rawThread() {
+  std::thread t([] {});  // line 13: raw std::thread
+  t.join();
+}
+
+void rawAsync() {
+  auto f = std::async([] { return 1; });  // line 18: raw std::async
+  f.get();
+}
+
+void mutableCapture() {
+  int next = 0;
+  util::parallelFor(
+      4, [next](std::size_t) mutable { ++next; },  // line 25: mutable capture
+      1);
+}

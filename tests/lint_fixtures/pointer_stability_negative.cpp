@@ -1,0 +1,49 @@
+// Known-negative fixture for the pointer-stability rule. NOT compiled.
+#include <deque>
+#include <string>
+#include <vector>
+
+struct Widget {
+  std::string name;
+  int id = 0;
+};
+
+struct Store {
+  Widget& addWidget(std::string name);
+  Widget* findWidget(const std::string& name);
+};
+
+// Safe: the reference is fully used before the container grows again.
+int useBeforeGrowth() {
+  std::vector<int> vals;
+  int& first = vals.emplace_back(1);
+  first = 10;
+  vals.emplace_back(2);
+  return vals.front();
+}
+
+// Safe: re-acquired after the growth call instead of reusing the old ref.
+void reacquireAfterGrowth(Store& store) {
+  store.addWidget("a");
+  store.addWidget("b");
+  Widget* a = store.findWidget("a");
+  a->id = 1;
+}
+
+// Safe: growth on a *different* container does not invalidate.
+int unrelatedContainer() {
+  std::vector<int> vals;
+  std::vector<int> others;
+  int& first = vals.emplace_back(1);
+  others.emplace_back(2);
+  return first;
+}
+
+// Suppressed with justification: e.g. the receiver is deque-backed, which
+// the per-file lexical pass cannot know.
+int suppressedDequeCase(std::deque<int>& dq) {
+  int& ref = dq.emplace_back(1);
+  dq.emplace_back(2);
+  // pao-lint: allow(pointer-stability): dq is a deque; refs survive growth
+  return ref;
+}

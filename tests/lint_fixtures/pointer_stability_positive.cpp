@@ -1,0 +1,37 @@
+// Known-positive fixture for the pointer-stability rule. NOT compiled —
+// consumed by tests/test_lint.cpp as lint input only.
+#include <string>
+#include <vector>
+
+struct Widget {
+  std::string name;
+  int id = 0;
+};
+
+struct Store {
+  Widget& addWidget(std::string name);  // annotated via --annotate in tests
+};
+
+// Generic vector case: `first` dangles once `vals` grows again.
+int genericVectorDangle() {
+  std::vector<int> vals;
+  int& first = vals.emplace_back(1);
+  vals.emplace_back(2);   // may reallocate
+  return first;           // line 20: use-after-invalidation
+}
+
+// Annotated accessor case: mirrors the PR 1 tech_gen.cpp bug.
+void annotatedAccessorDangle(Store& store) {
+  Widget& w = store.addWidget("a");
+  Widget& w2 = store.addWidget("b");  // invalidates w
+  w.id = 1;                           // line 27: use-after-invalidation
+  w2.id = 2;
+}
+
+// push_back invalidates too, even though it returns void.
+int pushBackInvalidates() {
+  std::vector<int> vals;
+  int& ref = vals.emplace_back(7);
+  vals.push_back(8);
+  return ref;             // line 36: use-after-invalidation
+}

@@ -1,0 +1,16 @@
+// Fixture for malformed suppressions. NOT compiled.
+#include <thread>
+
+// A justification is required: this allow() does not suppress, and is
+// itself reported.
+void missingJustification() {
+  std::thread t([] {});  // pao-lint: allow(executor-hygiene)
+  t.join();
+}
+
+// Unknown rule ids are reported so typos don't silently fail to suppress.
+void unknownRule() {
+  // pao-lint: allow(executor-hygine): typo in the rule id
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,45 @@
+// Known-negative fixture for the unordered-iteration rule. NOT compiled.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Fine: collected in hash order but canonically sorted before anyone looks.
+std::vector<int> collectThenSort(const std::unordered_set<int>& ids) {
+  std::vector<int> out;
+  for (int id : ids) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Fine: the loop only aggregates (order-independent), it writes nothing.
+int total(const std::unordered_map<std::string, int>& counts) {
+  int sum = 0;
+  for (const auto& [name, n] : counts) {
+    sum += n;
+  }
+  return sum;
+}
+
+// Fine: std::map iterates in key order.
+std::vector<std::string> orderedKeys(const std::map<std::string, int>& m) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : m) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+// Suppressed with justification.
+std::vector<int> suppressedDump(const std::unordered_set<int>& ids) {
+  std::vector<int> out;
+  // pao-lint: allow(unordered-iteration): consumer treats this as a bag
+  for (int id : ids) {
+    out.push_back(id);
+  }
+  return out;
+}

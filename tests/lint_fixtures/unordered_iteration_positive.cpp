@@ -1,0 +1,24 @@
+// Known-positive fixture for the unordered-iteration rule. NOT compiled.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Hash-order stream output: nondeterministic across implementations/runs.
+void dumpCounts(const std::unordered_map<std::string, int>& counts) {
+  for (const auto& [name, n] : counts) {  // line 10: flagged at the for
+    std::cout << name << " " << n << "\n";
+  }
+}
+
+// Hash-order result collection with no later sort.
+std::vector<int> collectIds() {
+  std::unordered_set<int> ids;
+  ids.insert(3);
+  std::vector<int> out;
+  for (int id : ids) {  // line 20: flagged at the for
+    out.push_back(id);
+  }
+  return out;
+}

@@ -1,0 +1,249 @@
+// Tests for pao_lint (tools/lint/): tokenizer behavior, all three rules
+// against in-memory sources and the known-positive / known-negative fixture
+// files under tests/lint_fixtures/, and the suppression syntax.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace {
+
+using pao::lint::Finding;
+using pao::lint::lintFile;
+using pao::lint::lintSource;
+using pao::lint::Options;
+using pao::lint::TokKind;
+
+std::string fixture(const std::string& name) {
+  return std::string(PAO_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// Options used by the fixture tests: the fixtures' fake Store::addWidget
+/// accessor is annotated as returning an unstable reference.
+Options fixtureOptions() {
+  Options o;
+  o.accessors.push_back({"addWidget", "widgets"});
+  return o;
+}
+
+std::vector<const Finding*> unsuppressed(const std::vector<Finding>& fs) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed) out.push_back(&f);
+  }
+  return out;
+}
+
+std::vector<Finding> lintFixture(const std::string& name) {
+  std::string error;
+  std::vector<Finding> fs = lintFile(fixture(name), fixtureOptions(), &error);
+  EXPECT_EQ(error, "") << name;
+  return fs;
+}
+
+// --- Lexer ---------------------------------------------------------------
+
+TEST(LintLexer, TokenizesIdentifiersStringsAndFusedPuncts) {
+  const auto r = pao::lint::lex("a->b(\"s\") << c::d;");
+  std::vector<std::string> texts;
+  for (const auto& t : r.tokens) texts.emplace_back(t.text);
+  EXPECT_EQ(texts, (std::vector<std::string>{"a", "->", "b", "(", "\"s\"",
+                                             ")", "<<", "c", "::", "d", ";"}));
+}
+
+TEST(LintLexer, StripsCommentsAndPreprocessorLines) {
+  const auto r = pao::lint::lex(
+      "#include <thread>\n// std::thread in a comment\n/* std::async */\nint "
+      "x;\n");
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[0].text, "int");
+  EXPECT_EQ(r.tokens[1].line, 4);
+}
+
+TEST(LintLexer, StringContentsAreOpaque) {
+  const auto r = pao::lint::lex("const char* s = \"std::thread\";");
+  const auto findings = lintSource("x.cpp", "void f() { (void)\"std::thread\"; }",
+                                   Options());
+  EXPECT_TRUE(findings.empty());
+  ASSERT_GE(r.tokens.size(), 6u);
+  EXPECT_EQ(r.tokens[5].kind, TokKind::kString);
+}
+
+TEST(LintLexer, ParsesSuppressionsWithJustification) {
+  const auto r = pao::lint::lex(
+      "int x;  // pao-lint: allow(executor-hygiene): bench owns its pool\n");
+  ASSERT_EQ(r.suppressions.size(), 1u);
+  EXPECT_EQ(r.suppressions[0].rule, "executor-hygiene");
+  EXPECT_EQ(r.suppressions[0].justification, "bench owns its pool");
+  EXPECT_EQ(r.suppressions[0].line, 1);
+}
+
+TEST(LintLexer, IgnoresSyntaxDocumentationMentioningAllow) {
+  const auto r =
+      pao::lint::lex("// pao-lint: allow(<rule>) is how you suppress\n");
+  EXPECT_TRUE(r.suppressions.empty());
+}
+
+// --- pointer-stability ---------------------------------------------------
+
+TEST(LintPointerStability, FlagsAllKnownPositives) {
+  const auto fs = lintFixture("pointer_stability_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 3u);
+  for (const Finding* f : live) EXPECT_EQ(f->rule, "pointer-stability");
+  EXPECT_EQ(live[0]->line, 20);  // generic emplace_back dangle
+  EXPECT_EQ(live[1]->line, 27);  // annotated accessor dangle
+  EXPECT_EQ(live[2]->line, 36);  // push_back invalidation
+  EXPECT_NE(live[1]->message.find("addWidget"), std::string::npos);
+}
+
+TEST(LintPointerStability, AcceptsAllKnownNegatives) {
+  const auto fs = lintFixture("pointer_stability_negative.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+  // The deque case is present but suppressed with a justification.
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(),
+                          [](const Finding& f) { return f.suppressed; }),
+            1);
+}
+
+TEST(LintPointerStability, SiblingAccessorsInSameGroupInvalidate) {
+  Options o;
+  o.accessors.push_back({"addLayer", "db-layers"});
+  o.accessors.push_back({"insertLayer", "db-layers"});
+  const auto fs = lintSource("x.cpp",
+                             "void f(Tech& t) {\n"
+                             "  Layer& a = t.addLayer(1);\n"
+                             "  t.insertLayer(0);\n"
+                             "  a.index = 3;\n"
+                             "}\n",
+                             o);
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0]->line, 4);
+  EXPECT_NE(live[0]->message.find("insertLayer"), std::string::npos);
+}
+
+TEST(LintPointerStability, DifferentReceiversDoNotInvalidate) {
+  Options o;
+  o.accessors.push_back({"addLayer", "db-layers"});
+  const auto fs = lintSource("x.cpp",
+                             "void f(Tech& t1, Tech& t2) {\n"
+                             "  Layer& a = t1.addLayer(1);\n"
+                             "  t2.addLayer(2);\n"
+                             "  a.index = 3;\n"
+                             "}\n",
+                             o);
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintPointerStability, ScopeExitDropsBindings) {
+  const auto fs = lintSource("x.cpp",
+                             "void f() {\n"
+                             "  std::vector<int> v;\n"
+                             "  { int& r = v.emplace_back(1); r = 2; }\n"
+                             "  v.emplace_back(2);\n"
+                             "  int r = 0;\n"  // unrelated r, new scope
+                             "  (void)r;\n"
+                             "}\n",
+                             Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- unordered-iteration -------------------------------------------------
+
+TEST(LintUnorderedIteration, FlagsAllKnownPositives) {
+  const auto fs = lintFixture("unordered_iteration_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0]->rule, "unordered-iteration");
+  EXPECT_EQ(live[0]->line, 10);
+  EXPECT_EQ(live[1]->line, 20);
+}
+
+TEST(LintUnorderedIteration, AcceptsAllKnownNegatives) {
+  const auto fs = lintFixture("unordered_iteration_negative.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintUnorderedIteration, SortInsideEnclosingBlockCounts) {
+  const auto fs = lintSource(
+      "x.cpp",
+      "std::vector<int> f(const std::unordered_set<int>& s) {\n"
+      "  std::vector<int> out;\n"
+      "  for (int v : s) out.push_back(v);\n"
+      "  std::stable_sort(out.begin(), out.end());\n"
+      "  return out;\n"
+      "}\n",
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- executor-hygiene ----------------------------------------------------
+
+TEST(LintExecutorHygiene, FlagsAllKnownPositives) {
+  const auto fs = lintFixture("executor_hygiene_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0]->line, 13);
+  EXPECT_NE(live[0]->message.find("std::thread"), std::string::npos);
+  EXPECT_EQ(live[1]->line, 18);
+  EXPECT_NE(live[1]->message.find("std::async"), std::string::npos);
+  EXPECT_EQ(live[2]->line, 25);
+  EXPECT_NE(live[2]->message.find("mutable"), std::string::npos);
+}
+
+TEST(LintExecutorHygiene, AcceptsAllKnownNegatives) {
+  const auto fs = lintFixture("executor_hygiene_negative.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintExecutorHygiene, ExecutorImplementationIsExempt) {
+  const auto fs = lintSource("src/util/executor.cpp",
+                             "void f() { std::thread t; }", Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+  const auto other =
+      lintSource("src/drc/engine.cpp", "void f() { std::thread t; }",
+                 Options());
+  EXPECT_EQ(unsuppressed(other).size(), 1u);
+}
+
+// --- suppression syntax --------------------------------------------------
+
+TEST(LintSuppression, MalformedSuppressionsAreReported) {
+  const auto fs = lintFixture("suppression_malformed.cpp");
+  const auto live = unsuppressed(fs);
+  // 2 raw-thread findings (the bad allows do not suppress) + 1 missing
+  // justification + 1 unknown rule id.
+  ASSERT_EQ(live.size(), 4u);
+  const auto count = [&](std::string_view rule) {
+    return std::count_if(live.begin(), live.end(), [&](const Finding* f) {
+      return f->rule == rule;
+    });
+  };
+  EXPECT_EQ(count("executor-hygiene"), 2);
+  EXPECT_EQ(count("suppression"), 2);
+}
+
+TEST(LintSuppression, CommentOnPrecedingLineCoversNextLine) {
+  const auto fs = lintSource(
+      "x.cpp",
+      "// pao-lint: allow(executor-hygiene): spawn cost benchmark\n"
+      "void f() { std::thread t; }\n",
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintSuppression, WrongRuleDoesNotSuppress) {
+  const auto fs = lintSource(
+      "x.cpp",
+      "// pao-lint: allow(pointer-stability): wrong rule for this finding\n"
+      "void f() { std::thread t; }\n",
+      Options());
+  EXPECT_EQ(unsuppressed(fs).size(), 1u);
+}
+
+}  // namespace

@@ -42,11 +42,11 @@ inline std::unique_ptr<db::Tech> makeTinyTech() {
 
   db::ViaDef& via = tech->addViaDef("V1_0");
   via.isDefault = true;
-  // Earlier addLayer references are dangling after the vector grew; re-look
-  // the indices up instead.
-  via.botLayer = tech->findLayer("M1")->index;
-  via.cutLayer = tech->findLayer("V1")->index;
-  via.topLayer = tech->findLayer("M2")->index;
+  // The m1/v1/m2 references above are stable across addLayer/addViaDef —
+  // Tech's storage is a deque — so their indices can be used directly.
+  via.botLayer = m1.index;
+  via.cutLayer = v1.index;
+  via.topLayer = m2.index;
   via.cut = {-50, -50, 50, 50};
   via.botEnc = {-150, -60, 150, 60};   // overhang 100 along x, 10 along y
   via.topEnc = {-60, -150, 60, 150};

@@ -1,9 +1,14 @@
 #!/bin/sh
-# CI entry point: builds and tests the tree twice —
-#   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces)
-#   2. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+# CI entry point: four legs over the same tree —
+#   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
+#                      ctest includes the pao_lint_tree static-analysis gate)
+#   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
+#                      bench — fails on any unsuppressed finding)
+#   3. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
 #                      parallel executor paths in DrcEngine::checkAll, the
 #                      oracle Steps 1-3 and router planning)
+#   4. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+# The whole tree builds with -Wall -Wextra -Werror in every leg.
 # Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
 set -eu
 
@@ -15,11 +20,21 @@ cmake -B "$SRC/build-ci-release" -S "$SRC" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$SRC/build-ci-release" -j "$JOBS"
 ctest --test-dir "$SRC/build-ci-release" --output-on-failure -j "$JOBS"
 
+echo "== Static analysis (pao_lint) =="
+"$SRC/build-ci-release/tools/pao_lint" \
+  "$SRC/src" "$SRC/tools" "$SRC/tests" "$SRC/examples" "$SRC/bench"
+
 echo "== ThreadSanitizer build =="
 cmake -B "$SRC/build-ci-tsan" -S "$SRC" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAO_SANITIZE=thread
 cmake --build "$SRC/build-ci-tsan" -j "$JOBS"
 # TSan slows execution ~5-15x; keep -j so independent tests overlap.
 ctest --test-dir "$SRC/build-ci-tsan" --output-on-failure -j "$JOBS"
+
+echo "== UndefinedBehaviorSanitizer build =="
+cmake -B "$SRC/build-ci-ubsan" -S "$SRC" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAO_SANITIZE=undefined
+cmake --build "$SRC/build-ci-ubsan" -j "$JOBS"
+ctest --test-dir "$SRC/build-ci-ubsan" --output-on-failure -j "$JOBS"
 
 echo "== CI OK =="

@@ -1,0 +1,203 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace pao::lint {
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentCont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string_view trimWs(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parses every `pao-lint: allow(<rule>)` marker in a comment body. The
+/// justification is whatever trails the closing paren (after an optional
+/// `:` or `--` separator) up to the next `allow(` or the end of the comment.
+void parseSuppressions(std::string_view comment, int line, LexResult& out) {
+  constexpr std::string_view kMarker = "pao-lint:";
+  std::size_t at = comment.find(kMarker);
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + kMarker.size());
+  constexpr std::string_view kAllow = "allow(";
+  std::size_t a = rest.find(kAllow);
+  while (a != std::string_view::npos) {
+    const std::size_t ruleBegin = a + kAllow.size();
+    const std::size_t close = rest.find(')', ruleBegin);
+    if (close == std::string_view::npos) return;
+    Suppression s;
+    s.line = line;
+    s.rule = std::string(trimWs(rest.substr(ruleBegin, close - ruleBegin)));
+    // Documentation that merely *mentions* the syntax (e.g. `allow(<rule>)`)
+    // is not a suppression: require a plausible rule name.
+    const bool plausible =
+        !s.rule.empty() &&
+        s.rule.find_first_not_of(
+            "abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-") == std::string::npos;
+    if (!plausible) {
+      a = rest.find(kAllow, close + 1);
+      continue;
+    }
+    std::string_view tail = rest.substr(close + 1);
+    const std::size_t nextAllow = tail.find(kAllow);
+    if (nextAllow != std::string_view::npos) tail = tail.substr(0, nextAllow);
+    tail = trimWs(tail);
+    while (!tail.empty() && (tail.front() == ':' || tail.front() == '-')) {
+      tail.remove_prefix(1);
+    }
+    s.justification = std::string(trimWs(tail));
+    out.suppressions.push_back(std::move(s));
+    a = rest.find(kAllow, close + 1);
+  }
+}
+
+/// Multi-character punctuators fused into one token. Longest first. `>>` is
+/// deliberately absent: emitting two `>` tokens keeps naive template-angle
+/// balancing in the rule passes correct for `map<K, vector<V>>`.
+constexpr std::array<std::string_view, 18> kPuncts = {
+    "<<=", "->*", "...", "::", "->", "<<", "&&", "||", "==", "!=",
+    "<=",  ">=",  "+=",  "-=", "*=", "/=", "++", "--",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+  const auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t s = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      parseSuppressions(src.substr(s, i - s), line, out);
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t s = i + 2;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      // Report the suppression on the comment's *last* line so a block
+      // comment directly above a statement covers that statement.
+      parseSuppressions(src.substr(s, i - s), line, out);
+      if (i < n) i += 2;
+      continue;
+    }
+    if (c == '#') {
+      // Preprocessor directive: skip the whole (possibly continued) line.
+      while (i < n) {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const std::size_t s = i;
+      const int startLine = line;
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;
+      out.tokens.push_back({c == '"' ? TokKind::kString : TokKind::kChar,
+                            src.substr(s, i - s), startLine});
+      continue;
+    }
+    if (isIdentStart(c)) {
+      const std::size_t s = i;
+      while (i < n && isIdentCont(src[i])) ++i;
+      const std::string_view id = src.substr(s, i - s);
+      // Raw string literal: R"delim( ... )delim"
+      if ((id == "R" || id == "LR" || id == "u8R" || id == "uR" ||
+           id == "UR") &&
+          i < n && src[i] == '"') {
+        const std::size_t delimBegin = i + 1;
+        const std::size_t open = src.find('(', delimBegin);
+        if (open != std::string_view::npos) {
+          std::string close(")");
+          close.append(src.substr(delimBegin, open - delimBegin));
+          close.push_back('"');
+          const std::size_t e = src.find(close, open + 1);
+          const std::size_t end = e == std::string_view::npos
+                                      ? n
+                                      : e + close.size();
+          const int startLine = line;
+          for (std::size_t k = s; k < end; ++k) {
+            if (src[k] == '\n') ++line;
+          }
+          out.tokens.push_back(
+              {TokKind::kString, src.substr(s, end - s), startLine});
+          i = end;
+          continue;
+        }
+      }
+      out.tokens.push_back({TokKind::kIdent, id, line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t s = i;
+      ++i;
+      while (i < n &&
+             (isIdentCont(src[i]) || src[i] == '.' ||
+              ((src[i] == '+' || src[i] == '-') &&
+               (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+                src[i - 1] == 'P')))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::kNumber, src.substr(s, i - s), line});
+      continue;
+    }
+    // Punctuation: longest fused operator first, else a single character.
+    std::size_t len = 1;
+    for (const std::string_view p : kPuncts) {
+      if (src.compare(i, p.size(), p) == 0) {
+        len = p.size();
+        break;
+      }
+    }
+    out.tokens.push_back({TokKind::kPunct, src.substr(i, len), line});
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace pao::lint

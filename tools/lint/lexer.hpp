@@ -1,0 +1,51 @@
+// Minimal C++ tokenizer for pao_lint. This is not a compiler front end: it
+// produces a flat token stream (identifiers, numbers, literals, punctuation)
+// with line numbers, strips comments and preprocessor directives, and parses
+// `pao-lint: allow(<rule>): <justification>` suppression markers out of the
+// comments it strips. The rule passes in rules.cpp work purely on this
+// stream plus brace/paren matching — deliberately heuristic, tuned for the
+// project's own style (see DESIGN.md "Static analysis & invariants").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pao::lint {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   ///< identifier or keyword
+  kNumber,  ///< numeric literal (integer/float, suffixes included)
+  kString,  ///< string literal including quotes (raw strings too)
+  kChar,    ///< character literal including quotes
+  kPunct,   ///< operator/punctuator; multi-char ops like :: -> << are fused
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;  ///< view into the source buffer passed to lex()
+  int line = 0;           ///< 1-based line of the token's first character
+};
+
+/// One `pao-lint: allow(<rule>)[: justification]` marker found in a comment.
+/// `line` is the line the comment ends on, so a trailing comment covers its
+/// own line and a standalone comment covers the line below it.
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  std::string justification;  ///< empty when the author gave none (an error)
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Suppression> suppressions;
+};
+
+/// Tokenizes `src`. The returned tokens view into `src`, which must outlive
+/// the result. Handles // and /* */ comments, string/char literals with
+/// escapes, raw string literals, and skips preprocessor directive lines
+/// (including backslash continuations).
+LexResult lex(std::string_view src);
+
+}  // namespace pao::lint

@@ -1,0 +1,150 @@
+// pao_lint: project-invariant static analysis for the PAO tree.
+//
+//   pao_lint [options] <path>...      lint files, or recurse into directories
+//
+// Rules (see lint/rules.hpp and DESIGN.md "Static analysis & invariants"):
+//   pointer-stability, unordered-iteration, executor-hygiene
+//
+// Suppress a finding with a justified comment on, or directly above, the
+// offending line:
+//   // pao-lint: allow(executor-hygiene): benchmark needs its own pool
+//
+// Exit status: 0 when no unsuppressed findings, 1 otherwise, 2 on usage or
+// I/O errors.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace fs = std::filesystem;
+using pao::lint::Finding;
+using pao::lint::Options;
+
+namespace {
+
+bool isSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh" || ext == ".inl";
+}
+
+/// Directories never worth linting: build output, VCS metadata, and the
+/// lint tool's own known-positive test fixtures.
+bool isSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || name == "lint_fixtures" ||
+         name.rfind("build", 0) == 0;
+}
+
+void collectFiles(const fs::path& root, std::vector<std::string>& out) {
+  if (fs::is_regular_file(root)) {
+    out.push_back(root.string());
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (auto it = fs::recursive_directory_iterator(root);
+       it != fs::recursive_directory_iterator(); ++it) {
+    if (it->is_directory() && isSkippedDir(it->path())) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && isSourceFile(it->path())) {
+      out.push_back(it->path().string());
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pao_lint [options] <file-or-dir>...\n"
+               "  --annotate M=G   treat accessor M() as returning an\n"
+               "                   unstable reference (invalidation group G)\n"
+               "  --suppressed     also print suppressed findings\n"
+               "  --list-rules     print the rule catalog and exit\n");
+  return 2;
+}
+
+void printFinding(const Finding& f, bool markSuppressed) {
+  std::printf("%s:%d: [%s]%s %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+              markSuppressed && f.suppressed ? " (suppressed)" : "",
+              f.message.c_str());
+  if (!f.hint.empty()) std::printf("    hint: %s\n", f.hint.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> roots;
+  bool showSuppressed = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--suppressed") {
+      showSuppressed = true;
+    } else if (arg == "--list-rules") {
+      std::printf(
+          "pointer-stability    reference from a reallocating container\n"
+          "                     accessor used across a growth call\n"
+          "unordered-iteration  unordered_map/set iteration writes output\n"
+          "                     with no later canonical sort\n"
+          "executor-hygiene     raw std::thread/std::async outside the\n"
+          "                     executor; mutable lambda into parallelFor\n");
+      return 0;
+    } else if (arg == "--annotate") {
+      if (i + 1 >= argc) return usage();
+      const std::string_view spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string_view::npos || eq == 0 ||
+          eq + 1 == spec.size()) {
+        return usage();
+      }
+      options.accessors.push_back({std::string(spec.substr(0, eq)),
+                                   std::string(spec.substr(eq + 1))});
+    } else if (!arg.empty() && arg.front() == '-') {
+      return usage();
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& r : roots) {
+    if (!fs::exists(r)) {
+      std::fprintf(stderr, "pao_lint: no such path: %s\n", r.c_str());
+      return 2;
+    }
+    collectFiles(r, files);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  int unsuppressed = 0;
+  int suppressed = 0;
+  for (const std::string& f : files) {
+    std::string error;
+    const std::vector<Finding> findings = pao::lint::lintFile(f, options,
+                                                              &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "pao_lint: %s\n", error.c_str());
+      return 2;
+    }
+    for (const Finding& finding : findings) {
+      if (finding.suppressed) {
+        ++suppressed;
+        if (showSuppressed) printFinding(finding, true);
+      } else {
+        ++unsuppressed;
+        printFinding(finding, false);
+      }
+    }
+  }
+  std::printf(
+      "pao_lint: %d finding(s), %d suppressed, %zu file(s) scanned\n",
+      unsuppressed, suppressed, files.size());
+  return unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,460 @@
+#include "lint/rules.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint/lexer.hpp"
+
+namespace pao::lint {
+
+namespace {
+
+bool isIdent(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+bool isPunct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Index of the punctuator matching tokens[open] (an `open` punct), or
+/// tokens.size() when unbalanced.
+std::size_t matchForward(const std::vector<Token>& toks, std::size_t open,
+                         std::string_view openTxt, std::string_view closeTxt) {
+  int depth = 0;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    if (isPunct(toks[k], openTxt)) ++depth;
+    if (isPunct(toks[k], closeTxt) && --depth == 0) return k;
+  }
+  return toks.size();
+}
+
+/// Brace depth each token lives at: an opening `{` lives at the outer depth,
+/// its contents at depth+1.
+std::vector<int> braceDepths(const std::vector<Token>& toks) {
+  std::vector<int> d(toks.size(), 0);
+  int depth = 0;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (isPunct(toks[k], "}") && depth > 0) --depth;
+    d[k] = depth;
+    if (isPunct(toks[k], "{")) ++depth;
+  }
+  return d;
+}
+
+/// Walks back from `last` (inclusive) over an `a.b->c` chain and returns the
+/// normalized receiver string ("a.b.c") plus the index of its first token.
+/// `last` must be an identifier.
+struct Receiver {
+  std::string chain;
+  std::size_t begin = 0;
+};
+Receiver receiverChain(const std::vector<Token>& toks, std::size_t last) {
+  std::vector<std::string_view> parts{toks[last].text};
+  std::size_t k = last;
+  while (k >= 2 &&
+         (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->") ||
+          isPunct(toks[k - 1], "::")) &&
+         toks[k - 2].kind == TokKind::kIdent) {
+    parts.push_back(toks[k - 2].text);
+    k -= 2;
+  }
+  std::string chain;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!chain.empty()) chain.push_back('.');
+    chain.append(*it);
+  }
+  return {std::move(chain), k};
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unordered-iteration
+// ---------------------------------------------------------------------------
+
+/// Names of variables declared in this file with an unordered container
+/// type. Purely lexical: `unordered_map<...>` (template args balanced) then
+/// past any `&`/`*`/cv tokens, an identifier.
+std::set<std::string_view> collectUnorderedNames(
+    const std::vector<Token>& toks) {
+  std::set<std::string_view> names;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (!isIdent(toks[k], "unordered_map") &&
+        !isIdent(toks[k], "unordered_set")) {
+      continue;
+    }
+    std::size_t j = k + 1;
+    if (j >= toks.size() || !isPunct(toks[j], "<")) continue;
+    int angle = 0;
+    for (; j < toks.size(); ++j) {
+      if (isPunct(toks[j], "<")) ++angle;
+      if (isPunct(toks[j], ">") && --angle == 0) break;
+      if (isPunct(toks[j], ";")) break;  // gave up: not a simple type
+    }
+    if (j >= toks.size() || angle != 0) continue;
+    ++j;
+    while (j < toks.size() &&
+           (isPunct(toks[j], "&") || isPunct(toks[j], "*") ||
+            isIdent(toks[j], "const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+void ruleUnorderedIteration(std::string_view path,
+                            const std::vector<Token>& toks,
+                            const std::vector<int>& depths,
+                            std::vector<Finding>& out) {
+  const std::set<std::string_view> names = collectUnorderedNames(toks);
+  for (std::size_t k = 0; k + 1 < toks.size(); ++k) {
+    if (!isIdent(toks[k], "for") || !isPunct(toks[k + 1], "(")) continue;
+    const std::size_t cp = matchForward(toks, k + 1, "(", ")");
+    if (cp >= toks.size()) continue;
+    // The range-for colon sits at paren depth 1 (`::` is a distinct token).
+    std::size_t colon = toks.size();
+    int pd = 0;
+    for (std::size_t j = k + 1; j < cp; ++j) {
+      if (isPunct(toks[j], "(")) ++pd;
+      if (isPunct(toks[j], ")")) --pd;
+      if (pd == 1 && isPunct(toks[j], ":")) {
+        colon = j;
+        break;
+      }
+    }
+    if (colon >= toks.size()) continue;
+    std::string_view container;
+    for (std::size_t j = colon + 1; j < cp; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (names.count(toks[j].text) != 0 ||
+          toks[j].text == "unordered_map" || toks[j].text == "unordered_set") {
+        container = toks[j].text;
+        break;
+      }
+    }
+    if (container.empty()) continue;
+    // Loop body: a brace block or a single statement up to `;`.
+    std::size_t bodyBegin = cp + 1;
+    std::size_t bodyEnd;
+    if (bodyBegin < toks.size() && isPunct(toks[bodyBegin], "{")) {
+      bodyEnd = matchForward(toks, bodyBegin, "{", "}");
+    } else {
+      bodyEnd = bodyBegin;
+      while (bodyEnd < toks.size() && !isPunct(toks[bodyEnd], ";")) ++bodyEnd;
+    }
+    bool writes = false;
+    for (std::size_t j = bodyBegin; j < bodyEnd && j < toks.size(); ++j) {
+      if (isPunct(toks[j], "<<") || isIdent(toks[j], "push_back") ||
+          isIdent(toks[j], "emplace_back")) {
+        writes = true;
+        break;
+      }
+    }
+    if (!writes) continue;
+    // Look for a canonical sort in the remainder of the enclosing block.
+    bool sorted = false;
+    const int forDepth = depths[k];
+    for (std::size_t j = bodyEnd; j < toks.size() && depths[j] >= forDepth;
+         ++j) {
+      if (toks[j].kind == TokKind::kIdent &&
+          toks[j].text.find("sort") != std::string_view::npos) {
+        sorted = true;
+        break;
+      }
+    }
+    if (sorted) continue;
+    Finding f;
+    f.file = std::string(path);
+    f.line = toks[k].line;
+    f.rule = std::string(kRuleUnorderedIteration);
+    f.message = "iteration over unordered container '" +
+                std::string(container) +
+                "' writes output in hash order with no later sort";
+    f.hint =
+        "sort the collected results canonically after the loop (cf. "
+        "DrcEngine::checkAll's violationLess) or iterate a sorted copy";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pointer-stability
+// ---------------------------------------------------------------------------
+
+/// std::vector calls that can reallocate (invalidating prior references into
+/// the same container). pop_back only invalidates the popped element and is
+/// left out to avoid noise.
+bool isGrowthCall(std::string_view m) {
+  return m == "push_back" || m == "emplace_back" || m == "resize" ||
+         m == "reserve" || m == "insert" || m == "emplace" || m == "clear" ||
+         m == "assign";
+}
+/// vector members whose result commonly gets bound to a long-lived
+/// reference.
+bool isRefYieldingVectorCall(std::string_view m) {
+  return m == "emplace_back" || m == "back" || m == "front";
+}
+
+struct Binding {
+  std::string_view name;
+  std::string recv;        ///< normalized receiver chain, e.g. "tech"
+  std::string group;       ///< annotation group or "vec:" + recv
+  std::string declMethod;  ///< accessor that produced the reference
+  std::size_t nameTok = 0;
+  int declDepth = 0;
+  int invalidLine = 0;     ///< 0 while still valid
+  std::string invalidCall;
+  bool reported = false;
+};
+
+void rulePointerStability(std::string_view path,
+                          const std::vector<Token>& toks,
+                          const std::vector<int>& depths,
+                          const Options& options, std::vector<Finding>& out) {
+  std::vector<Binding> bindings;
+  const auto annotationGroup =
+      [&options](std::string_view m) -> const std::string* {
+    for (const AccessorAnnotation& a : options.accessors) {
+      if (a.method == m) return &a.group;
+    }
+    return nullptr;
+  };
+
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    // Scope exit drops bindings declared deeper.
+    if (isPunct(toks[k], "}")) {
+      const int d = depths[k];
+      std::erase_if(bindings,
+                    [d](const Binding& b) { return b.declDepth > d; });
+    }
+
+    // Method call on a receiver: recv.m( / recv->m(
+    const bool isCall =
+        k >= 2 && k + 1 < toks.size() && toks[k].kind == TokKind::kIdent &&
+        isPunct(toks[k + 1], "(") &&
+        (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->"));
+    if (isCall) {
+      const std::string_view m = toks[k].text;
+      const std::string* annGroup = annotationGroup(m);
+      if (annGroup != nullptr || isGrowthCall(m)) {
+        const Receiver recv = receiverChain(toks, k - 2);
+        const std::string group =
+            annGroup != nullptr ? *annGroup : "vec:" + recv.chain;
+        // This call may reallocate: invalidate live same-group bindings.
+        for (Binding& b : bindings) {
+          if (b.invalidLine == 0 && b.group == group && b.recv == recv.chain) {
+            b.invalidLine = toks[k].line;
+            b.invalidCall = recv.chain + "." + std::string(m) + "()";
+          }
+        }
+        // ...and if its result is bound by reference/pointer, start
+        // tracking the new binding:  T& name = recv.m(...)   or
+        // T* name = &recv.m(...)
+        if (annGroup != nullptr || isRefYieldingVectorCall(m)) {
+          const std::size_t s = recv.begin;
+          std::size_t nameTok = toks.size();
+          if (s >= 3 && isPunct(toks[s - 1], "=") &&
+              toks[s - 2].kind == TokKind::kIdent &&
+              isPunct(toks[s - 3], "&")) {
+            nameTok = s - 2;
+          } else if (s >= 4 && isPunct(toks[s - 1], "&") &&
+                     isPunct(toks[s - 2], "=") &&
+                     toks[s - 3].kind == TokKind::kIdent &&
+                     isPunct(toks[s - 4], "*")) {
+            nameTok = s - 3;
+          }
+          if (nameTok < toks.size()) {
+            // Rebinding a tracked name replaces the old binding.
+            std::erase_if(bindings, [&](const Binding& b) {
+              return b.name == toks[nameTok].text;
+            });
+            Binding b;
+            b.name = toks[nameTok].text;
+            b.recv = recv.chain;
+            b.group = group;
+            b.declMethod = std::string(m);
+            b.nameTok = nameTok;
+            b.declDepth = depths[nameTok];
+            bindings.push_back(std::move(b));
+          }
+        }
+        continue;
+      }
+    }
+
+    // Use of a tracked name after invalidation.
+    if (toks[k].kind != TokKind::kIdent) continue;
+    // Member accesses like foo.name are a different entity.
+    if (k >= 1 && (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->") ||
+                   isPunct(toks[k - 1], "::"))) {
+      continue;
+    }
+    for (Binding& b : bindings) {
+      if (b.name != toks[k].text || k == b.nameTok) continue;
+      // `Type& name = other;` rebinding to something untracked: drop it.
+      if (k >= 1 && k + 1 < toks.size() && isPunct(toks[k - 1], "&") &&
+          isPunct(toks[k + 1], "=")) {
+        b = bindings.back();
+        bindings.pop_back();
+        break;
+      }
+      if (b.invalidLine != 0 && !b.reported) {
+        b.reported = true;
+        Finding f;
+        f.file = std::string(path);
+        f.line = toks[k].line;
+        f.rule = std::string(kRulePointerStability);
+        f.message = "'" + std::string(b.name) + "' (reference from " +
+                    b.recv + "." + b.declMethod + "()) used after " +
+                    b.invalidCall + " on line " +
+                    std::to_string(b.invalidLine) +
+                    ", which may reallocate the backing storage";
+        f.hint =
+            "re-acquire the element after the growth call, keep an index "
+            "instead, or move the container to stable (deque/node) storage";
+        out.push_back(std::move(f));
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: executor-hygiene
+// ---------------------------------------------------------------------------
+
+bool pathEndsWith(std::string_view path, std::string_view suffix) {
+  return path.size() >= suffix.size() &&
+         path.substr(path.size() - suffix.size()) == suffix;
+}
+
+void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
+                         const Options& options, std::vector<Finding>& out) {
+  bool exemptRawThread = false;
+  for (const std::string& sfx : options.rawThreadExemptSuffixes) {
+    if (pathEndsWith(path, sfx)) exemptRawThread = true;
+  }
+  for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+    if (isIdent(toks[k], "std") && isPunct(toks[k + 1], "::") &&
+        (isIdent(toks[k + 2], "thread") || isIdent(toks[k + 2], "jthread") ||
+         isIdent(toks[k + 2], "async"))) {
+      // std::thread::hardware_concurrency and friends are queries, not
+      // thread creation.
+      if (k + 3 < toks.size() && isPunct(toks[k + 3], "::")) continue;
+      if (exemptRawThread) continue;
+      Finding f;
+      f.file = std::string(path);
+      f.line = toks[k].line;
+      f.rule = std::string(kRuleExecutorHygiene);
+      f.message = "raw std::" + std::string(toks[k + 2].text) +
+                  " outside src/util/executor.*";
+      f.hint =
+          "route parallelism through util::parallelFor so the determinism "
+          "and nested-call contracts hold";
+      out.push_back(std::move(f));
+    }
+    if (isIdent(toks[k], "parallelFor") && isPunct(toks[k + 1], "(")) {
+      const std::size_t cp = matchForward(toks, k + 1, "(", ")");
+      for (std::size_t j = k + 2; j < cp && j < toks.size(); ++j) {
+        if (!isIdent(toks[j], "mutable")) continue;
+        Finding f;
+        f.file = std::string(path);
+        f.line = toks[j].line;
+        f.rule = std::string(kRuleExecutorHygiene);
+        f.message = "mutable-capture lambda passed to parallelFor";
+        f.hint =
+            "write each task's result into a pre-sized slot instead of "
+            "mutating captured state; slot writes keep results "
+            "schedule-independent";
+        out.push_back(std::move(f));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+void applySuppressions(std::string_view path,
+                       const std::vector<Suppression>& sups,
+                       std::vector<Finding>& findings) {
+  for (Finding& f : findings) {
+    for (const Suppression& s : sups) {
+      if (s.rule == f.rule && !s.justification.empty() &&
+          (s.line == f.line || s.line == f.line - 1)) {
+        f.suppressed = true;
+        break;
+      }
+    }
+  }
+  for (const Suppression& s : sups) {
+    Finding f;
+    f.file = std::string(path);
+    f.line = s.line;
+    f.rule = std::string(kRuleSuppression);
+    if (!isKnownRule(s.rule)) {
+      f.message = "allow() names unknown rule '" + s.rule + "'";
+      f.hint = "valid rules: pointer-stability, unordered-iteration, "
+               "executor-hygiene";
+    } else if (s.justification.empty()) {
+      f.message = "allow(" + s.rule + ") without a justification";
+      f.hint = "suppressions must say why the code is safe: "
+               "// pao-lint: allow(" + s.rule + "): <reason>";
+    } else {
+      continue;
+    }
+    findings.push_back(std::move(f));
+  }
+}
+
+}  // namespace
+
+Options::Options() : accessors(defaultAccessors()) {}
+
+std::vector<AccessorAnnotation> defaultAccessors() {
+  // Intentionally empty: the known unstable accessors (Tech::addLayer,
+  // Tech::addViaDef) now return references into deque storage, which never
+  // relocates. Register new vector-backed accessors here as
+  // {"methodName", "groupName"}.
+  return {};
+}
+
+bool isKnownRule(std::string_view rule) {
+  return rule == kRulePointerStability || rule == kRuleUnorderedIteration ||
+         rule == kRuleExecutorHygiene;
+}
+
+std::vector<Finding> lintSource(std::string_view path, std::string_view src,
+                                const Options& options) {
+  const LexResult lexed = lex(src);
+  const std::vector<int> depths = braceDepths(lexed.tokens);
+  std::vector<Finding> findings;
+  rulePointerStability(path, lexed.tokens, depths, options, findings);
+  ruleUnorderedIteration(path, lexed.tokens, depths, findings);
+  ruleExecutorHygiene(path, lexed.tokens, options, findings);
+  applySuppressions(path, lexed.suppressions, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lintFile(const std::string& path, const Options& options,
+                              std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+  return lintSource(path, src, options);
+}
+
+}  // namespace pao::lint

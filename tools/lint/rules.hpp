@@ -1,0 +1,91 @@
+// pao_lint rule engine: project-invariant checks over the token stream
+// produced by lint/lexer.hpp. Three rules, each named and suppressible with
+// `// pao-lint: allow(<rule>): <justification>` on the offending line or the
+// line above it:
+//
+//   pointer-stability   A reference/pointer obtained from a reallocating
+//                       container accessor (a `std::vector` growth call such
+//                       as `v.emplace_back()`, or an annotated project
+//                       accessor) is used after a later call that may
+//                       reallocate the same container. This is the bug class
+//                       PR 1's TSan leg caught at runtime in tech_gen.cpp
+//                       and test_util.hpp.
+//   unordered-iteration A range-for over a `std::unordered_map`/`_set`
+//                       whose body writes output (stream insertion,
+//                       push_back/emplace_back) with no subsequent canonical
+//                       sort in the enclosing block — hash iteration order
+//                       is not deterministic, which breaks the executor's
+//                       determinism contract (cf. DrcEngine::checkAll's
+//                       violationLess sort).
+//   executor-hygiene    Raw `std::thread`/`std::jthread`/`std::async` use
+//                       outside src/util/executor.*, or a mutable-capture
+//                       lambda passed to `parallelFor` (slot-writes, not
+//                       captured mutation, keep parallel results
+//                       deterministic).
+//
+// A fourth internal rule id, `suppression`, reports malformed suppressions
+// (missing justification, unknown rule id); it cannot itself be suppressed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pao::lint {
+
+inline constexpr std::string_view kRulePointerStability = "pointer-stability";
+inline constexpr std::string_view kRuleUnorderedIteration =
+    "unordered-iteration";
+inline constexpr std::string_view kRuleExecutorHygiene = "executor-hygiene";
+inline constexpr std::string_view kRuleSuppression = "suppression";
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string hint;
+  bool suppressed = false;  ///< a justified allow() covers this finding
+};
+
+/// A project accessor known to return a reference into reallocating vector
+/// storage. Accessors sharing a `group` (called on the same receiver)
+/// invalidate each other's returned references — e.g. an insertLayer would
+/// share a group with addLayer.
+struct AccessorAnnotation {
+  std::string method;
+  std::string group;
+};
+
+struct Options {
+  /// Annotated unstable accessors, seeded from defaultAccessors(). The
+  /// generic `std::vector` growth-call detection is always on regardless.
+  std::vector<AccessorAnnotation> accessors;
+  /// Path suffixes exempt from the raw-thread half of executor-hygiene
+  /// (the executor implementation itself must use std::thread).
+  std::vector<std::string> rawThreadExemptSuffixes = {
+      "src/util/executor.cpp", "src/util/executor.hpp"};
+
+  Options();
+};
+
+/// The built-in annotation list. Empty today on purpose: Tech::addLayer /
+/// Tech::addViaDef were the known offenders and were moved to stable
+/// (deque-backed) storage; add entries here when introducing a new accessor
+/// that hands out references into a std::vector.
+std::vector<AccessorAnnotation> defaultAccessors();
+
+/// True when `rule` is a rule id findings can carry (and allow() can name).
+bool isKnownRule(std::string_view rule);
+
+/// Lints one in-memory translation unit. `path` is used for reporting and
+/// for the executor-hygiene path exemptions. Suppressed findings are
+/// returned with `suppressed == true` so callers can count or hide them.
+std::vector<Finding> lintSource(std::string_view path, std::string_view src,
+                                const Options& options);
+
+/// Reads and lints `path`. On I/O failure returns empty and sets *error.
+std::vector<Finding> lintFile(const std::string& path, const Options& options,
+                              std::string* error);
+
+}  // namespace pao::lint
