@@ -52,4 +52,36 @@ void Design::buildInstanceIndex() {
   }
 }
 
+void Design::moveInstance(int idx, geom::Point newOrigin) {
+  instances.at(idx).origin = newOrigin;
+  ++revision_;
+}
+
+void Design::setInstanceOrient(int idx, geom::Orient orient) {
+  instances.at(idx).orient = orient;
+  ++revision_;
+}
+
+int Design::addInstance(Instance inst) {
+  const int idx = static_cast<int>(instances.size());
+  instByName_[inst.name] = idx;
+  instances.push_back(std::move(inst));
+  ++revision_;
+  return idx;
+}
+
+void Design::removeInstance(int idx) {
+  instances.erase(instances.begin() + idx);
+  for (Net& net : nets) {
+    std::erase_if(net.terms, [idx](const NetTerm& t) {
+      return !t.isIo() && t.instIdx == idx;
+    });
+    for (NetTerm& t : net.terms) {
+      if (t.instIdx > idx) --t.instIdx;
+    }
+  }
+  buildInstanceIndex();
+  ++revision_;
+}
+
 }  // namespace pao::db

@@ -2,6 +2,7 @@
 // placed instances, and nets.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -102,8 +103,29 @@ class Design {
 
   void buildInstanceIndex();
 
+  // --- Mutation API (incremental sessions) ---------------------------------
+  // Long-lived consumers (pao::core::OracleSession) track revision() to
+  // detect edits made behind their back: every mutator below bumps it,
+  // while direct writes to the public fields do not. Parsers and generators
+  // that populate the fields wholesale keep working unchanged; only code
+  // that mutates a design mid-session must go through these.
+
+  /// Monotonic counter of mutations applied through the mutation API.
+  std::uint64_t revision() const { return revision_; }
+  /// Places instance `idx` at `newOrigin`.
+  void moveInstance(int idx, geom::Point newOrigin);
+  /// Re-orients instance `idx`.
+  void setInstanceOrient(int idx, geom::Orient orient);
+  /// Appends `inst`, indexes its name, and returns the new instance index.
+  int addInstance(Instance inst);
+  /// Erases instance `idx`. Net terms referencing it are dropped, terms
+  /// referencing later instances are renumbered (indices above `idx` shift
+  /// down by one), and the name index is rebuilt.
+  void removeInstance(int idx);
+
  private:
   std::unordered_map<std::string, int> instByName_;
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace pao::db

@@ -1,7 +1,6 @@
 #include "db/unique_inst.hpp"
 
-#include <map>
-#include <tuple>
+#include <algorithm>
 
 namespace pao::db {
 
@@ -48,6 +47,72 @@ UniqueInstances extractUniqueInstances(const Design& design) {
     }
   }
   return out;
+}
+
+UniqueInstanceIndex::UniqueInstanceIndex(const Design& design)
+    : design_(&design), ui_(extractUniqueInstances(design)) {
+  for (int c = 0; c < static_cast<int>(ui_.classes.size()); ++c) {
+    const UniqueInstance& cls = ui_.classes[c];
+    classIdx_.emplace(Key{cls.master, cls.orient, cls.offsets}, c);
+  }
+}
+
+int UniqueInstanceIndex::attach(int instIdx) {
+  const Instance& inst = design_->instances[instIdx];
+  Key key{inst.master, inst.orient, trackOffsets(*design_, inst)};
+  const auto it = classIdx_.find(key);
+  if (it == classIdx_.end()) {
+    UniqueInstance cls;
+    cls.master = inst.master;
+    cls.orient = inst.orient;
+    cls.offsets = std::get<2>(key);
+    cls.representative = instIdx;
+    cls.members.push_back(instIdx);
+    const int c = static_cast<int>(ui_.classes.size());
+    classIdx_.emplace(std::move(key), c);
+    ui_.classes.push_back(std::move(cls));
+    return c;
+  }
+  UniqueInstance& cls = ui_.classes[it->second];
+  cls.members.insert(
+      std::lower_bound(cls.members.begin(), cls.members.end(), instIdx),
+      instIdx);
+  cls.representative = cls.members.front();
+  return it->second;
+}
+
+void UniqueInstanceIndex::detach(int instIdx, int cls) {
+  UniqueInstance& c = ui_.classes[cls];
+  std::erase(c.members, instIdx);
+  c.representative = c.members.empty() ? -1 : c.members.front();
+}
+
+UniqueInstanceIndex::Reclass UniqueInstanceIndex::update(int instIdx) {
+  Reclass r;
+  r.oldClass = ui_.classOf[instIdx];
+  detach(instIdx, r.oldClass);
+  r.newClass = attach(instIdx);
+  ui_.classOf[instIdx] = r.newClass;
+  return r;
+}
+
+int UniqueInstanceIndex::add(int instIdx) {
+  const int cls = attach(instIdx);
+  ui_.classOf.push_back(cls);
+  return cls;
+}
+
+int UniqueInstanceIndex::remove(int instIdx) {
+  const int cls = ui_.classOf[instIdx];
+  detach(instIdx, cls);
+  ui_.classOf.erase(ui_.classOf.begin() + instIdx);
+  for (UniqueInstance& c : ui_.classes) {
+    for (int& m : c.members) {
+      if (m > instIdx) --m;
+    }
+    if (c.representative > instIdx) --c.representative;
+  }
+  return cls;
 }
 
 }  // namespace pao::db

@@ -3,6 +3,8 @@
 // the design) — have identical intra-cell pin access and are analyzed once.
 #pragma once
 
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "db/design.hpp"
@@ -34,5 +36,53 @@ UniqueInstances extractUniqueInstances(const Design& design);
 
 /// The track-offset part of an instance's signature.
 std::vector<Coord> trackOffsets(const Design& design, const Instance& inst);
+
+/// Incrementally-maintained unique-instance classes over a mutating design
+/// (the batch equivalent of extractUniqueInstances, kept consistent under
+/// the Design mutation API). Two invariants make it usable as the backbone
+/// of per-class caches:
+///   * Class indices are stable for the lifetime of the index. A class whose
+///     last member leaves stays allocated (empty members, representative -1)
+///     and is revived when an instance with its signature reappears, so
+///     results keyed by class index (Steps 1-2 access, Step-3 pair memos)
+///     survive arbitrary mutation sequences.
+///   * `members` is kept sorted ascending and `representative` is always
+///     members.front() — the same lowest-index convention batch extraction
+///     uses, so a fresh extractUniqueInstances on the mutated design picks
+///     the same representative for every populated signature.
+class UniqueInstanceIndex {
+ public:
+  explicit UniqueInstanceIndex(const Design& design);
+
+  const UniqueInstances& classes() const { return ui_; }
+  int classOf(int instIdx) const { return ui_.classOf[instIdx]; }
+
+  struct Reclass {
+    int oldClass = -1;
+    int newClass = -1;
+    bool changed() const { return oldClass != newClass; }
+  };
+  /// Re-signatures instance `instIdx` after its origin or orientation
+  /// changed; maintains members/representative/classOf.
+  Reclass update(int instIdx);
+  /// Registers a newly appended instance (instIdx == design.instances.size()
+  /// - 1); returns its class index (possibly a fresh class).
+  int add(int instIdx);
+  /// Unregisters `instIdx` (call in step with Design::removeInstance) and
+  /// renumbers all stored instance indices above it. Returns the class the
+  /// instance left.
+  int remove(int instIdx);
+
+ private:
+  using Key = std::tuple<const Master*, geom::Orient, std::vector<Coord>>;
+  /// Class for `inst`'s signature, creating (or reviving) one as needed and
+  /// attaching `instIdx` to it.
+  int attach(int instIdx);
+  void detach(int instIdx, int cls);
+
+  const Design* design_;
+  UniqueInstances ui_;
+  std::map<Key, int> classIdx_;
+};
 
 }  // namespace pao::db

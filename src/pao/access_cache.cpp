@@ -1,6 +1,10 @@
 #include "pao/access_cache.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
+#include <string_view>
 
 #include "geom/orient.hpp"
 
@@ -39,19 +43,114 @@ ClassAccess AccessCache::translate(const ClassAccess& ca,
 namespace {
 
 /// One line per record; fields are space-separated. Format:
+///   FINGERPRINT <hex>                               (v2 only)
 ///   ENTRY <master> <orient> <numOffsets> <offsets...>
 ///   PIN <numAps>
 ///   AP <x> <y> <layer> <prefType> <nonPrefType> <dirs> <numVias> <names...>
 ///   ORDER <numPins> <positions...>
 ///   PATTERN <cost> <validated> <numIdx> <apIdx...>
-constexpr const char* kHeader = "PAO_ACCESS_CACHE v1";
+constexpr const char* kHeaderV1 = "PAO_ACCESS_CACHE v1";
+constexpr const char* kHeaderV2 = "PAO_ACCESS_CACHE v2";
+
+/// FNV-1a, 64-bit: tiny, well-distributed, and identical everywhere (no
+/// dependence on std::hash's unspecified per-platform behavior).
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void str(std::string_view s) {
+    bytes(s.data(), s.size());
+    bytes("\0", 1);  // delimit so ("ab","c") != ("a","bc")
+  }
+  void num(long long v) { bytes(&v, sizeof v); }
+  void rect(const geom::Rect& r) {
+    num(r.xlo);
+    num(r.ylo);
+    num(r.xhi);
+    num(r.yhi);
+  }
+};
 
 }  // namespace
 
-std::string AccessCache::save(const db::Tech& /*tech*/) const {
+std::string AccessCache::fingerprint(const db::Tech& tech,
+                                     const db::Library& lib) {
+  Fnv1a f;
+  f.num(tech.dbuPerMicron);
+  for (const db::Layer& l : tech.layers()) {
+    f.str(l.name);
+    f.num(static_cast<int>(l.type));
+    f.num(static_cast<int>(l.dir));
+    f.num(l.width);
+    f.num(l.pitch);
+    f.num(l.minArea);
+    f.num(l.cutSpacing);
+  }
+  for (const db::ViaDef& v : tech.viaDefs()) {
+    f.str(v.name);
+    f.num(v.botLayer);
+    f.num(v.cutLayer);
+    f.num(v.topLayer);
+    f.rect(v.botEnc);
+    f.rect(v.cut);
+    f.rect(v.topEnc);
+  }
+  // Masters sorted by name: library insertion order is a parse artifact,
+  // not part of the identity the cache depends on.
+  std::vector<const db::Master*> masters;
+  for (const auto& m : lib.masters()) masters.push_back(m.get());
+  std::sort(masters.begin(), masters.end(),
+            [](const db::Master* a, const db::Master* b) {
+              return a->name < b->name;
+            });
+  for (const db::Master* m : masters) {
+    f.str(m->name);
+    f.num(static_cast<int>(m->cls));
+    f.num(m->width);
+    f.num(m->height);
+    for (const db::Pin& pin : m->pins) {
+      f.str(pin.name);
+      f.num(static_cast<int>(pin.use));
+      for (const db::PinShape& s : pin.shapes) {
+        f.num(s.layer);
+        f.rect(s.rect);
+      }
+    }
+    for (const db::Obstruction& o : m->obstructions) {
+      f.num(o.layer);
+      f.rect(o.rect);
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(f.h));
+  return buf;
+}
+
+std::string AccessCache::save(const db::Tech& tech,
+                              const db::Library& lib) const {
+  // entries_ is keyed by Master pointer, so its iteration order follows
+  // heap addresses; serialize sorted by (master name, orient, offsets)
+  // instead so the file is byte-stable across processes.
+  std::vector<const std::pair<const Key, ClassAccess>*> ordered;
+  ordered.reserve(entries_.size());
+  for (const auto& entry : entries_) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    const auto& [ma, oa, offa] = a->first;
+    const auto& [mb, ob, offb] = b->first;
+    return std::tie(ma->name, oa, offa) < std::tie(mb->name, ob, offb);
+  });
+
   std::ostringstream os;
-  os << kHeader << "\n";
-  for (const auto& [key, ca] : entries_) {
+  os << kHeaderV2 << "\n";
+  os << "FINGERPRINT " << fingerprint(tech, lib) << "\n";
+  for (const auto* entry : ordered) {
+    const auto& [key, ca] = *entry;
     const auto& [master, orient, offsets] = key;
     os << "ENTRY " << master->name << " "
        << geom::toString(orient) << " " << offsets.size();
@@ -84,11 +183,31 @@ std::string AccessCache::save(const db::Tech& /*tech*/) const {
 }
 
 std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
-                              const db::Library& lib) {
+                              const db::Library& lib,
+                              std::string* errorOut) {
+  const auto fail = [&](std::string why) {
+    if (errorOut != nullptr) *errorOut = std::move(why);
+    return std::size_t{0};
+  };
   std::istringstream is(text);
   std::string line;
   std::getline(is, line);
-  if (line != kHeader) return 0;
+  if (line == kHeaderV2) {
+    std::string tag, fp;
+    if (!(is >> tag >> fp) || tag != "FINGERPRINT") {
+      return fail("access cache: malformed v2 header (missing FINGERPRINT)");
+    }
+    const std::string expected = fingerprint(tech, lib);
+    if (fp != expected) {
+      return fail("access cache: fingerprint mismatch (cache " + fp +
+                  ", tech/library " + expected +
+                  ") — the cache was built against a different library");
+    }
+  } else if (line != kHeaderV1) {
+    // v1 has no fingerprint; accept it best-effort below (unknown masters
+    // and vias are skipped entry by entry).
+    return fail("access cache: unrecognized header '" + line + "'");
+  }
 
   std::size_t loaded = 0;
   std::string tok;

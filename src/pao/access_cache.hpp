@@ -42,15 +42,25 @@ class AccessCache {
   /// `origin` (or the reverse with a negated origin).
   static ClassAccess translate(const ClassAccess& ca, geom::Point origin);
 
-  /// Serializes all entries to a line-oriented text format. Master pointers
-  /// are written by name and re-resolved against a Library on load, so the
-  /// cache survives across processes as long as the library matches.
-  std::string save(const db::Tech& tech) const;
-  /// Merges entries from `text` (produced by save) into this cache.
-  /// Entries referencing unknown masters or vias are skipped. Returns the
-  /// number of entries loaded.
+  /// Hash of the tech/library identity a cache is only valid against: layer,
+  /// via, and master names plus their key dimensions (layer width/pitch, via
+  /// rects, master sizes and pin shapes). Hex string, stable across
+  /// processes and platforms.
+  static std::string fingerprint(const db::Tech& tech, const db::Library& lib);
+
+  /// Serializes all entries to a line-oriented text format
+  /// (`PAO_ACCESS_CACHE v2` with a fingerprint line). Master pointers are
+  /// written by name and re-resolved against a Library on load. Entries are
+  /// ordered by (master name, orient, offsets), so the output is
+  /// byte-identical across processes for the same cache content.
+  std::string save(const db::Tech& tech, const db::Library& lib) const;
+  /// Merges entries from `text` (produced by save) into this cache. A v2
+  /// cache whose fingerprint does not match fingerprint(tech, lib) is
+  /// rejected wholesale; v1 caches (no fingerprint) load best-effort, with
+  /// entries referencing unknown masters or vias skipped. Returns the number
+  /// of entries loaded; on rejection, 0 with a reason in *errorOut.
   std::size_t load(const std::string& text, const db::Tech& tech,
-                   const db::Library& lib);
+                   const db::Library& lib, std::string* errorOut = nullptr);
 
  private:
   std::map<Key, ClassAccess> entries_;

@@ -12,6 +12,71 @@ namespace {
 constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
 }
 
+std::vector<std::vector<int>> buildClusters(const db::Design& design) {
+  // Group instances by row, sort by x, split at gaps. A multi-height
+  // instance spans several rows and joins the cluster of each row its bbox
+  // covers (its pattern choice is then pinned after the first cluster that
+  // decides it — see ClusterSelector::run()).
+  std::vector<std::vector<int>> clusters;
+  std::map<geom::Coord, std::vector<int>> byRow;
+  std::vector<geom::Coord> rowYs;
+  for (const db::Instance& inst : design.instances) {
+    rowYs.push_back(inst.origin.y);
+  }
+  std::sort(rowYs.begin(), rowYs.end());
+  rowYs.erase(std::unique(rowYs.begin(), rowYs.end()), rowYs.end());
+  for (int i = 0; i < static_cast<int>(design.instances.size()); ++i) {
+    const geom::Rect bbox = design.instances[i].bbox();
+    for (const geom::Coord y : rowYs) {
+      if (y >= bbox.ylo && y < bbox.yhi) byRow[y].push_back(i);
+    }
+  }
+  for (auto& [y, insts] : byRow) {
+    std::sort(insts.begin(), insts.end(), [&](int a, int b) {
+      return design.instances[a].origin.x < design.instances[b].origin.x;
+    });
+    std::vector<int> cur;
+    geom::Coord prevEnd = 0;
+    for (const int idx : insts) {
+      const db::Instance& inst = design.instances[idx];
+      if (!cur.empty() && inst.origin.x > prevEnd) {
+        clusters.push_back(std::move(cur));
+        cur.clear();
+      }
+      cur.push_back(idx);
+      prevEnd = inst.bbox().xhi;
+    }
+    if (!cur.empty()) clusters.push_back(std::move(cur));
+  }
+  return clusters;
+}
+
+std::vector<std::vector<std::size_t>> clusterWaves(
+    const std::vector<std::vector<int>>& clusters) {
+  std::vector<std::size_t> waveOf(clusters.size(), 0);
+  std::size_t lastWave = 0;
+  std::unordered_map<int, std::size_t> instWave;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    std::size_t w = 0;
+    for (const int inst : clusters[c]) {
+      const auto it = instWave.find(inst);
+      if (it != instWave.end()) w = std::max(w, it->second + 1);
+    }
+    waveOf[c] = w;
+    lastWave = std::max(lastWave, w);
+    for (const int inst : clusters[c]) {
+      auto [it, inserted] = instWave.try_emplace(inst, w);
+      if (!inserted) it->second = std::max(it->second, w);
+    }
+  }
+  std::vector<std::vector<std::size_t>> waves(
+      clusters.empty() ? 0 : lastWave + 1);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    waves[waveOf[c]].push_back(c);
+  }
+  return waves;
+}
+
 ClusterSelector::ClusterSelector(const db::Design& design,
                                  const db::UniqueInstances& unique,
                                  const std::vector<ClassAccess>& classes,
@@ -20,46 +85,8 @@ ClusterSelector::ClusterSelector(const db::Design& design,
       unique_(&unique),
       classes_(&classes),
       cfg_(cfg),
-      pairEngine_(*design.tech) {
-  buildClusters();
-}
-
-void ClusterSelector::buildClusters() {
-  // Group instances by row, sort by x, split at gaps. A multi-height
-  // instance spans several rows and joins the cluster of each row its bbox
-  // covers (its pattern choice is then pinned after the first cluster that
-  // decides it — see run()).
-  std::map<geom::Coord, std::vector<int>> byRow;
-  std::vector<geom::Coord> rowYs;
-  for (const db::Instance& inst : design_->instances) {
-    rowYs.push_back(inst.origin.y);
-  }
-  std::sort(rowYs.begin(), rowYs.end());
-  rowYs.erase(std::unique(rowYs.begin(), rowYs.end()), rowYs.end());
-  for (int i = 0; i < static_cast<int>(design_->instances.size()); ++i) {
-    const geom::Rect bbox = design_->instances[i].bbox();
-    for (const geom::Coord y : rowYs) {
-      if (y >= bbox.ylo && y < bbox.yhi) byRow[y].push_back(i);
-    }
-  }
-  for (auto& [y, insts] : byRow) {
-    std::sort(insts.begin(), insts.end(), [&](int a, int b) {
-      return design_->instances[a].origin.x < design_->instances[b].origin.x;
-    });
-    std::vector<int> cur;
-    geom::Coord prevEnd = 0;
-    for (const int idx : insts) {
-      const db::Instance& inst = design_->instances[idx];
-      if (!cur.empty() && inst.origin.x > prevEnd) {
-        clusters_.push_back(std::move(cur));
-        cur.clear();
-      }
-      cur.push_back(idx);
-      prevEnd = inst.bbox().xhi;
-    }
-    if (!cur.empty()) clusters_.push_back(std::move(cur));
-  }
-}
+      pairEngine_(*design.tech),
+      clusters_(buildClusters(design)) {}
 
 std::vector<ClusterSelector::PlacedAp> ClusterSelector::boundaryAps(
     int inst, int pat, bool rightSide) const {
@@ -69,11 +96,13 @@ std::vector<ClusterSelector::PlacedAp> ClusterSelector::boundaryAps(
   const ClassAccess& ca = (*classes_)[cls];
   if (pat < 0 || pat >= static_cast<int>(ca.patterns.size())) return out;
   const db::UniqueInstance& ui = unique_->classes[cls];
-  const geom::Point repOrigin =
-      design_->instances[ui.representative].origin;
   const geom::Point memOrigin = design_->instances[inst].origin;
-  const geom::Point delta{memOrigin.x - repOrigin.x,
-                          memOrigin.y - repOrigin.y};
+  geom::Point delta = memOrigin;
+  if (!cfg_.originRelativeClasses) {
+    const geom::Point repOrigin =
+        design_->instances[ui.representative].origin;
+    delta = geom::Point{memOrigin.x - repOrigin.x, memOrigin.y - repOrigin.y};
+  }
 
   const auto add = [&](int pinPos) {
     const int apIdx = ca.patterns[pat].apIdx[pinPos];
@@ -208,33 +237,9 @@ std::vector<int> ClusterSelector::run() {
   // Clusters are almost always instance-disjoint and can run concurrently;
   // only multi-height instances appear in several clusters, and those
   // clusters must keep their serial order (the first cluster to decide an
-  // instance pins its pattern for the later ones). Wave scheduling encodes
-  // exactly that dependency: a cluster's wave is one past the latest wave of
-  // any earlier cluster sharing an instance, so same-wave clusters are
-  // instance-disjoint and waves replay the serial pinning order.
-  std::vector<std::size_t> waveOf(clusters_.size(), 0);
-  std::size_t lastWave = 0;
-  {
-    std::unordered_map<int, std::size_t> instWave;
-    for (std::size_t c = 0; c < clusters_.size(); ++c) {
-      std::size_t w = 0;
-      for (const int inst : clusters_[c]) {
-        const auto it = instWave.find(inst);
-        if (it != instWave.end()) w = std::max(w, it->second + 1);
-      }
-      waveOf[c] = w;
-      lastWave = std::max(lastWave, w);
-      for (const int inst : clusters_[c]) {
-        auto [it, inserted] = instWave.try_emplace(inst, w);
-        if (!inserted) it->second = std::max(it->second, w);
-      }
-    }
-  }
-
-  std::vector<std::vector<std::size_t>> waves(lastWave + 1);
-  for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    waves[waveOf[c]].push_back(c);
-  }
+  // instance pins its pattern for the later ones). clusterWaves() encodes
+  // exactly that dependency.
+  const std::vector<std::vector<std::size_t>> waves = clusterWaves(clusters_);
   for (const std::vector<std::size_t>& wave : waves) {
     util::parallelFor(
         wave.size(),
@@ -268,6 +273,7 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
     if (numPatterns(i) > 0) active.push_back(i);
   }
   if (active.empty()) return;
+  ++numDpRuns_;
 
   const int an = static_cast<int>(active.size());
   cost.assign(an, {});

@@ -34,6 +34,11 @@ struct ClusterSelectConfig {
   /// pinning order; the chosen patterns are identical for any thread count.
   /// 1 = serial; 0 = hardware concurrency.
   int numThreads = 1;
+  /// The ClassAccess vector stores access points relative to each class's
+  /// instance origin (OracleSession convention) instead of in the
+  /// representative's design coordinates (batch convention): a member
+  /// instance's placed access location is then ap.loc + member origin.
+  bool originRelativeClasses = false;
 };
 
 /// Per-unique-instance access data produced by Steps 1-2, in representative
@@ -43,6 +48,20 @@ struct ClassAccess {
   std::vector<AccessPattern> patterns;
   std::vector<int> pinOrder;  ///< Step-2 ordered signal-pin positions
 };
+
+/// Maximal runs of row-abutting instances (instance indices, left to right).
+/// A multi-height instance joins the cluster of every row its bbox covers.
+/// Deterministic in content and order for a given design, regardless of
+/// instance insertion order (rows bottom-up, runs left to right).
+std::vector<std::vector<int>> buildClusters(const db::Design& design);
+
+/// Dependency waves over `clusters` for parallel DP: a cluster's wave is one
+/// past the latest wave of any earlier cluster sharing an instance, so
+/// same-wave clusters are instance-disjoint and waves replay the serial
+/// pinning order of multi-height chains. Returns indices into `clusters`
+/// grouped by wave, each wave in ascending cluster order.
+std::vector<std::vector<std::size_t>> clusterWaves(
+    const std::vector<std::vector<int>>& clusters);
 
 class ClusterSelector {
  public:
@@ -54,19 +73,26 @@ class ClusterSelector {
   /// (-1 for instances whose class has no patterns, e.g. pinless fillers).
   std::vector<int> run();
 
+  /// Runs the DP of one cluster, writing only its own instances' entries of
+  /// `chosen` (safe to run concurrently for instance-disjoint clusters).
+  /// Entries already >= 0 are pinned: the DP may only keep them. This is the
+  /// reusable unit OracleSession re-runs for dirty clusters; `cluster` need
+  /// not come from this selector's own clustering.
+  void selectCluster(const std::vector<int>& cluster,
+                     std::vector<int>& chosen);
+
   /// Clusters found (instance indices, left to right) — exposed for tests.
   const std::vector<std::vector<int>>& clusters() const { return clusters_; }
   /// Pair checks performed. With numThreads > 1 two workers may race to
   /// compute the same uncached pair, so the count can exceed the serial one;
   /// the boolean results (and hence the selection) are unaffected.
   std::size_t numPairChecks() const { return numPairChecks_.load(); }
+  /// selectCluster invocations that actually ran a DP (clusters with at
+  /// least one pattern-bearing instance). Cumulative across run() and
+  /// direct selectCluster calls.
+  std::size_t numDpRuns() const { return numDpRuns_.load(); }
 
  private:
-  void buildClusters();
-  /// Runs the DP of one cluster, writing only its own instances' entries of
-  /// `chosen` (safe to run concurrently for instance-disjoint clusters).
-  void selectCluster(const std::vector<int>& cluster,
-                     std::vector<int>& chosen);
   /// DRC compatibility of two neighboring instances' patterns (memoized).
   /// Checks the facing boundary access points' up-vias against each other
   /// AND against the neighbor instance's fixed shapes near the shared edge,
@@ -100,6 +126,7 @@ class ClusterSelector {
   std::map<std::tuple<int, int, int, int, geom::Coord, geom::Coord>, bool>
       pairCache_;
   std::atomic<std::size_t> numPairChecks_{0};
+  std::atomic<std::size_t> numDpRuns_{0};
 };
 
 }  // namespace pao::core

@@ -1,34 +1,8 @@
 #include "pao/oracle.hpp"
 
-#include <atomic>
-#include <chrono>
-#include <mutex>
-#include <optional>
-
-#include "util/executor.hpp"
+#include "pao/session.hpp"
 
 namespace pao::core {
-
-namespace {
-
-double secondsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-/// The TrRte baseline has no pattern stage: every pin just takes its first
-/// access point.
-AccessPattern firstApPattern(const std::vector<std::vector<AccessPoint>>& aps) {
-  AccessPattern pat;
-  pat.apIdx.reserve(aps.size());
-  for (const std::vector<AccessPoint>& pinAps : aps) {
-    pat.apIdx.push_back(pinAps.empty() ? -1 : 0);
-  }
-  pat.validated = false;  // never checked, by construction of the baseline
-  return pat;
-}
-
-}  // namespace
 
 OracleConfig withoutBcaConfig() {
   OracleConfig cfg;
@@ -84,94 +58,10 @@ PinAccessOracle::PinAccessOracle(const db::Design& design, OracleConfig cfg)
     : design_(&design), cfg_(cfg) {}
 
 OracleResult PinAccessOracle::run() {
-  const auto t0 = std::chrono::steady_clock::now();
-  OracleResult result;
-  result.unique = db::extractUniqueInstances(*design_);
-  result.classes.resize(result.unique.classes.size());
-
-  // Steps 1 and 2, per unique instance: independent work items, optionally
-  // spread over worker threads (unique instances never share mutable state;
-  // the cache is guarded by a mutex).
-  std::mutex cacheMu;
-  std::atomic<long long> step1Us{0};
-  std::atomic<long long> step2Us{0};
-  const auto analyzeClass = [&](std::size_t c) {
-    const db::UniqueInstance& ui = result.unique.classes[c];
-    if (ui.master->signalPinIndices().empty()) return;  // fillers etc.
-    ClassAccess& ca = result.classes[c];
-    const geom::Point repOrigin =
-        design_->instances[ui.representative].origin;
-
-    if (cfg_.cache != nullptr && !cfg_.legacyMode) {
-      const AccessCache::Key key = AccessCache::keyOf(ui);
-      std::lock_guard<std::mutex> lock(cacheMu);
-      if (const ClassAccess* hit = cfg_.cache->find(key)) {
-        ca = AccessCache::translate(*hit, repOrigin);
-        return;
-      }
-    }
-
-    const InstContext ctx(*design_, ui);
-    const auto t1 = std::chrono::steady_clock::now();
-    if (cfg_.legacyMode) {
-      ca.pinAps = LegacyApGenerator(ctx).generateAll();
-    } else {
-      ApGenConfig apCfg = cfg_.apGen;
-      // Macro (block) pins admit planar access: via access is only
-      // mandatory for standard cells (paper footnote 1).
-      if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
-      ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
-    }
-    step1Us += static_cast<long long>(secondsSince(t1) * 1e6);
-
-    const auto t2 = std::chrono::steady_clock::now();
-    if (cfg_.legacyMode) {
-      ca.patterns.push_back(firstApPattern(ca.pinAps));
-      for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
-        if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
-      }
-    } else {
-      PatternGenerator gen(ctx, ca.pinAps, cfg_.patternGen);
-      ca.patterns = gen.run();
-      ca.pinOrder = gen.pinOrder();
-    }
-    step2Us += static_cast<long long>(secondsSince(t2) * 1e6);
-
-    if (cfg_.cache != nullptr && !cfg_.legacyMode) {
-      const ClassAccess normalized =
-          AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
-      std::lock_guard<std::mutex> lock(cacheMu);
-      cfg_.cache->store(AccessCache::keyOf(ui), normalized);
-    }
-  };
-
-  // Each class writes only its own result slot, so ordering is deterministic
-  // regardless of the schedule.
-  util::parallelFor(result.unique.classes.size(), analyzeClass,
-                    cfg_.numThreads);
-  result.step1Seconds = static_cast<double>(step1Us.load()) / 1e6;
-  result.step2Seconds = static_cast<double>(step2Us.load()) / 1e6;
-
-  // Step 3, cluster DP across the whole design (clusters run in parallel in
-  // dependency waves — see ClusterSelectConfig::numThreads).
-  const auto t3 = std::chrono::steady_clock::now();
-  if (cfg_.runClusterSelection) {
-    ClusterSelectConfig csCfg = cfg_.clusterSelect;
-    csCfg.numThreads = cfg_.numThreads;
-    ClusterSelector selector(*design_, result.unique, result.classes, csCfg);
-    result.chosenPattern = selector.run();
-  } else {
-    result.chosenPattern.assign(design_->instances.size(), -1);
-    for (std::size_t i = 0; i < design_->instances.size(); ++i) {
-      const int cls = result.unique.classOf[i];
-      if (cls >= 0 && !result.classes[cls].patterns.empty()) {
-        result.chosenPattern[i] = 0;
-      }
-    }
-  }
-  result.step3Seconds += secondsSince(t3);
-  result.wallSeconds = secondsSince(t0);
-  return result;
+  // The batch oracle is a thin wrapper these days: a read-only OracleSession
+  // does the full Steps 1-3 build, and its snapshot is the batch result.
+  const OracleSession session(*design_, cfg_);
+  return session.snapshot();
 }
 
 }  // namespace pao::core

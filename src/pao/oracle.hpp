@@ -80,6 +80,9 @@ struct OracleResult {
                                    int sigPinPos) const;
 };
 
+/// The one-shot batch facade. Internally a thin wrapper over a read-only
+/// pao::core::OracleSession — use a session directly when the design will
+/// mutate and you want incremental recomputation (see pao/session.hpp).
 class PinAccessOracle {
  public:
   explicit PinAccessOracle(const db::Design& design, OracleConfig cfg = {});

@@ -1,0 +1,329 @@
+#include "pao/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+#include "pao/ap_gen.hpp"
+#include "pao/inst_context.hpp"
+#include "pao/legacy_ap.hpp"
+#include "pao/pattern_gen.hpp"
+#include "util/executor.hpp"
+
+namespace pao::core {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// The TrRte baseline has no pattern stage: every pin just takes its first
+/// access point.
+AccessPattern firstApPattern(const std::vector<std::vector<AccessPoint>>& aps) {
+  AccessPattern pat;
+  pat.apIdx.reserve(aps.size());
+  for (const std::vector<AccessPoint>& pinAps : aps) {
+    pat.apIdx.push_back(pinAps.empty() ? -1 : 0);
+  }
+  pat.validated = false;  // never checked, by construction of the baseline
+  return pat;
+}
+
+}  // namespace
+
+OracleSession::OracleSession(db::Design& design, OracleConfig cfg)
+    : design_(&design),
+      mutableDesign_(&design),
+      cfg_(cfg),
+      cache_(cfg.cache),
+      index_(design) {
+  buildAll();
+}
+
+OracleSession::OracleSession(const db::Design& design, OracleConfig cfg)
+    : design_(&design),
+      mutableDesign_(nullptr),
+      cfg_(cfg),
+      cache_(cfg.cache),
+      index_(design) {
+  buildAll();
+}
+
+void OracleSession::requireMutable() const {
+  if (mutableDesign_ == nullptr) {
+    throw std::logic_error(
+        "OracleSession: mutation on a read-only session (construct from a "
+        "mutable db::Design& to mutate)");
+  }
+  if (design_->revision() != designRevision_) {
+    throw std::logic_error(
+        "OracleSession: design was mutated outside the session");
+  }
+}
+
+void OracleSession::computeClassAccess(std::size_t c) {
+  const db::UniqueInstance& ui = index_.classes().classes[c];
+  if (ui.members.empty()) return;  // nothing placed; stays un-analyzed
+  ClassAccess& ca = classes_[c];
+  classReady_[c] = 1;
+  if (ui.master->signalPinIndices().empty()) return;  // fillers etc.
+
+  const AccessCache::Key key = AccessCache::keyOf(ui);
+  if (cache_ != nullptr && !cfg_.legacyMode) {
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    if (const ClassAccess* hit = cache_->find(key)) {
+      ca = *hit;  // stored origin-relative, same as the session convention
+      return;
+    }
+  }
+
+  const geom::Point repOrigin = design_->instances[ui.representative].origin;
+  const InstContext ctx(*design_, ui);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (cfg_.legacyMode) {
+    ca.pinAps = LegacyApGenerator(ctx).generateAll();
+  } else {
+    ApGenConfig apCfg = cfg_.apGen;
+    // Macro (block) pins admit planar access: via access is only mandatory
+    // for standard cells (paper footnote 1).
+    if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
+    ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
+  }
+  const double step1 = secondsSince(t1);
+
+  const auto t2 = std::chrono::steady_clock::now();
+  if (cfg_.legacyMode) {
+    ca.patterns.push_back(firstApPattern(ca.pinAps));
+    for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
+      if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
+    }
+  } else {
+    PatternGenerator gen(ctx, ca.pinAps, cfg_.patternGen);
+    ca.patterns = gen.run();
+    ca.pinOrder = gen.pinOrder();
+  }
+  const double step2 = secondsSince(t2);
+
+  // Normalize to origin-relative so the entry is placement-independent.
+  ca = AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
+
+  std::lock_guard<std::mutex> lock(cacheMu_);
+  if (cache_ != nullptr && !cfg_.legacyMode) cache_->store(key, ca);
+  ++stats_.classBuilds;
+  step1Seconds_ += step1;
+  step2Seconds_ += step2;
+}
+
+void OracleSession::buildAll() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t numClasses = index_.classes().classes.size();
+  classes_.assign(numClasses, ClassAccess{});
+  classReady_.assign(numClasses, 0);
+
+  // Steps 1-2, one independent work item per class; each writes only its
+  // own slot (step1Seconds_/step2Seconds_ report summed per-class CPU time
+  // for every thread count — see OracleResult).
+  util::parallelFor(
+      numClasses, [&](std::size_t c) { computeClassAccess(c); },
+      cfg_.numThreads);
+
+  const auto t3 = std::chrono::steady_clock::now();
+  if (cfg_.runClusterSelection) {
+    ClusterSelectConfig csCfg = cfg_.clusterSelect;
+    csCfg.numThreads = cfg_.numThreads;
+    csCfg.originRelativeClasses = true;
+    selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
+                                                  classes_, csCfg);
+    chosen_ = selector_->run();
+    clusters_ = selector_->clusters();
+    stats_.clusterDpRuns = selector_->numDpRuns();
+  } else {
+    trivialSelection();
+  }
+  step3Seconds_ = secondsSince(t3);
+  wallSeconds_ = secondsSince(t0);
+  designRevision_ = design_->revision();
+}
+
+void OracleSession::trivialSelection() {
+  chosen_.assign(design_->instances.size(), -1);
+  for (std::size_t i = 0; i < design_->instances.size(); ++i) {
+    const int cls = index_.classes().classOf[i];
+    if (cls >= 0 && classReady_[cls] && !classes_[cls].patterns.empty()) {
+      chosen_[i] = 0;
+    }
+  }
+}
+
+void OracleSession::ensureClassAccess(int cls) {
+  const std::size_t numClasses = index_.classes().classes.size();
+  if (classes_.size() < numClasses) {
+    classes_.resize(numClasses);
+    classReady_.resize(numClasses, 0);
+  }
+  if (!classReady_[cls]) computeClassAccess(static_cast<std::size_t>(cls));
+}
+
+void OracleSession::onGeometryChanged(int instIdx) {
+  index_.update(instIdx);
+  ensureClassAccess(index_.classOf(instIdx));
+  recomputeAfterMutation({instIdx});
+}
+
+void OracleSession::moveInstance(int instIdx, geom::Point newOrigin) {
+  requireMutable();
+  mutableDesign_->moveInstance(instIdx, newOrigin);
+  onGeometryChanged(instIdx);
+}
+
+void OracleSession::setOrient(int instIdx, geom::Orient orient) {
+  requireMutable();
+  mutableDesign_->setInstanceOrient(instIdx, orient);
+  onGeometryChanged(instIdx);
+}
+
+int OracleSession::addInstance(db::Instance inst) {
+  requireMutable();
+  const int idx = mutableDesign_->addInstance(std::move(inst));
+  index_.add(idx);
+  chosen_.push_back(-1);
+  ensureClassAccess(index_.classOf(idx));
+  recomputeAfterMutation({idx});
+  return idx;
+}
+
+void OracleSession::removeInstance(int instIdx) {
+  requireMutable();
+  index_.remove(instIdx);
+  mutableDesign_->removeInstance(instIdx);
+  chosen_.erase(chosen_.begin() + instIdx);
+  // Clusters that contained the instance lose their identity entirely (the
+  // survivors' abutment changed, so their old DP result must not be reused
+  // under the remapped member list); all other stored clusters renumber.
+  for (std::vector<int>& cluster : clusters_) {
+    if (std::find(cluster.begin(), cluster.end(), instIdx) != cluster.end()) {
+      cluster.clear();
+      continue;
+    }
+    for (int& m : cluster) {
+      if (m > instIdx) --m;
+    }
+  }
+  std::erase_if(clusters_,
+                [](const std::vector<int>& c) { return c.empty(); });
+  recomputeAfterMutation({});
+}
+
+void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
+  ++stats_.mutations;
+  designRevision_ = design_->revision();
+  if (!cfg_.runClusterSelection) {
+    trivialSelection();
+    return;
+  }
+
+  std::vector<std::vector<int>> newClusters = buildClusters(*design_);
+  const std::set<std::vector<int>> oldSet(clusters_.begin(), clusters_.end());
+  const std::size_t numInst = design_->instances.size();
+  std::vector<char> touchedInst(numInst, 0);
+  for (const int t : touched) touchedInst[t] = 1;
+
+  // Dirty = structurally new, contains a touched instance, or — checked in
+  // cluster (i.e. pinning) order — shares an instance with an earlier dirty
+  // cluster, whose pinned multi-height decision may have changed.
+  std::vector<char> dirty(newClusters.size(), 0);
+  std::vector<char> instDirty(numInst, 0);
+  for (std::size_t c = 0; c < newClusters.size(); ++c) {
+    bool d = oldSet.find(newClusters[c]) == oldSet.end();
+    if (!d) {
+      for (const int inst : newClusters[c]) {
+        if (touchedInst[inst] != 0 || instDirty[inst] != 0) {
+          d = true;
+          break;
+        }
+      }
+    }
+    if (d) {
+      dirty[c] = 1;
+      for (const int inst : newClusters[c]) instDirty[inst] = 1;
+    }
+  }
+
+  // Reset the choice of instances that appear only in dirty clusters; an
+  // instance shared with a clean cluster keeps that cluster's (earlier, and
+  // unchanged) decision as a pin for the re-run.
+  std::vector<char> inClean(numInst, 0);
+  std::vector<std::vector<int>> dirtyClusters;
+  for (std::size_t c = 0; c < newClusters.size(); ++c) {
+    if (dirty[c] == 0) {
+      for (const int inst : newClusters[c]) inClean[inst] = 1;
+    } else {
+      dirtyClusters.push_back(newClusters[c]);
+    }
+  }
+  for (const std::vector<int>& cluster : dirtyClusters) {
+    for (const int inst : cluster) {
+      if (inClean[inst] == 0) chosen_[inst] = -1;
+    }
+  }
+
+  // Re-run the DP for dirty clusters only, wave-scheduled so dirty clusters
+  // sharing a multi-height instance replay their serial pinning order.
+  const std::vector<std::vector<std::size_t>> waves =
+      clusterWaves(dirtyClusters);
+  for (const std::vector<std::size_t>& wave : waves) {
+    util::parallelFor(
+        wave.size(),
+        [&](std::size_t i) {
+          selector_->selectCluster(dirtyClusters[wave[i]], chosen_);
+        },
+        cfg_.numThreads);
+  }
+
+  stats_.lastDirtyClusters = dirtyClusters.size();
+  stats_.lastClusterCount = newClusters.size();
+  stats_.clusterDpRuns = selector_->numDpRuns();
+  clusters_ = std::move(newClusters);
+}
+
+std::optional<OracleResult::ChosenAp> OracleSession::chosenAp(
+    int instIdx, int sigPinPos) const {
+  const int cls = index_.classes().classOf[instIdx];
+  if (cls < 0 || classReady_[cls] == 0) return std::nullopt;
+  const ClassAccess& ca = classes_[cls];
+  const int pat = chosen_[instIdx];
+  if (pat < 0 || pat >= static_cast<int>(ca.patterns.size())) {
+    return std::nullopt;
+  }
+  if (sigPinPos >= static_cast<int>(ca.patterns[pat].apIdx.size())) {
+    return std::nullopt;
+  }
+  const int apIdx = ca.patterns[pat].apIdx[sigPinPos];
+  if (apIdx < 0) return std::nullopt;
+  const AccessPoint& ap = ca.pinAps[sigPinPos][apIdx];
+  return OracleResult::ChosenAp{
+      &ap, ap.loc + design_->instances[instIdx].origin};
+}
+
+OracleResult OracleSession::snapshot() const {
+  OracleResult r;
+  r.unique = index_.classes();
+  r.classes.resize(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    const db::UniqueInstance& ui = r.unique.classes[c];
+    if (ui.members.empty() || classReady_[c] == 0) continue;
+    r.classes[c] = AccessCache::translate(
+        classes_[c], design_->instances[ui.representative].origin);
+  }
+  r.chosenPattern = chosen_;
+  r.step1Seconds = step1Seconds_;
+  r.step2Seconds = step2Seconds_;
+  r.step3Seconds = step3Seconds_;
+  r.wallSeconds = wallSeconds_;
+  return r;
+}
+
+}  // namespace pao::core

@@ -8,20 +8,30 @@ using geom::Point;
 AccessSource::AccessSource(const db::Design& design,
                            const core::OracleResult& result, AccessMode mode)
     : design_(&design), result_(&result), mode_(mode) {
+  buildCentroids();
+}
+
+AccessSource::AccessSource(const db::Design& design,
+                           const core::OracleSession& session, AccessMode mode)
+    : design_(&design), session_(&session), mode_(mode) {
+  buildCentroids();
+}
+
+void AccessSource::buildCentroids() {
   if (mode_ != AccessMode::kGreedyNearest) return;
   // Precompute, for every net-attached pin, the centroid of the other pins
   // of its net (the direction a greedy per-pin selector pulls toward).
-  for (const db::Net& net : design.nets) {
+  for (const db::Net& net : design_->nets) {
     std::vector<std::pair<std::pair<int, int>, Point>> members;
     geom::Coord sx = 0;
     geom::Coord sy = 0;
     for (const db::NetTerm& t : net.terms) {
       if (t.isIo()) {
-        sx += design.ioPins[t.ioPinIdx].rect.center().x;
-        sy += design.ioPins[t.ioPinIdx].rect.center().y;
+        sx += design_->ioPins[t.ioPinIdx].rect.center().x;
+        sy += design_->ioPins[t.ioPinIdx].rect.center().y;
         continue;
       }
-      const db::Instance& inst = design.instances[t.instIdx];
+      const db::Instance& inst = design_->instances[t.instIdx];
       const db::Master& master = *inst.master;
       // Map the master pin index to its signal-pin position.
       const std::vector<int> sig = master.signalPinIndices();
@@ -44,21 +54,37 @@ AccessSource::AccessSource(const db::Design& design,
   }
 }
 
+int AccessSource::classOf(int instIdx) const {
+  return session_ != nullptr ? session_->unique().classOf[instIdx]
+                             : result_->unique.classOf[instIdx];
+}
+
+const core::ClassAccess& AccessSource::classAccess(int cls) const {
+  return session_ != nullptr ? session_->classAccess(cls)
+                             : result_->classes[cls];
+}
+
+Point AccessSource::placeDelta(int instIdx, int cls) const {
+  // Session classes are origin-relative; batch-result classes are stored in
+  // the representative's design coordinates.
+  if (session_ != nullptr) return design_->instances[instIdx].origin;
+  const db::UniqueInstance& ui = result_->unique.classes[cls];
+  return design_->instances[instIdx].origin -
+         design_->instances[ui.representative].origin;
+}
+
 std::optional<PinContact> AccessSource::fromAp(int instIdx,
                                                const AccessPoint& ap) const {
   if (ap.primaryVia() == nullptr) return std::nullopt;
-  const int cls = result_->unique.classOf[instIdx];
-  const db::UniqueInstance& ui = result_->unique.classes[cls];
-  const Point delta = design_->instances[instIdx].origin -
-                      design_->instances[ui.representative].origin;
+  const Point delta = placeDelta(instIdx, classOf(instIdx));
   return PinContact{ap.primaryVia(), ap.loc + delta};
 }
 
 std::optional<PinContact> AccessSource::contact(int instIdx,
                                                 int sigPinPos) const {
-  const int cls = result_->unique.classOf[instIdx];
+  const int cls = classOf(instIdx);
   if (cls < 0) return std::nullopt;
-  const core::ClassAccess& ca = result_->classes[cls];
+  const core::ClassAccess& ca = classAccess(cls);
   if (sigPinPos >= static_cast<int>(ca.pinAps.size()) ||
       ca.pinAps[sigPinPos].empty()) {
     return std::nullopt;
@@ -73,10 +99,7 @@ std::optional<PinContact> AccessSource::contact(int instIdx,
           it != centroid_.end()
               ? it->second
               : design_->instances[instIdx].bbox().center();
-      const Point delta =
-          design_->instances[instIdx].origin -
-          design_->instances[result_->unique.classes[cls].representative]
-              .origin;
+      const Point delta = placeDelta(instIdx, cls);
       const AccessPoint* best = nullptr;
       geom::Coord bestDist = geom::kCoordMax;
       for (const AccessPoint& ap : ca.pinAps[sigPinPos]) {
@@ -91,7 +114,10 @@ std::optional<PinContact> AccessSource::contact(int instIdx,
       return fromAp(instIdx, *best);
     }
     case AccessMode::kPattern: {
-      const auto chosen = result_->chosenAp(*design_, instIdx, sigPinPos);
+      const auto chosen =
+          session_ != nullptr
+              ? session_->chosenAp(instIdx, sigPinPos)
+              : result_->chosenAp(*design_, instIdx, sigPinPos);
       if (!chosen || chosen->ap->primaryVia() == nullptr) {
         return std::nullopt;
       }

@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "pao/oracle.hpp"
+#include "pao/session.hpp"
 
 namespace pao::router {
 
@@ -29,6 +30,12 @@ class AccessSource {
   /// config for kFirstAp, full config for the others).
   AccessSource(const db::Design& design, const core::OracleResult& result,
                AccessMode mode);
+  /// Live view over an incremental session: contacts reflect the session's
+  /// current state, so the same source stays valid across session mutations
+  /// (net centroids for kGreedyNearest are captured at construction).
+  /// `session.design()` must be `design`.
+  AccessSource(const db::Design& design, const core::OracleSession& session,
+               AccessMode mode);
 
   /// Contact for instance `instIdx`'s signal-pin position `sigPinPos`;
   /// nullopt when the pin has no usable access point.
@@ -37,11 +44,19 @@ class AccessSource {
   AccessMode mode() const { return mode_; }
 
  private:
+  void buildCentroids();
+  int classOf(int instIdx) const;
+  /// The class's Steps 1-2 access plus the translation that places its
+  /// access points at `instIdx`'s location (origin-relative for sessions,
+  /// representative-relative for batch results).
+  const core::ClassAccess& classAccess(int cls) const;
+  geom::Point placeDelta(int instIdx, int cls) const;
   std::optional<PinContact> fromAp(int instIdx, const core::AccessPoint& ap)
       const;
 
   const db::Design* design_;
-  const core::OracleResult* result_;
+  const core::OracleResult* result_ = nullptr;
+  const core::OracleSession* session_ = nullptr;
   AccessMode mode_;
   /// Net centroid per (inst, sigPinPos) for the greedy mode.
   std::map<std::pair<int, int>, geom::Point> centroid_;

@@ -113,7 +113,7 @@ TEST(AccessCache, SaveLoadRoundTrip) {
   PinAccessOracle warm(*tc.design, cfg);
   const OracleResult r1 = warm.run();
 
-  const std::string text = cache.save(*tc.tech);
+  const std::string text = cache.save(*tc.tech, *tc.lib);
   EXPECT_FALSE(text.empty());
 
   AccessCache restored;
@@ -139,19 +139,79 @@ TEST(AccessCache, LoadRejectsGarbage) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
-TEST(AccessCache, LoadSkipsUnknownMasters) {
+TEST(AccessCache, LoadRejectsForeignLibrary) {
   const benchgen::Testcase tc = smallCase();
   AccessCache cache;
   OracleConfig cfg = withBcaConfig();
   cfg.cache = &cache;
   PinAccessOracle warm(*tc.design, cfg);
   warm.run();
-  const std::string text = cache.save(*tc.tech);
+  const std::string text = cache.save(*tc.tech, *tc.lib);
 
-  // A different library (missing every master) accepts nothing.
+  // A different library (missing every master) has a different fingerprint:
+  // the whole cache is rejected with a reason.
   db::Library empty;
   AccessCache other;
-  EXPECT_EQ(other.load(text, *tc.tech, empty), 0u);
+  std::string error;
+  EXPECT_EQ(other.load(text, *tc.tech, empty, &error), 0u);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(AccessCache, SaveIsByteStableAcrossIndependentRuns) {
+  // Two independently generated testcases and independently built caches
+  // must serialize byte-identically — entries are ordered by key, never by
+  // pointer value. (tools/ci.sh repeats this across two real processes.)
+  const benchgen::Testcase tc1 = smallCase();
+  const benchgen::Testcase tc2 = smallCase();
+  AccessCache c1;
+  AccessCache c2;
+  OracleConfig cfg1 = withBcaConfig();
+  cfg1.cache = &c1;
+  OracleConfig cfg2 = withBcaConfig();
+  cfg2.cache = &c2;
+  cfg2.numThreads = 4;  // thread count must not leak into the file either
+  PinAccessOracle(*tc1.design, cfg1).run();
+  PinAccessOracle(*tc2.design, cfg2).run();
+  const std::string s1 = c1.save(*tc1.tech, *tc1.lib);
+  const std::string s2 = c2.save(*tc2.tech, *tc2.lib);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(AccessCache, FingerprintMismatchRejectedWithReason) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+  PinAccessOracle(*tc.design, cfg).run();
+  std::string text = cache.save(*tc.tech, *tc.lib);
+
+  // Corrupt the fingerprint: the whole file must be rejected.
+  const std::size_t pos = text.find("FINGERPRINT ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 12] = text[pos + 12] == '0' ? '1' : '0';
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(text, *tc.tech, *tc.lib, &error), 0u);
+  EXPECT_NE(error.find("fingerprint mismatch"), std::string::npos);
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(AccessCache, V1CacheLoadsBestEffort) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+  PinAccessOracle(*tc.design, cfg).run();
+  const std::string v2 = cache.save(*tc.tech, *tc.lib);
+
+  // Rewrite as a fingerprint-less v1 file (header line, no FINGERPRINT).
+  const std::size_t entries = v2.find("ENTRY ");
+  ASSERT_NE(entries, std::string::npos);
+  const std::string v1 = "PAO_ACCESS_CACHE v1\n" + v2.substr(entries);
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(v1, *tc.tech, *tc.lib, &error), cache.size());
+  EXPECT_TRUE(error.empty());
 }
 
 TEST(OracleThreads, ParallelRunMatchesSerial) {

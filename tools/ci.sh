@@ -24,6 +24,19 @@ echo "== Static analysis (pao_lint) =="
 "$SRC/build-ci-release/tools/pao_lint" \
   "$SRC/src" "$SRC/tools" "$SRC/tests" "$SRC/examples" "$SRC/bench"
 
+echo "== Incremental-session smoke (bench-incremental) =="
+# Session-vs-batch equivalence over random moves, plus warm-cache reuse:
+# the bench exits non-zero on any chosen-pattern divergence, and the cache
+# line must report nonzero hits (fresh reruns reuse the session's entries).
+BI_DIR="$SRC/build-ci-release"
+"$BI_DIR/tools/pao_cli" gen 0 0.01 "$BI_DIR/ci_bi"
+BI_OUT=$("$BI_DIR/tools/pao_cli" bench-incremental \
+  "$BI_DIR/ci_bi.lef" "$BI_DIR/ci_bi.def" --moves 6 --threads 2)
+echo "$BI_OUT"
+echo "$BI_OUT" | grep -q "equivalence      : OK"
+BI_HITS=$(echo "$BI_OUT" | sed -n 's/.*entries, \([0-9][0-9]*\) hits.*/\1/p')
+[ "${BI_HITS:-0}" -gt 0 ]
+
 echo "== ThreadSanitizer build =="
 cmake -B "$SRC/build-ci-tsan" -S "$SRC" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAO_SANITIZE=thread

@@ -4,17 +4,28 @@
 //                                                  <out-prefix>.lef/.def
 //   pao_cli analyze <lef> <def> [options]          run pin access analysis
 //   pao_cli route <lef> <def> [options]            PAAF + detailed routing
+//   pao_cli bench-incremental <lef> <def> [opts]   incremental-session bench
 //   pao_cli list                                   list testcase presets
 //
 // analyze options:
 //   --mode bca|nobca|legacy    flow preset (default bca)
 //   --threads N                Steps 1-2 worker threads (default 1, 0=auto)
 //   --report-failed N          print up to N failed-pin diagnostics
+//   --cache-in <file>          preload the access cache (exit 1 on a
+//                              fingerprint mismatch)
+//   --cache-out <file>         save the access cache after the run
 // route options:
 //   --out <file.def>           write the routed design as DEF
 //   --threads N                worker threads for oracle, access planning
 //                              and batch DRC (default 1, 0=auto); routed
 //                              output is identical for any value
+//   --cache-in / --cache-out   as for analyze
+// bench-incremental options:
+//   --moves K                  number of random instance moves (default 8)
+//   --threads N                worker threads (default 1, 0=auto)
+//   --seed S                   RNG seed (default 1)
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +40,7 @@
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
 #include "pao/evaluate.hpp"
+#include "pao/session.hpp"
 #include "router/router.hpp"
 
 namespace {
@@ -40,8 +52,11 @@ int usage() {
       "usage:\n"
       "  pao_cli gen <preset> <scale> <out-prefix>\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
-      " [--report-failed N]\n"
-      "  pao_cli route <lef> <def> [--out routed.def] [--threads N]\n"
+      " [--report-failed N] [--cache-in f] [--cache-out f]\n"
+      "  pao_cli route <lef> <def> [--out routed.def] [--threads N]"
+      " [--cache-in f] [--cache-out f]\n"
+      "  pao_cli bench-incremental <lef> <def> [--moves K] [--threads N]"
+      " [--seed S]\n"
       "  pao_cli list\n");
   return 2;
 }
@@ -62,6 +77,35 @@ struct LoadedDesign {
   db::Library lib;
   db::Design design;
 };
+
+/// Preloads `cache` from `path`; exits with an error for rejected caches
+/// (wrong fingerprint / unknown format) so a stale cache never goes unnoticed.
+void loadCacheFile(core::AccessCache& cache, const char* path,
+                   const LoadedDesign& ld) {
+  std::string error;
+  const std::size_t n = cache.load(slurp(path), ld.tech, ld.lib, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "cache '%s' rejected: %s\n", path, error.c_str());
+    std::exit(1);
+  }
+  std::printf("cache: loaded %zu entries from %s\n", n, path);
+}
+
+void saveCacheFile(const core::AccessCache& cache, const char* path,
+                   const LoadedDesign& ld) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  out << cache.save(ld.tech, ld.lib);
+  std::printf("cache: saved %zu entries to %s\n", cache.size(), path);
+}
+
+void reportCache(const core::AccessCache& cache) {
+  std::printf("  access cache     : %zu entries, %zu hits, %zu misses\n",
+              cache.size(), cache.hits(), cache.misses());
+}
 
 void load(LoadedDesign& ld, const char* lefPath, const char* defPath) {
   lefdef::parseLef(slurp(lefPath), ld.tech, ld.lib);
@@ -125,6 +169,8 @@ int cmdAnalyze(int argc, char** argv) {
 
   core::OracleConfig cfg = core::withBcaConfig();
   std::size_t reportFailed = 0;
+  const char* cacheIn = nullptr;
+  const char* cacheOut = nullptr;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       const std::string mode = argv[++i];
@@ -134,8 +180,16 @@ int cmdAnalyze(int argc, char** argv) {
       cfg.numThreads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--report-failed") == 0 && i + 1 < argc) {
       reportFailed = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--cache-in") == 0 && i + 1 < argc) {
+      cacheIn = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
+      cacheOut = argv[++i];
     }
   }
+
+  core::AccessCache cache;
+  if (cacheIn != nullptr || cacheOut != nullptr) cfg.cache = &cache;
+  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld);
 
   // Sanity-check the placement before analyzing it.
   const auto placement = db::checkPlacement(ld.design);
@@ -161,6 +215,8 @@ int cmdAnalyze(int argc, char** argv) {
   std::printf("  runtime          : %.2f s wall (steps %.2f / %.2f / %.2f)\n",
               res.wallSeconds, res.step1Seconds, res.step2Seconds,
               res.step3Seconds);
+  if (cfg.cache != nullptr) reportCache(cache);
+  if (cacheOut != nullptr) saveCacheFile(cache, cacheOut, ld);
   for (const core::FailedPinDetail& d : failed.details) {
     const db::Instance& inst = ld.design.instances[d.instIdx];
     std::printf("  FAILED %s (master %s) signal pin #%d\n",
@@ -177,17 +233,26 @@ int cmdRoute(int argc, char** argv) {
   LoadedDesign ld;
   load(ld, argv[2], argv[3]);
   const char* outPath = nullptr;
+  const char* cacheIn = nullptr;
+  const char* cacheOut = nullptr;
   int numThreads = 1;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       outPath = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       numThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--cache-in") == 0 && i + 1 < argc) {
+      cacheIn = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
+      cacheOut = argv[++i];
     }
   }
 
   core::OracleConfig oracleCfg = core::withBcaConfig();
   oracleCfg.numThreads = numThreads;
+  core::AccessCache cache;
+  if (cacheIn != nullptr || cacheOut != nullptr) oracleCfg.cache = &cache;
+  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld);
   core::PinAccessOracle oracle(ld.design, oracleCfg);
   const core::OracleResult access = oracle.run();
   router::AccessSource source(ld.design, access,
@@ -207,6 +272,8 @@ int cmdRoute(int argc, char** argv) {
   std::printf("  DRC violations   : %zu total, %zu access-related\n",
               rr.violations.size(), rr.accessViolations);
   std::printf("  runtime          : %.2f s\n", rr.stats.seconds);
+  if (oracleCfg.cache != nullptr) reportCache(cache);
+  if (cacheOut != nullptr) saveCacheFile(cache, cacheOut, ld);
 
   if (outPath != nullptr) {
     std::vector<lefdef::RoutedShape> routed;
@@ -225,6 +292,118 @@ int cmdRoute(int argc, char** argv) {
   return 0;
 }
 
+// Measures the incremental OracleSession against fresh batch reruns over K
+// random row-snapped instance moves, asserting chosen-pattern equivalence
+// after every move. Exit 1 on any divergence.
+int cmdBenchIncremental(int argc, char** argv) {
+  if (argc < 4) return usage();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
+  int moves = 8;
+  int numThreads = 1;
+  std::uint64_t seed = 1;
+  for (int i = 4; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--moves") == 0 && i + 1 < argc) {
+      moves = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      numThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    }
+  }
+  if (ld.design.instances.empty()) {
+    std::fprintf(stderr, "no instances to move\n");
+    return 1;
+  }
+
+  core::AccessCache cache;
+  core::OracleConfig cfg = core::withBcaConfig();
+  cfg.numThreads = numThreads;
+  cfg.cache = &cache;
+
+  using Clock = std::chrono::steady_clock;
+  const auto since = [](Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const auto tInit = Clock::now();
+  core::OracleSession session(ld.design, cfg);
+  const double initialSeconds = since(tInit);
+
+  std::uint64_t state = seed;
+  const auto nextRand = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;  // the low LCG bits are weak; keep the upper ones
+  };
+
+  double sessionSeconds = 0;
+  double freshSeconds = 0;
+  std::size_t sessionDp = 0;
+  std::size_t freshDp = 0;
+  std::size_t dirtySum = 0;
+  std::size_t clusterSum = 0;
+  for (int m = 0; m < moves; ++m) {
+    const int inst =
+        static_cast<int>(nextRand() % ld.design.instances.size());
+    geom::Point target = ld.design.instances[inst].origin;
+    if (!ld.design.rows.empty()) {
+      const db::Row& row =
+          ld.design.rows[nextRand() % ld.design.rows.size()];
+      const std::uint64_t sites =
+          row.numSites > 0 ? static_cast<std::uint64_t>(row.numSites) : 1;
+      target = geom::Point{
+          row.origin.x +
+              static_cast<geom::Coord>(nextRand() % sites) * row.siteWidth,
+          row.origin.y};
+    } else {
+      const geom::Coord w = ld.design.instances[inst].master->width;
+      target.x = ld.design.dieArea.xlo +
+                 static_cast<geom::Coord>(nextRand() % 16) * w;
+    }
+
+    const std::size_t dpBefore = session.stats().clusterDpRuns;
+    const auto tMove = Clock::now();
+    session.moveInstance(inst, target);
+    sessionSeconds += since(tMove);
+    sessionDp += session.stats().clusterDpRuns - dpBefore;
+    dirtySum += session.stats().lastDirtyClusters;
+    clusterSum += session.stats().lastClusterCount;
+
+    // Fresh batch run over the mutated design (read-only session = exactly
+    // what PinAccessOracle::run does), sharing the same cache.
+    const db::Design& cref = ld.design;
+    const auto tFresh = Clock::now();
+    const core::OracleSession fresh(cref, cfg);
+    freshSeconds += since(tFresh);
+    freshDp += fresh.stats().clusterDpRuns;
+
+    if (fresh.chosenPattern() != session.chosenPattern()) {
+      std::fprintf(stderr,
+                   "MISMATCH after move %d: session chosenPattern differs "
+                   "from a fresh batch run\n",
+                   m);
+      return 1;
+    }
+  }
+
+  std::printf("\nincremental bench (%d moves, seed %llu)\n", moves,
+              static_cast<unsigned long long>(seed));
+  std::printf("  initial build    : %.3f s\n", initialSeconds);
+  std::printf("  session moves    : %.3f s total (%.4f s/move)\n",
+              sessionSeconds, moves > 0 ? sessionSeconds / moves : 0.0);
+  std::printf("  fresh reruns     : %.3f s total (%.4f s/move)\n",
+              freshSeconds, moves > 0 ? freshSeconds / moves : 0.0);
+  std::printf("  speedup          : %.1fx\n",
+              sessionSeconds > 0 ? freshSeconds / sessionSeconds : 0.0);
+  std::printf("  cluster DP runs  : %zu session vs %zu fresh\n", sessionDp,
+              freshDp);
+  std::printf("  dirty clusters   : %zu of %zu visited\n", dirtySum,
+              clusterSum);
+  reportCache(cache);
+  std::printf("  equivalence      : OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -234,5 +413,6 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return cmdGen(argc, argv);
   if (cmd == "analyze") return cmdAnalyze(argc, argv);
   if (cmd == "route") return cmdRoute(argc, argv);
+  if (cmd == "bench-incremental") return cmdBenchIncremental(argc, argv);
   return usage();
 }
