@@ -15,7 +15,7 @@ using namespace pao;
 namespace {
 
 void runRow(const benchgen::Testcase& tc, const char* label,
-            core::OracleConfig cfg) {
+            core::OracleConfig cfg, obs::Json& rows) {
   core::PinAccessOracle oracle(*tc.design, cfg);
   const core::OracleResult res = oracle.run();
   const core::DirtyApStats dirty = core::countDirtyAps(*tc.design, res);
@@ -32,12 +32,21 @@ void runRow(const benchgen::Testcase& tc, const char* label,
               dirty.totalAps, failed.failedPins, validated, patterns,
               res.totalSeconds());
   std::fflush(stdout);
+  rows.push(obs::Json::object()
+                .set("configuration", obs::Json(label))
+                .set("totalAps", obs::Json(dirty.totalAps))
+                .set("failedPins", obs::Json(failed.failedPins))
+                .set("validatedPatterns", obs::Json(validated))
+                .set("patterns", obs::Json(patterns))
+                .set("totalSeconds", obs::Json(res.totalSeconds())));
 }
 
 }  // namespace
 
 int main() {
   const double scale = bench::benchScale(0.02);
+  bench::BenchReport report("bench_ablation");
+  obs::Json rows = obs::Json::array();
   const benchgen::Testcase tc =
       benchgen::generate(benchgen::ispd18Suite()[4], scale);  // test5 (32nm)
   std::printf("Ablations on %s (scale %.3g, %zu insts)\n",
@@ -51,7 +60,7 @@ int main() {
     cfg.apGen.k = k;
     char label[64];
     std::snprintf(label, sizeof(label), "k = %d", k);
-    runRow(tc, label, cfg);
+    runRow(tc, label, cfg, rows);
   }
   bench::printRule(80);
 
@@ -60,25 +69,26 @@ int main() {
     cfg.patternGen.alpha = alpha;
     char label[64];
     std::snprintf(label, sizeof(label), "alpha = %.1f", alpha);
-    runRow(tc, label, cfg);
+    runRow(tc, label, cfg, rows);
   }
   bench::printRule(80);
 
   {
     core::OracleConfig cfg = core::withBcaConfig();
     cfg.patternGen.historyAware = false;
-    runRow(tc, "history-aware OFF", cfg);
+    runRow(tc, "history-aware OFF", cfg, rows);
     cfg.patternGen.historyAware = true;
-    runRow(tc, "history-aware ON", cfg);
+    runRow(tc, "history-aware ON", cfg, rows);
   }
   bench::printRule(80);
 
   {
     core::OracleConfig cfg = core::withBcaConfig();
     cfg.clusterSelect.boundaryPinsOnly = false;
-    runRow(tc, "step3: all pin pairs", cfg);
+    runRow(tc, "step3: all pin pairs", cfg, rows);
     cfg.clusterSelect.boundaryPinsOnly = true;
-    runRow(tc, "step3: boundary only", cfg);
+    runRow(tc, "step3: boundary only", cfg, rows);
   }
-  return 0;
+  report.bench().set("rows", std::move(rows));
+  return report.write() ? 0 : 1;
 }

@@ -1,15 +1,23 @@
-// Shared helpers for the experiment-reproduction binaries: scale handling
-// and fixed-width table printing.
+// Shared helpers for the experiment-reproduction binaries: scale handling,
+// fixed-width table printing, and machine-readable result emission.
 //
 // Every bench accepts the PAO_SCALE environment variable (default 0.03):
 // testcase cell/net/IO counts are multiplied by it so the full suite stays
 // laptop-sized. Unique-instance structure is offset-driven and survives
 // scaling; see EXPERIMENTS.md for the scale used in the recorded runs.
+//
+// Alongside its human-readable table, every bench writes a
+// BENCH_<name>.json document (schema pao-report/1, see obs/report.hpp) into
+// $PAO_BENCH_REPORT_DIR — or the working directory when unset — carrying
+// the environment (hwThreads, gitSha), the scale preset, per-bench summary
+// values, and a metrics-registry snapshot of the run.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "obs/report.hpp"
 
 namespace pao::bench {
 
@@ -41,5 +49,41 @@ inline void printRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Per-bench report writer. Construct with the binary's name, fill the
+/// "bench" section with summary values as the run produces them, and call
+/// write() last — it captures the metrics registry and emits
+/// BENCH_<name>.json.
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name) : name_(name), report_(name) {
+    report_.section("bench").set("scale", obs::Json(benchScale()));
+  }
+
+  /// The "bench" section, for per-bench result rows and summaries.
+  obs::Json& bench() { return report_.section("bench"); }
+  obs::RunReport& report() { return report_; }
+
+  /// Captures metrics and writes BENCH_<name>.json. Returns false (with a
+  /// diagnostic on stderr) on I/O error.
+  bool write() {
+    report_.captureMetrics();
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("PAO_BENCH_REPORT_DIR")) {
+      path = std::string(dir) + "/" + path;
+    }
+    std::string error;
+    if (!report_.writeFile(path, &error)) {
+      std::fprintf(stderr, "bench report: %s\n", error.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "bench report: wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  obs::RunReport report_;
+};
 
 }  // namespace pao::bench

@@ -11,6 +11,7 @@
 int main() {
   using namespace pao;
   const double scale = bench::benchScale(0.05);
+  bench::BenchReport report("bench_exp3_14nm");
   const benchgen::Testcase tc = benchgen::generate(benchgen::aes14Spec(),
                                                    scale);
 
@@ -55,5 +56,16 @@ int main() {
   std::printf("\nPaper shape check: DRC-clean access for all pins; off-track "
               "access is engaged\nautomatically by the coordinate-type "
               "ladder.\n");
-  return 0;
+  report.bench()
+      .set("benchmark", obs::Json(tc.spec.name))
+      .set("instances", obs::Json(tc.design->instances.size()))
+      .set("uniqueInstances", obs::Json(res.unique.classes.size()))
+      .set("totalPins", obs::Json(failed.totalPins))
+      .set("totalAps", obs::Json(dirty.totalAps))
+      .set("dirtyAps", obs::Json(dirty.dirtyAps))
+      .set("failedPins", obs::Json(failed.failedPins))
+      .set("chosenAps", obs::Json(chosen))
+      .set("offTrackAps", obs::Json(offTrack))
+      .set("totalSeconds", obs::Json(res.totalSeconds()));
+  return report.write() ? 0 : 1;
 }

@@ -17,7 +17,7 @@
 namespace {
 
 void runTestcase(const pao::benchgen::TestcaseSpec& spec, double scale,
-                 int ripupPasses) {
+                 int ripupPasses, pao::obs::Json& outRows) {
   using namespace pao;
   const benchgen::Testcase tc = benchgen::generate(spec, scale);
   std::printf("\n%s (scale %.3g, %zu insts, %zu nets)\n", spec.name.c_str(),
@@ -53,6 +53,16 @@ void runTestcase(const pao::benchgen::TestcaseSpec& spec, double scale,
                 rr.accessViolations, rr.violations.size(),
                 rr.stats.seconds);
     std::fflush(stdout);
+    outRows.push(obs::Json::object()
+                  .set("benchmark", obs::Json(spec.name))
+                  .set("access", obs::Json(row.name))
+                  .set("routedNets", obs::Json(rr.stats.routedNets))
+                  .set("failedNets", obs::Json(rr.stats.failedNets))
+                  .set("unconnectedPins", obs::Json(rr.stats.skippedTerms))
+                  .set("relaxedRetries", obs::Json(rr.stats.relaxedRetries))
+                  .set("accessDrcs", obs::Json(rr.accessViolations))
+                  .set("totalDrcs", obs::Json(rr.violations.size()))
+                  .set("seconds", obs::Json(rr.stats.seconds)));
   }
 }
 
@@ -61,17 +71,20 @@ void runTestcase(const pao::benchgen::TestcaseSpec& spec, double scale,
 int main() {
   using namespace pao;
   const double scale = bench::benchScale(0.01);
+  bench::BenchReport report("bench_exp3_routing");
+  obs::Json rows = obs::Json::array();
   std::printf("Experiment 3 — final routed design quality by pin-access "
               "source\n");
   // test1 (45nm, routing-friendly): the access-quality signal is clean.
-  runTestcase(benchgen::ispd18Suite()[0], 2 * scale, /*ripupPasses=*/5);
+  runTestcase(benchgen::ispd18Suite()[0], 2 * scale, /*ripupPasses=*/5, rows);
   // test5 (32nm, the paper's showcase): denser; relaxed retries during
   // rip-up dominate runtime there, so fewer passes keep the suite fast.
-  runTestcase(benchgen::ispd18Suite()[4], scale, /*ripupPasses=*/2);
+  runTestcase(benchgen::ispd18Suite()[4], scale, /*ripupPasses=*/2, rows);
   std::printf("\n(*) greedy nearest-point proxy for the pattern-oblivious "
               "comparison router.\nPaper shape check: PAAF connects every "
               "pin (TrRte cannot) and has the fewest\naccess-related DRCs; "
               "pattern-oblivious access leaves unconnected pins and/or\n"
               "more access DRCs.\n");
-  return 0;
+  report.bench().set("rows", std::move(rows));
+  return report.write() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // min step 120) and reports the DRC engine's verdict.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "db/unique_inst.hpp"
 #include "pao/ap_gen.hpp"
 #include "pao/inst_context.hpp"
@@ -15,6 +16,8 @@
 int main() {
   using namespace pao;
   using geom::Rect;
+  bench::BenchReport report("bench_fig3_coord_types");
+  obs::Json rows = obs::Json::array();
 
   struct Panel {
     const char* label;
@@ -50,6 +53,11 @@ int main() {
       std::printf("      %s\n", v.describe().c_str());
     }
     allMatch = allMatch && clean == p.expectClean;
+    rows.push(obs::Json::object()
+                  .set("panel", obs::Json(p.label))
+                  .set("clean", obs::Json(clean))
+                  .set("expectedClean", obs::Json(p.expectClean))
+                  .set("violations", obs::Json(violations.size())));
   }
 
   // And the generator view: on the panel-(d) pin, the coordinate-type
@@ -67,5 +75,9 @@ int main() {
   }
   std::printf("%s\n", allMatch ? "PASS: all panels match the paper"
                                : "FAIL: panel mismatch");
+  report.bench()
+      .set("rows", std::move(rows))
+      .set("allPanelsMatch", obs::Json(allMatch));
+  if (!report.write()) return 1;
   return allMatch ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include <atomic>
 
+#include "bench_common.hpp"
 #include "benchgen/testcase.hpp"
 #include "db/unique_inst.hpp"
 #include "drc/engine.hpp"
@@ -211,4 +212,15 @@ BENCHMARK(BM_ParallelForUneven)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the run can finish by writing the
+// BENCH_bench_micro.json report (env + metrics snapshot; google-benchmark
+// keeps its own per-benchmark numbers on stdout / --benchmark_out).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  pao::bench::BenchReport report("bench_micro");
+  report.bench().set("framework", pao::obs::Json("google-benchmark"));
+  return report.write() ? 0 : 1;
+}

@@ -10,6 +10,8 @@
 int main() {
   using namespace pao;
   const double scale = bench::benchScale();
+  bench::BenchReport report("bench_table1_testcases");
+  obs::Json rows = obs::Json::array();
 
   std::printf("Table I — testcase information (paper spec vs generated at "
               "scale %.3g)\n",
@@ -41,6 +43,12 @@ int main() {
                 spec.numNets, spec.numIoPins, tc.tech->numRoutingLayers(),
                 die, spec.node == benchgen::Node::k45 ? 45 : 32, stdCells,
                 tc.design->nets.size(), unique.classes.size());
+    rows.push(obs::Json::object()
+                  .set("benchmark", obs::Json(spec.name))
+                  .set("genCells", obs::Json(stdCells))
+                  .set("genNets", obs::Json(tc.design->nets.size()))
+                  .set("genUnique", obs::Json(unique.classes.size())));
   }
-  return 0;
+  report.bench().set("rows", std::move(rows));
+  return report.write() ? 0 : 1;
 }

@@ -12,6 +12,8 @@
 int main() {
   using namespace pao;
   const double scale = bench::benchScale();
+  bench::BenchReport report("bench_table2_exp1");
+  obs::Json rows = obs::Json::array();
 
   std::printf("Table II — Experiment 1: unique-instance access point quality "
               "(scale %.3g)\n",
@@ -45,9 +47,20 @@ int main() {
                 legacyDirty.dirtyAps, paafDirty.dirtyAps,
                 legacyRes.step1Seconds, paafRes.step1Seconds);
     std::fflush(stdout);
+    rows.push(obs::Json::object()
+                  .set("benchmark", obs::Json(spec.name))
+                  .set("uniqueInstances",
+                       obs::Json(paafRes.unique.classes.size()))
+                  .set("apsLegacy", obs::Json(legacyDirty.totalAps))
+                  .set("apsPaaf", obs::Json(paafDirty.totalAps))
+                  .set("dirtyLegacy", obs::Json(legacyDirty.dirtyAps))
+                  .set("dirtyPaaf", obs::Json(paafDirty.dirtyAps))
+                  .set("step1SecondsLegacy", obs::Json(legacyRes.step1Seconds))
+                  .set("step1SecondsPaaf", obs::Json(paafRes.step1Seconds)));
   }
   std::printf("\nPaper shape check: PAAF generates MORE access points, with "
               "ZERO dirty points,\nwhile the TrRte baseline emits dirty "
               "points on every testcase.\n");
-  return 0;
+  report.bench().set("rows", std::move(rows));
+  return report.write() ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 int main() {
   using namespace pao;
   const double scale = bench::benchScale();
+  bench::BenchReport report("bench_table3_exp2");
+  obs::Json rows = obs::Json::array();
 
   std::printf("Table III — Experiment 2: failed pins with intra+inter-cell "
               "compatibility (scale %.3g)\n",
@@ -46,9 +48,20 @@ int main() {
                 bcaFailed.failedPins, legacyRes.totalSeconds(),
                 noBcaRes.totalSeconds(), bcaRes.totalSeconds());
     std::fflush(stdout);
+    rows.push(obs::Json::object()
+                  .set("benchmark", obs::Json(spec.name))
+                  .set("totalPins", obs::Json(bcaFailed.totalPins))
+                  .set("failedLegacy", obs::Json(legacyFailed.failedPins))
+                  .set("failedNoBca", obs::Json(noBcaFailed.failedPins))
+                  .set("failedBca", obs::Json(bcaFailed.failedPins))
+                  .set("totalSecondsLegacy",
+                       obs::Json(legacyRes.totalSeconds()))
+                  .set("totalSecondsNoBca", obs::Json(noBcaRes.totalSeconds()))
+                  .set("totalSecondsBca", obs::Json(bcaRes.totalSeconds())));
   }
   std::printf("\nPaper shape check: TrRte fails many pins; PAAF w/o BCA "
               "leaves a few inter-cell\nconflicts; PAAF w/ BCA reaches zero "
               "failed pins.\n");
-  return 0;
+  report.bench().set("rows", std::move(rows));
+  return report.write() ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "geom/polygon.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/executor.hpp"
 
 namespace pao::drc {
@@ -131,6 +133,7 @@ std::vector<Violation> DrcEngine::checkViaPair(const db::ViaDef& viaA,
 }
 
 std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
+  PAO_TRACE_SCOPE("drc.check_all");
   const int numLayers = static_cast<int>(tech_->layers().size());
   const int threads = util::resolveThreads(numThreads);
 
@@ -281,6 +284,10 @@ std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
     out.insert(out.end(), shard.begin(), shard.end());
   }
   sortViolations(out);
+  // Post-merge totals: shard layout never changes the sorted result, so
+  // both counters are thread-count-invariant.
+  PAO_COUNTER_INC("pao.drc.check_all_runs");
+  PAO_COUNTER_ADD("pao.drc.violations_found", out.size());
   return out;
 }
 

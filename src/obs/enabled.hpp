@@ -1,0 +1,19 @@
+// Compile-time gate for the observability instrumentation. The CMake option
+// PAO_OBS (ON by default) controls whether the PAO_TRACE_SCOPE /
+// PAO_COUNTER_* / PAO_GAUGE_* / PAO_HISTOGRAM_* call-site macros expand to
+// real instrumentation or to nothing. The obs library itself (registry,
+// tracer, report/JSON) is always compiled — only the call sites in hot
+// translation units vanish, so a -DPAO_OBS=OFF build contains no
+// Registry/Tracer symbol references in src/pao, src/drc, src/router or
+// src/util objects (checked by the ci.sh zero-overhead leg).
+#pragma once
+
+#ifndef PAO_OBS
+#define PAO_OBS 1
+#endif
+
+#if PAO_OBS
+#define PAO_OBS_ENABLED 1
+#else
+#define PAO_OBS_ENABLED 0
+#endif

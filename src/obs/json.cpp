@@ -1,0 +1,418 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pao::obs {
+
+Json& Json::set(std::string key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+Json& Json::push(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kInt:
+      return a.int_ == b.int_;
+    case Json::Type::kDouble:
+      return a.dbl_ == b.dbl_;
+    case Json::Type::kString:
+      return a.str_ == b.str_;
+    case Json::Type::kArray:
+      return a.items_ == b.items_;
+    case Json::Type::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+namespace {
+
+void escapeTo(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void newlineIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      return;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", int_);
+      out += buf;
+      return;
+    }
+    case Type::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", dbl_);
+      out += buf;
+      return;
+    }
+    case Type::kString:
+      escapeTo(out, str_);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      bool first = true;
+      for (const Json& v : items_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newlineIndent(out, indent, depth + 1);
+        v.dumpTo(out, indent, depth + 1);
+      }
+      newlineIndent(out, indent, depth);
+      out.push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out.push_back(',');
+        first = false;
+        newlineIndent(out, indent, depth + 1);
+        escapeTo(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dumpTo(out, indent, depth + 1);
+      }
+      newlineIndent(out, indent, depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dumpTo(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  static constexpr int kMaxDepth = 200;
+
+  bool fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) != lit) return false;
+    pos += lit.size();
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    if (pos >= text.size() || text[pos] != '"') return fail("expected '\"'");
+    ++pos;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!parseHex4(cp)) return false;
+            if (cp >= 0xD800 && cp <= 0xDBFF && pos + 1 < text.size() &&
+                text[pos] == '\\' && text[pos + 1] == 'u') {
+              pos += 2;
+              unsigned lo = 0;
+              if (!parseHex4(lo)) return false;
+              if (lo >= 0xDC00 && lo <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+              } else {
+                return fail("invalid low surrogate");
+              }
+            }
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      out.push_back(c);
+      ++pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseHex4(unsigned& cp) {
+    if (pos + 4 > text.size()) return fail("truncated \\u escape");
+    cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') {
+        cp |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        cp |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        cp |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parseValue(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skipWs();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        skipWs();
+        std::string key;
+        if (!parseString(key)) return false;
+        skipWs();
+        if (pos >= text.size() || text[pos] != ':') return fail("expected ':'");
+        ++pos;
+        Json value;
+        if (!parseValue(value, depth + 1)) return false;
+        out.set(std::move(key), std::move(value));
+        skipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skipWs();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!parseValue(value, depth + 1)) return false;
+        out.push(std::move(value));
+        skipWs();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parseString(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return fail("bad literal");
+      out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return fail("bad literal");
+      out = Json(false);
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return fail("bad literal");
+      out = Json();
+      return true;
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    bool isDouble = false;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (d >= '0' && d <= '9') {
+        ++pos;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+        isDouble = isDouble || d == '.' || d == 'e' || d == 'E';
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start || (pos == start + 1 && text[start] == '-')) {
+      return fail("expected a value");
+    }
+    const std::string tok(text.substr(start, pos - start));
+    char* end = nullptr;
+    if (!isDouble) {
+      const long long v = std::strtoll(tok.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0') {
+        out = Json(v);
+        return true;
+      }
+    }
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out = Json(d);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parseValue(out, 0)) {
+    if (error != nullptr) *error = p.error;
+    return std::nullopt;
+  }
+  p.skipWs();
+  if (p.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing content at offset " + std::to_string(p.pos);
+    }
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace pao::obs

@@ -1,0 +1,116 @@
+// Minimal ordered JSON document model for the observability subsystem:
+// insertion-ordered objects (so run reports serialize sections in the order
+// they were added), exact integer round-tripping for counters, and a strict
+// recursive-descent parser used by the schema validators and tests. Not a
+// general-purpose JSON library: no comments, no NaN/Inf, UTF-8 is passed
+// through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pao::obs {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(long v) : type_(Type::kInt), int_(v) {}
+  Json(long long v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned long v) : type_(Type::kInt), int_(static_cast<long long>(v)) {}
+  Json(unsigned long long v)
+      : type_(Type::kInt), int_(static_cast<long long>(v)) {}
+  Json(double v) : type_(Type::kDouble), dbl_(v) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), str_(s) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::kNull; }
+  bool isObject() const { return type_ == Type::kObject; }
+  bool isArray() const { return type_ == Type::kArray; }
+  bool isString() const { return type_ == Type::kString; }
+  bool isInt() const { return type_ == Type::kInt; }
+  bool isNumber() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool isBool() const { return type_ == Type::kBool; }
+
+  // --- object access -------------------------------------------------------
+  /// Adds or replaces `key` (insertion order preserved; replacement keeps
+  /// the original position). Returns *this for chaining. A null value
+  /// auto-vivifies into an object.
+  Json& set(std::string key, Json value);
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+  /// Find-or-insert (null when new); auto-vivifies a null into an object.
+  Json& operator[](std::string_view key);
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // --- array access --------------------------------------------------------
+  /// Appends; a null value auto-vivifies into an array.
+  Json& push(Json value);
+  const std::vector<Json>& items() const { return items_; }
+
+  // --- scalar access (undefined unless the type matches) -------------------
+  bool asBool() const { return bool_; }
+  long long asInt() const { return int_; }
+  double asDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : dbl_;
+  }
+  const std::string& asString() const { return str_; }
+
+  friend bool operator==(const Json& a, const Json& b);
+
+  /// Serializes. indent == 0 produces a compact single line; indent > 0
+  /// pretty-prints with that many spaces per level. Output is byte-stable
+  /// for equal documents.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing whitespace only).
+  /// Returns nullopt and sets *error (when given) on malformed input.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double dbl_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace pao::obs

@@ -1,0 +1,123 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+namespace pao::obs {
+
+Histogram::Histogram(std::vector<long long> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1) {}
+
+void Histogram::observe(long long v) {
+  // Linear scan: bucket counts are small (defaults: 17) and the common case
+  // exits early; a binary search would not beat it for these sizes.
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const long long> defaultHistogramBounds() {
+  static const long long kBounds[] = {1,    2,    4,    8,     16,   32,
+                                      64,   128,  256,  512,   1024, 2048,
+                                      4096, 8192, 16384, 32768, 65536};
+  return kBounds;
+}
+
+Registry& Registry::instance() {
+  static Registry* const kInstance = new Registry();  // leaked on purpose
+  return *kInstance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const auto bounds = defaultHistogramBounds();
+  return histogram(name, bounds);
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const long long> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<long long>(
+                          bounds.begin(), bounds.end())))
+             .first;
+  }
+  return *it->second;
+}
+
+Json Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::object();
+  // std::map iteration is already canonically sorted by name.
+  Json counters = Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, Json(c->value()));
+  }
+  out.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, Json(g->value()));
+  }
+  out.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json hist = Json::object();
+    hist.set("count", Json(h->count()));
+    hist.set("sum", Json(h->sum()));
+    Json bounds = Json::array();
+    for (const long long b : h->bounds()) bounds.push(Json(b));
+    hist.set("bounds", std::move(bounds));
+    Json buckets = Json::array();
+    for (const std::uint64_t c : h->counts()) buckets.push(Json(c));
+    hist.set("buckets", std::move(buckets));
+    histograms.set(name, std::move(hist));
+  }
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace pao::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace pao::core {
 
 using db::Dir;
@@ -209,6 +211,11 @@ std::vector<std::vector<AccessPoint>> AccessPointGenerator::generateAll()
   out.reserve(ctx_->signalPins().size());
   for (const int pinIdx : ctx_->signalPins()) {
     out.push_back(generate(pinIdx));
+    // Per-class counts: generateAll runs once per unique-instance class
+    // (schedule-independent), so these totals are thread-count-invariant.
+    PAO_COUNTER_INC("pao.step1.pins_analyzed");
+    PAO_COUNTER_ADD("pao.step1.aps_generated", out.back().size());
+    PAO_HISTOGRAM_OBSERVE("pao.step1.aps_per_pin", out.back().size());
   }
   return out;
 }

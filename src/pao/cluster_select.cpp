@@ -1,9 +1,13 @@
 #include "pao/cluster_select.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cpu_time.hpp"
 #include "util/executor.hpp"
 
 namespace pao::core {
@@ -48,6 +52,7 @@ std::vector<std::vector<int>> buildClusters(const db::Design& design) {
     }
     if (!cur.empty()) clusters.push_back(std::move(cur));
   }
+  PAO_COUNTER_ADD("pao.step3.clusters_built", clusters.size());
   return clusters;
 }
 
@@ -274,6 +279,22 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
   }
   if (active.empty()) return;
   ++numDpRuns_;
+  // Deterministic per cluster (one DP per cluster regardless of schedule;
+  // numPairChecks_ is NOT mirrored here because its racy over-count would
+  // break the registry's thread-count-invariance contract).
+  PAO_COUNTER_INC("pao.step3.cluster_dp_runs");
+  PAO_HISTOGRAM_OBSERVE("pao.step3.cluster_size", active.size());
+  PAO_TRACE_SCOPE("step3.cluster_dp");
+  const double cpu0 = util::threadCpuSeconds();
+  struct CpuAccumulator {
+    std::atomic<long long>* nanos;
+    double cpu0;
+    ~CpuAccumulator() {
+      nanos->fetch_add(
+          std::llround((util::threadCpuSeconds() - cpu0) * 1e9),
+          std::memory_order_relaxed);
+    }
+  } cpuAccum{&dpCpuNanos_, cpu0};
 
   const int an = static_cast<int>(active.size());
   cost.assign(an, {});

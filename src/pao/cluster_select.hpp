@@ -91,6 +91,11 @@ class ClusterSelector {
   /// least one pattern-bearing instance). Cumulative across run() and
   /// direct selectCluster calls.
   std::size_t numDpRuns() const { return numDpRuns_.load(); }
+  /// Summed per-thread CPU seconds spent inside cluster DPs (the Step-3
+  /// cpu-clock analog of OracleResult::step3CpuSeconds). Cumulative.
+  double dpCpuSeconds() const {
+    return static_cast<double>(dpCpuNanos_.load()) * 1e-9;
+  }
 
  private:
   /// DRC compatibility of two neighboring instances' patterns (memoized).
@@ -127,6 +132,7 @@ class ClusterSelector {
       pairCache_;
   std::atomic<std::size_t> numPairChecks_{0};
   std::atomic<std::size_t> numDpRuns_{0};
+  std::atomic<long long> dpCpuNanos_{0};
 };
 
 }  // namespace pao::core

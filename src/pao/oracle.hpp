@@ -55,14 +55,31 @@ struct OracleResult {
   /// Chosen pattern per instance (-1 when the class has none).
   std::vector<int> chosenPattern;
 
-  /// Step timings. step1Seconds/step2Seconds report summed per-class CPU
-  /// time for EVERY thread count (serial included), so they are comparable
-  /// across runs; with numThreads > 1 they exceed the elapsed time.
-  /// step3Seconds and wallSeconds are end-to-end wall time.
+  /// Step timings. Two clocks are reported per step because they answer
+  /// different questions and diverge under numThreads > 1:
+  ///
+  ///   * step1Seconds/step2Seconds — summed per-class steady_clock time as
+  ///     measured on the worker that analyzed each class. This is
+  ///     "aggregate work" (comparable across thread counts, exceeds elapsed
+  ///     time when parallel) but is NOT strictly CPU time: a preempted
+  ///     worker inflates it.
+  ///   * step1CpuSeconds/step2CpuSeconds/step3CpuSeconds — the same work
+  ///     measured on the per-thread CPU clock (CLOCK_THREAD_CPUTIME_ID),
+  ///     immune to preemption. Use these for "where did the cycles go".
+  ///   * step3Seconds, steps12WallSeconds and wallSeconds — end-to-end wall
+  ///     (elapsed) time of Step 3, of the Steps 1-2 parallel region, and of
+  ///     the whole flow. Use these for "how long did I wait".
+  ///
+  /// The pao-report/1 "oracle" section carries all of them.
   double step1Seconds = 0;
   double step2Seconds = 0;
   double step3Seconds = 0;
   double wallSeconds = 0;
+  double step1CpuSeconds = 0;
+  double step2CpuSeconds = 0;
+  double step3CpuSeconds = 0;
+  /// Wall time of the Steps 1-2 parallel region alone.
+  double steps12WallSeconds = 0;
   double totalSeconds() const {
     return step1Seconds + step2Seconds + step3Seconds;
   }

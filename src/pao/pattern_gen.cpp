@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace pao::core {
 
 namespace {
@@ -55,6 +57,9 @@ bool PatternGenerator::pairClean(int pinA, int apA, int pinB, int apB) {
   // Only up-vias participate in pattern-stage DRC (Sec. III-B, last para).
   if (a.primaryVia() != nullptr && b.primaryVia() != nullptr) {
     ++numPairChecks_;
+    // Each generator runs serially within its class, and classes run once
+    // each: the total is thread-count-invariant.
+    PAO_COUNTER_INC("pao.step2.pair_checks");
     const std::vector<int>& sig = ctx_->signalPins();
     clean = ctx_->engine()
                 .checkViaPair(*a.primaryVia(), a.loc, ctx_->pinNet(sig[pinA]),
@@ -214,6 +219,7 @@ std::vector<AccessPattern> PatternGenerator::run() {
       patterns.push_back(std::move(pat));
     }
   }
+  PAO_COUNTER_ADD("pao.step2.patterns_generated", patterns.size());
   return patterns;
 }
 

@@ -5,10 +5,13 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pao/ap_gen.hpp"
 #include "pao/inst_context.hpp"
 #include "pao/legacy_ap.hpp"
 #include "pao/pattern_gen.hpp"
+#include "util/cpu_time.hpp"
 #include "util/executor.hpp"
 
 namespace pao::core {
@@ -76,13 +79,18 @@ void OracleSession::computeClassAccess(std::size_t c) {
     std::lock_guard<std::mutex> lock(cacheMu_);
     if (const ClassAccess* hit = cache_->find(key)) {
       ca = *hit;  // stored origin-relative, same as the session convention
+      ++stats_.cacheHits;
+      PAO_COUNTER_INC("pao.oracle.cache_hits");
       return;
     }
+    PAO_COUNTER_INC("pao.oracle.cache_misses");
   }
 
+  PAO_TRACE_SCOPE("oracle.class_access");
   const geom::Point repOrigin = design_->instances[ui.representative].origin;
   const InstContext ctx(*design_, ui);
   const auto t1 = std::chrono::steady_clock::now();
+  const double cpu1 = util::threadCpuSeconds();
   if (cfg_.legacyMode) {
     ca.pinAps = LegacyApGenerator(ctx).generateAll();
   } else {
@@ -93,6 +101,7 @@ void OracleSession::computeClassAccess(std::size_t c) {
     ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
   }
   const double step1 = secondsSince(t1);
+  const double cpu2 = util::threadCpuSeconds();
 
   const auto t2 = std::chrono::steady_clock::now();
   if (cfg_.legacyMode) {
@@ -106,6 +115,8 @@ void OracleSession::computeClassAccess(std::size_t c) {
     ca.pinOrder = gen.pinOrder();
   }
   const double step2 = secondsSince(t2);
+  const double cpu3 = util::threadCpuSeconds();
+  PAO_COUNTER_INC("pao.oracle.class_builds");
 
   // Normalize to origin-relative so the entry is placement-independent.
   ca = AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
@@ -115,33 +126,44 @@ void OracleSession::computeClassAccess(std::size_t c) {
   ++stats_.classBuilds;
   step1Seconds_ += step1;
   step2Seconds_ += step2;
+  step1CpuSeconds_ += cpu2 - cpu1;
+  step2CpuSeconds_ += cpu3 - cpu2;
 }
 
 void OracleSession::buildAll() {
+  PAO_TRACE_SCOPE("oracle.build");
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t numClasses = index_.classes().classes.size();
   classes_.assign(numClasses, ClassAccess{});
   classReady_.assign(numClasses, 0);
 
   // Steps 1-2, one independent work item per class; each writes only its
-  // own slot (step1Seconds_/step2Seconds_ report summed per-class CPU time
-  // for every thread count — see OracleResult).
-  util::parallelFor(
-      numClasses, [&](std::size_t c) { computeClassAccess(c); },
-      cfg_.numThreads);
+  // own slot (step1Seconds_/step2Seconds_ report summed per-class worker
+  // time for every thread count — see OracleResult).
+  {
+    PAO_TRACE_SCOPE("oracle.steps12");
+    util::parallelFor(
+        numClasses, [&](std::size_t c) { computeClassAccess(c); },
+        cfg_.numThreads);
+  }
+  steps12WallSeconds_ = secondsSince(t0);
 
   const auto t3 = std::chrono::steady_clock::now();
-  if (cfg_.runClusterSelection) {
-    ClusterSelectConfig csCfg = cfg_.clusterSelect;
-    csCfg.numThreads = cfg_.numThreads;
-    csCfg.originRelativeClasses = true;
-    selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
-                                                  classes_, csCfg);
-    chosen_ = selector_->run();
-    clusters_ = selector_->clusters();
-    stats_.clusterDpRuns = selector_->numDpRuns();
-  } else {
-    trivialSelection();
+  {
+    PAO_TRACE_SCOPE("oracle.step3");
+    if (cfg_.runClusterSelection) {
+      ClusterSelectConfig csCfg = cfg_.clusterSelect;
+      csCfg.numThreads = cfg_.numThreads;
+      csCfg.originRelativeClasses = true;
+      selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
+                                                    classes_, csCfg);
+      chosen_ = selector_->run();
+      clusters_ = selector_->clusters();
+      stats_.clusterDpRuns = selector_->numDpRuns();
+      step3CpuSeconds_ = selector_->dpCpuSeconds();
+    } else {
+      trivialSelection();
+    }
   }
   step3Seconds_ = secondsSince(t3);
   wallSeconds_ = secondsSince(t0);
@@ -218,7 +240,9 @@ void OracleSession::removeInstance(int instIdx) {
 }
 
 void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
+  PAO_TRACE_SCOPE("session.mutation");
   ++stats_.mutations;
+  PAO_COUNTER_INC("pao.session.mutations");
   designRevision_ = design_->revision();
   if (!cfg_.runClusterSelection) {
     trivialSelection();
@@ -286,6 +310,8 @@ void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
   stats_.lastDirtyClusters = dirtyClusters.size();
   stats_.lastClusterCount = newClusters.size();
   stats_.clusterDpRuns = selector_->numDpRuns();
+  step3CpuSeconds_ = selector_->dpCpuSeconds();
+  PAO_COUNTER_ADD("pao.session.dirty_clusters", dirtyClusters.size());
   clusters_ = std::move(newClusters);
 }
 
@@ -323,6 +349,10 @@ OracleResult OracleSession::snapshot() const {
   r.step2Seconds = step2Seconds_;
   r.step3Seconds = step3Seconds_;
   r.wallSeconds = wallSeconds_;
+  r.step1CpuSeconds = step1CpuSeconds_;
+  r.step2CpuSeconds = step2CpuSeconds_;
+  r.step3CpuSeconds = step3CpuSeconds_;
+  r.steps12WallSeconds = steps12WallSeconds_;
   return r;
 }
 

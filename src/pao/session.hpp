@@ -86,6 +86,8 @@ class OracleSession {
     std::size_t lastClusterCount = 0;
     /// Steps 1-2 per-class analyses actually computed (signature misses).
     std::size_t classBuilds = 0;
+    /// Per-class analyses answered from the configured AccessCache.
+    std::size_t cacheHits = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -125,6 +127,10 @@ class OracleSession {
   double step2Seconds_ = 0;
   double step3Seconds_ = 0;
   double wallSeconds_ = 0;
+  double step1CpuSeconds_ = 0;
+  double step2CpuSeconds_ = 0;
+  double step3CpuSeconds_ = 0;
+  double steps12WallSeconds_ = 0;
 };
 
 }  // namespace pao::core

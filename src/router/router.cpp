@@ -8,6 +8,8 @@
 #include "geom/polygon.hpp"
 
 #include "geom/grid_index.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/executor.hpp"
 
 namespace pao::router {
@@ -89,44 +91,57 @@ std::map<std::pair<int, int>, int> buildNetOf(const db::Design& design) {
 }  // namespace
 
 RouteResult DetailedRouter::run() {
+  PAO_TRACE_SCOPE("router.run");
   const auto t0 = std::chrono::steady_clock::now();
   RouteResult result;
   const db::Design& design = *design_;
 
   // Phase 0: block the grid under fixed metal.
   const std::map<std::pair<int, int>, int> netOf = buildNetOf(design);
-  seedFixed(netOf);
+  {
+    PAO_TRACE_SCOPE("router.seed_fixed");
+    seedFixed(netOf);
+  }
 
   // Phase 1: place every net's access vias first so all routing sees all
   // pin contacts as blockages (mirrors TritonRoute's flow, where pin access
   // is resolved before track assignment). Planning is per-net independent
   // and runs on the executor; commits stay serial in net order so the
   // emitted shape sequence is identical for any thread count.
-  std::vector<TermPlan> plans(design.nets.size());
-  util::parallelFor(
-      design.nets.size(),
-      [&](std::size_t n) { plans[n] = planTerms(static_cast<int>(n)); },
-      cfg_.numThreads);
   std::vector<std::vector<Node>> termNodes(design.nets.size());
-  for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
-    termNodes[n] = commitTerms(plans[n], result.shapes, result.stats);
+  {
+    PAO_TRACE_SCOPE("router.access");
+    std::vector<TermPlan> plans(design.nets.size());
+    util::parallelFor(
+        design.nets.size(),
+        [&](std::size_t n) { plans[n] = planTerms(static_cast<int>(n)); },
+        cfg_.numThreads);
+    for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
+      termNodes[n] = commitTerms(plans[n], result.shapes, result.stats);
+    }
   }
-  plans.clear();
 
   // Phase 2: route nets in index order.
   std::vector<bool> failed(design.nets.size(), false);
-  for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
-    failed[n] = !routeNet(n, termNodes[n], result.shapes, result.stats);
+  {
+    PAO_TRACE_SCOPE("router.route_nets");
+    for (int n = 0; n < static_cast<int>(design.nets.size()); ++n) {
+      failed[n] = !routeNet(n, termNodes[n], result.shapes, result.stats);
+    }
   }
 
   // Phase 3: min-area repair over the completed layout.
-  repairMinArea(result.shapes, result.stats);
+  {
+    PAO_TRACE_SCOPE("router.min_area_repair");
+    repairMinArea(result.shapes, result.stats);
+  }
 
   // Phase 4: rip-up-and-reroute nets whose wiring participates in DRC
   // violations. Each pass removes the offenders' wiring (access vias stay —
   // they are the contract with the pin access oracle), rebuilds the grid
   // state from the survivors, and re-routes with full knowledge.
   if (cfg_.countDrcs) {
+    PAO_TRACE_SCOPE("router.ripup_reroute");
     for (int pass = 0; pass < cfg_.ripupPasses; ++pass) {
       const std::vector<drc::Violation> violations =
           runDrc(result.shapes, netOf);
@@ -197,6 +212,14 @@ RouteResult DetailedRouter::run() {
       if (access) ++result.accessViolations;
     }
   }
+  // End-of-run totals (routing is serial in net order, so every one of
+  // these is thread-count-invariant).
+  PAO_COUNTER_ADD("pao.router.routed_nets", result.stats.routedNets);
+  PAO_COUNTER_ADD("pao.router.failed_nets", result.stats.failedNets);
+  PAO_COUNTER_ADD("pao.router.ripped_nets", result.stats.rippedNets);
+  PAO_COUNTER_ADD("pao.router.wire_shapes", result.stats.wireShapes);
+  PAO_COUNTER_ADD("pao.router.via_count", result.stats.viaCount);
+  PAO_COUNTER_ADD("pao.router.access_violations", result.accessViolations);
   return result;
 }
 

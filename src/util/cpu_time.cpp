@@ -1,0 +1,18 @@
+#include "util/cpu_time.hpp"
+
+#include <ctime>
+
+namespace pao::util {
+
+double threadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace pao::util

@@ -1,0 +1,14 @@
+// Per-thread CPU clock. Complements steady_clock wall time in the oracle
+// timing fields: step1/step2 run per-class on worker threads, so the summed
+// per-class numbers are CPU seconds (they exceed wall time under --threads
+// N), while whole-phase numbers are wall seconds. Reports carry both; see
+// OracleResult in src/pao/oracle.hpp.
+#pragma once
+
+namespace pao::util {
+
+/// CPU seconds consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID).
+/// Falls back to 0.0 where the clock is unavailable.
+double threadCpuSeconds();
+
+}  // namespace pao::util

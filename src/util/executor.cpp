@@ -7,6 +7,14 @@
 #include <thread>
 #include <vector>
 
+#include "obs/enabled.hpp"
+#if PAO_OBS_ENABLED
+#include <optional>
+#include <string>
+
+#include "obs/trace.hpp"
+#endif
+
 namespace pao::util {
 
 namespace {
@@ -57,9 +65,26 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
     }
     gInsideParallelFor = wasInside;
   } else {
+#if PAO_OBS_ENABLED
+    // Name worker spans after the submitting thread's innermost open span
+    // (e.g. "oracle.steps12" -> "oracle.steps12.worker") so Perfetto groups
+    // worker activity under its phase. Captured here, before workers start,
+    // because the stack is thread-local to the submitter.
+    std::string workerSpanName;
+    if (obs::Tracer::instance().enabled()) {
+      const std::string parent = obs::Tracer::currentSpanName();
+      if (!parent.empty()) workerSpanName = parent + ".worker";
+    }
+#endif
     std::atomic<std::size_t> next{0};
     const auto drain = [&] {
       gInsideParallelFor = true;
+#if PAO_OBS_ENABLED
+      std::optional<obs::TraceScope> workerSpan;
+      if (!workerSpanName.empty()) {
+        workerSpan.emplace(workerSpanName, obs::Json());
+      }
+#endif
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
         try {
           fn(i);

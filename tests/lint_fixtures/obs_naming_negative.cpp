@@ -1,0 +1,25 @@
+// Known-negative fixture for the obs-naming rule. NOT compiled — consumed
+// by tests/test_lint.cpp as lint input only.
+void PAO_COUNTER_ADD(const char*, unsigned long);
+void PAO_COUNTER_INC(const char*);
+void PAO_GAUGE_SET(const char*, long long);
+void PAO_HISTOGRAM_OBSERVE(const char*, unsigned long);
+
+void goodNames() {
+  PAO_COUNTER_INC("pao.step1.pins_analyzed");
+  PAO_COUNTER_ADD("pao.step2.pair_checks", 12);
+  PAO_GAUGE_SET("pao.router.queue_depth", 7);
+  PAO_HISTOGRAM_OBSERVE("pao.step3.cluster_size", 5);
+  PAO_COUNTER_INC("pao.oracle.cache.hits_l2");  // four segments are fine
+}
+
+void notStaticallyCheckable(const char* dynamicName) {
+  // A runtime-built name cannot be validated lexically; the rule skips it.
+  PAO_COUNTER_INC(dynamicName);
+}
+
+void unrelatedStrings() {
+  // Strings outside the observability macros carry no naming contract.
+  const char* s = "Totally.Unrelated";
+  (void)s;
+}

@@ -1,0 +1,20 @@
+// Known-positive fixture for the obs-naming rule. NOT compiled — consumed
+// by tests/test_lint.cpp as lint input only. The macro stubs below are plain
+// functions so the call sites tokenize the same way the real macros do.
+void PAO_COUNTER_ADD(const char*, unsigned long);
+void PAO_COUNTER_INC(const char*);
+void PAO_GAUGE_SET(const char*, long long);
+void PAO_HISTOGRAM_OBSERVE(const char*, unsigned long);
+
+void badNames() {
+  PAO_COUNTER_INC("step1.pins");                // line 10: missing pao. root
+  PAO_COUNTER_ADD("pao.total", 3);              // line 11: only two segments
+  PAO_GAUGE_SET("pao.Step1.Pins", 1);           // line 12: uppercase
+  PAO_HISTOGRAM_OBSERVE("pao.step1.", 4);       // line 13: empty segment
+  PAO_COUNTER_INC("pao.step-1.pins");           // line 14: dash not allowed
+}
+
+void suppressedBadName() {
+  // pao-lint: allow(obs-naming): fixture exercising the suppression path
+  PAO_COUNTER_INC("Not.A.Valid.Name");
+}

@@ -1,4 +1,4 @@
-// Tests for pao_lint (tools/lint/): tokenizer behavior, all three rules
+// Tests for pao_lint (tools/lint/): tokenizer behavior, all four rules
 // against in-memory sources and the known-positive / known-negative fixture
 // files under tests/lint_fixtures/, and the suppression syntax.
 #include <algorithm>
@@ -209,6 +209,53 @@ TEST(LintExecutorHygiene, ExecutorImplementationIsExempt) {
       lintSource("src/drc/engine.cpp", "void f() { std::thread t; }",
                  Options());
   EXPECT_EQ(unsuppressed(other).size(), 1u);
+}
+
+// --- obs-naming ----------------------------------------------------------
+
+TEST(LintObsNaming, FlagsAllKnownPositives) {
+  const auto fs = lintFixture("obs_naming_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 5u);
+  for (const Finding* f : live) EXPECT_EQ(f->rule, "obs-naming");
+  EXPECT_EQ(live[0]->line, 10);  // missing pao. root
+  EXPECT_EQ(live[1]->line, 11);  // only two segments
+  EXPECT_EQ(live[2]->line, 12);  // uppercase
+  EXPECT_EQ(live[3]->line, 13);  // empty segment
+  EXPECT_EQ(live[4]->line, 14);  // dash not allowed
+  EXPECT_NE(live[0]->message.find("step1.pins"), std::string::npos);
+  // The justified allow() in the fixture suppresses exactly one finding.
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(),
+                          [](const Finding& f) { return f.suppressed; }),
+            1);
+}
+
+TEST(LintObsNaming, AcceptsAllKnownNegatives) {
+  const auto fs = lintFixture("obs_naming_negative.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintObsNaming, MacroDefinitionLinesAreInvisible) {
+  // The real macros are defined on preprocessor lines, which the lexer
+  // strips — so obs/metrics.hpp's own `#define PAO_COUNTER_ADD(...)` bodies
+  // never trip the rule.
+  const auto fs = lintSource(
+      "src/obs/metrics.hpp",
+      "#define PAO_COUNTER_ADD(name, n) \\\n"
+      "  do { registryAdd(name, n); } while (0)\n"
+      "int x;\n",
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintObsNaming, AllowsSuppressionById) {
+  const auto fs = lintSource(
+      "x.cpp",
+      "void PAO_COUNTER_INC(const char*);\n"
+      "// pao-lint: allow(obs-naming): legacy dashboard expects this name\n"
+      "void f() { PAO_COUNTER_INC(\"legacy_counter\"); }\n",
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
 }
 
 // --- suppression syntax --------------------------------------------------

@@ -1,13 +1,19 @@
 #!/bin/sh
-# CI entry point: four legs over the same tree —
+# CI entry point: six legs over the same tree —
 #   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
 #                      ctest includes the pao_lint_tree static-analysis gate)
 #   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
 #                      bench — fails on any unsuppressed finding)
-#   3. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+#   3. Obs smoke      (analyze with --report-json/--trace-out on a smoke
+#                      preset, validated by report_check: schema, trace span
+#                      nesting, and threads-1-vs-4 report equivalence)
+#   4. PAO_OBS=OFF    (zero-overhead gate: an instrumentation-disabled build
+#                      of the hot libraries must not reference the obs
+#                      registry or tracer at all)
+#   5. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
 #                      parallel executor paths in DrcEngine::checkAll, the
 #                      oracle Steps 1-3 and router planning)
-#   4. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+#   6. UBSan          (-fsanitize=undefined with all diagnostics fatal)
 # The whole tree builds with -Wall -Wextra -Werror in every leg.
 # Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
 set -eu
@@ -30,12 +36,48 @@ echo "== Incremental-session smoke (bench-incremental) =="
 # line must report nonzero hits (fresh reruns reuse the session's entries).
 BI_DIR="$SRC/build-ci-release"
 "$BI_DIR/tools/pao_cli" gen 0 0.01 "$BI_DIR/ci_bi"
+# pao_cli prints all human-readable status to stderr (stdout is reserved for
+# --report-json -), so capture both streams for the grep checks.
 BI_OUT=$("$BI_DIR/tools/pao_cli" bench-incremental \
-  "$BI_DIR/ci_bi.lef" "$BI_DIR/ci_bi.def" --moves 6 --threads 2)
+  "$BI_DIR/ci_bi.lef" "$BI_DIR/ci_bi.def" --moves 6 --threads 2 2>&1)
 echo "$BI_OUT"
 echo "$BI_OUT" | grep -q "equivalence      : OK"
 BI_HITS=$(echo "$BI_OUT" | sed -n 's/.*entries, \([0-9][0-9]*\) hits.*/\1/p')
 [ "${BI_HITS:-0}" -gt 0 ]
+
+echo "== Observability smoke (report + trace) =="
+# The analyze report must validate against pao-report/1, the trace must hold
+# at least 4 distinct phase spans with parallelFor worker spans nested under
+# them, and the report must be byte-identical across thread counts once
+# timing-valued keys are stripped.
+"$BI_DIR/tools/pao_cli" gen 0 0.01 "$BI_DIR/ci_obs"
+"$BI_DIR/tools/pao_cli" analyze "$BI_DIR/ci_obs.lef" "$BI_DIR/ci_obs.def" \
+  --threads 1 --report-json "$BI_DIR/ci_obs_r1.json"
+"$BI_DIR/tools/pao_cli" analyze "$BI_DIR/ci_obs.lef" "$BI_DIR/ci_obs.def" \
+  --threads 4 --report-json "$BI_DIR/ci_obs_r4.json" \
+  --trace-out "$BI_DIR/ci_obs_t4.json"
+"$BI_DIR/tools/report_check" report "$BI_DIR/ci_obs_r4.json"
+"$BI_DIR/tools/report_check" trace "$BI_DIR/ci_obs_t4.json" 4 --require-worker
+"$BI_DIR/tools/report_check" compare \
+  "$BI_DIR/ci_obs_r1.json" "$BI_DIR/ci_obs_r4.json"
+
+echo "== PAO_OBS=OFF zero-overhead build =="
+# With instrumentation compiled out, the hot libraries must carry no
+# reference to the metrics registry or tracer: the macros expand to nothing,
+# so any surviving symbol means a stray direct call crept in.
+OFF_DIR="$SRC/build-ci-obsoff"
+cmake -B "$OFF_DIR" -S "$SRC" -DCMAKE_BUILD_TYPE=Release -DPAO_OBS=OFF
+cmake --build "$OFF_DIR" -j "$JOBS" \
+  --target pao_util pao_drc pao_core pao_router
+for lib in pao_util pao_drc pao_core pao_router; do
+  archive=$(find "$OFF_DIR/src" -name "lib${lib}.a" | head -n 1)
+  [ -n "$archive" ]
+  if nm -C "$archive" | grep -E 'pao::obs::(Registry|Tracer)' >/dev/null; then
+    echo "FAIL: $lib references obs::Registry/Tracer with PAO_OBS=OFF"
+    exit 1
+  fi
+  echo "$lib: no obs registry/tracer references"
+done
 
 echo "== ThreadSanitizer build =="
 cmake -B "$SRC/build-ci-tsan" -S "$SRC" \

@@ -3,7 +3,7 @@
 //   pao_lint [options] <path>...      lint files, or recurse into directories
 //
 // Rules (see lint/rules.hpp and DESIGN.md "Static analysis & invariants"):
-//   pointer-stability, unordered-iteration, executor-hygiene
+//   pointer-stability, unordered-iteration, executor-hygiene, obs-naming
 //
 // Suppress a finding with a justified comment on, or directly above, the
 // offending line:
@@ -92,7 +92,9 @@ int main(int argc, char** argv) {
           "unordered-iteration  unordered_map/set iteration writes output\n"
           "                     with no later canonical sort\n"
           "executor-hygiene     raw std::thread/std::async outside the\n"
-          "                     executor; mutable lambda into parallelFor\n");
+          "                     executor; mutable lambda into parallelFor\n"
+          "obs-naming           observability macro metric name literal\n"
+          "                     not matching pao.<phase>.<metric>\n");
       return 0;
     } else if (arg == "--annotate") {
       if (i + 1 >= argc) return usage();

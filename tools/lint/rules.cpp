@@ -376,6 +376,75 @@ void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: obs-naming
+// ---------------------------------------------------------------------------
+
+bool isObsMetricMacro(std::string_view m) {
+  return m == "PAO_COUNTER_ADD" || m == "PAO_COUNTER_INC" ||
+         m == "PAO_GAUGE_SET" || m == "PAO_HISTOGRAM_OBSERVE";
+}
+
+/// `pao.<phase>.<metric>`: at least three dot-separated segments, each
+/// non-empty and limited to [a-z0-9_], with the first segment exactly `pao`.
+bool isValidMetricName(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = name.find('.', start);
+    const std::string_view seg =
+        dot == std::string_view::npos ? name.substr(start)
+                                      : name.substr(start, dot - start);
+    if (seg.empty()) return false;
+    for (const char c : seg) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_';
+      if (!ok) return false;
+    }
+    ++segments;
+    if (segments == 1 && seg != "pao") return false;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+/// Checks string literals passed as the name argument of the observability
+/// macros. Names built at runtime (non-literal first argument) are skipped:
+/// the registry sorts whatever it gets, but the convention can only be
+/// enforced statically on literals — which is how every call site in the
+/// tree spells them. The macro *definitions* in obs/metrics.hpp live on
+/// preprocessor lines, which the lexer strips, so they are never scanned.
+void ruleObsNaming(std::string_view path, const std::vector<Token>& toks,
+                   std::vector<Finding>& out) {
+  for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
+    if (toks[k].kind != TokKind::kIdent || !isObsMetricMacro(toks[k].text)) {
+      continue;
+    }
+    if (!isPunct(toks[k + 1], "(")) continue;
+    const Token& arg = toks[k + 2];
+    if (arg.kind != TokKind::kString) continue;
+    std::string_view name = arg.text;
+    if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+      name.remove_prefix(1);
+      name.remove_suffix(1);
+    }
+    if (isValidMetricName(name)) continue;
+    Finding f;
+    f.file = std::string(path);
+    f.line = arg.line;
+    f.rule = std::string(kRuleObsNaming);
+    f.message = "metric name \"" + std::string(name) + "\" passed to " +
+                std::string(toks[k].text) +
+                " does not follow pao.<phase>.<metric>";
+    f.hint =
+        "registry names are dotted lowercase [a-z0-9_] with at least three "
+        "segments starting with 'pao.' (e.g. pao.step2.pair_checks); see "
+        "DESIGN.md \"Observability\"";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -399,7 +468,7 @@ void applySuppressions(std::string_view path,
     if (!isKnownRule(s.rule)) {
       f.message = "allow() names unknown rule '" + s.rule + "'";
       f.hint = "valid rules: pointer-stability, unordered-iteration, "
-               "executor-hygiene";
+               "executor-hygiene, obs-naming";
     } else if (s.justification.empty()) {
       f.message = "allow(" + s.rule + ") without a justification";
       f.hint = "suppressions must say why the code is safe: "
@@ -425,7 +494,7 @@ std::vector<AccessorAnnotation> defaultAccessors() {
 
 bool isKnownRule(std::string_view rule) {
   return rule == kRulePointerStability || rule == kRuleUnorderedIteration ||
-         rule == kRuleExecutorHygiene;
+         rule == kRuleExecutorHygiene || rule == kRuleObsNaming;
 }
 
 std::vector<Finding> lintSource(std::string_view path, std::string_view src,
@@ -436,6 +505,7 @@ std::vector<Finding> lintSource(std::string_view path, std::string_view src,
   rulePointerStability(path, lexed.tokens, depths, options, findings);
   ruleUnorderedIteration(path, lexed.tokens, depths, findings);
   ruleExecutorHygiene(path, lexed.tokens, options, findings);
+  ruleObsNaming(path, lexed.tokens, findings);
   applySuppressions(path, lexed.suppressions, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

@@ -1,5 +1,5 @@
 // pao_lint rule engine: project-invariant checks over the token stream
-// produced by lint/lexer.hpp. Three rules, each named and suppressible with
+// produced by lint/lexer.hpp. Four rules, each named and suppressible with
 // `// pao-lint: allow(<rule>): <justification>` on the offending line or the
 // line above it:
 //
@@ -22,8 +22,15 @@
 //                       lambda passed to `parallelFor` (slot-writes, not
 //                       captured mutation, keep parallel results
 //                       deterministic).
+//   obs-naming          A string literal passed as the registry name to one
+//                       of the observability macros (PAO_COUNTER_ADD,
+//                       PAO_COUNTER_INC, PAO_GAUGE_SET,
+//                       PAO_HISTOGRAM_OBSERVE) that does not follow the
+//                       `pao.<phase>.<metric>` convention: dotted lowercase
+//                       [a-z0-9_] with at least three segments, first
+//                       segment `pao` (see DESIGN.md "Observability").
 //
-// A fourth internal rule id, `suppression`, reports malformed suppressions
+// A further internal rule id, `suppression`, reports malformed suppressions
 // (missing justification, unknown rule id); it cannot itself be suppressed.
 #pragma once
 
@@ -37,6 +44,7 @@ inline constexpr std::string_view kRulePointerStability = "pointer-stability";
 inline constexpr std::string_view kRuleUnorderedIteration =
     "unordered-iteration";
 inline constexpr std::string_view kRuleExecutorHygiene = "executor-hygiene";
+inline constexpr std::string_view kRuleObsNaming = "obs-naming";
 inline constexpr std::string_view kRuleSuppression = "suppression";
 
 struct Finding {

@@ -7,6 +7,10 @@
 //   pao_cli bench-incremental <lef> <def> [opts]   incremental-session bench
 //   pao_cli list                                   list testcase presets
 //
+// Stream contract: every human-readable status line goes to stderr; stdout
+// is reserved for `--report-json -` so scripts can pipe the report without
+// scraping.
+//
 // analyze options:
 //   --mode bca|nobca|legacy    flow preset (default bca)
 //   --threads N                Steps 1-2 worker threads (default 1, 0=auto)
@@ -14,16 +18,20 @@
 //   --cache-in <file>          preload the access cache (exit 1 on a
 //                              fingerprint mismatch)
 //   --cache-out <file>         save the access cache after the run
+//   --report-json <file|->     write a pao-report/1 JSON document
+//   --trace-out <file>         write a Chrome/Perfetto trace of the run
 // route options:
 //   --out <file.def>           write the routed design as DEF
 //   --threads N                worker threads for oracle, access planning
 //                              and batch DRC (default 1, 0=auto); routed
 //                              output is identical for any value
 //   --cache-in / --cache-out   as for analyze
+//   --report-json / --trace-out  as for analyze
 // bench-incremental options:
 //   --moves K                  number of random instance moves (default 8)
 //   --threads N                worker threads (default 1, 0=auto)
 //   --seed S                   RNG seed (default 1)
+//   --report-json / --trace-out  as for analyze
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +47,8 @@
 #include "lefdef/def_writer.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "pao/evaluate.hpp"
 #include "pao/session.hpp"
 #include "router/router.hpp"
@@ -48,15 +58,17 @@ namespace {
 using namespace pao;
 
 int usage() {
-  std::printf(
+  std::fprintf(
+      stderr,
       "usage:\n"
       "  pao_cli gen <preset> <scale> <out-prefix>\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
-      " [--report-failed N] [--cache-in f] [--cache-out f]\n"
+      " [--report-failed N] [--cache-in f] [--cache-out f]"
+      " [--report-json f|-] [--trace-out f]\n"
       "  pao_cli route <lef> <def> [--out routed.def] [--threads N]"
-      " [--cache-in f] [--cache-out f]\n"
+      " [--cache-in f] [--cache-out f] [--report-json f|-] [--trace-out f]\n"
       "  pao_cli bench-incremental <lef> <def> [--moves K] [--threads N]"
-      " [--seed S]\n"
+      " [--seed S] [--report-json f|-] [--trace-out f]\n"
       "  pao_cli list\n");
   return 2;
 }
@@ -78,6 +90,65 @@ struct LoadedDesign {
   db::Design design;
 };
 
+/// Shared --report-json/--trace-out handling: the tracer is enabled before
+/// the workload runs and both artifacts are written at scope exit.
+struct ObsOutputs {
+  const char* reportPath = nullptr;
+  const char* tracePath = nullptr;
+
+  bool parseFlag(int argc, char** argv, int& i) {
+    if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
+      reportPath = argv[++i];
+      return true;
+    }
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      tracePath = argv[++i];
+      return true;
+    }
+    return false;
+  }
+
+  void startTracing() const {
+    if (tracePath != nullptr) obs::Tracer::instance().enable();
+  }
+
+  /// Finishes the run: captures metrics into the report and writes both
+  /// files. Returns false (after printing to stderr) on any I/O failure.
+  bool finish(obs::RunReport& report) const {
+    bool ok = true;
+    if (tracePath != nullptr) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      tracer.disable();
+      std::ofstream out(tracePath);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", tracePath);
+        ok = false;
+      } else {
+        out << tracer.exportChromeTrace() << "\n";
+        std::fprintf(stderr, "trace: wrote %llu events to %s\n",
+                     static_cast<unsigned long long>(tracer.eventCount()),
+                     tracePath);
+      }
+    }
+    if (reportPath != nullptr) {
+      report.captureMetrics();
+      std::string error;
+      if (!obs::validateReport(report.doc(), &error)) {
+        std::fprintf(stderr, "internal error: report fails validation: %s\n",
+                     error.c_str());
+        ok = false;
+      }
+      if (!report.writeFile(reportPath, &error)) {
+        std::fprintf(stderr, "report: %s\n", error.c_str());
+        ok = false;
+      } else if (std::strcmp(reportPath, "-") != 0) {
+        std::fprintf(stderr, "report: wrote %s\n", reportPath);
+      }
+    }
+    return ok;
+  }
+};
+
 /// Preloads `cache` from `path`; exits with an error for rejected caches
 /// (wrong fingerprint / unknown format) so a stale cache never goes unnoticed.
 void loadCacheFile(core::AccessCache& cache, const char* path,
@@ -88,7 +159,7 @@ void loadCacheFile(core::AccessCache& cache, const char* path,
     std::fprintf(stderr, "cache '%s' rejected: %s\n", path, error.c_str());
     std::exit(1);
   }
-  std::printf("cache: loaded %zu entries from %s\n", n, path);
+  std::fprintf(stderr, "cache: loaded %zu entries from %s\n", n, path);
 }
 
 void saveCacheFile(const core::AccessCache& cache, const char* path,
@@ -99,12 +170,22 @@ void saveCacheFile(const core::AccessCache& cache, const char* path,
     std::exit(1);
   }
   out << cache.save(ld.tech, ld.lib);
-  std::printf("cache: saved %zu entries to %s\n", cache.size(), path);
+  std::fprintf(stderr, "cache: saved %zu entries to %s\n", cache.size(),
+               path);
 }
 
 void reportCache(const core::AccessCache& cache) {
-  std::printf("  access cache     : %zu entries, %zu hits, %zu misses\n",
-              cache.size(), cache.hits(), cache.misses());
+  std::fprintf(stderr,
+               "  access cache     : %zu entries, %zu hits, %zu misses\n",
+               cache.size(), cache.hits(), cache.misses());
+}
+
+obs::Json cacheJson(const core::AccessCache& cache) {
+  obs::Json j = obs::Json::object();
+  j.set("entries", obs::Json(cache.size()));
+  j.set("hits", obs::Json(cache.hits()));
+  j.set("misses", obs::Json(cache.misses()));
+  return j;
 }
 
 void load(LoadedDesign& ld, const char* lefPath, const char* defPath) {
@@ -112,25 +193,67 @@ void load(LoadedDesign& ld, const char* lefPath, const char* defPath) {
   ld.design.tech = &ld.tech;
   ld.design.lib = &ld.lib;
   lefdef::parseDef(slurp(defPath), ld.design);
-  std::printf("loaded '%s': %zu layers, %zu masters, %zu instances, %zu "
-              "nets\n",
-              ld.design.name.c_str(), ld.tech.layers().size(),
-              ld.lib.masters().size(), ld.design.instances.size(),
-              ld.design.nets.size());
+  std::fprintf(stderr,
+               "loaded '%s': %zu layers, %zu masters, %zu instances, %zu "
+               "nets\n",
+               ld.design.name.c_str(), ld.tech.layers().size(),
+               ld.lib.masters().size(), ld.design.instances.size(),
+               ld.design.nets.size());
+}
+
+obs::Json designJson(const LoadedDesign& ld) {
+  obs::Json j = obs::Json::object();
+  j.set("name", obs::Json(ld.design.name));
+  j.set("layers", obs::Json(ld.tech.layers().size()));
+  j.set("masters", obs::Json(ld.lib.masters().size()));
+  j.set("instances", obs::Json(ld.design.instances.size()));
+  j.set("nets", obs::Json(ld.design.nets.size()));
+  return j;
+}
+
+/// The oracle section: step counts plus both clocks per step (see
+/// OracleResult's timing doc in src/pao/oracle.hpp for the semantics).
+obs::Json oracleJson(const core::OracleResult& res) {
+  obs::Json j = obs::Json::object();
+  j.set("uniqueInstances", obs::Json(res.unique.classes.size()));
+  j.set("totalAps", obs::Json(res.totalAps()));
+  obs::Json timings = obs::Json::object();
+  timings.set("step1WorkerSeconds", obs::Json(res.step1Seconds));
+  timings.set("step2WorkerSeconds", obs::Json(res.step2Seconds));
+  timings.set("step1CpuSeconds", obs::Json(res.step1CpuSeconds));
+  timings.set("step2CpuSeconds", obs::Json(res.step2CpuSeconds));
+  timings.set("step3CpuSeconds", obs::Json(res.step3CpuSeconds));
+  timings.set("steps12WallSeconds", obs::Json(res.steps12WallSeconds));
+  timings.set("step3WallSeconds", obs::Json(res.step3Seconds));
+  timings.set("wallSeconds", obs::Json(res.wallSeconds));
+  j.set("timings", std::move(timings));
+  return j;
+}
+
+obs::Json sessionJson(const core::OracleSession::Stats& stats) {
+  obs::Json j = obs::Json::object();
+  j.set("mutations", obs::Json(stats.mutations));
+  j.set("clusterDpRuns", obs::Json(stats.clusterDpRuns));
+  j.set("lastDirtyClusters", obs::Json(stats.lastDirtyClusters));
+  j.set("lastClusterCount", obs::Json(stats.lastClusterCount));
+  j.set("classBuilds", obs::Json(stats.classBuilds));
+  j.set("cacheHits", obs::Json(stats.cacheHits));
+  return j;
 }
 
 int cmdList() {
-  std::printf("%-16s %10s %8s %10s %6s\n", "preset", "#cells", "#macros",
-              "#nets", "node");
+  std::fprintf(stderr, "%-16s %10s %8s %10s %6s\n", "preset", "#cells",
+               "#macros", "#nets", "node");
   int idx = 0;
   for (const benchgen::TestcaseSpec& s : benchgen::ispd18Suite()) {
-    std::printf("%-2d %-13s %10zu %8d %10zu %6s\n", idx++, s.name.c_str(),
-                s.numCells, s.numMacros, s.numNets,
-                s.node == benchgen::Node::k45 ? "45nm" : "32nm");
+    std::fprintf(stderr, "%-2d %-13s %10zu %8d %10zu %6s\n", idx++,
+                 s.name.c_str(), s.numCells, s.numMacros, s.numNets,
+                 s.node == benchgen::Node::k45 ? "45nm" : "32nm");
   }
   const benchgen::TestcaseSpec aes = benchgen::aes14Spec();
-  std::printf("%-2s %-13s %10zu %8d %10zu %6s\n", "a", aes.name.c_str(),
-              aes.numCells, aes.numMacros, aes.numNets, "14nm");
+  std::fprintf(stderr, "%-2s %-13s %10zu %8d %10zu %6s\n", "a",
+               aes.name.c_str(), aes.numCells, aes.numMacros, aes.numNets,
+               "14nm");
   return 0;
 }
 
@@ -156,24 +279,24 @@ int cmdGen(int argc, char** argv) {
   lef << lefdef::writeLef(*tc.tech, *tc.lib);
   std::ofstream def(prefix + ".def");
   def << lefdef::writeDef(*tc.design);
-  std::printf("wrote %s.lef / %s.def (%zu instances, %zu nets)\n",
-              prefix.c_str(), prefix.c_str(), tc.design->instances.size(),
-              tc.design->nets.size());
+  std::fprintf(stderr, "wrote %s.lef / %s.def (%zu instances, %zu nets)\n",
+               prefix.c_str(), prefix.c_str(), tc.design->instances.size(),
+               tc.design->nets.size());
   return 0;
 }
 
 int cmdAnalyze(int argc, char** argv) {
   if (argc < 4) return usage();
-  LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
 
   core::OracleConfig cfg = core::withBcaConfig();
+  std::string mode = "bca";
   std::size_t reportFailed = 0;
   const char* cacheIn = nullptr;
   const char* cacheOut = nullptr;
+  ObsOutputs outputs;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
-      const std::string mode = argv[++i];
+      mode = argv[++i];
       if (mode == "legacy") cfg = core::legacyConfig();
       if (mode == "nobca") cfg = core::withoutBcaConfig();
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -184,8 +307,15 @@ int cmdAnalyze(int argc, char** argv) {
       cacheIn = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
       cacheOut = argv[++i];
+    } else if (!outputs.parseFlag(argc, argv, i)) {
+      std::fprintf(stderr, "unknown analyze option '%s'\n", argv[i]);
+      return usage();
     }
   }
+
+  outputs.startTracing();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
 
   core::AccessCache cache;
   if (cacheIn != nullptr || cacheOut != nullptr) cfg.cache = &cache;
@@ -194,48 +324,69 @@ int cmdAnalyze(int argc, char** argv) {
   // Sanity-check the placement before analyzing it.
   const auto placement = db::checkPlacement(ld.design);
   if (!placement.empty()) {
-    std::printf("placement warnings: %zu (first: %s)\n", placement.size(),
-                placement.front().describe(ld.design).c_str());
+    std::fprintf(stderr, "placement warnings: %zu (first: %s)\n",
+                 placement.size(),
+                 placement.front().describe(ld.design).c_str());
   }
 
-  core::PinAccessOracle oracle(ld.design, cfg);
-  const core::OracleResult res = oracle.run();
+  // A read-only session rather than the batch facade, so the report can
+  // carry session-level stats (class builds, cache hits) too.
+  const core::OracleSession session(
+      static_cast<const db::Design&>(ld.design), cfg);
+  const core::OracleResult res = session.snapshot();
   const core::DirtyApStats dirty = core::countDirtyAps(ld.design, res);
   const core::FailedPinStats failed = core::countFailedPins(
       ld.design, res, reportFailed,
       cfg.legacyMode ? core::FailedPinCriterion::kAnyAp
                      : core::FailedPinCriterion::kChosenAp);
 
-  std::printf("\npin access report\n");
-  std::printf("  unique instances : %zu\n", res.unique.classes.size());
-  std::printf("  access points    : %zu (dirty: %zu)\n", dirty.totalAps,
-              dirty.dirtyAps);
-  std::printf("  failed pins      : %zu / %zu\n", failed.failedPins,
-              failed.totalPins);
-  std::printf("  runtime          : %.2f s wall (steps %.2f / %.2f / %.2f)\n",
-              res.wallSeconds, res.step1Seconds, res.step2Seconds,
-              res.step3Seconds);
+  std::fprintf(stderr, "\npin access report\n");
+  std::fprintf(stderr, "  unique instances : %zu\n",
+               res.unique.classes.size());
+  std::fprintf(stderr, "  access points    : %zu (dirty: %zu)\n",
+               dirty.totalAps, dirty.dirtyAps);
+  std::fprintf(stderr, "  failed pins      : %zu / %zu\n", failed.failedPins,
+               failed.totalPins);
+  std::fprintf(stderr,
+               "  runtime          : %.2f s wall (steps %.2f / %.2f / "
+               "%.2f)\n",
+               res.wallSeconds, res.step1Seconds, res.step2Seconds,
+               res.step3Seconds);
   if (cfg.cache != nullptr) reportCache(cache);
   if (cacheOut != nullptr) saveCacheFile(cache, cacheOut, ld);
   for (const core::FailedPinDetail& d : failed.details) {
     const db::Instance& inst = ld.design.instances[d.instIdx];
-    std::printf("  FAILED %s (master %s) signal pin #%d\n",
-                inst.name.c_str(), inst.master->name.c_str(), d.sigPinPos);
+    std::fprintf(stderr, "  FAILED %s (master %s) signal pin #%d\n",
+                 inst.name.c_str(), inst.master->name.c_str(), d.sigPinPos);
     for (const drc::Violation& v : d.violations) {
-      std::printf("    %s\n", v.describe().c_str());
+      std::fprintf(stderr, "    %s\n", v.describe().c_str());
     }
   }
+
+  obs::RunReport report("pao_cli analyze");
+  report.section("design") = designJson(ld);
+  obs::Json& config = report.section("config");
+  config.set("mode", obs::Json(mode));
+  config.set("threads", obs::Json(cfg.numThreads));
+  obs::Json& oracle = report.section("oracle");
+  oracle = oracleJson(res);
+  oracle.set("dirtyAps", obs::Json(dirty.dirtyAps));
+  oracle.set("failedPins", obs::Json(failed.failedPins));
+  oracle.set("totalPins", obs::Json(failed.totalPins));
+  report.section("session") = sessionJson(session.stats());
+  if (cfg.cache != nullptr) report.section("cache") = cacheJson(cache);
+  if (!outputs.finish(report)) return 1;
+
   return failed.failedPins == 0 ? 0 : 1;
 }
 
 int cmdRoute(int argc, char** argv) {
   if (argc < 4) return usage();
-  LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
   const char* outPath = nullptr;
   const char* cacheIn = nullptr;
   const char* cacheOut = nullptr;
   int numThreads = 1;
+  ObsOutputs outputs;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       outPath = argv[++i];
@@ -245,8 +396,15 @@ int cmdRoute(int argc, char** argv) {
       cacheIn = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
       cacheOut = argv[++i];
+    } else if (!outputs.parseFlag(argc, argv, i)) {
+      std::fprintf(stderr, "unknown route option '%s'\n", argv[i]);
+      return usage();
     }
   }
+
+  outputs.startTracing();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
 
   core::OracleConfig oracleCfg = core::withBcaConfig();
   oracleCfg.numThreads = numThreads;
@@ -262,16 +420,16 @@ int cmdRoute(int argc, char** argv) {
   router::DetailedRouter rtr(ld.design, source, routerCfg);
   const router::RouteResult rr = rtr.run();
 
-  std::printf("\nrouting report\n");
-  std::printf("  nets             : %zu routed, %zu failed\n",
-              rr.stats.routedNets, rr.stats.failedNets);
-  std::printf("  pin terms        : %zu unconnected\n",
-              rr.stats.skippedTerms);
-  std::printf("  vias / wires     : %zu / %zu\n", rr.stats.viaCount,
-              rr.stats.wireShapes);
-  std::printf("  DRC violations   : %zu total, %zu access-related\n",
-              rr.violations.size(), rr.accessViolations);
-  std::printf("  runtime          : %.2f s\n", rr.stats.seconds);
+  std::fprintf(stderr, "\nrouting report\n");
+  std::fprintf(stderr, "  nets             : %zu routed, %zu failed\n",
+               rr.stats.routedNets, rr.stats.failedNets);
+  std::fprintf(stderr, "  pin terms        : %zu unconnected\n",
+               rr.stats.skippedTerms);
+  std::fprintf(stderr, "  vias / wires     : %zu / %zu\n", rr.stats.viaCount,
+               rr.stats.wireShapes);
+  std::fprintf(stderr, "  DRC violations   : %zu total, %zu access-related\n",
+               rr.violations.size(), rr.accessViolations);
+  std::fprintf(stderr, "  runtime          : %.2f s\n", rr.stats.seconds);
   if (oracleCfg.cache != nullptr) reportCache(cache);
   if (cacheOut != nullptr) saveCacheFile(cache, cacheOut, ld);
 
@@ -287,8 +445,26 @@ int cmdRoute(int argc, char** argv) {
     }
     std::ofstream out(outPath);
     out << lefdef::writeRoutedDef(ld.design, routed);
-    std::printf("  wrote %s\n", outPath);
+    std::fprintf(stderr, "  wrote %s\n", outPath);
   }
+
+  obs::RunReport report("pao_cli route");
+  report.section("design") = designJson(ld);
+  report.section("config").set("threads", obs::Json(numThreads));
+  report.section("oracle") = oracleJson(access);
+  obs::Json& routerJ = report.section("router");
+  routerJ.set("routedNets", obs::Json(rr.stats.routedNets));
+  routerJ.set("failedNets", obs::Json(rr.stats.failedNets));
+  routerJ.set("skippedTerms", obs::Json(rr.stats.skippedTerms));
+  routerJ.set("viaCount", obs::Json(rr.stats.viaCount));
+  routerJ.set("wireShapes", obs::Json(rr.stats.wireShapes));
+  routerJ.set("rippedNets", obs::Json(rr.stats.rippedNets));
+  routerJ.set("seconds", obs::Json(rr.stats.seconds));
+  obs::Json& drcJ = report.section("drc");
+  drcJ.set("violations", obs::Json(rr.violations.size()));
+  drcJ.set("accessViolations", obs::Json(rr.accessViolations));
+  if (oracleCfg.cache != nullptr) report.section("cache") = cacheJson(cache);
+  if (!outputs.finish(report)) return 1;
   return 0;
 }
 
@@ -297,11 +473,10 @@ int cmdRoute(int argc, char** argv) {
 // after every move. Exit 1 on any divergence.
 int cmdBenchIncremental(int argc, char** argv) {
   if (argc < 4) return usage();
-  LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
   int moves = 8;
   int numThreads = 1;
   std::uint64_t seed = 1;
+  ObsOutputs outputs;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--moves") == 0 && i + 1 < argc) {
       moves = std::atoi(argv[++i]);
@@ -309,8 +484,16 @@ int cmdBenchIncremental(int argc, char** argv) {
       numThreads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!outputs.parseFlag(argc, argv, i)) {
+      std::fprintf(stderr, "unknown bench-incremental option '%s'\n",
+                   argv[i]);
+      return usage();
     }
   }
+
+  outputs.startTracing();
+  LoadedDesign ld;
+  load(ld, argv[2], argv[3]);
   if (ld.design.instances.empty()) {
     std::fprintf(stderr, "no instances to move\n");
     return 1;
@@ -386,21 +569,39 @@ int cmdBenchIncremental(int argc, char** argv) {
     }
   }
 
-  std::printf("\nincremental bench (%d moves, seed %llu)\n", moves,
-              static_cast<unsigned long long>(seed));
-  std::printf("  initial build    : %.3f s\n", initialSeconds);
-  std::printf("  session moves    : %.3f s total (%.4f s/move)\n",
-              sessionSeconds, moves > 0 ? sessionSeconds / moves : 0.0);
-  std::printf("  fresh reruns     : %.3f s total (%.4f s/move)\n",
-              freshSeconds, moves > 0 ? freshSeconds / moves : 0.0);
-  std::printf("  speedup          : %.1fx\n",
-              sessionSeconds > 0 ? freshSeconds / sessionSeconds : 0.0);
-  std::printf("  cluster DP runs  : %zu session vs %zu fresh\n", sessionDp,
-              freshDp);
-  std::printf("  dirty clusters   : %zu of %zu visited\n", dirtySum,
-              clusterSum);
+  std::fprintf(stderr, "\nincremental bench (%d moves, seed %llu)\n", moves,
+               static_cast<unsigned long long>(seed));
+  std::fprintf(stderr, "  initial build    : %.3f s\n", initialSeconds);
+  std::fprintf(stderr, "  session moves    : %.3f s total (%.4f s/move)\n",
+               sessionSeconds, moves > 0 ? sessionSeconds / moves : 0.0);
+  std::fprintf(stderr, "  fresh reruns     : %.3f s total (%.4f s/move)\n",
+               freshSeconds, moves > 0 ? freshSeconds / moves : 0.0);
+  std::fprintf(stderr, "  speedup          : %.1fx\n",
+               sessionSeconds > 0 ? freshSeconds / sessionSeconds : 0.0);
+  std::fprintf(stderr, "  cluster DP runs  : %zu session vs %zu fresh\n",
+               sessionDp, freshDp);
+  std::fprintf(stderr, "  dirty clusters   : %zu of %zu visited\n", dirtySum,
+               clusterSum);
   reportCache(cache);
-  std::printf("  equivalence      : OK\n");
+  std::fprintf(stderr, "  equivalence      : OK\n");
+
+  obs::RunReport report("pao_cli bench-incremental");
+  report.section("design") = designJson(ld);
+  obs::Json& config = report.section("config");
+  config.set("moves", obs::Json(moves));
+  config.set("seed", obs::Json(seed));
+  config.set("threads", obs::Json(numThreads));
+  obs::Json& bench = report.section("bench");
+  bench.set("initialSeconds", obs::Json(initialSeconds));
+  bench.set("sessionMoveSeconds", obs::Json(sessionSeconds));
+  bench.set("freshRerunSeconds", obs::Json(freshSeconds));
+  bench.set("sessionDpRuns", obs::Json(sessionDp));
+  bench.set("freshDpRuns", obs::Json(freshDp));
+  bench.set("dirtyClusters", obs::Json(dirtySum));
+  bench.set("visitedClusters", obs::Json(clusterSum));
+  report.section("session") = sessionJson(session.stats());
+  report.section("cache") = cacheJson(cache);
+  if (!outputs.finish(report)) return 1;
   return 0;
 }
 

@@ -1,0 +1,119 @@
+// report_check — schema validation for observability artifacts.
+//
+//   report_check report <file.json>            validate a pao-report/1 doc
+//   report_check trace <file.json> [minSpans] [--require-worker]
+//                                              validate a Chrome trace
+//   report_check compare <a.json> <b.json>     byte-compare two reports
+//                                              after stripping timings
+//
+// Exit 0 = valid / equal, 1 = invalid / different, 2 = usage or I/O error.
+// Diagnostics go to stderr; nothing is written to stdout.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  report_check report <file.json>\n"
+               "  report_check trace <file.json> [minSpans]"
+               " [--require-worker]\n"
+               "  report_check compare <a.json> <b.json>\n");
+  return 2;
+}
+
+bool slurp(const char* path, std::string& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool parseFile(const char* path, pao::obs::Json& out) {
+  std::string text;
+  if (!slurp(path, text)) return false;
+  std::string error;
+  const auto doc = pao::obs::Json::parse(text, &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: malformed JSON: %s\n", path, error.c_str());
+    return false;
+  }
+  out = *doc;
+  return true;
+}
+
+int cmdReport(const char* path) {
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  std::string error;
+  if (!pao::obs::validateReport(doc, &error)) {
+    std::fprintf(stderr, "%s: invalid report: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: valid %s\n", path,
+               doc.find("schema")->asString().c_str());
+  return 0;
+}
+
+int cmdTrace(int argc, char** argv) {
+  const char* path = argv[2];
+  int minSpans = 1;
+  bool requireWorker = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--require-worker") == 0) {
+      requireWorker = true;
+    } else {
+      minSpans = std::atoi(argv[i]);
+    }
+  }
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  std::string error;
+  if (!pao::obs::validateTrace(doc, minSpans, requireWorker, &error)) {
+    std::fprintf(stderr, "%s: invalid trace: %s\n", path, error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: valid trace (%zu events)\n", path,
+               doc.find("traceEvents")->items().size());
+  return 0;
+}
+
+int cmdCompare(const char* pathA, const char* pathB) {
+  pao::obs::Json a;
+  pao::obs::Json b;
+  if (!parseFile(pathA, a) || !parseFile(pathB, b)) return 2;
+  const std::string na = pao::obs::normalizeForCompare(a).dump();
+  const std::string nb = pao::obs::normalizeForCompare(b).dump();
+  if (na != nb) {
+    std::fprintf(stderr,
+                 "%s and %s differ beyond timings (%zu vs %zu normalized "
+                 "bytes)\n",
+                 pathA, pathB, na.size(), nb.size());
+    return 1;
+  }
+  std::fprintf(stderr, "%s and %s are equivalent modulo timings\n", pathA,
+               pathB);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "report" && argc == 3) return cmdReport(argv[2]);
+  if (cmd == "trace") return cmdTrace(argc, argv);
+  if (cmd == "compare" && argc == 4) return cmdCompare(argv[2], argv[3]);
+  return usage();
+}
