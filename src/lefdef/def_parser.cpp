@@ -11,58 +11,93 @@ using geom::Coord;
 
 class DefParser {
  public:
-  DefParser(std::string_view text, Design& design)
-      : lex_(text), design_(design) {}
+  DefParser(std::string_view text, Design& design, const ParseOptions& opts)
+      : lex_(text, opts.file), opts_(opts), design_(design) {}
 
-  void run() {
-    while (!lex_.done()) {
-      const std::string_view tok = lex_.peek();
-      if (tok == "DESIGN") {
-        lex_.next();
-        design_.name = std::string(lex_.next());
-        lex_.expect(";");
-      } else if (tok == "UNITS") {
-        lex_.next();
-        lex_.expect("DISTANCE");
-        lex_.expect("MICRONS");
-        dbu_ = static_cast<int>(lex_.nextInt());
-        lex_.expect(";");
-      } else if (tok == "DIEAREA") {
-        lex_.next();
-        lex_.expect("(");
-        const Coord x1 = lex_.nextInt();
-        const Coord y1 = lex_.nextInt();
-        lex_.expect(")");
-        lex_.expect("(");
-        const Coord x2 = lex_.nextInt();
-        const Coord y2 = lex_.nextInt();
-        lex_.expect(")");
-        lex_.expect(";");
-        design_.dieArea = {x1, y1, x2, y2};
-      } else if (tok == "ROW") {
-        parseRow();
-      } else if (tok == "TRACKS") {
-        parseTracks();
-      } else if (tok == "COMPONENTS") {
-        parseComponents();
-      } else if (tok == "PINS") {
-        parsePins();
-      } else if (tok == "NETS") {
-        parseNets();
-      } else if (tok == "END") {
-        lex_.next();
-        if (!lex_.done()) lex_.next();
-      } else {
-        lex_.skipStatement();
+  ParseResult run() {
+    try {
+      while (!lex_.done()) {
+        const std::size_t before = lex_.pos();
+        try {
+          step();
+        } catch (const ParseError& e) {
+          if (!opts_.recover) throw;
+          record(e.diag);
+          resync(before, {"DESIGN", "UNITS", "DIEAREA", "ROW", "TRACKS",
+                          "COMPONENTS", "PINS", "NETS", "END"});
+        }
       }
+    } catch (const Bail&) {
+      // maxErrors reached; res_ already carries the GEN001 diagnostic.
     }
     design_.buildInstanceIndex();
+    return std::move(res_);
   }
 
  private:
+  /// Thrown (recovery mode only) once maxErrors is reached.
+  struct Bail {};
+
+  void record(const util::Diag& d) {
+    res_.diags.push_back(d);
+    if (res_.errorCount() >= opts_.maxErrors) {
+      res_.diags.push_back(tooManyErrors(opts_.file));
+      throw Bail{};
+    }
+  }
+
+  /// Progress guard + resync: never re-dispatch the failing token.
+  void resync(std::size_t before,
+              std::initializer_list<std::string_view> stops) {
+    if (lex_.pos() == before && !lex_.done()) lex_.next();
+    lex_.syncTo(stops);
+  }
+
+  void step() {
+    const std::string_view tok = lex_.peek();
+    if (tok == "DESIGN") {
+      lex_.next();
+      design_.name = std::string(lex_.next());
+      lex_.expect(";");
+    } else if (tok == "UNITS") {
+      lex_.next();
+      lex_.expect("DISTANCE");
+      lex_.expect("MICRONS");
+      dbu_ = static_cast<int>(lex_.nextInt());
+      lex_.expect(";");
+    } else if (tok == "DIEAREA") {
+      lex_.next();
+      lex_.expect("(");
+      const Coord x1 = lex_.nextInt();
+      const Coord y1 = lex_.nextInt();
+      lex_.expect(")");
+      lex_.expect("(");
+      const Coord x2 = lex_.nextInt();
+      const Coord y2 = lex_.nextInt();
+      lex_.expect(")");
+      lex_.expect(";");
+      design_.dieArea = {x1, y1, x2, y2};
+    } else if (tok == "ROW") {
+      parseRow();
+    } else if (tok == "TRACKS") {
+      parseTracks();
+    } else if (tok == "COMPONENTS") {
+      parseComponents();
+    } else if (tok == "PINS") {
+      parsePins();
+    } else if (tok == "NETS") {
+      parseNets();
+    } else if (tok == "END") {
+      lex_.next();
+      if (!lex_.done()) lex_.next();
+    } else {
+      lex_.skipStatement();
+    }
+  }
+
   void parseRow() {
     lex_.expect("ROW");
-    db::Row& row = design_.rows.emplace_back();
+    db::Row row;
     row.name = std::string(lex_.next());
     row.site = std::string(lex_.next());
     row.origin.x = lex_.nextInt();
@@ -77,6 +112,7 @@ class DefParser {
       lex_.nextInt();  // y step
     }
     lex_.expect(";");
+    design_.rows.push_back(std::move(row));
   }
 
   void parseTracks() {
@@ -91,86 +127,113 @@ class DefParser {
     lex_.expect("STEP");
     tp.step = lex_.nextInt();
     lex_.expect("LAYER");
-    const db::Layer* layer = design_.tech->findLayer(lex_.next());
-    if (layer == nullptr) throw ParseError("TRACKS references unknown layer");
+    const std::string layerName(lex_.next());
+    const db::Layer* layer = design_.tech->findLayer(layerName);
+    if (layer == nullptr) {
+      throw ParseError(lex_.diagPrev(
+          "DEF001", "TRACKS references unknown layer '" + layerName + "'"));
+    }
     tp.layer = layer->index;
     lex_.expect(";");
     design_.trackPatterns.push_back(tp);
+  }
+
+  /// Runs `body` for each `- ...` entity, recovering per entity: a bad
+  /// component/pin/net is dropped and reported, the rest of the section
+  /// still parses.
+  template <typename Body>
+  void forEachEntity(Body&& body) {
+    while (lex_.accept("-")) {
+      const std::size_t before = lex_.pos();
+      try {
+        body();
+      } catch (const ParseError& e) {
+        if (!opts_.recover) throw;
+        record(e.diag);
+        resync(before, {"-", "END"});
+      }
+    }
   }
 
   void parseComponents() {
     lex_.expect("COMPONENTS");
     lex_.nextInt();
     lex_.expect(";");
-    while (lex_.accept("-")) {
-      db::Instance inst;
-      inst.name = std::string(lex_.next());
-      const std::string masterName(lex_.next());
-      inst.master = design_.lib->findMaster(masterName);
-      if (inst.master == nullptr) {
-        throw ParseError("component references unknown master " + masterName);
-      }
-      while (!lex_.accept(";")) {
-        if (lex_.accept("+")) {
-          const std::string_view kw = lex_.next();
-          if (kw == "PLACED" || kw == "FIXED") {
-            lex_.expect("(");
-            inst.origin.x = lex_.nextInt();
-            inst.origin.y = lex_.nextInt();
-            lex_.expect(")");
-            inst.orient = geom::orientFromString(lex_.next());
-          }
-        } else {
-          lex_.next();
-        }
-      }
-      design_.instances.push_back(std::move(inst));
-    }
+    forEachEntity([&] { parseOneComponent(); });
     lex_.expect("END");
     lex_.expect("COMPONENTS");
+  }
+
+  void parseOneComponent() {
+    db::Instance inst;
+    inst.name = std::string(lex_.next());
+    const std::string masterName(lex_.next());
+    inst.master = design_.lib->findMaster(masterName);
+    if (inst.master == nullptr) {
+      throw ParseError(lex_.diagPrev(
+          "DEF002", "component references unknown master '" + masterName +
+                        "'"));
+    }
+    while (!lex_.accept(";")) {
+      if (lex_.accept("+")) {
+        const std::string_view kw = lex_.next();
+        if (kw == "PLACED" || kw == "FIXED") {
+          lex_.expect("(");
+          inst.origin.x = lex_.nextInt();
+          inst.origin.y = lex_.nextInt();
+          lex_.expect(")");
+          inst.orient = geom::orientFromString(lex_.next());
+        }
+      } else {
+        lex_.next();
+      }
+    }
+    design_.instances.push_back(std::move(inst));
   }
 
   void parsePins() {
     lex_.expect("PINS");
     lex_.nextInt();
     lex_.expect(";");
-    while (lex_.accept("-")) {
-      db::IoPin pin;
-      pin.name = std::string(lex_.next());
-      geom::Rect shape;
-      geom::Point placed;
-      while (!lex_.accept(";")) {
-        if (lex_.accept("+")) {
-          const std::string_view kw = lex_.next();
-          if (kw == "LAYER") {
-            const db::Layer* layer = design_.tech->findLayer(lex_.next());
-            pin.layer = layer ? layer->index : -1;
-            lex_.expect("(");
-            const Coord x1 = lex_.nextInt();
-            const Coord y1 = lex_.nextInt();
-            lex_.expect(")");
-            lex_.expect("(");
-            const Coord x2 = lex_.nextInt();
-            const Coord y2 = lex_.nextInt();
-            lex_.expect(")");
-            shape = {x1, y1, x2, y2};
-          } else if (kw == "PLACED" || kw == "FIXED") {
-            lex_.expect("(");
-            placed.x = lex_.nextInt();
-            placed.y = lex_.nextInt();
-            lex_.expect(")");
-            lex_.next();  // orient
-          }
-        } else {
-          lex_.next();
-        }
-      }
-      pin.rect = shape.translate(placed.x, placed.y);
-      design_.ioPins.push_back(std::move(pin));
-    }
+    forEachEntity([&] { parseOnePin(); });
     lex_.expect("END");
     lex_.expect("PINS");
     design_.buildInstanceIndex();
+  }
+
+  void parseOnePin() {
+    db::IoPin pin;
+    pin.name = std::string(lex_.next());
+    geom::Rect shape;
+    geom::Point placed;
+    while (!lex_.accept(";")) {
+      if (lex_.accept("+")) {
+        const std::string_view kw = lex_.next();
+        if (kw == "LAYER") {
+          const db::Layer* layer = design_.tech->findLayer(lex_.next());
+          pin.layer = layer ? layer->index : -1;
+          lex_.expect("(");
+          const Coord x1 = lex_.nextInt();
+          const Coord y1 = lex_.nextInt();
+          lex_.expect(")");
+          lex_.expect("(");
+          const Coord x2 = lex_.nextInt();
+          const Coord y2 = lex_.nextInt();
+          lex_.expect(")");
+          shape = {x1, y1, x2, y2};
+        } else if (kw == "PLACED" || kw == "FIXED") {
+          lex_.expect("(");
+          placed.x = lex_.nextInt();
+          placed.y = lex_.nextInt();
+          lex_.expect(")");
+          lex_.next();  // orient
+        }
+      } else {
+        lex_.next();
+      }
+    }
+    pin.rect = shape.translate(placed.x, placed.y);
+    design_.ioPins.push_back(std::move(pin));
   }
 
   void parseNets() {
@@ -178,58 +241,78 @@ class DefParser {
     lex_.nextInt();
     lex_.expect(";");
     design_.buildInstanceIndex();
-    while (lex_.accept("-")) {
-      db::Net& net = design_.nets.emplace_back();
-      net.name = std::string(lex_.next());
-      while (!lex_.accept(";")) {
-        if (lex_.peek() == "+") {
-          // '+' attributes (ROUTED wiring, USE, ...) follow the terms; skip
-          // the remainder of this net statement.
-          while (!lex_.accept(";")) lex_.next();
-          break;
-        }
-        if (lex_.accept("(")) {
-          const std::string a(lex_.next());
-          const std::string b(lex_.next());
-          lex_.expect(")");
-          db::NetTerm term;
-          if (a == "PIN") {
-            for (int i = 0; i < static_cast<int>(design_.ioPins.size()); ++i) {
-              if (design_.ioPins[i].name == b) {
-                term.ioPinIdx = i;
-                break;
-              }
-            }
-            if (term.ioPinIdx < 0) {
-              throw ParseError("net references unknown IO pin " + b);
-            }
-          } else {
-            term.instIdx = design_.findInstance(a);
-            if (term.instIdx < 0) {
-              throw ParseError("net references unknown component " + a);
-            }
-            const db::Master& m = *design_.instances[term.instIdx].master;
-            for (int i = 0; i < static_cast<int>(m.pins.size()); ++i) {
-              if (m.pins[i].name == b) {
-                term.pinIdx = i;
-                break;
-              }
-            }
-            if (term.pinIdx < 0) {
-              throw ParseError("net references unknown pin " + b + " on " + a);
-            }
-          }
-          net.terms.push_back(term);
-        } else {
-          lex_.next();
-        }
+    forEachEntity([&] {
+      // The net is emplaced before its terms parse; drop it again if the
+      // entity fails so recovery never leaves a half-built net behind.
+      const std::size_t netsBefore = design_.nets.size();
+      try {
+        parseOneNet();
+      } catch (...) {
+        design_.nets.resize(netsBefore);
+        throw;
       }
-    }
+    });
     lex_.expect("END");
     lex_.expect("NETS");
   }
 
+  void parseOneNet() {
+    db::Net& net = design_.nets.emplace_back();
+    net.name = std::string(lex_.next());
+    while (!lex_.accept(";")) {
+      if (lex_.peek() == "+") {
+        // '+' attributes (ROUTED wiring, USE, ...) follow the terms; skip
+        // the remainder of this net statement.
+        while (!lex_.accept(";")) lex_.next();
+        break;
+      }
+      if (lex_.accept("(")) {
+        const std::string a(lex_.next());
+        db::NetTerm term;
+        if (a != "PIN") {
+          term.instIdx = design_.findInstance(a);
+          if (term.instIdx < 0) {
+            throw ParseError(lex_.diagPrev(
+                "DEF004", "net references unknown component '" + a + "'"));
+          }
+        }
+        const std::string b(lex_.next());
+        if (a == "PIN") {
+          for (int i = 0; i < static_cast<int>(design_.ioPins.size()); ++i) {
+            if (design_.ioPins[i].name == b) {
+              term.ioPinIdx = i;
+              break;
+            }
+          }
+          if (term.ioPinIdx < 0) {
+            throw ParseError(lex_.diagPrev(
+                "DEF003", "net references unknown IO pin '" + b + "'"));
+          }
+        } else {
+          const db::Master& m = *design_.instances[term.instIdx].master;
+          for (int i = 0; i < static_cast<int>(m.pins.size()); ++i) {
+            if (m.pins[i].name == b) {
+              term.pinIdx = i;
+              break;
+            }
+          }
+          if (term.pinIdx < 0) {
+            throw ParseError(lex_.diagPrev(
+                "DEF005",
+                "net references unknown pin '" + b + "' on '" + a + "'"));
+          }
+        }
+        lex_.expect(")");
+        net.terms.push_back(term);
+      } else {
+        lex_.next();
+      }
+    }
+  }
+
   Lexer lex_;
+  ParseOptions opts_;
+  ParseResult res_;
   Design& design_;
   int dbu_ = 2000;
 };
@@ -237,7 +320,12 @@ class DefParser {
 }  // namespace
 
 void parseDef(std::string_view text, db::Design& design) {
-  DefParser(text, design).run();
+  DefParser(text, design, ParseOptions{}).run();
+}
+
+ParseResult parseDef(std::string_view text, db::Design& design,
+                     const ParseOptions& opts) {
+  return DefParser(text, design, opts).run();
 }
 
 }  // namespace pao::lefdef

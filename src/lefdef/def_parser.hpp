@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "db/design.hpp"
+#include "lefdef/lexer.hpp"
 
 namespace pao::lefdef {
 
@@ -12,5 +13,12 @@ namespace pao::lefdef {
 /// point at the technology and library the DEF references). Throws
 /// ParseError on malformed input or unknown master/pin references.
 void parseDef(std::string_view text, db::Design& design);
+
+/// Located-diagnostics form. With opts.recover a bad component/pin/net is
+/// dropped and reported while the rest of its section still parses (the
+/// call never throws); without it the first error throws ParseError
+/// carrying the same Diag.
+ParseResult parseDef(std::string_view text, db::Design& design,
+                     const ParseOptions& opts);
 
 }  // namespace pao::lefdef

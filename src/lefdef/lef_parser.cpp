@@ -1,5 +1,7 @@
 #include "lefdef/lef_parser.hpp"
 
+#include <cmath>
+
 #include "lefdef/lexer.hpp"
 
 namespace pao::lefdef {
@@ -18,30 +20,52 @@ using geom::Rect;
 
 class LefParser {
  public:
-  LefParser(std::string_view text, Tech& tech, Library& lib)
-      : lex_(text), tech_(tech), lib_(lib) {}
+  LefParser(std::string_view text, Tech& tech, Library& lib,
+            const ParseOptions& opts)
+      : lex_(text, opts.file), opts_(opts), tech_(tech), lib_(lib) {}
 
-  void run() {
+  ParseResult run() {
+    ParseResult res;
     while (!lex_.done()) {
-      const std::string_view tok = lex_.peek();
-      if (tok == "UNITS") {
-        parseUnits();
-      } else if (tok == "LAYER") {
-        parseLayer();
-      } else if (tok == "VIA") {
-        parseVia();
-      } else if (tok == "MACRO") {
-        parseMacro();
-      } else if (tok == "END") {
-        lex_.next();
-        if (!lex_.done()) lex_.next();  // END LIBRARY / END <name>
-      } else {
-        lex_.skipStatement();
+      const std::size_t before = lex_.pos();
+      try {
+        step();
+      } catch (const ParseError& e) {
+        if (!opts_.recover) throw;
+        res.diags.push_back(e.diag);
+        if (res.errorCount() >= opts_.maxErrors) {
+          res.diags.push_back(tooManyErrors(opts_.file));
+          break;
+        }
+        // Progress guard + resync. An error inside a MACRO resyncs at the
+        // top level, so the rest of that macro's statements are dropped —
+        // the partially-built entity stays (documented in DESIGN.md).
+        if (lex_.pos() == before && !lex_.done()) lex_.next();
+        lex_.syncTo({"UNITS", "LAYER", "VIA", "MACRO", "END"});
       }
     }
+    return res;
   }
 
  private:
+  void step() {
+    const std::string_view tok = lex_.peek();
+    if (tok == "UNITS") {
+      parseUnits();
+    } else if (tok == "LAYER") {
+      parseLayer();
+    } else if (tok == "VIA") {
+      parseVia();
+    } else if (tok == "MACRO") {
+      parseMacro();
+    } else if (tok == "END") {
+      lex_.next();
+      if (!lex_.done()) lex_.next();  // END LIBRARY / END <name>
+    } else {
+      lex_.skipStatement();
+    }
+  }
+
   Coord dbu() { return lex_.nextDbu(tech_.dbuPerMicron); }
 
   void parseUnits() {
@@ -89,10 +113,14 @@ class LefParser {
         layer.width = dbu();
         lex_.expect(";");
       } else if (lex_.accept("AREA")) {
-        // LEF AREA is in square microns.
+        // LEF AREA is in square microns. roundClamped instead of a raw
+        // cast: a fuzzer-supplied "AREA 1e300" must saturate, not hit the
+        // UB of an out-of-range double->int64 conversion (and rounding
+        // keeps write->parse->write byte-stable where truncation would
+        // drift).
         const double um2 = lex_.nextDouble();
         layer.minArea = static_cast<Coord>(
-            um2 * tech_.dbuPerMicron * tech_.dbuPerMicron);
+            roundClamped(um2 * tech_.dbuPerMicron * tech_.dbuPerMicron));
         lex_.expect(";");
       } else if (lex_.accept("SPACING")) {
         const Coord space = dbu();
@@ -292,6 +320,7 @@ class LefParser {
   }
 
   Lexer lex_;
+  ParseOptions opts_;
   Tech& tech_;
   Library& lib_;
 };
@@ -299,7 +328,12 @@ class LefParser {
 }  // namespace
 
 void parseLef(std::string_view text, db::Tech& tech, db::Library& lib) {
-  LefParser(text, tech, lib).run();
+  LefParser(text, tech, lib, ParseOptions{}).run();
+}
+
+ParseResult parseLef(std::string_view text, db::Tech& tech, db::Library& lib,
+                     const ParseOptions& opts) {
+  return LefParser(text, tech, lib, opts).run();
 }
 
 }  // namespace pao::lefdef

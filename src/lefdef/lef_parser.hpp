@@ -7,11 +7,20 @@
 
 #include "db/lib.hpp"
 #include "db/tech.hpp"
+#include "lefdef/lexer.hpp"
 
 namespace pao::lefdef {
 
 /// Parses LEF text into `tech` and `lib`. Throws ParseError on malformed
 /// input. Statements outside the supported subset are skipped.
 void parseLef(std::string_view text, db::Tech& tech, db::Library& lib);
+
+/// Located-diagnostics form. With opts.recover the parser resyncs after
+/// each error (accumulating diagnostics in the result, never throwing);
+/// without it the first error throws ParseError carrying the same Diag.
+/// Entities parsed before (or partially, around) an error stay in
+/// tech/lib — callers that need all-or-nothing must check ok() and drop.
+ParseResult parseLef(std::string_view text, db::Tech& tech, db::Library& lib,
+                     const ParseOptions& opts);
 
 }  // namespace pao::lefdef

@@ -35,8 +35,12 @@ std::string writeLef(const db::Tech& tech, const db::Library& lib) {
         if (l.pitch > 0) os << "  PITCH " << um(l.pitch, dbu) << " ;\n";
         if (l.width > 0) os << "  WIDTH " << um(l.width, dbu) << " ;\n";
         if (l.minArea > 0) {
-          os << "  AREA "
-             << static_cast<double>(l.minArea) / dbu / dbu << " ;\n";
+          // Same round-trip precision as um(): the default 6 significant
+          // digits can drift large areas through a parse cycle.
+          std::ostringstream area;
+          area << std::setprecision(12)
+               << static_cast<double>(l.minArea) / dbu / dbu;
+          os << "  AREA " << area.str() << " ;\n";
         }
         if (!l.spacingTable.empty()) {
           if (l.spacingTable.size() == 1 && l.spacingTable[0].width == 0) {

@@ -6,15 +6,41 @@
 
 namespace pao::lefdef {
 
-Lexer::Lexer(std::string_view text) {
+util::Diag tooManyErrors(const std::string& file) {
+  util::Diag d;
+  d.code = "GEN001";
+  d.loc.file = file;
+  d.message = "too many errors; giving up";
+  return d;
+}
+
+std::size_t ParseResult::errorCount() const {
+  std::size_t n = 0;
+  for (const util::Diag& d : diags) {
+    if (d.severity == util::Severity::kError) ++n;
+  }
+  return n;
+}
+
+Lexer::Lexer(std::string_view text, std::string_view file)
+    : file_(file), source_(text) {
   std::size_t line = 1;
+  std::size_t lineStart = 0;
+  lineStart_.push_back(0);
   std::size_t i = 0;
   const std::size_t n = text.size();
+  const auto push = [&](std::string_view tok, std::size_t at) {
+    tokens_.emplace_back(tok);
+    lines_.push_back(line);
+    cols_.push_back(at - lineStart + 1);
+  };
   while (i < n) {
     const char c = text[i];
     if (c == '\n') {
       ++line;
       ++i;
+      lineStart = i;
+      lineStart_.push_back(i);
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -26,16 +52,14 @@ Lexer::Lexer(std::string_view text) {
       continue;
     }
     if (c == ';' || c == '(' || c == ')') {
-      tokens_.emplace_back(1, c);
-      lines_.push_back(line);
+      push(std::string_view(&text[i], 1), i);
       ++i;
       continue;
     }
     if (c == '"') {
       std::size_t j = i + 1;
       while (j < n && text[j] != '"') ++j;
-      tokens_.emplace_back(text.substr(i + 1, j - i - 1));
-      lines_.push_back(line);
+      push(text.substr(i + 1, j - i - 1), i);
       i = j < n ? j + 1 : j;
       continue;
     }
@@ -45,8 +69,7 @@ Lexer::Lexer(std::string_view text) {
            text[j] != '#') {
       ++j;
     }
-    tokens_.emplace_back(text.substr(i, j - i));
-    lines_.push_back(line);
+    push(text.substr(i, j - i), i);
     i = j;
   }
 }
@@ -57,7 +80,7 @@ std::string_view Lexer::peek(std::size_t ahead) const {
 }
 
 std::string_view Lexer::next() {
-  if (done()) throw ParseError("unexpected end of input");
+  if (done()) throw ParseError(diagHere("LEX001", "unexpected end of input"));
   return tokens_[pos_++];
 }
 
@@ -71,15 +94,29 @@ bool Lexer::accept(std::string_view tok) {
 
 void Lexer::expect(std::string_view tok) {
   if (done() || tokens_[pos_] != tok) {
-    throw ParseError("line " + std::to_string(line()) + ": expected '" +
-                     std::string(tok) + "', got '" + std::string(peek()) +
-                     "'");
+    const std::string got =
+        done() ? "end of input" : "'" + tokens_[pos_] + "'";
+    throw ParseError(diagHere(
+        "LEX002", "expected '" + std::string(tok) + "', got " + got));
   }
   ++pos_;
 }
 
 void Lexer::skipStatement() {
-  while (!done() && next() != ";") {
+  // next() raises LEX001 if input ends before the ';': a silent return at
+  // end of input would leave callers' `while (!accept("END"))` loops
+  // spinning forever on truncated files.
+  while (next() != ";") {
+  }
+}
+
+void Lexer::syncTo(std::initializer_list<std::string_view> stops) {
+  while (!done()) {
+    const std::string_view tok = peek();
+    for (const std::string_view stop : stops) {
+      if (tok == stop) return;
+    }
+    if (next() == ";") return;
   }
 }
 
@@ -88,22 +125,74 @@ double Lexer::nextDouble() {
   try {
     return std::stod(tok);
   } catch (const std::exception&) {
-    throw ParseError("line " + std::to_string(line()) + ": expected number, got '" +
-                     tok + "'");
+    throw ParseError(diagPrev("LEX003", "expected number, got '" + tok + "'"));
   }
 }
 
+// 2^50 DBU is ~5e8 microns at a 2000 DBU grid, far beyond any real die, so
+// legitimate files are unaffected; llround on an unclamped out-of-range
+// double returns an unspecified value (often LLONG_MIN), which poisons
+// later sums with UB.
+long long roundClamped(double v) {
+  constexpr long long kMaxMagnitude = 1LL << 50;
+  if (std::isnan(v)) return 0;
+  const double lim = static_cast<double>(kMaxMagnitude);
+  if (v >= lim) return kMaxMagnitude;
+  if (v <= -lim) return -kMaxMagnitude;
+  return std::llround(v);
+}
+
 long long Lexer::nextInt() {
-  return static_cast<long long>(std::llround(nextDouble()));
+  return roundClamped(nextDouble());
 }
 
 geom::Coord Lexer::nextDbu(int dbuPerMicron) {
-  return static_cast<geom::Coord>(std::llround(nextDouble() * dbuPerMicron));
+  return static_cast<geom::Coord>(roundClamped(nextDouble() * dbuPerMicron));
 }
 
 std::size_t Lexer::line() const {
   if (lines_.empty()) return 0;
   return pos_ < lines_.size() ? lines_[pos_] : lines_.back();
+}
+
+std::size_t Lexer::col() const {
+  if (cols_.empty()) return 0;
+  return pos_ < cols_.size() ? cols_[pos_] : cols_.back();
+}
+
+util::Diag Lexer::diagHere(std::string_view code, std::string message) const {
+  // At end of input point at the last token — the caller is reporting
+  // "input ended while I expected more", and the last token is where.
+  const std::size_t idx =
+      tokens_.empty() ? 0 : (pos_ < tokens_.size() ? pos_ : tokens_.size() - 1);
+  return diagAt(idx, code, std::move(message));
+}
+
+util::Diag Lexer::diagPrev(std::string_view code, std::string message) const {
+  const std::size_t idx = pos_ > 0 ? pos_ - 1 : 0;
+  return diagAt(idx, code, std::move(message));
+}
+
+util::Diag Lexer::diagAt(std::size_t tokIdx, std::string_view code,
+                         std::string message) const {
+  util::Diag d;
+  d.code = std::string(code);
+  d.message = std::move(message);
+  d.loc.file = file_;
+  if (tokIdx < tokens_.size()) {
+    d.loc.line = lines_[tokIdx];
+    d.loc.col = cols_[tokIdx];
+    d.excerpt = lineText(d.loc.line);
+  }
+  return d;
+}
+
+std::string Lexer::lineText(std::size_t line) const {
+  if (line == 0 || line > lineStart_.size()) return std::string();
+  const std::size_t begin = lineStart_[line - 1];
+  std::size_t end = source_.find('\n', begin);
+  if (end == std::string::npos) end = source_.size();
+  return source_.substr(begin, end - begin);
 }
 
 }  // namespace pao::lefdef

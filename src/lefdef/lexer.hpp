@@ -1,20 +1,69 @@
 // Shared tokenizer for the LEF/DEF parsers. LEF/DEF are whitespace-separated
 // token streams where ';', '(' and ')' are standalone tokens, '#' starts a
 // comment, and double-quoted strings are single tokens.
+//
+// The lexer tracks a 1-based line/column per token and keeps the source
+// text, so parse errors carry a full util::Diag (file:line:col, stable
+// error code, source excerpt). Parsers have two modes:
+//   - strict (default): the first error throws ParseError, whose .diag
+//     holds the located diagnostic (what() is the formatted form);
+//   - recovery (ParseOptions::recover): errors are accumulated into a
+//     ParseResult and the parser resyncs via syncTo() and keeps going.
 #pragma once
 
+#include <initializer_list>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "geom/geom.hpp"
+#include "util/diag.hpp"
 
 namespace pao::lefdef {
 
+struct ParseError : std::runtime_error {
+  /// Located diagnostic; what() returns diag.format().
+  explicit ParseError(util::Diag d)
+      : std::runtime_error(d.format()), diag(std::move(d)) {
+  }
+  /// Legacy message-only form (no location, generic code GEN000).
+  explicit ParseError(const std::string& msg) : std::runtime_error(msg) {
+    diag.code = "GEN000";
+    diag.message = msg;
+  }
+
+  util::Diag diag;
+};
+
+/// How to parse: strict (throw on first error) or recovering (accumulate
+/// diagnostics into a ParseResult, resync, continue).
+struct ParseOptions {
+  std::string file = "<input>";  ///< name shown in diagnostics
+  bool recover = false;
+  std::size_t maxErrors = 64;  ///< recovery gives up (GEN001) past this
+};
+
+struct ParseResult {
+  std::vector<util::Diag> diags;
+
+  std::size_t errorCount() const;
+  bool ok() const { return errorCount() == 0; }
+};
+
+/// The GEN001 "too many errors; giving up" diagnostic that recovery-mode
+/// parsers append when ParseOptions::maxErrors is reached.
+util::Diag tooManyErrors(const std::string& file);
+
+/// Rounds `v` to integer, clamping magnitudes to ±2^50 and NaN to 0. All
+/// integers the parsers derive from source numbers go through this so that
+/// downstream geometry arithmetic cannot overflow int64 on hostile input;
+/// legitimate LEF/DEF values are orders of magnitude below the clamp.
+long long roundClamped(double v);
+
 class Lexer {
  public:
-  explicit Lexer(std::string_view text);
+  explicit Lexer(std::string_view text, std::string_view file = "<input>");
 
   bool done() const { return pos_ >= tokens_.size(); }
   /// Current token without consuming ("" at end of input).
@@ -25,7 +74,8 @@ class Lexer {
   bool accept(std::string_view tok);
   /// Consumes the current token, raising ParseError unless it equals `tok`.
   void expect(std::string_view tok);
-  /// Consumes tokens up to and including the next ';'.
+  /// Consumes tokens up to and including the next ';'. Raises LEX001 if
+  /// input ends first (truncated statement).
   void skipStatement();
 
   /// Consumes a token and parses it as a decimal number (may be fractional).
@@ -35,16 +85,37 @@ class Lexer {
   /// nextDouble() scaled by dbuPerMicron and rounded — LEF distances.
   geom::Coord nextDbu(int dbuPerMicron);
 
+  /// Line/column of the current token (the last token at end of input).
   std::size_t line() const;
+  std::size_t col() const;
+  /// Position in the token stream — recovery progress guard.
+  std::size_t pos() const { return pos_; }
+
+  /// Error-recovery resync: consumes tokens until a ';' has been consumed
+  /// or the next token is one of `stops` (or input ends). Unlike
+  /// skipStatement() this refuses to eat a following statement whose
+  /// keyword is a known resync point.
+  void syncTo(std::initializer_list<std::string_view> stops);
+
+  /// Located diagnostic at the current token (diagHere) or at the most
+  /// recently consumed token (diagPrev — for semantic errors discovered
+  /// after consuming, e.g. "unknown master 'X'").
+  util::Diag diagHere(std::string_view code, std::string message) const;
+  util::Diag diagPrev(std::string_view code, std::string message) const;
 
  private:
+  util::Diag diagAt(std::size_t tokIdx, std::string_view code,
+                    std::string message) const;
+  /// The full source line `line` lives on (1-based; "" when unknown).
+  std::string lineText(std::size_t line) const;
+
+  std::string file_;
+  std::string source_;                  ///< owned copy for excerpts
+  std::vector<std::size_t> lineStart_;  ///< offset of each line in source_
   std::vector<std::string> tokens_;
   std::vector<std::size_t> lines_;
+  std::vector<std::size_t> cols_;
   std::size_t pos_ = 0;
-};
-
-struct ParseError : std::runtime_error {
-  using std::runtime_error::runtime_error;
 };
 
 }  // namespace pao::lefdef

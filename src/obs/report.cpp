@@ -58,7 +58,7 @@ bool isKnownTopLevelKey(std::string_view key) {
   static constexpr std::string_view kKnown[] = {
       "schema", "tool",    "env",   "design", "config", "args",
       "timings", "oracle", "session", "cache", "drc",   "router",
-      "bench",  "metrics", "notes"};
+      "bench",  "metrics", "notes", "degraded"};
   for (const std::string_view k : kKnown) {
     if (k == key) return true;
   }

@@ -14,6 +14,7 @@
 //     "env":    {"hwThreads": N, "gitSha": "...", ...},
 //     "design" | "config" | "args" | "timings" | "oracle" | "session" |
 //     "cache" | "drc" | "router" | "bench" | "notes": {...},
+//     "degraded": [{"kind": "...", "cls": N, "detail": "..."}, ...],
 //     "metrics": Registry::snapshot()
 //   }
 //

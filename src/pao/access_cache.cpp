@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <sstream>
 #include <string_view>
+#include <utility>
 
 #include "geom/orient.hpp"
+#include "util/fault.hpp"
 
 namespace pao::core {
 
@@ -179,6 +181,10 @@ std::string AccessCache::save(const db::Tech& tech,
       os << "\n";
     }
   }
+  // Trailer: load() requires it for v2 files, so a file truncated on an
+  // entry boundary (every record intact, later entries simply missing) is
+  // still detected and rejected instead of silently loading short.
+  os << "END " << ordered.size() << "\n";
   return os.str();
 }
 
@@ -189,26 +195,178 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
     if (errorOut != nullptr) *errorOut = std::move(why);
     return std::size_t{0};
   };
+  if (errorOut != nullptr) errorOut->clear();
+  if (PAO_FAULT_POINT("cache.read")) {
+    return fail("access cache: injected fault 'cache.read'");
+  }
   std::istringstream is(text);
   std::string line;
   std::getline(is, line);
-  if (line == kHeaderV2) {
-    std::string tag, fp;
-    if (!(is >> tag >> fp) || tag != "FINGERPRINT") {
-      return fail("access cache: malformed v2 header (missing FINGERPRINT)");
-    }
-    const std::string expected = fingerprint(tech, lib);
-    if (fp != expected) {
-      return fail("access cache: fingerprint mismatch (cache " + fp +
-                  ", tech/library " + expected +
-                  ") — the cache was built against a different library");
-    }
-  } else if (line != kHeaderV1) {
-    // v1 has no fingerprint; accept it best-effort below (unknown masters
-    // and vias are skipped entry by entry).
+  if (line == kHeaderV1) return loadV1(is, text.size(), tech, lib);
+  if (line != kHeaderV2) {
     return fail("access cache: unrecognized header '" + line + "'");
   }
 
+  std::string tag, fp;
+  if (!(is >> tag >> fp) || tag != "FINGERPRINT") {
+    return fail("access cache: malformed v2 header (missing FINGERPRINT)");
+  }
+  const std::string expected = fingerprint(tech, lib);
+  if (fp != expected) {
+    return fail("access cache: fingerprint mismatch (cache " + fp +
+                ", tech/library " + expected +
+                ") — the cache was built against a different library");
+  }
+
+  // v2 is all-or-nothing: parse into `pending` and commit only when the
+  // whole file (through the END trailer) is consistent. A truncated or
+  // bit-flipped file must never install partial entries — and must never
+  // read out of bounds, so every record count is checked against the bytes
+  // actually remaining before anything is resized to it.
+  const auto corrupt = [&](const std::string& what) {
+    return fail("access cache: corrupt or truncated file: " + what);
+  };
+  const auto remaining = [&]() -> std::size_t {
+    const auto pos = is.tellg();
+    if (pos < 0) return 0;
+    const auto upos = static_cast<std::size_t>(pos);
+    return upos >= text.size() ? 0 : text.size() - upos;
+  };
+  // Reads a count whose elements each occupy at least two bytes (" x").
+  const auto readCount = [&](std::size_t& n, const char* what) {
+    long long v = 0;
+    if (!(is >> v) || v < 0) return false;
+    if (static_cast<unsigned long long>(v) > remaining() / 2) return false;
+    n = static_cast<std::size_t>(v);
+    (void)what;
+    return true;
+  };
+  const auto expectTag = [&](const char* t) {
+    std::string got;
+    return (is >> got) && got == t;
+  };
+
+  std::vector<std::pair<Key, ClassAccess>> pending;
+  std::string tok;
+  bool sawEnd = false;
+  while (is >> tok) {
+    if (tok == "END") {
+      long long count = -1;
+      if (!(is >> count) ||
+          count != static_cast<long long>(pending.size())) {
+        return corrupt("END count does not match entries present");
+      }
+      if (is >> tok) return corrupt("data after END trailer");
+      sawEnd = true;
+      break;
+    }
+    if (tok != "ENTRY") return corrupt("expected ENTRY, got '" + tok + "'");
+    std::string masterName, orientStr;
+    std::size_t numOffsets = 0;
+    if (!(is >> masterName >> orientStr) ||
+        !readCount(numOffsets, "offsets")) {
+      return corrupt("bad ENTRY record");
+    }
+    std::vector<geom::Coord> offsets(numOffsets);
+    for (geom::Coord& o : offsets) {
+      if (!(is >> o)) return corrupt("bad ENTRY offsets");
+    }
+    // The fingerprint matched, so every master and via the file references
+    // must exist; a miss here means the body was tampered with.
+    const db::Master* master = lib.findMaster(masterName);
+    if (master == nullptr) {
+      return corrupt("unknown master '" + masterName + "'");
+    }
+
+    ClassAccess ca;
+    std::size_t numPins = 0;
+    if (!expectTag("PINS") || !readCount(numPins, "pins")) {
+      return corrupt("bad PINS record");
+    }
+    ca.pinAps.resize(numPins);
+    for (std::vector<AccessPoint>& pinAps : ca.pinAps) {
+      std::size_t numAps = 0;
+      if (!expectTag("PIN") || !readCount(numAps, "aps")) {
+        return corrupt("bad PIN record");
+      }
+      pinAps.resize(numAps);
+      for (AccessPoint& ap : pinAps) {
+        int pref = 0, nonPref = 0, dirs = 0;
+        std::size_t numVias = 0;
+        if (!expectTag("AP") ||
+            !(is >> ap.loc.x >> ap.loc.y >> ap.layer >> pref >> nonPref >>
+              dirs) ||
+            !readCount(numVias, "vias")) {
+          return corrupt("bad AP record");
+        }
+        ap.prefType = static_cast<CoordType>(pref);
+        ap.nonPrefType = static_cast<CoordType>(nonPref);
+        ap.dirs = static_cast<std::uint8_t>(dirs);
+        for (std::size_t v = 0; v < numVias; ++v) {
+          std::string viaName;
+          if (!(is >> viaName)) return corrupt("bad AP via list");
+          const db::ViaDef* via = tech.findViaDef(viaName);
+          if (via == nullptr) {
+            return corrupt("unknown via '" + viaName + "'");
+          }
+          ap.viaDefs.push_back(via);
+        }
+      }
+    }
+    std::size_t numOrder = 0;
+    if (!expectTag("ORDER") || !readCount(numOrder, "order")) {
+      return corrupt("bad ORDER record");
+    }
+    ca.pinOrder.resize(numOrder);
+    for (int& p : ca.pinOrder) {
+      if (!(is >> p)) return corrupt("bad ORDER positions");
+    }
+    std::size_t numPatterns = 0;
+    if (!expectTag("PATTERNS") || !readCount(numPatterns, "patterns")) {
+      return corrupt("bad PATTERNS record");
+    }
+    ca.patterns.resize(numPatterns);
+    for (AccessPattern& pat : ca.patterns) {
+      int validated = 0;
+      std::size_t numIdx = 0;
+      if (!expectTag("PATTERN") || !(is >> pat.cost >> validated) ||
+          !readCount(numIdx, "ap indices")) {
+        return corrupt("bad PATTERN record");
+      }
+      pat.validated = validated != 0;
+      pat.apIdx.resize(numIdx);
+      for (int& i : pat.apIdx) {
+        if (!(is >> i)) return corrupt("bad PATTERN indices");
+      }
+    }
+    pending.emplace_back(
+        Key{master, geom::orientFromString(orientStr), std::move(offsets)},
+        std::move(ca));
+  }
+  if (!sawEnd) return corrupt("missing END trailer");
+
+  for (auto& [key, ca] : pending) {
+    entries_.insert_or_assign(std::move(key), std::move(ca));
+  }
+  return pending.size();
+}
+
+std::size_t AccessCache::loadV1(std::istream& is, std::size_t textSize,
+                                const db::Tech& tech,
+                                const db::Library& lib) {
+  // v1 predates the fingerprint and the END trailer; it stays best-effort:
+  // commit each entry as it parses, skip entries referencing unknown masters
+  // or vias, and stop silently at the first malformed record. Counts are
+  // still sanity-bounded by the bytes present (each element takes at least
+  // two, " x") so a corrupt count can never drive a huge resize.
+  const auto plausibleCount = [&](std::size_t n) {
+    const auto pos = is.tellg();
+    const std::size_t left =
+        pos < 0 || static_cast<std::size_t>(pos) >= textSize
+            ? 0
+            : textSize - static_cast<std::size_t>(pos);
+    return n <= left / 2;
+  };
   std::size_t loaded = 0;
   std::string tok;
   while (is >> tok) {
@@ -216,6 +374,7 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
     std::string masterName, orientStr;
     std::size_t numOffsets = 0;
     is >> masterName >> orientStr >> numOffsets;
+    if (!is || !plausibleCount(numOffsets)) return loaded;
     std::vector<geom::Coord> offsets(numOffsets);
     for (geom::Coord& o : offsets) is >> o;
     const db::Master* master = lib.findMaster(masterName);
@@ -223,17 +382,20 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
     ClassAccess ca;
     std::size_t numPins = 0;
     is >> tok >> numPins;  // PINS
+    if (!is || !plausibleCount(numPins)) return loaded;
     ca.pinAps.resize(numPins);
     bool ok = master != nullptr;
     for (std::vector<AccessPoint>& pinAps : ca.pinAps) {
       std::size_t numAps = 0;
       is >> tok >> numAps;  // PIN
+      if (!is || !plausibleCount(numAps)) return loaded;
       pinAps.resize(numAps);
       for (AccessPoint& ap : pinAps) {
         int pref = 0, nonPref = 0, dirs = 0;
         std::size_t numVias = 0;
         is >> tok >> ap.loc.x >> ap.loc.y >> ap.layer >> pref >> nonPref >>
             dirs >> numVias;  // AP
+        if (!is || !plausibleCount(numVias)) return loaded;
         ap.prefType = static_cast<CoordType>(pref);
         ap.nonPrefType = static_cast<CoordType>(nonPref);
         ap.dirs = static_cast<std::uint8_t>(dirs);
@@ -251,16 +413,19 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
     }
     std::size_t numOrder = 0;
     is >> tok >> numOrder;  // ORDER
+    if (!is || !plausibleCount(numOrder)) return loaded;
     ca.pinOrder.resize(numOrder);
     for (int& p : ca.pinOrder) is >> p;
     std::size_t numPatterns = 0;
     is >> tok >> numPatterns;  // PATTERNS
+    if (!is || !plausibleCount(numPatterns)) return loaded;
     ca.patterns.resize(numPatterns);
     for (AccessPattern& pat : ca.patterns) {
       int validated = 0;
       std::size_t numIdx = 0;
       is >> tok >> pat.cost >> validated >> numIdx;  // PATTERN
       pat.validated = validated != 0;
+      if (!is || !plausibleCount(numIdx)) return loaded;
       pat.apIdx.resize(numIdx);
       for (int& i : pat.apIdx) is >> i;
     }

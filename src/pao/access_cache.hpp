@@ -9,6 +9,7 @@
 // a hit is valid for any placement of the signature.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <tuple>
@@ -54,15 +55,22 @@ class AccessCache {
   /// ordered by (master name, orient, offsets), so the output is
   /// byte-identical across processes for the same cache content.
   std::string save(const db::Tech& tech, const db::Library& lib) const;
-  /// Merges entries from `text` (produced by save) into this cache. A v2
-  /// cache whose fingerprint does not match fingerprint(tech, lib) is
-  /// rejected wholesale; v1 caches (no fingerprint) load best-effort, with
-  /// entries referencing unknown masters or vias skipped. Returns the number
-  /// of entries loaded; on rejection, 0 with a reason in *errorOut.
+  /// Merges entries from `text` (produced by save) into this cache. v2 is
+  /// all-or-nothing: a fingerprint mismatch, any corruption, a record count
+  /// exceeding the bytes present, or a missing/short `END <count>` trailer
+  /// rejects the whole file (nothing is merged) with a reason in *errorOut.
+  /// v1 caches (no fingerprint, no trailer) load best-effort, with entries
+  /// referencing unknown masters or vias skipped and no error reported.
+  /// Returns the number of entries loaded; on rejection, 0.
   std::size_t load(const std::string& text, const db::Tech& tech,
                    const db::Library& lib, std::string* errorOut = nullptr);
 
  private:
+  /// Best-effort v1 body parse; `is` is positioned just past the header of
+  /// a `textSize`-byte file (the bound for sanity-checking record counts).
+  std::size_t loadV1(std::istream& is, std::size_t textSize,
+                     const db::Tech& tech, const db::Library& lib);
+
   std::map<Key, ClassAccess> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

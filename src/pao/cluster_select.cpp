@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "util/cpu_time.hpp"
 #include "util/executor.hpp"
+#include "util/fault.hpp"
 
 namespace pao::core {
 
@@ -236,8 +237,51 @@ bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
   return clean;
 }
 
+void ClusterSelector::armBudget() {
+  expired_.store(false, std::memory_order_relaxed);
+  expiredClusters_.store(0, std::memory_order_relaxed);
+  budgetArmed_ = cfg_.budgetSeconds > 0;
+  if (budgetArmed_) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(cfg_.budgetSeconds));
+  }
+}
+
+bool ClusterSelector::deadlineExpired() {
+  if (expired_.load(std::memory_order_relaxed)) return true;
+  bool hit = PAO_FAULT_POINT("step3.deadline");
+  if (!hit && budgetArmed_ && std::chrono::steady_clock::now() >= deadline_) {
+    hit = true;
+  }
+  if (hit) expired_.store(true, std::memory_order_relaxed);
+  return hit;
+}
+
+void ClusterSelector::fallbackSelect(const std::vector<int>& cluster,
+                                     std::vector<int>& chosen) {
+  expiredClusters_.fetch_add(1, std::memory_order_relaxed);
+  PAO_COUNTER_INC("pao.step3.budget_fallbacks");
+  for (const int inst : cluster) {
+    if (chosen[inst] >= 0) continue;  // pinned by an earlier cluster
+    const int cls = unique_->classOf[inst];
+    if (cls < 0) continue;
+    const std::vector<AccessPattern>& pats = (*classes_)[cls].patterns;
+    int best = -1;
+    long long bestCost = kInf;
+    for (int p = 0; p < static_cast<int>(pats.size()); ++p) {
+      if (pats[p].cost < bestCost) {
+        bestCost = pats[p].cost;
+        best = p;
+      }
+    }
+    chosen[inst] = best;
+  }
+}
+
 std::vector<int> ClusterSelector::run() {
   std::vector<int> chosen(design_->instances.size(), -1);
+  armBudget();
 
   // Clusters are almost always instance-disjoint and can run concurrently;
   // only multi-height instances appear in several clusters, and those
@@ -278,6 +322,12 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
     if (numPatterns(i) > 0) active.push_back(i);
   }
   if (active.empty()) return;
+  if (deadlineExpired()) {
+    // Budget spent: commit best-so-far instead of running the DP. Not
+    // counted as a DP run.
+    fallbackSelect(cluster, chosen);
+    return;
+  }
   ++numDpRuns_;
   // Deterministic per cluster (one DP per cluster regardless of schedule;
   // numPairChecks_ is NOT mirrored here because its racy over-count would

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -39,6 +40,13 @@ struct ClusterSelectConfig {
   /// representative's design coordinates (batch convention): a member
   /// instance's placed access location is then ap.loc + member origin.
   bool originRelativeClasses = false;
+  /// Wall-clock budget in seconds for a selection pass (0 = unlimited).
+  /// armBudget() starts the clock; once it expires — latched, so one slow
+  /// cluster degrades every later one in the pass — each remaining cluster
+  /// commits its instances' cheapest standalone patterns (best-so-far,
+  /// pinned decisions kept) instead of running the DP. The caller reads
+  /// budgetExpired() to report the degradation.
+  double budgetSeconds = 0;
 };
 
 /// Per-unique-instance access data produced by Steps 1-2, in representative
@@ -97,7 +105,30 @@ class ClusterSelector {
     return static_cast<double>(dpCpuNanos_.load()) * 1e-9;
   }
 
+  /// (Re)starts the cfg.budgetSeconds clock and clears the expired latch.
+  /// run() arms automatically; OracleSession re-arms before each dirty-
+  /// cluster recomputation. With budgetSeconds == 0 only the
+  /// "step3.deadline" fault point can expire the pass.
+  void armBudget();
+  /// True once the current pass's budget expired (stays true until the next
+  /// armBudget()).
+  bool budgetExpired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  /// Clusters that took the best-so-far fallback since the last armBudget().
+  std::size_t expiredClusters() const {
+    return expiredClusters_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Checks (and latches) budget expiry; also consults the
+  /// "step3.deadline" fault point so tests can force expiry
+  /// deterministically.
+  bool deadlineExpired();
+  /// Budget-expiry path of selectCluster: commits each still-undecided
+  /// instance's cheapest standalone pattern; pinned decisions are kept.
+  void fallbackSelect(const std::vector<int>& cluster,
+                      std::vector<int>& chosen);
   /// DRC compatibility of two neighboring instances' patterns (memoized).
   /// Checks the facing boundary access points' up-vias against each other
   /// AND against the neighbor instance's fixed shapes near the shared edge,
@@ -133,6 +164,13 @@ class ClusterSelector {
   std::atomic<std::size_t> numPairChecks_{0};
   std::atomic<std::size_t> numDpRuns_{0};
   std::atomic<long long> dpCpuNanos_{0};
+  /// Budget state. deadline_/budgetArmed_ are written by armBudget() before
+  /// the parallel region (parallelFor establishes the happens-before);
+  /// expired_ latches concurrently.
+  std::chrono::steady_clock::time_point deadline_{};
+  bool budgetArmed_ = false;
+  std::atomic<bool> expired_{false};
+  std::atomic<std::size_t> expiredClusters_{0};
 };
 
 }  // namespace pao::core

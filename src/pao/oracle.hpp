@@ -37,6 +37,31 @@ struct OracleConfig {
   /// Optional cross-run cache of intra-cell results keyed by signature —
   /// reusable across placement changes. Not owned; may be nullptr.
   AccessCache* cache = nullptr;
+  /// Graceful degradation (pao_cli --keep-going): when a unique class's
+  /// Steps 1-2 analysis throws, fall back to the legacy generator for that
+  /// class (then to empty access if the fallback throws too) and record a
+  /// DegradedEvent instead of aborting the whole run. Off (strict) by
+  /// default: the first per-class exception propagates.
+  bool keepGoing = false;
+  /// Wall-clock budget for the Step-3 cluster DP in seconds (0 =
+  /// unlimited). On expiry the remaining clusters commit each instance's
+  /// cheapest standalone pattern (see ClusterSelectConfig::budgetSeconds)
+  /// and a "step3_budget" DegradedEvent is recorded.
+  double step3BudgetSeconds = 0;
+};
+
+/// One graceful-degradation event of a keep-going run. Kinds:
+///   "class_fallback" — Steps 1-2 threw for a unique class; the class took
+///                      the legacy-generator fallback (detail = what()).
+///   "class_failed"   — the legacy fallback threw as well; the class has no
+///                      access (its instances report failed pins).
+///   "step3_budget"   — the Step-3 budget expired; late clusters committed
+///                      best-so-far patterns instead of the DP.
+struct DegradedEvent {
+  std::string kind;
+  std::string detail;
+  /// Unique-class index for class-scoped kinds, -1 otherwise.
+  int cls = -1;
 };
 
 /// Convenience preset: PAAF without boundary-conflict awareness (Table III
@@ -54,6 +79,10 @@ struct OracleResult {
   std::vector<ClassAccess> classes;
   /// Chosen pattern per instance (-1 when the class has none).
   std::vector<int> chosenPattern;
+  /// Graceful-degradation events of a keepGoing run, canonically sorted
+  /// (by cls, then kind, then detail). Empty means the result is exactly
+  /// what a fault-free strict run would have produced.
+  std::vector<DegradedEvent> degraded;
 
   /// Step timings. Two clocks are reported per step because they answer
   /// different questions and diverge under numThreads > 1:

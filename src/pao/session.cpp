@@ -4,6 +4,7 @@
 #include <chrono>
 #include <set>
 #include <stdexcept>
+#include <tuple>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -13,6 +14,7 @@
 #include "pao/pattern_gen.hpp"
 #include "util/cpu_time.hpp"
 #include "util/executor.hpp"
+#include "util/fault.hpp"
 
 namespace pao::core {
 
@@ -89,45 +91,85 @@ void OracleSession::computeClassAccess(std::size_t c) {
   PAO_TRACE_SCOPE("oracle.class_access");
   const geom::Point repOrigin = design_->instances[ui.representative].origin;
   const InstContext ctx(*design_, ui);
-  const auto t1 = std::chrono::steady_clock::now();
-  const double cpu1 = util::threadCpuSeconds();
-  if (cfg_.legacyMode) {
+  double step1 = 0;
+  double step2 = 0;
+  double cpuStep1 = 0;
+  double cpuStep2 = 0;
+
+  // TrRte-style access for this class: legacy APs + first-AP pattern. The
+  // primary path in legacyMode, and the keep-going fallback otherwise.
+  const auto legacyAccess = [&] {
     ca.pinAps = LegacyApGenerator(ctx).generateAll();
-  } else {
+    ca.patterns.push_back(firstApPattern(ca.pinAps));
+    for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
+      if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
+    }
+  };
+
+  const auto generate = [&] {
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cpu1 = util::threadCpuSeconds();
+    if (cfg_.legacyMode) {
+      legacyAccess();
+      step1 = secondsSince(t1);
+      cpuStep1 = util::threadCpuSeconds() - cpu1;
+      return;
+    }
     ApGenConfig apCfg = cfg_.apGen;
     // Macro (block) pins admit planar access: via access is only mandatory
     // for standard cells (paper footnote 1).
     if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
     ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
-  }
-  const double step1 = secondsSince(t1);
-  const double cpu2 = util::threadCpuSeconds();
+    step1 = secondsSince(t1);
+    const double cpu2 = util::threadCpuSeconds();
 
-  const auto t2 = std::chrono::steady_clock::now();
-  if (cfg_.legacyMode) {
-    ca.patterns.push_back(firstApPattern(ca.pinAps));
-    for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
-      if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
-    }
-  } else {
+    const auto t2 = std::chrono::steady_clock::now();
     PatternGenerator gen(ctx, ca.pinAps, cfg_.patternGen);
     ca.patterns = gen.run();
     ca.pinOrder = gen.pinOrder();
+    step2 = secondsSince(t2);
+    cpuStep1 = cpu2 - cpu1;
+    cpuStep2 = util::threadCpuSeconds() - cpu2;
+  };
+
+  std::optional<DegradedEvent> event;
+  try {
+    // The fault point models "this class's Steps 1-2 analysis blew up";
+    // legacyMode has no deeper fallback to degrade to, so it stays strict.
+    if (!cfg_.legacyMode) PAO_FAULT_INJECT("oracle.class_access");
+    generate();
+  } catch (const std::exception& e) {
+    if (!cfg_.keepGoing || cfg_.legacyMode) throw;
+    event = DegradedEvent{"class_fallback", e.what(), static_cast<int>(c)};
+    ca = ClassAccess{};
+    try {
+      const auto t1 = std::chrono::steady_clock::now();
+      const double cpu1 = util::threadCpuSeconds();
+      legacyAccess();
+      step1 += secondsSince(t1);
+      cpuStep1 += util::threadCpuSeconds() - cpu1;
+    } catch (const std::exception& e2) {
+      // Even the fallback failed: the class keeps empty access (its pins
+      // count as failed) but the run continues.
+      ca = ClassAccess{};
+      event = DegradedEvent{"class_failed", e2.what(), static_cast<int>(c)};
+    }
   }
-  const double step2 = secondsSince(t2);
-  const double cpu3 = util::threadCpuSeconds();
   PAO_COUNTER_INC("pao.oracle.class_builds");
 
   // Normalize to origin-relative so the entry is placement-independent.
   ca = AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
 
   std::lock_guard<std::mutex> lock(cacheMu_);
-  if (cache_ != nullptr && !cfg_.legacyMode) cache_->store(key, ca);
+  // A degraded class result must never poison the cross-run cache: a later
+  // fault-free run would silently inherit the fallback access.
+  if (cache_ != nullptr && !cfg_.legacyMode && !event) cache_->store(key, ca);
+  if (event) degraded_.push_back(std::move(*event));
   ++stats_.classBuilds;
   step1Seconds_ += step1;
   step2Seconds_ += step2;
-  step1CpuSeconds_ += cpu2 - cpu1;
-  step2CpuSeconds_ += cpu3 - cpu2;
+  step1CpuSeconds_ += cpuStep1;
+  step2CpuSeconds_ += cpuStep2;
 }
 
 void OracleSession::buildAll() {
@@ -155,12 +197,14 @@ void OracleSession::buildAll() {
       ClusterSelectConfig csCfg = cfg_.clusterSelect;
       csCfg.numThreads = cfg_.numThreads;
       csCfg.originRelativeClasses = true;
+      csCfg.budgetSeconds = cfg_.step3BudgetSeconds;
       selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
                                                     classes_, csCfg);
       chosen_ = selector_->run();
       clusters_ = selector_->clusters();
       stats_.clusterDpRuns = selector_->numDpRuns();
       step3CpuSeconds_ = selector_->dpCpuSeconds();
+      recordBudgetExpiry();
     } else {
       trivialSelection();
     }
@@ -295,7 +339,9 @@ void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
   }
 
   // Re-run the DP for dirty clusters only, wave-scheduled so dirty clusters
-  // sharing a multi-height instance replay their serial pinning order.
+  // sharing a multi-height instance replay their serial pinning order. Each
+  // mutation gets a fresh Step-3 budget.
+  selector_->armBudget();
   const std::vector<std::vector<std::size_t>> waves =
       clusterWaves(dirtyClusters);
   for (const std::vector<std::size_t>& wave : waves) {
@@ -311,8 +357,18 @@ void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
   stats_.lastClusterCount = newClusters.size();
   stats_.clusterDpRuns = selector_->numDpRuns();
   step3CpuSeconds_ = selector_->dpCpuSeconds();
+  recordBudgetExpiry();
   PAO_COUNTER_ADD("pao.session.dirty_clusters", dirtyClusters.size());
   clusters_ = std::move(newClusters);
+}
+
+void OracleSession::recordBudgetExpiry() {
+  if (selector_ == nullptr || !selector_->budgetExpired()) return;
+  degraded_.push_back(
+      {"step3_budget",
+       std::to_string(selector_->expiredClusters()) +
+           " cluster(s) committed best-so-far patterns on budget expiry",
+       -1});
 }
 
 std::optional<OracleResult::ChosenAp> OracleSession::chosenAp(
@@ -345,6 +401,14 @@ OracleResult OracleSession::snapshot() const {
         classes_[c], design_->instances[ui.representative].origin);
   }
   r.chosenPattern = chosen_;
+  r.degraded = degraded_;
+  // Canonical order: computeClassAccess appends in worker-completion order,
+  // which is schedule-dependent under numThreads > 1.
+  std::sort(r.degraded.begin(), r.degraded.end(),
+            [](const DegradedEvent& a, const DegradedEvent& b) {
+              return std::tie(a.cls, a.kind, a.detail) <
+                     std::tie(b.cls, b.kind, b.detail);
+            });
   r.step1Seconds = step1Seconds_;
   r.step2Seconds = step2Seconds_;
   r.step3Seconds = step3Seconds_;

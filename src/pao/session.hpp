@@ -76,6 +76,11 @@ class OracleSession {
   /// describe the initial full analysis, not later mutations.
   OracleResult snapshot() const;
 
+  /// Graceful-degradation events accumulated so far (cfg.keepGoing class
+  /// fallbacks, Step-3 budget expiries). Unsorted accumulation order;
+  /// snapshot() returns them canonically sorted.
+  const std::vector<DegradedEvent>& degraded() const { return degraded_; }
+
   struct Stats {
     std::size_t mutations = 0;
     /// Cumulative Step-3 cluster-DP invocations (initial build included).
@@ -106,6 +111,9 @@ class OracleSession {
   void recomputeAfterMutation(const std::vector<int>& touched);
   /// The no-Step-3 selection (legacy / runClusterSelection == false).
   void trivialSelection();
+  /// Appends a "step3_budget" DegradedEvent when the last selection pass
+  /// expired its budget.
+  void recordBudgetExpiry();
   void requireMutable() const;
 
   const db::Design* design_;
@@ -123,6 +131,7 @@ class OracleSession {
   std::unique_ptr<ClusterSelector> selector_;
   std::uint64_t designRevision_ = 0;
   Stats stats_;
+  std::vector<DegradedEvent> degraded_;  ///< guarded by cacheMu_ during 1-2
   double step1Seconds_ = 0;
   double step2Seconds_ = 0;
   double step3Seconds_ = 0;

@@ -1,0 +1,50 @@
+#include "util/diag.hpp"
+
+namespace pao::util {
+
+namespace {
+
+const char* severityName(Severity s) {
+  return s == Severity::kWarning ? "warning" : "error";
+}
+
+}  // namespace
+
+std::string Diag::header() const {
+  std::string out = loc.file;
+  if (loc.line > 0) {
+    out += ':';
+    out += std::to_string(loc.line);
+    if (loc.col > 0) {
+      out += ':';
+      out += std::to_string(loc.col);
+    }
+  }
+  out += ": ";
+  out += severityName(severity);
+  out += ": [";
+  out += code;
+  out += "] ";
+  out += message;
+  return out;
+}
+
+std::string Diag::format() const {
+  std::string out = header();
+  if (!excerpt.empty() && loc.line > 0) {
+    const std::string num = std::to_string(loc.line);
+    out += "\n  " + num + " | " + excerpt;
+    out += "\n  " + std::string(num.size(), ' ') + " | ";
+    // Caret alignment assumes the excerpt holds no tabs; LEF/DEF sources
+    // in the wild are space-indented and the caret is advisory anyway.
+    if (loc.col > 0) out += std::string(loc.col - 1, ' ') + "^";
+  }
+  return out;
+}
+
+void DiagSink::add(Diag d) {
+  if (d.severity == Severity::kError) ++errors_;
+  diags_.push_back(std::move(d));
+}
+
+}  // namespace pao::util

@@ -1,0 +1,63 @@
+// Located diagnostics for the LEF/DEF front end (and any other text
+// input the tool ingests).
+//
+// A Diag carries everything needed to render a compiler-style message:
+//
+//   test.lef:6:9: error: [LEX003] expected number, got 'x'
+//     6 |   PITCH x ;
+//       |         ^
+//
+// The one-line header() is the stable, golden-testable part; format()
+// appends the source excerpt and caret when the location is known. Error
+// codes are stable identifiers (LEX*, DEF*, GEN*) documented in DESIGN.md
+// "Robustness & failure semantics" — tests and downstream tooling key off
+// the code, never the message text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pao::util {
+
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+/// A 1-based position in a named input. line == 0 means "no location"
+/// (e.g. a semantic error with no surviving token position).
+struct SourceLoc {
+  std::string file = "<input>";
+  std::size_t line = 0;
+  std::size_t col = 0;
+};
+
+struct Diag {
+  Severity severity = Severity::kError;
+  std::string code;     ///< stable identifier, e.g. "LEX002" or "DEF001"
+  SourceLoc loc;
+  std::string message;  ///< human-readable, no location/code prefix
+  std::string excerpt;  ///< the source line loc points into ("" = none)
+
+  /// "file:line:col: error: [CODE] message" ("file: error: ..." when the
+  /// line is unknown). This is the golden-tested form.
+  std::string header() const;
+  /// header() plus a two-line excerpt/caret block when available.
+  std::string format() const;
+};
+
+/// Ordered accumulator used by recovery-mode parsing.
+class DiagSink {
+ public:
+  void add(Diag d);
+  const std::vector<Diag>& diags() const { return diags_; }
+  std::size_t errorCount() const { return errors_; }
+  bool hasErrors() const { return errors_ > 0; }
+
+ private:
+  std::vector<Diag> diags_;
+  std::size_t errors_ = 0;
+};
+
+}  // namespace pao::util

@@ -1,0 +1,165 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+namespace pao::util {
+
+namespace {
+
+/// splitmix64 — the same mixer benchgen uses; good enough to decorrelate
+/// (seed, hit-index) pairs for probabilistic triggers.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+bool parseU64(std::string_view s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    if (v > (UINT64_MAX - (c - '0')) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parseProb(std::string_view s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  const double v = std::strtod(tmp.c_str(), &end);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry* reg = new FaultRegistry();  // leaked, like obs
+  return *reg;
+}
+
+bool FaultRegistry::parseEntry(std::string_view entry, std::string& name,
+                               Point& point, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = "bad fault spec '" + std::string(entry) + "': " + why;
+    return false;
+  };
+  const std::size_t colon = entry.find(':');
+  name = std::string(entry.substr(0, colon));
+  if (name.empty()) return fail("empty point name");
+  if (colon == std::string_view::npos) {
+    point.mode = Mode::kAlways;
+    return true;
+  }
+  std::string_view trig = entry.substr(colon + 1);
+  if (trig.empty()) return fail("empty trigger");
+  if (trig.front() == 'p') {
+    // pP[:sS] — probabilistic, seeded.
+    point.mode = Mode::kProb;
+    const std::size_t sep = trig.find(':');
+    std::string_view probPart = trig.substr(1, sep == std::string_view::npos
+                                                   ? std::string_view::npos
+                                                   : sep - 1);
+    if (!parseProb(probPart, point.prob)) {
+      return fail("probability must be a number in [0,1]");
+    }
+    if (sep != std::string_view::npos) {
+      std::string_view seedPart = trig.substr(sep + 1);
+      if (seedPart.empty() || seedPart.front() != 's' ||
+          !parseU64(seedPart.substr(1), point.seed)) {
+        return fail("seed must be s<integer>");
+      }
+    }
+    return true;
+  }
+  if (trig.back() == '+') {
+    point.mode = Mode::kFromNth;
+    trig.remove_suffix(1);
+  } else {
+    point.mode = Mode::kNth;
+  }
+  if (!parseU64(trig, point.n) || point.n == 0) {
+    return fail("hit index must be a positive integer");
+  }
+  return true;
+}
+
+bool FaultRegistry::configure(std::string_view spec, std::string* error) {
+  reset();
+  std::map<std::string, Point, std::less<>> parsed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;  // tolerate "a,,b" and trailing commas
+    std::string name;
+    Point point;
+    if (!parseEntry(entry, name, point, error)) return false;
+    parsed.insert_or_assign(std::move(name), point);
+  }
+  if (parsed.empty()) return true;  // empty spec = disarm, not an error
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    points_ = std::move(parsed);
+  }
+  armed_.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::reset() {
+  armed_.store(false, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+bool FaultRegistry::shouldFire(std::string_view point) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  const std::uint64_t hit = ++p.hits;  // 1-based hit index
+  bool fire = false;
+  switch (p.mode) {
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kNth:
+      fire = hit == p.n;
+      break;
+    case Mode::kFromNth:
+      fire = hit >= p.n;
+      break;
+    case Mode::kProb: {
+      const std::uint64_t h = mix64(p.seed * 0x9E3779B97F4A7C15ull + hit);
+      // Top 53 bits -> uniform double in [0,1).
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      fire = u < p.prob;
+      break;
+    }
+  }
+  if (fire) ++p.fired;
+  return fire;
+}
+
+std::size_t FaultRegistry::hits(std::string_view point) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it->second.hits);
+}
+
+std::size_t FaultRegistry::fired(std::string_view point) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it->second.fired);
+}
+
+}  // namespace pao::util

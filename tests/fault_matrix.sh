@@ -1,0 +1,111 @@
+#!/bin/sh
+# Fault-injection matrix: injects every cataloged fault point into pao_cli
+# one at a time and asserts the documented outcome — full recovery
+# (identical exit 0, empty degraded section), graceful degradation (exit 4,
+# nonzero degraded section, schema-valid pao-report/1), or a clean
+# documented failure (exit 1 rejected cache / exit 2 bad spec / exit 3
+# fatal). Anything else — especially an abort/signal — fails the matrix.
+#
+# Usage: fault_matrix.sh <pao_cli> <report_check> <workdir>
+# Run by ctest (cli_fault_matrix) and by the ci.sh fault-matrix leg.
+set -eu
+
+CLI=$1
+CHECK=$2
+WORK=$3
+
+mkdir -p "$WORK"
+rm -f "$WORK"/fm.* "$WORK"/*.json "$WORK"/*.cache
+
+echo "-- generating testcase"
+"$CLI" gen 0 0.002 "$WORK/fm" >/dev/null 2>&1
+
+# expect <name> <want-exit> <command...>: runs the command, asserts the exit
+# code, and flags death-by-signal (codes >= 128) explicitly.
+expect() {
+  name=$1; want=$2; shift 2
+  got=0
+  "$@" >"$WORK/out.log" 2>&1 || got=$?
+  if [ "$got" -ge 128 ]; then
+    echo "FAIL [$name]: killed by signal (exit $got)"
+    cat "$WORK/out.log"
+    exit 1
+  fi
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$name]: exit $got, want $want"
+    cat "$WORK/out.log"
+    exit 1
+  fi
+  echo "ok  [$name]: exit $got"
+}
+
+LEF="$WORK/fm.lef"
+DEF="$WORK/fm.def"
+REPORT="$WORK/report.json"
+CACHE="$WORK/fm.cache"
+
+echo "-- baseline (no faults)"
+expect baseline 0 \
+  "$CLI" analyze "$LEF" "$DEF" --cache-out "$CACHE" --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+cp "$REPORT" "$WORK/baseline.json"
+
+echo "-- cache.read: keep-going recovers fully, strict rejects (exit 1)"
+expect cache_read_keepgoing 0 \
+  "$CLI" analyze "$LEF" "$DEF" --cache-in "$CACHE" --keep-going \
+  --faults cache.read --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+grep -q '"degraded": \[\]' "$REPORT" || {
+  echo "FAIL: cache.read keep-going must leave degraded empty"; exit 1; }
+expect cache_read_strict 1 \
+  "$CLI" analyze "$LEF" "$DEF" --cache-in "$CACHE" --faults cache.read
+
+echo "-- cache.io: cache unusable is a warning under keep-going"
+expect cache_io_keepgoing 0 \
+  "$CLI" analyze "$LEF" "$DEF" --cache-in "$CACHE" --keep-going \
+  --faults cache.io --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+
+echo "-- oracle.class_access: keep-going degrades (exit 4), strict is fatal"
+expect class_access_keepgoing 4 \
+  "$CLI" analyze "$LEF" "$DEF" --keep-going \
+  --faults oracle.class_access --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+grep -q '"kind": "class_fallback"' "$REPORT" || {
+  echo "FAIL: expected class_fallback events in degraded section"; exit 1; }
+expect class_access_strict 3 \
+  "$CLI" analyze "$LEF" "$DEF" --faults oracle.class_access
+
+echo "-- step3.deadline: budget expiry commits best-so-far (exit 4)"
+expect step3_deadline_keepgoing 4 \
+  "$CLI" analyze "$LEF" "$DEF" --keep-going \
+  --faults step3.deadline --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+grep -q '"kind": "step3_budget"' "$REPORT" || {
+  echo "FAIL: expected step3_budget events in degraded section"; exit 1; }
+
+echo "-- lef.io / def.io: input unreadable is fatal (exit 3) in both modes"
+expect lef_io_strict 3 "$CLI" analyze "$LEF" "$DEF" --faults lef.io
+expect lef_io_keepgoing 3 \
+  "$CLI" analyze "$LEF" "$DEF" --keep-going --faults lef.io
+expect def_io_strict 3 "$CLI" analyze "$LEF" "$DEF" --faults def.io
+
+echo "-- never-firing point behaves exactly like no fault at all"
+expect never_fires 0 \
+  "$CLI" analyze "$LEF" "$DEF" --faults oracle.class_access:999 \
+  --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+grep -q '"degraded": \[\]' "$REPORT" && {
+  echo "FAIL: strict no-fire run should have no degraded section"; exit 1; }
+
+echo "-- malformed fault spec is a usage error (exit 2), env and flag"
+expect bad_spec_flag 2 "$CLI" analyze "$LEF" "$DEF" --faults 'x:pz'
+expect bad_spec_env 2 env PAO_FAULTS='cache.read:p2' \
+  "$CLI" analyze "$LEF" "$DEF"
+
+echo "-- PAO_FAULTS env drives the same machinery as --faults"
+expect env_class_access 4 env PAO_FAULTS=oracle.class_access \
+  "$CLI" analyze "$LEF" "$DEF" --keep-going --report-json "$REPORT"
+"$CHECK" report "$REPORT"
+
+echo "fault matrix: all cases pass"

@@ -1,0 +1,27 @@
+// Known-negative fixture for diag-hygiene: located errors, domain exception
+// types, and a justified suppression — none should fire when linted under a
+// synthetic src/ path.
+#include <stdexcept>
+#include <string>
+
+struct Diag {
+  std::string code;
+};
+struct ParseError {
+  explicit ParseError(Diag d);
+};
+
+void good(const std::string& tok) {
+  if (tok.empty()) throw ParseError(Diag{"LEX001"});
+}
+
+struct FaultInjected : std::runtime_error {
+  using std::runtime_error::runtime_error;  // deriving is fine; throwing bare
+};
+
+void alsoGood() { throw FaultInjected("cache.read"); }
+
+void justified() {
+  // pao-lint: allow(diag-hygiene): allocator exhaustion has no source loc
+  throw std::runtime_error("out of memory");
+}

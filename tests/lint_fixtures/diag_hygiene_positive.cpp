@@ -1,0 +1,17 @@
+// Known-positive fixture for diag-hygiene: library code raising bare
+// std::runtime_error instead of a located ParseError / util::Diag.
+// test_lint.cpp lints this file's CONTENT under a synthetic src/ path (the
+// fixture directory itself sits under tests/, which the default options
+// exempt).
+#include <stdexcept>
+#include <string>
+
+void parseThing(const std::string& tok) {
+  if (tok.empty()) {
+    throw std::runtime_error("empty token");  // flagged: no location, no code
+  }
+}
+
+void resolveMaster(const std::string& name) {
+  if (name != "INV") throw std::runtime_error("unknown master " + name);
+}

@@ -214,6 +214,134 @@ TEST(AccessCache, V1CacheLoadsBestEffort) {
   EXPECT_TRUE(error.empty());
 }
 
+// ---------------------------------------------- hostile-input regressions
+// A corrupt, truncated, or tampered cache file must always be rejected
+// cleanly (load returns 0 with a reason, nothing installed) — never crash,
+// never read out of bounds, never commit a partial cache.
+
+namespace {
+
+std::string savedCacheText(const benchgen::Testcase& tc, AccessCache& cache) {
+  OracleConfig cfg = withBcaConfig();
+  cfg.cache = &cache;
+  PinAccessOracle(*tc.design, cfg).run();
+  return cache.save(*tc.tech, *tc.lib);
+}
+
+}  // namespace
+
+TEST(AccessCacheHardening, TruncatedV2RejectedAtomically) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  const std::string text = savedCacheText(tc, cache);
+
+  // Cut at many points, including mid-record and mid-token: every prefix
+  // must be rejected whole (v2 is all-or-nothing).
+  for (const std::size_t keep :
+       {text.size() / 4, text.size() / 2, text.size() - 10}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    AccessCache other;
+    std::string error;
+    EXPECT_EQ(other.load(text.substr(0, keep), *tc.tech, *tc.lib, &error),
+              0u);
+    EXPECT_NE(error.find("corrupt or truncated"), std::string::npos)
+        << error;
+    EXPECT_EQ(other.size(), 0u);
+  }
+}
+
+TEST(AccessCacheHardening, EntryBoundaryTruncationRejected) {
+  // Drop only the END trailer: every record left is intact, so only the
+  // trailer check can tell that later entries are missing.
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  const std::string text = savedCacheText(tc, cache);
+  const std::size_t end = text.rfind("END ");
+  ASSERT_NE(end, std::string::npos);
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(text.substr(0, end), *tc.tech, *tc.lib, &error), 0u);
+  EXPECT_NE(error.find("missing END trailer"), std::string::npos);
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(AccessCacheHardening, EndCountMismatchRejected) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  std::string text = savedCacheText(tc, cache);
+  const std::size_t end = text.rfind("END ");
+  ASSERT_NE(end, std::string::npos);
+  text.replace(end, std::string::npos, "END 999999\n");
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(text, *tc.tech, *tc.lib, &error), 0u);
+  EXPECT_NE(error.find("END count"), std::string::npos);
+}
+
+TEST(AccessCacheHardening, DataAfterEndTrailerRejected) {
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  std::string text = savedCacheText(tc, cache);
+  text += "ENTRY sneaky R0 0\n";
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(text, *tc.tech, *tc.lib, &error), 0u);
+  EXPECT_NE(error.find("data after END"), std::string::npos);
+}
+
+TEST(AccessCacheHardening, HostileCountRejectedWithoutHugeAllocation) {
+  // The historical bug: record counts drove vector::resize unchecked, so a
+  // single flipped digit could demand gigabytes (or, with a negative read
+  // into size_t, instant OOM). Counts are now bounded by the bytes actually
+  // remaining in the file.
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  const std::string text = savedCacheText(tc, cache);
+  for (const char* tag : {"PINS ", "PIN ", "ORDER ", "PATTERNS "}) {
+    SCOPED_TRACE(tag);
+    std::string tampered = text;
+    const std::size_t at = tampered.find(tag);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t numAt = at + std::string(tag).size();
+    const std::size_t numEnd = tampered.find_first_of(" \n", numAt);
+    tampered.replace(numAt, numEnd - numAt, "987654321");
+    AccessCache other;
+    std::string error;
+    EXPECT_EQ(other.load(tampered, *tc.tech, *tc.lib, &error), 0u);
+    EXPECT_NE(error.find("corrupt or truncated"), std::string::npos)
+        << error;
+    EXPECT_EQ(other.size(), 0u);
+  }
+}
+
+TEST(AccessCacheHardening, V1HostileCountRejectedWithoutHugeAllocation) {
+  // Same bound on the legacy best-effort path: a v1 "file" asking for 10^9
+  // offsets in a 60-byte body must load nothing, not allocate.
+  const benchgen::Testcase tc = smallCase();
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load("PAO_ACCESS_CACHE v1\nENTRY X R0 999999999 1 2 3\n",
+                       *tc.tech, *tc.lib, &error),
+            0u);
+  EXPECT_EQ(other.size(), 0u);
+}
+
+TEST(AccessCacheHardening, UnknownMasterInV2BodyIsTamper) {
+  // The fingerprint matched, so a master name the library lacks can only
+  // mean a tampered body: reject the whole file.
+  const benchgen::Testcase tc = smallCase();
+  AccessCache cache;
+  std::string text = savedCacheText(tc, cache);
+  const std::size_t at = text.find("ENTRY ");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at + 6, text.find(' ', at + 6) - (at + 6), "GHOST_MASTER");
+  AccessCache other;
+  std::string error;
+  EXPECT_EQ(other.load(text, *tc.tech, *tc.lib, &error), 0u);
+  EXPECT_NE(error.find("unknown master"), std::string::npos);
+  EXPECT_EQ(other.size(), 0u);
+}
+
 TEST(OracleThreads, ParallelRunMatchesSerial) {
   const benchgen::Testcase tc = smallCase();
 

@@ -1,7 +1,9 @@
-// Tests for pao_lint (tools/lint/): tokenizer behavior, all four rules
+// Tests for pao_lint (tools/lint/): tokenizer behavior, all five rules
 // against in-memory sources and the known-positive / known-negative fixture
 // files under tests/lint_fixtures/, and the suppression syntax.
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -256,6 +258,52 @@ TEST(LintObsNaming, AllowsSuppressionById) {
       "void f() { PAO_COUNTER_INC(\"legacy_counter\"); }\n",
       Options());
   EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+// --- diag-hygiene --------------------------------------------------------
+
+/// The fixture directory lives under tests/, which the default options
+/// exempt from diag-hygiene — so lint the fixture's content under a
+/// synthetic library path instead.
+std::vector<Finding> lintDiagFixture(const std::string& name) {
+  std::string error;
+  std::ifstream in(fixture(name));
+  EXPECT_TRUE(in.good()) << name;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return lintSource("src/lefdef/" + name, buf.str(), fixtureOptions());
+}
+
+TEST(LintDiagHygiene, FlagsAllKnownPositives) {
+  const auto fs = lintDiagFixture("diag_hygiene_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 2u);
+  for (const Finding* f : live) EXPECT_EQ(f->rule, "diag-hygiene");
+  EXPECT_EQ(live[0]->line, 11);
+  EXPECT_EQ(live[1]->line, 16);
+  EXPECT_NE(live[0]->hint.find("ParseError"), std::string::npos);
+}
+
+TEST(LintDiagHygiene, AcceptsAllKnownNegatives) {
+  const auto fs = lintDiagFixture("diag_hygiene_negative.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+  // The justified allow() covers exactly the one bare throw.
+  EXPECT_EQ(std::count_if(fs.begin(), fs.end(),
+                          [](const Finding& f) { return f.suppressed; }),
+            1);
+}
+
+TEST(LintDiagHygiene, ExemptPathsAreSkipped) {
+  const std::string src = "void f() { throw std::runtime_error(\"x\"); }";
+  EXPECT_TRUE(
+      unsuppressed(lintSource("src/util/fault.cpp", src, Options())).empty());
+  EXPECT_TRUE(
+      unsuppressed(lintSource("tools/pao_cli.cpp", src, Options())).empty());
+  EXPECT_TRUE(unsuppressed(lintSource("tests/test_fault.cpp", src, Options()))
+                  .empty());
+  EXPECT_EQ(
+      unsuppressed(lintSource("src/pao/session.cpp", src, Options())).size(),
+      1u);
 }
 
 // --- suppression syntax --------------------------------------------------

@@ -7,6 +7,10 @@
 
 #include "benchgen/testcase.hpp"
 #include "geom/polygon.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/def_writer.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/lef_writer.hpp"
 #include "pao/evaluate.hpp"
 
 namespace pao {
@@ -214,6 +218,50 @@ TEST_P(SuiteProperty, PaafInvariantsHoldOnEveryPreset) {
 
 INSTANTIATE_TEST_SUITE_P(AllPresets, SuiteProperty,
                          ::testing::Range(0, 10));
+
+// ------------------------------------------------- serialization fixpoint
+
+// write -> parse -> write must be a byte-level fixpoint: the first written
+// text, parsed back into a fresh database and written again, reproduces
+// itself exactly. This pins the writer/parser pair as mutual inverses on
+// the statement subset we claim to support (anything the writer can emit,
+// the parser reads losslessly, at full numeric precision).
+class RoundTripFixpoint : public ::testing::TestWithParam<int> {
+ protected:
+  benchgen::Testcase tc_ = benchgen::generate(
+      benchgen::ispd18Suite()[static_cast<std::size_t>(GetParam())], 0.004);
+};
+
+TEST_P(RoundTripFixpoint, LefWriteParseWriteIsByteStable) {
+  const std::string first = lefdef::writeLef(*tc_.tech, *tc_.lib);
+  db::Tech tech2;
+  db::Library lib2;
+  const lefdef::ParseResult res =
+      lefdef::parseLef(first, tech2, lib2, lefdef::ParseOptions{});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(lefdef::writeLef(tech2, lib2), first);
+}
+
+TEST_P(RoundTripFixpoint, DefWriteParseWriteIsByteStable) {
+  const std::string lefText = lefdef::writeLef(*tc_.tech, *tc_.lib);
+  const std::string first = lefdef::writeDef(*tc_.design);
+
+  // Parse both back through text so the DEF resolves masters against the
+  // re-parsed library, exactly as a cold run of pao_cli would.
+  db::Tech tech2;
+  db::Library lib2;
+  lefdef::parseLef(lefText, tech2, lib2);
+  db::Design design2;
+  design2.tech = &tech2;
+  design2.lib = &lib2;
+  const lefdef::ParseResult res =
+      lefdef::parseDef(first, design2, lefdef::ParseOptions{});
+  EXPECT_TRUE(res.ok());
+  EXPECT_EQ(lefdef::writeDef(design2), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, RoundTripFixpoint,
+                         ::testing::Values(0, 3, 7));
 
 }  // namespace
 }  // namespace pao

@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI entry point: six legs over the same tree —
+# CI entry point: eight legs over the same tree —
 #   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
 #                      ctest includes the pao_lint_tree static-analysis gate)
 #   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
@@ -7,13 +7,18 @@
 #   3. Obs smoke      (analyze with --report-json/--trace-out on a smoke
 #                      preset, validated by report_check: schema, trace span
 #                      nesting, and threads-1-vs-4 report equivalence)
-#   4. PAO_OBS=OFF    (zero-overhead gate: an instrumentation-disabled build
-#                      of the hot libraries must not reference the obs
-#                      registry or tracer at all)
-#   5. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+#   4. Fault matrix   (tests/fault_matrix.sh: every cataloged fault point
+#                      under --keep-going recovers or degrades with the
+#                      documented exit code and a valid pao-report/1)
+#   5. OBS/FAULTS=OFF (zero-overhead gate: a build with instrumentation and
+#                      fault injection compiled out must not reference the
+#                      obs registry, tracer, or fault registry at all)
+#   6. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
 #                      parallel executor paths in DrcEngine::checkAll, the
 #                      oracle Steps 1-3 and router planning)
-#   6. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+#   7. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+#   8. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
+#                      LEF/DEF parsers and cache reader, zero findings)
 # The whole tree builds with -Wall -Wextra -Werror in every leg.
 # Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
 set -eu
@@ -61,22 +66,36 @@ echo "== Observability smoke (report + trace) =="
 "$BI_DIR/tools/report_check" compare \
   "$BI_DIR/ci_obs_r1.json" "$BI_DIR/ci_obs_r4.json"
 
-echo "== PAO_OBS=OFF zero-overhead build =="
-# With instrumentation compiled out, the hot libraries must carry no
-# reference to the metrics registry or tracer: the macros expand to nothing,
-# so any surviving symbol means a stray direct call crept in.
+echo "== Fault-injection matrix =="
+# Every cataloged fault point, injected one at a time via PAO_FAULTS, must
+# either fully recover or degrade gracefully with the documented exit code
+# and a schema-valid report — never abort. fault_matrix.sh is also a ctest
+# entry; this leg runs it against the Release build explicitly.
+sh "$SRC/tests/fault_matrix.sh" "$BI_DIR/tools/pao_cli" \
+  "$BI_DIR/tools/report_check" "$BI_DIR/ci_fault_matrix"
+
+echo "== PAO_OBS=OFF / PAO_FAULTS=OFF zero-overhead build =="
+# With instrumentation and fault injection compiled out, the hot libraries
+# must carry no reference to the metrics registry, tracer, or fault
+# registry: the macros expand to nothing, so any surviving symbol means a
+# stray direct call crept in.
 OFF_DIR="$SRC/build-ci-obsoff"
-cmake -B "$OFF_DIR" -S "$SRC" -DCMAKE_BUILD_TYPE=Release -DPAO_OBS=OFF
+cmake -B "$OFF_DIR" -S "$SRC" -DCMAKE_BUILD_TYPE=Release -DPAO_OBS=OFF \
+  -DPAO_FAULTS=OFF
 cmake --build "$OFF_DIR" -j "$JOBS" \
-  --target pao_util pao_drc pao_core pao_router
-for lib in pao_util pao_drc pao_core pao_router; do
+  --target pao_util pao_drc pao_core pao_router pao_lefdef
+for lib in pao_util pao_drc pao_core pao_router pao_lefdef; do
   archive=$(find "$OFF_DIR/src" -name "lib${lib}.a" | head -n 1)
   [ -n "$archive" ]
   if nm -C "$archive" | grep -E 'pao::obs::(Registry|Tracer)' >/dev/null; then
     echo "FAIL: $lib references obs::Registry/Tracer with PAO_OBS=OFF"
     exit 1
   fi
-  echo "$lib: no obs registry/tracer references"
+  if nm -C "$archive" | grep -E ' U .*FaultRegistry' >/dev/null; then
+    echo "FAIL: $lib references util::FaultRegistry with PAO_FAULTS=OFF"
+    exit 1
+  fi
+  echo "$lib: no obs/fault registry references"
 done
 
 echo "== ThreadSanitizer build =="
@@ -91,5 +110,14 @@ cmake -B "$SRC/build-ci-ubsan" -S "$SRC" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAO_SANITIZE=undefined
 cmake --build "$SRC/build-ci-ubsan" -j "$JOBS"
 ctest --test-dir "$SRC/build-ci-ubsan" --output-on-failure -j "$JOBS"
+
+echo "== UBSan fuzz sweep =="
+# Deterministic mutation fuzzing of the LEF/DEF parsers and the cache
+# reader under -fsanitize=undefined: 3x4000 = 12000 seeded iterations,
+# reproducible by re-running pao_fuzz with the printed seed.
+for fuzzseed in 101 102 103; do
+  "$SRC/build-ci-ubsan/tools/pao_fuzz" all "$SRC/tests/fuzz_corpus" \
+    4000 "$fuzzseed"
+done
 
 echo "== CI OK =="

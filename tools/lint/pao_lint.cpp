@@ -3,7 +3,8 @@
 //   pao_lint [options] <path>...      lint files, or recurse into directories
 //
 // Rules (see lint/rules.hpp and DESIGN.md "Static analysis & invariants"):
-//   pointer-stability, unordered-iteration, executor-hygiene, obs-naming
+//   pointer-stability, unordered-iteration, executor-hygiene, obs-naming,
+//   diag-hygiene
 //
 // Suppress a finding with a justified comment on, or directly above, the
 // offending line:
@@ -94,7 +95,9 @@ int main(int argc, char** argv) {
           "executor-hygiene     raw std::thread/std::async outside the\n"
           "                     executor; mutable lambda into parallelFor\n"
           "obs-naming           observability macro metric name literal\n"
-          "                     not matching pao.<phase>.<metric>\n");
+          "                     not matching pao.<phase>.<metric>\n"
+          "diag-hygiene         bare throw std::runtime_error in library\n"
+          "                     code (use a located ParseError/util::Diag)\n");
       return 0;
     } else if (arg == "--annotate") {
       if (i + 1 >= argc) return usage();

@@ -445,6 +445,39 @@ void ruleObsNaming(std::string_view path, const std::vector<Token>& toks,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: diag-hygiene
+// ---------------------------------------------------------------------------
+
+/// Flags `throw std::runtime_error(...)` outside the exempt path set.
+/// Library code must raise located, coded errors (lefdef::ParseError with a
+/// util::Diag, or a domain exception type) so failures surface as
+/// file:line:col diagnostics rather than bare strings.
+void ruleDiagHygiene(std::string_view path, const std::vector<Token>& toks,
+                     const Options& options, std::vector<Finding>& out) {
+  for (const std::string& sub : options.diagHygieneExemptSubstrings) {
+    if (path.find(sub) != std::string_view::npos) return;
+  }
+  for (std::size_t k = 0; k + 4 < toks.size(); ++k) {
+    if (!isIdent(toks[k], "throw") || !isIdent(toks[k + 1], "std") ||
+        !isPunct(toks[k + 2], "::") ||
+        !isIdent(toks[k + 3], "runtime_error") ||
+        !isPunct(toks[k + 4], "(")) {
+      continue;
+    }
+    Finding f;
+    f.file = std::string(path);
+    f.line = toks[k].line;
+    f.rule = std::string(kRuleDiagHygiene);
+    f.message = "bare throw std::runtime_error in library code";
+    f.hint =
+        "throw lefdef::ParseError with a located util::Diag (stable code, "
+        "file:line:col, excerpt) or a domain exception type; plain "
+        "runtime_error is reserved for src/util/, tools/ and tests/";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -468,7 +501,7 @@ void applySuppressions(std::string_view path,
     if (!isKnownRule(s.rule)) {
       f.message = "allow() names unknown rule '" + s.rule + "'";
       f.hint = "valid rules: pointer-stability, unordered-iteration, "
-               "executor-hygiene, obs-naming";
+               "executor-hygiene, obs-naming, diag-hygiene";
     } else if (s.justification.empty()) {
       f.message = "allow(" + s.rule + ") without a justification";
       f.hint = "suppressions must say why the code is safe: "
@@ -494,7 +527,8 @@ std::vector<AccessorAnnotation> defaultAccessors() {
 
 bool isKnownRule(std::string_view rule) {
   return rule == kRulePointerStability || rule == kRuleUnorderedIteration ||
-         rule == kRuleExecutorHygiene || rule == kRuleObsNaming;
+         rule == kRuleExecutorHygiene || rule == kRuleObsNaming ||
+         rule == kRuleDiagHygiene;
 }
 
 std::vector<Finding> lintSource(std::string_view path, std::string_view src,
@@ -506,6 +540,7 @@ std::vector<Finding> lintSource(std::string_view path, std::string_view src,
   ruleUnorderedIteration(path, lexed.tokens, depths, findings);
   ruleExecutorHygiene(path, lexed.tokens, options, findings);
   ruleObsNaming(path, lexed.tokens, findings);
+  ruleDiagHygiene(path, lexed.tokens, options, findings);
   applySuppressions(path, lexed.suppressions, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {

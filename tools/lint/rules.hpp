@@ -29,6 +29,14 @@
 //                       `pao.<phase>.<metric>` convention: dotted lowercase
 //                       [a-z0-9_] with at least three segments, first
 //                       segment `pao` (see DESIGN.md "Observability").
+//   diag-hygiene        A bare `throw std::runtime_error(...)` in library
+//                       code (anything outside Options::
+//                       diagHygieneExemptSubstrings — by default src/util/,
+//                       tools/ and tests/). Library errors must carry a
+//                       source location and stable code: throw
+//                       lefdef::ParseError with a util::Diag, or a domain
+//                       exception type (see DESIGN.md "Robustness & failure
+//                       semantics").
 //
 // A further internal rule id, `suppression`, reports malformed suppressions
 // (missing justification, unknown rule id); it cannot itself be suppressed.
@@ -45,6 +53,7 @@ inline constexpr std::string_view kRuleUnorderedIteration =
     "unordered-iteration";
 inline constexpr std::string_view kRuleExecutorHygiene = "executor-hygiene";
 inline constexpr std::string_view kRuleObsNaming = "obs-naming";
+inline constexpr std::string_view kRuleDiagHygiene = "diag-hygiene";
 inline constexpr std::string_view kRuleSuppression = "suppression";
 
 struct Finding {
@@ -73,6 +82,11 @@ struct Options {
   /// (the executor implementation itself must use std::thread).
   std::vector<std::string> rawThreadExemptSuffixes = {
       "src/util/executor.cpp", "src/util/executor.hpp"};
+  /// Path substrings exempt from diag-hygiene: the generic error machinery
+  /// itself (src/util/), the CLI front ends (tools/, whose main() catches
+  /// and maps exceptions to exit codes) and the tests.
+  std::vector<std::string> diagHygieneExemptSubstrings = {"src/util/",
+                                                          "tools/", "tests/"};
 
   Options();
 };

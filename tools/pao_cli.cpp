@@ -32,13 +32,41 @@
 //   --threads N                worker threads (default 1, 0=auto)
 //   --seed S                   RNG seed (default 1)
 //   --report-json / --trace-out  as for analyze
+//
+// robustness options (analyze and route):
+//   --strict                   abort on the first input error (default)
+//   --keep-going               recover from LEF/DEF parse errors, fall back
+//                              per unique class when Steps 1-2 fail, and
+//                              treat an unusable --cache-in as a warning;
+//                              everything recovered from is recorded in the
+//                              report's "degraded" section
+//   --step3-budget S           wall-clock budget (seconds) for the Step-3
+//                              cluster DP; on expiry remaining clusters
+//                              commit best-so-far patterns (degraded event)
+//   --faults SPEC              arm deterministic fault injection (see
+//                              src/util/fault.hpp for the spec grammar);
+//                              also read from the PAO_FAULTS env variable
+//
+// exit codes:
+//   0  success
+//   1  quality failure (failed pins, report/trace write error, rejected
+//      cache in strict mode)
+//   2  usage error or malformed --faults/PAO_FAULTS spec
+//   3  invalid input / fatal error (parse error in strict mode, unreadable
+//      file, injected fault escaping in strict mode) — never an abort
+//   4  run completed but degraded (nonempty "degraded" section; takes
+//      precedence over 1)
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "benchgen/testcase.hpp"
 #include "db/legality.hpp"
@@ -52,6 +80,7 @@
 #include "pao/evaluate.hpp"
 #include "pao/session.hpp"
 #include "router/router.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -64,24 +93,114 @@ int usage() {
       "  pao_cli gen <preset> <scale> <out-prefix>\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
       " [--report-failed N] [--cache-in f] [--cache-out f]"
-      " [--report-json f|-] [--trace-out f]\n"
+      " [--report-json f|-] [--trace-out f]"
+      " [--strict|--keep-going] [--step3-budget S] [--faults SPEC]\n"
       "  pao_cli route <lef> <def> [--out routed.def] [--threads N]"
-      " [--cache-in f] [--cache-out f] [--report-json f|-] [--trace-out f]\n"
+      " [--cache-in f] [--cache-out f] [--report-json f|-] [--trace-out f]"
+      " [--strict|--keep-going] [--step3-budget S] [--faults SPEC]\n"
       "  pao_cli bench-incremental <lef> <def> [--moves K] [--threads N]"
       " [--seed S] [--report-json f|-] [--trace-out f]\n"
       "  pao_cli list\n");
   return 2;
 }
 
-std::string slurp(const char* path) {
+/// Reads `path`, or throws (caught in main → exit 3). `faultPoint` names the
+/// injection point guarding this read: "lef.io", "def.io" or "cache.io".
+std::string slurp(const char* path, const char* faultPoint) {
+  PAO_FAULT_INJECT(faultPoint);
   std::ifstream f(path);
   if (!f) {
-    std::fprintf(stderr, "cannot open %s\n", path);
-    std::exit(1);
+    throw std::runtime_error(std::string("cannot open ") + path);
   }
   std::stringstream ss;
   ss << f.rdbuf();
   return ss.str();
+}
+
+/// Shared --strict/--keep-going/--step3-budget/--faults handling plus the
+/// degradation events collected before the oracle runs (parse recoveries).
+struct RobustOpts {
+  bool keepGoing = false;
+  double step3Budget = 0;
+  std::vector<core::DegradedEvent> preOracle;
+
+  /// Returns true when argv[i] was one of ours; sets `bad` (exit 2) on a
+  /// malformed --faults spec.
+  bool parseFlag(int argc, char** argv, int& i, bool& bad) {
+    if (std::strcmp(argv[i], "--strict") == 0) {
+      keepGoing = false;
+      return true;
+    }
+    if (std::strcmp(argv[i], "--keep-going") == 0) {
+      keepGoing = true;
+      return true;
+    }
+    if (std::strcmp(argv[i], "--step3-budget") == 0 && i + 1 < argc) {
+      step3Budget = std::atof(argv[++i]);
+      return true;
+    }
+    if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
+      std::string error;
+      if (!util::FaultRegistry::instance().configure(argv[++i], &error)) {
+        std::fprintf(stderr, "--faults: %s\n", error.c_str());
+        bad = true;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void apply(core::OracleConfig& cfg) const {
+    cfg.keepGoing = keepGoing;
+    cfg.step3BudgetSeconds = step3Budget;
+  }
+};
+
+/// Prints recovery-mode diagnostics and records the errors as "parse_error"
+/// degradation events.
+void reportDiags(const lefdef::ParseResult& pr, RobustOpts& rob) {
+  for (const util::Diag& d : pr.diags) {
+    std::fprintf(stderr, "%s\n", d.format().c_str());
+    if (d.severity == util::Severity::kError) {
+      rob.preOracle.push_back({"parse_error", d.header(), -1});
+    }
+  }
+}
+
+obs::Json degradedJson(const std::vector<core::DegradedEvent>& events) {
+  obs::Json arr = obs::Json::array();
+  for (const core::DegradedEvent& e : events) {
+    obs::Json j = obs::Json::object();
+    j.set("kind", obs::Json(e.kind));
+    j.set("cls", obs::Json(static_cast<long long>(e.cls)));
+    j.set("detail", obs::Json(e.detail));
+    arr.push(std::move(j));
+  }
+  return arr;
+}
+
+/// Merges parse-time and oracle degradation events into canonical order,
+/// prints them, stores them in the report, and maps them to the exit code:
+/// 4 when any event occurred (wins over `qualityExit`), else `qualityExit`.
+int finishDegraded(const RobustOpts& rob,
+                   const std::vector<core::DegradedEvent>& fromOracle,
+                   obs::RunReport& report, int qualityExit) {
+  std::vector<core::DegradedEvent> all = rob.preOracle;
+  all.insert(all.end(), fromOracle.begin(), fromOracle.end());
+  std::sort(all.begin(), all.end(),
+            [](const core::DegradedEvent& a, const core::DegradedEvent& b) {
+              return std::tie(a.cls, a.kind, a.detail) <
+                     std::tie(b.cls, b.kind, b.detail);
+            });
+  if (!all.empty() || rob.keepGoing) {
+    report.section("degraded") = degradedJson(all);
+  }
+  if (all.empty()) return qualityExit;
+  std::fprintf(stderr, "  degraded         : %zu event(s)\n", all.size());
+  for (const core::DegradedEvent& e : all) {
+    std::fprintf(stderr, "    [%s] %s\n", e.kind.c_str(), e.detail.c_str());
+  }
+  return 4;
 }
 
 struct LoadedDesign {
@@ -149,17 +268,30 @@ struct ObsOutputs {
   }
 };
 
-/// Preloads `cache` from `path`; exits with an error for rejected caches
-/// (wrong fingerprint / unknown format) so a stale cache never goes unnoticed.
+/// Preloads `cache` from `path`. Strict mode exits 1 on any rejection
+/// (wrong fingerprint, corruption, unreadable file) so a stale cache never
+/// goes unnoticed; keep-going warns and runs without the preload — the
+/// cache is a pure accelerator, so the result is unaffected.
 void loadCacheFile(core::AccessCache& cache, const char* path,
-                   const LoadedDesign& ld) {
+                   const LoadedDesign& ld, bool keepGoing) {
   std::string error;
-  const std::size_t n = cache.load(slurp(path), ld.tech, ld.lib, &error);
-  if (!error.empty()) {
+  try {
+    const std::size_t n =
+        cache.load(slurp(path, "cache.io"), ld.tech, ld.lib, &error);
+    if (error.empty()) {
+      std::fprintf(stderr, "cache: loaded %zu entries from %s\n", n, path);
+      return;
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  if (!keepGoing) {
     std::fprintf(stderr, "cache '%s' rejected: %s\n", path, error.c_str());
     std::exit(1);
   }
-  std::fprintf(stderr, "cache: loaded %zu entries from %s\n", n, path);
+  std::fprintf(stderr,
+               "warning: cache '%s' unusable (%s); continuing without it\n",
+               path, error.c_str());
 }
 
 void saveCacheFile(const core::AccessCache& cache, const char* path,
@@ -188,11 +320,25 @@ obs::Json cacheJson(const core::AccessCache& cache) {
   return j;
 }
 
-void load(LoadedDesign& ld, const char* lefPath, const char* defPath) {
-  lefdef::parseLef(slurp(lefPath), ld.tech, ld.lib);
+/// Parses the LEF/DEF pair. Diagnostics carry the real file names; in
+/// keep-going mode parse errors are printed, recorded as "parse_error"
+/// degradation events, and the parsers resync and continue — in strict mode
+/// the first error throws ParseError (caught in main → exit 3).
+void load(LoadedDesign& ld, const char* lefPath, const char* defPath,
+          RobustOpts& rob) {
+  lefdef::ParseOptions lefOpts;
+  lefOpts.file = lefPath;
+  lefOpts.recover = rob.keepGoing;
+  reportDiags(
+      lefdef::parseLef(slurp(lefPath, "lef.io"), ld.tech, ld.lib, lefOpts),
+      rob);
   ld.design.tech = &ld.tech;
   ld.design.lib = &ld.lib;
-  lefdef::parseDef(slurp(defPath), ld.design);
+  lefdef::ParseOptions defOpts;
+  defOpts.file = defPath;
+  defOpts.recover = rob.keepGoing;
+  reportDiags(lefdef::parseDef(slurp(defPath, "def.io"), ld.design, defOpts),
+              rob);
   std::fprintf(stderr,
                "loaded '%s': %zu layers, %zu masters, %zu instances, %zu "
                "nets\n",
@@ -294,6 +440,8 @@ int cmdAnalyze(int argc, char** argv) {
   const char* cacheIn = nullptr;
   const char* cacheOut = nullptr;
   ObsOutputs outputs;
+  RobustOpts rob;
+  bool badSpec = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
@@ -307,19 +455,22 @@ int cmdAnalyze(int argc, char** argv) {
       cacheIn = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
       cacheOut = argv[++i];
+    } else if (rob.parseFlag(argc, argv, i, badSpec)) {
+      if (badSpec) return 2;
     } else if (!outputs.parseFlag(argc, argv, i)) {
       std::fprintf(stderr, "unknown analyze option '%s'\n", argv[i]);
       return usage();
     }
   }
+  rob.apply(cfg);
 
   outputs.startTracing();
   LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
+  load(ld, argv[2], argv[3], rob);
 
   core::AccessCache cache;
   if (cacheIn != nullptr || cacheOut != nullptr) cfg.cache = &cache;
-  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld);
+  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld, rob.keepGoing);
 
   // Sanity-check the placement before analyzing it.
   const auto placement = db::checkPlacement(ld.design);
@@ -368,6 +519,7 @@ int cmdAnalyze(int argc, char** argv) {
   obs::Json& config = report.section("config");
   config.set("mode", obs::Json(mode));
   config.set("threads", obs::Json(cfg.numThreads));
+  config.set("keepGoing", obs::Json(cfg.keepGoing));
   obs::Json& oracle = report.section("oracle");
   oracle = oracleJson(res);
   oracle.set("dirtyAps", obs::Json(dirty.dirtyAps));
@@ -375,9 +527,11 @@ int cmdAnalyze(int argc, char** argv) {
   oracle.set("totalPins", obs::Json(failed.totalPins));
   report.section("session") = sessionJson(session.stats());
   if (cfg.cache != nullptr) report.section("cache") = cacheJson(cache);
-  if (!outputs.finish(report)) return 1;
 
-  return failed.failedPins == 0 ? 0 : 1;
+  int code = failed.failedPins == 0 ? 0 : 1;
+  code = finishDegraded(rob, res.degraded, report, code);
+  if (!outputs.finish(report) && code == 0) code = 1;
+  return code;
 }
 
 int cmdRoute(int argc, char** argv) {
@@ -387,6 +541,8 @@ int cmdRoute(int argc, char** argv) {
   const char* cacheOut = nullptr;
   int numThreads = 1;
   ObsOutputs outputs;
+  RobustOpts rob;
+  bool badSpec = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       outPath = argv[++i];
@@ -396,6 +552,8 @@ int cmdRoute(int argc, char** argv) {
       cacheIn = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-out") == 0 && i + 1 < argc) {
       cacheOut = argv[++i];
+    } else if (rob.parseFlag(argc, argv, i, badSpec)) {
+      if (badSpec) return 2;
     } else if (!outputs.parseFlag(argc, argv, i)) {
       std::fprintf(stderr, "unknown route option '%s'\n", argv[i]);
       return usage();
@@ -404,13 +562,14 @@ int cmdRoute(int argc, char** argv) {
 
   outputs.startTracing();
   LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
+  load(ld, argv[2], argv[3], rob);
 
   core::OracleConfig oracleCfg = core::withBcaConfig();
   oracleCfg.numThreads = numThreads;
+  rob.apply(oracleCfg);
   core::AccessCache cache;
   if (cacheIn != nullptr || cacheOut != nullptr) oracleCfg.cache = &cache;
-  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld);
+  if (cacheIn != nullptr) loadCacheFile(cache, cacheIn, ld, rob.keepGoing);
   core::PinAccessOracle oracle(ld.design, oracleCfg);
   const core::OracleResult access = oracle.run();
   router::AccessSource source(ld.design, access,
@@ -464,8 +623,10 @@ int cmdRoute(int argc, char** argv) {
   drcJ.set("violations", obs::Json(rr.violations.size()));
   drcJ.set("accessViolations", obs::Json(rr.accessViolations));
   if (oracleCfg.cache != nullptr) report.section("cache") = cacheJson(cache);
-  if (!outputs.finish(report)) return 1;
-  return 0;
+
+  int code = finishDegraded(rob, access.degraded, report, 0);
+  if (!outputs.finish(report) && code == 0) code = 1;
+  return code;
 }
 
 // Measures the incremental OracleSession against fresh batch reruns over K
@@ -493,7 +654,8 @@ int cmdBenchIncremental(int argc, char** argv) {
 
   outputs.startTracing();
   LoadedDesign ld;
-  load(ld, argv[2], argv[3]);
+  RobustOpts rob;  // bench is always strict
+  load(ld, argv[2], argv[3], rob);
   if (ld.design.instances.empty()) {
     std::fprintf(stderr, "no instances to move\n");
     return 1;
@@ -608,12 +770,26 @@ int cmdBenchIncremental(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  if (cmd == "list") return cmdList();
-  if (cmd == "gen") return cmdGen(argc, argv);
-  if (cmd == "analyze") return cmdAnalyze(argc, argv);
-  if (cmd == "route") return cmdRoute(argc, argv);
-  if (cmd == "bench-incremental") return cmdBenchIncremental(argc, argv);
-  return usage();
+  if (const char* spec = std::getenv("PAO_FAULTS")) {
+    std::string error;
+    if (!pao::util::FaultRegistry::instance().configure(spec, &error)) {
+      std::fprintf(stderr, "PAO_FAULTS: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "list") return cmdList();
+    if (cmd == "gen") return cmdGen(argc, argv);
+    if (cmd == "analyze") return cmdAnalyze(argc, argv);
+    if (cmd == "route") return cmdRoute(argc, argv);
+    if (cmd == "bench-incremental") return cmdBenchIncremental(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    // Strict-mode contract: invalid input and injected faults surface as a
+    // diagnostic and exit 3 — never an abort/unhandled-exception crash.
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 3;
+  }
 }
