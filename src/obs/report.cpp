@@ -70,7 +70,9 @@ bool failValidation(std::string* error, const std::string& msg) {
   return false;
 }
 
-bool validateMetricsSection(const Json& metrics, std::string* error) {
+}  // namespace
+
+bool validateMetricsSnapshot(const Json& metrics, std::string* error) {
   if (!metrics.isObject()) {
     return failValidation(error, "metrics is not an object");
   }
@@ -114,8 +116,6 @@ bool validateMetricsSection(const Json& metrics, std::string* error) {
   return true;
 }
 
-}  // namespace
-
 bool validateReport(const Json& doc, std::string* error) {
   if (!doc.isObject()) return failValidation(error, "report is not an object");
   const Json* schema = doc.find("schema");
@@ -149,7 +149,7 @@ bool validateReport(const Json& doc, std::string* error) {
     }
   }
   const Json* metrics = doc.find("metrics");
-  if (metrics != nullptr && !validateMetricsSection(*metrics, error)) {
+  if (metrics != nullptr && !validateMetricsSnapshot(*metrics, error)) {
     return false;
   }
   return true;

@@ -65,6 +65,12 @@ Json environmentJson();
 /// present) shaped like a Registry snapshot. Returns false and sets *error.
 bool validateReport(const Json& doc, std::string* error = nullptr);
 
+/// Structural validation of a metrics-registry snapshot (the "metrics"
+/// section of a report, or the `metrics` field of a pao_serve metrics
+/// response): counters/gauges/histograms objects, integer counters in
+/// canonical sort order, histograms with len(buckets) == len(bounds)+1.
+bool validateMetricsSnapshot(const Json& metrics, std::string* error = nullptr);
+
 /// Recursively strips timing-valued keys ("timings", "threads", "hwThreads",
 /// "seconds", any key ending in "Seconds") so reports from identical work at
 /// different thread counts compare byte-identical.

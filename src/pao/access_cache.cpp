@@ -13,6 +13,7 @@
 namespace pao::core {
 
 const ClassAccess* AccessCache::find(const Key& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -23,10 +24,15 @@ const ClassAccess* AccessCache::find(const Key& key) {
 }
 
 void AccessCache::store(const Key& key, ClassAccess originRelative) {
-  entries_.insert_or_assign(key, std::move(originRelative));
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Insert-if-absent: a published entry is never replaced, so concurrent
+  // readers may hold a find() pointer without the lock. Two sessions racing
+  // to store the same signature compute identical values anyway.
+  entries_.try_emplace(key, std::move(originRelative));
 }
 
 void AccessCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
@@ -136,6 +142,7 @@ std::string AccessCache::fingerprint(const db::Tech& tech,
 
 std::string AccessCache::save(const db::Tech& tech,
                               const db::Library& lib) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   // entries_ is keyed by Master pointer, so its iteration order follows
   // heap addresses; serialize sorted by (master name, orient, offsets)
   // instead so the file is byte-stable across processes.
@@ -199,6 +206,7 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
   if (PAO_FAULT_POINT("cache.read")) {
     return fail("access cache: injected fault 'cache.read'");
   }
+  const std::lock_guard<std::mutex> lock(mu_);
   std::istringstream is(text);
   std::string line;
   std::getline(is, line);

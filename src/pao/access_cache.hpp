@@ -11,6 +11,7 @@
 
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -31,12 +32,28 @@ class AccessCache {
 
   /// Origin-relative entry, or nullptr on miss. find() counts hit/miss
   /// statistics.
+  ///
+  /// Thread safety: find/store/size/hits/misses/clear are internally
+  /// synchronized, so one cache may back many concurrent OracleSessions
+  /// (the pao_serve cross-tenant cache). A returned pointer stays valid —
+  /// std::map nodes are stable and store() never overwrites a published
+  /// entry (first writer wins; any two writers of the same signature
+  /// compute identical values, see computeClassAccess's determinism note).
   const ClassAccess* find(const Key& key);
   void store(const Key& key, ClassAccess originRelative);
 
-  std::size_t size() const { return entries_.size(); }
-  std::size_t hits() const { return hits_; }
-  std::size_t misses() const { return misses_; }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  std::size_t hits() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
   void clear();
 
   /// Translates an origin-relative entry to a representative placed at
@@ -71,6 +88,11 @@ class AccessCache {
   std::size_t loadV1(std::istream& is, std::size_t textSize,
                      const db::Tech& tech, const db::Library& lib);
 
+  /// Guards entries_/hits_/misses_. Entry *values* are immutable once
+  /// published (store is insert-if-absent), so readers may dereference a
+  /// find() result without holding the lock. load/save take the lock for
+  /// their whole pass; they are meant for single-threaded setup/teardown.
+  mutable std::mutex mu_;
   std::map<Key, ClassAccess> entries_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;

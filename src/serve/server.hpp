@@ -1,0 +1,115 @@
+// Server — the epoll transport for pao_serve. One thread owns every
+// socket: it accepts connections, splits the byte stream into request
+// lines, runs admission control, batches admitted requests (at most one
+// per tenant, serial commands alone), hands batches to Service::
+// dispatchBatch, and writes responses back in per-connection request
+// order. Worker threads inside dispatchBatch never touch a socket
+// (enforced by the pao_lint executor-hygiene serve extension).
+//
+// Backpressure, not drops: when a tenant's in-flight budget is exhausted,
+// the connection that sent the over-budget request stops being read (its
+// EPOLLIN interest is dropped, so the kernel socket buffer — and
+// eventually the client — absorbs the pressure) until the tenant drains.
+// No admitted request is ever discarded; a request whose client died
+// before the response could be written still runs to completion, its
+// response is dropped, and its budget slot is released.
+//
+// Fault points (--faults / PAO_FAULTS, tests/fault_matrix.sh):
+//   serve.accept   the accepted connection is closed immediately
+//   serve.read     a readable connection is treated as a failed read and
+//                  dropped (buffered complete lines are discarded)
+//   serve.write    a response write fails; the connection is dropped
+// All three drop at most the faulted connection; the daemon, the other
+// connections and every tenant session keep working.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace pao::serve {
+
+struct ServerConfig {
+  /// Exactly one of unixSocketPath / tcpPort selects the transport.
+  /// tcpPort 0 binds an ephemeral 127.0.0.1 port (see boundPort()).
+  std::string unixSocketPath;
+  int tcpPort = -1;
+  int listenBacklog = 64;
+  /// A connection buffering more than this many bytes without a newline
+  /// is protocol abuse and is dropped.
+  std::size_t maxLineBytes = 1 << 20;
+};
+
+class Server {
+ public:
+  Server(Service& service, ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens; throws ServeError on failure. Connections made
+  /// after start() returns queue in the backlog until run() drains them,
+  /// so tests may start clients before the loop thread is scheduled.
+  void start();
+  /// Runs the event loop until a shutdown command or stop().
+  void run();
+  /// Requests loop exit; async-signal-safe (one eventfd write).
+  void stop();
+
+  /// The ephemeral port after start() when cfg.tcpPort == 0.
+  int boundPort() const { return boundPort_; }
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t dropped = 0;   ///< connections closed on error/fault
+    std::uint64_t requests = 0;  ///< request lines enqueued
+    std::uint64_t stalls = 0;    ///< admission backpressure events
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::string in;
+    std::string out;
+    bool wantWrite = false;  ///< EPOLLOUT armed
+    bool stalled = false;    ///< head-of-line request awaiting admission
+    bool hasBlocked = false;
+    Request blocked;  ///< the parsed-but-unadmitted head-of-line request
+  };
+
+  struct Item {
+    int fd = -1;
+    Request req;
+  };
+
+  void acceptAll();
+  void handleEvent(int fd, unsigned events);
+  void readAvailable(Conn& conn);
+  /// Splits complete lines off conn.in into the queue, stopping (stalled)
+  /// at the first request the tenant budget cannot admit.
+  void parseConn(Conn& conn);
+  void drainQueue();
+  void retryStalled();
+  void flushWrites(Conn& conn);
+  void updateInterest(Conn& conn);
+  void dropConn(int fd);
+  void closeAll();
+
+  Service& service_;
+  ServerConfig cfg_;
+  int epollFd_ = -1;
+  int listenFd_ = -1;
+  int wakeFd_ = -1;
+  int boundPort_ = -1;
+  bool stopping_ = false;
+  std::map<int, Conn> conns_;
+  std::deque<Item> queue_;
+  Stats stats_;
+};
+
+}  // namespace pao::serve

@@ -6,13 +6,22 @@
 # documented failure (exit 1 rejected cache / exit 2 bad spec / exit 3
 # fatal). Anything else — especially an abort/signal — fails the matrix.
 #
-# Usage: fault_matrix.sh <pao_cli> <report_check> <workdir>
+# With the optional <pao_serve> <pao_client> arguments the matrix also
+# covers the service fault points (serve.accept / serve.read / serve.write)
+# plus a client killed mid-request: each must cost only the one affected
+# connection — later clients get full service, sessions stay sound, and no
+# admission budget leaks (metrics must show "inflight":0 afterwards). The
+# daemon must still shut down cleanly with exit 0.
+#
+# Usage: fault_matrix.sh <pao_cli> <report_check> <workdir> [<pao_serve> <pao_client>]
 # Run by ctest (cli_fault_matrix) and by the ci.sh fault-matrix leg.
 set -eu
 
 CLI=$1
 CHECK=$2
 WORK=$3
+SERVE=${4:-}
+CLIENT=${5:-}
 
 mkdir -p "$WORK"
 rm -f "$WORK"/fm.* "$WORK"/*.json "$WORK"/*.cache
@@ -107,5 +116,53 @@ echo "-- PAO_FAULTS env drives the same machinery as --faults"
 expect env_class_access 4 env PAO_FAULTS=oracle.class_access \
   "$CLI" analyze "$LEF" "$DEF" --keep-going --report-json "$REPORT"
 "$CHECK" report "$REPORT"
+
+if [ -n "$SERVE" ] && [ -n "$CLIENT" ]; then
+  SOCK="$WORK/fm.sock"
+
+  # serve_case <name> <faults-or-empty> <victim-want-exit> <victim-args...>:
+  # boots a fresh daemon, runs a "victim" client expected to lose its
+  # connection (exit 3) or walk away mid-request (exit 0), then proves a
+  # second client still gets full service, no admission budget leaked
+  # ("inflight":0), and the daemon still shuts down with exit 0.
+  serve_case() {
+    cname=$1; spec=$2; victim_want=$3; shift 3
+    rm -f "$SOCK"
+    if [ -n "$spec" ]; then
+      "$SERVE" --socket "$SOCK" --faults "$spec" 2>"$WORK/serve_$cname.log" &
+    else
+      "$SERVE" --socket "$SOCK" 2>"$WORK/serve_$cname.log" &
+    fi
+    DAEMON=$!
+    expect "serve_${cname}_victim" "$victim_want" \
+      "$CLIENT" --socket "$SOCK" "$@"
+    expect "serve_${cname}_survivor" 0 "$CLIENT" --socket "$SOCK" \
+      "{\"cmd\":\"load\",\"tenant\":\"t1\",\"lef\":\"$LEF\",\"def\":\"$DEF\"}" \
+      '{"cmd":"move","tenant":"t1","inst":0,"dx":380}' \
+      '{"cmd":"query","tenant":"t1"}'
+    "$CLIENT" --socket "$SOCK" '{"cmd":"metrics"}' >"$WORK/serve_$cname.metrics"
+    "$CHECK" metrics "$WORK/serve_$cname.metrics"
+    grep -q '"inflight":0' "$WORK/serve_$cname.metrics" || {
+      echo "FAIL [serve_$cname]: admission budget leaked"; exit 1; }
+    "$CLIENT" --socket "$SOCK" '{"cmd":"shutdown"}' >/dev/null
+    if ! wait "$DAEMON"; then
+      echo "FAIL [serve_$cname]: daemon exited non-zero"; exit 1
+    fi
+    echo "ok  [serve_$cname]: daemon clean exit, no budget leak"
+  }
+
+  echo "-- serve.accept/read/write: one faulted connection, service survives"
+  # :1 specs on purpose — a bare point would fire on EVERY hit and take the
+  # survivor connection down too.
+  serve_case accept serve.accept:1 3 '{"cmd":"ping"}'
+  serve_case read serve.read:1 3 '{"cmd":"ping"}'
+  serve_case write serve.write:1 3 '{"cmd":"ping"}'
+
+  echo "-- client killed mid-request: partial line is discarded, not served"
+  serve_case partial "" 0 --partial 10 '{"cmd":"query","tenant":"t1"}'
+
+  echo "-- malformed serve fault spec is a usage error (exit 2)"
+  expect serve_bad_spec 2 "$SERVE" --socket "$SOCK" --faults 'serve.read:pz'
+fi
 
 echo "fault matrix: all cases pass"

@@ -1,0 +1,49 @@
+// Known-negative fixture for the executor-hygiene socket-I/O extension.
+// NOT compiled — fed to lintSource under "src/serve/fixture.cpp".
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+struct Request {
+  std::string line;
+};
+std::string dispatchOne(const Request& r);
+
+// Fine: workers compute response strings into slots; no socket in sight.
+// The event loop flushes `out` afterwards.
+std::vector<std::string> dispatchBatch(const std::vector<Request>& batch) {
+  std::vector<std::string> out(batch.size());
+  util::parallelFor(
+      batch.size(), [&](std::size_t i) { out[i] = dispatchOne(batch[i]); },
+      static_cast<int>(batch.size()));
+  return out;
+}
+
+struct Conn {
+  std::string in;
+  std::size_t read(char* buf, std::size_t n);  // member, not the syscall
+};
+
+// Fine: member call through an object is not the socket API.
+void drainBuffered(Conn& conn, std::vector<Conn*>& conns) {
+  util::parallelFor(
+      conns.size(),
+      [&](std::size_t i) {
+        char buf[64];
+        conns[i]->read(buf, sizeof(buf));
+        conn.read(buf, sizeof(buf));
+      },
+      1);
+}
+
+// Fine: socket calls outside any parallelFor (the event loop itself).
+void eventLoopRead(int fd) {
+  char buf[4096];
+  read(fd, buf, sizeof(buf));
+  send(fd, buf, sizeof(buf), 0);
+}

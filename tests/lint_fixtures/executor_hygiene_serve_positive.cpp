@@ -1,0 +1,37 @@
+// Known-positive fixture for the executor-hygiene socket-I/O extension.
+// NOT compiled — tests/test_lint.cpp feeds this to lintSource under the
+// synthetic path "src/serve/fixture.cpp" so the src/serve/ ban applies.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+// A dispatch worker reading its own socket: exactly the bug the rule exists
+// for. The event loop owns every fd; a worker blocked in read() pins its
+// dispatch slot until the peer talks.
+void workerReadsSocket(const std::vector<int>& fds) {
+  std::vector<std::string> out(fds.size());
+  util::parallelFor(
+      fds.size(),
+      [&](std::size_t i) {
+        char buf[256];
+        read(fds[i], buf, sizeof(buf));  // line 22: socket read in worker
+        out[i] = buf;
+      },
+      4);
+}
+
+void workerWritesSocket(const std::vector<int>& fds,
+                        const std::vector<std::string>& responses) {
+  util::parallelFor(
+      fds.size(),
+      [&](std::size_t i) {
+        send(fds[i], responses[i].data(), responses[i].size(),
+             0);  // line 33: socket send in worker
+      },
+      4);
+}

@@ -213,6 +213,43 @@ TEST(LintExecutorHygiene, ExecutorImplementationIsExempt) {
   EXPECT_EQ(unsuppressed(other).size(), 1u);
 }
 
+/// Reads a fixture file but lints it under a synthetic path, for rules whose
+/// applicability depends on the source location (the src/serve/ socket ban).
+std::vector<Finding> lintFixtureAs(const std::string& name,
+                                   const std::string& asPath) {
+  std::ifstream f(fixture(name));
+  EXPECT_TRUE(f.good()) << name;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string src = ss.str();
+  return lintSource(asPath, src, fixtureOptions());
+}
+
+TEST(LintExecutorHygiene, FlagsSocketIoInServeWorkers) {
+  const auto fs = lintFixtureAs("executor_hygiene_serve_positive.cpp",
+                                "src/serve/fixture.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0]->line, 22);
+  EXPECT_NE(live[0]->message.find("'read'"), std::string::npos);
+  EXPECT_EQ(live[1]->line, 33);
+  EXPECT_NE(live[1]->message.find("'send'"), std::string::npos);
+}
+
+TEST(LintExecutorHygiene, AcceptsServeSocketNegatives) {
+  const auto fs = lintFixtureAs("executor_hygiene_serve_negative.cpp",
+                                "src/serve/fixture.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintExecutorHygiene, SocketBanIsScopedToServePaths) {
+  // The same worker-reads-socket source is legal outside src/serve/ (e.g.
+  // a test harness driving real client sockets from parallelFor).
+  const auto fs = lintFixtureAs("executor_hygiene_serve_positive.cpp",
+                                "tests/test_serve.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
 // --- obs-naming ----------------------------------------------------------
 
 TEST(LintObsNaming, FlagsAllKnownPositives) {

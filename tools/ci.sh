@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI entry point: eight legs over the same tree —
+# CI entry point: nine legs over the same tree —
 #   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
 #                      ctest includes the pao_lint_tree static-analysis gate)
 #   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
@@ -10,14 +10,22 @@
 #   4. Fault matrix   (tests/fault_matrix.sh: every cataloged fault point
 #                      under --keep-going recovers or degrades with the
 #                      documented exit code and a valid pao-report/1)
-#   5. OBS/FAULTS=OFF (zero-overhead gate: a build with instrumentation and
+#   5. Service smoke  (tests/serve_smoke.sh: boot the pao_serve daemon on a
+#                      Unix socket, drive load/move/save/report through
+#                      pao_client, assert normalized byte-equivalence with a
+#                      fresh `pao_cli analyze`, and report_check the metrics
+#                      snapshot; the serve fault points ride in leg 4 and
+#                      the concurrency soak rides the TSan ctest leg)
+#   6. OBS/FAULTS=OFF (zero-overhead gate: a build with instrumentation and
 #                      fault injection compiled out must not reference the
 #                      obs registry, tracer, or fault registry at all)
-#   6. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+#   7. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
 #                      parallel executor paths in DrcEngine::checkAll, the
-#                      oracle Steps 1-3 and router planning)
-#   7. UBSan          (-fsanitize=undefined with all diagnostics fatal)
-#   8. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
+#                      oracle Steps 1-3, router planning, and the pao_serve
+#                      soak: >=4 concurrent clients over 2 tenants against
+#                      the live epoll server)
+#   8. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+#   9. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
 #                      LEF/DEF parsers and cache reader, zero findings)
 # The whole tree builds with -Wall -Wextra -Werror in every leg.
 # Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
@@ -72,7 +80,17 @@ echo "== Fault-injection matrix =="
 # and a schema-valid report — never abort. fault_matrix.sh is also a ctest
 # entry; this leg runs it against the Release build explicitly.
 sh "$SRC/tests/fault_matrix.sh" "$BI_DIR/tools/pao_cli" \
-  "$BI_DIR/tools/report_check" "$BI_DIR/ci_fault_matrix"
+  "$BI_DIR/tools/report_check" "$BI_DIR/ci_fault_matrix" \
+  "$BI_DIR/tools/pao_serve" "$BI_DIR/tools/pao_client"
+
+echo "== Service smoke (pao_serve) =="
+# Boot the long-lived daemon on a Unix socket, mutate a tenant through
+# pao_client, and assert the service-level equivalence contract: the
+# daemon's report matches a fresh `pao_cli analyze` of the saved design
+# byte-for-byte after normalization (modulo producer-specific sections).
+sh "$SRC/tests/serve_smoke.sh" "$BI_DIR/tools/pao_cli" \
+  "$BI_DIR/tools/pao_serve" "$BI_DIR/tools/pao_client" \
+  "$BI_DIR/tools/report_check" "$BI_DIR/ci_serve_smoke"
 
 echo "== PAO_OBS=OFF / PAO_FAULTS=OFF zero-overhead build =="
 # With instrumentation and fault injection compiled out, the hot libraries

@@ -331,11 +331,26 @@ bool pathEndsWith(std::string_view path, std::string_view suffix) {
          path.substr(path.size() - suffix.size()) == suffix;
 }
 
+/// Blocking socket primitives that must never run on a parallelFor worker:
+/// the serve event loop is the sole socket owner, and a worker blocked in
+/// read/send holds its dispatch slot hostage for the whole batch.
+bool isSocketIoCall(std::string_view name) {
+  return name == "read" || name == "write" || name == "send" ||
+         name == "recv" || name == "sendto" || name == "recvfrom" ||
+         name == "sendmsg" || name == "recvmsg" || name == "accept" ||
+         name == "accept4" || name == "connect" || name == "poll" ||
+         name == "select" || name == "epoll_wait";
+}
+
 void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
                          const Options& options, std::vector<Finding>& out) {
   bool exemptRawThread = false;
   for (const std::string& sfx : options.rawThreadExemptSuffixes) {
     if (pathEndsWith(path, sfx)) exemptRawThread = true;
+  }
+  bool banSocketIo = false;
+  for (const std::string& sub : options.socketIoBanSubstrings) {
+    if (path.find(sub) != std::string_view::npos) banSocketIo = true;
   }
   for (std::size_t k = 0; k + 2 < toks.size(); ++k) {
     if (isIdent(toks[k], "std") && isPunct(toks[k + 1], "::") &&
@@ -359,17 +374,41 @@ void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
     if (isIdent(toks[k], "parallelFor") && isPunct(toks[k + 1], "(")) {
       const std::size_t cp = matchForward(toks, k + 1, "(", ")");
       for (std::size_t j = k + 2; j < cp && j < toks.size(); ++j) {
-        if (!isIdent(toks[j], "mutable")) continue;
-        Finding f;
-        f.file = std::string(path);
-        f.line = toks[j].line;
-        f.rule = std::string(kRuleExecutorHygiene);
-        f.message = "mutable-capture lambda passed to parallelFor";
-        f.hint =
-            "write each task's result into a pre-sized slot instead of "
-            "mutating captured state; slot writes keep results "
-            "schedule-independent";
-        out.push_back(std::move(f));
+        if (isIdent(toks[j], "mutable")) {
+          Finding f;
+          f.file = std::string(path);
+          f.line = toks[j].line;
+          f.rule = std::string(kRuleExecutorHygiene);
+          f.message = "mutable-capture lambda passed to parallelFor";
+          f.hint =
+              "write each task's result into a pre-sized slot instead of "
+              "mutating captured state; slot writes keep results "
+              "schedule-independent";
+          out.push_back(std::move(f));
+          continue;
+        }
+        if (banSocketIo && toks[j].kind == TokKind::kIdent &&
+            isSocketIoCall(toks[j].text) && j + 1 < toks.size() &&
+            isPunct(toks[j + 1], "(")) {
+          // Member/qualified calls (conn.read(...), Foo::send(...)) are a
+          // different function; only free calls hit the socket API.
+          if (j > 0 && (isPunct(toks[j - 1], ".") ||
+                        isPunct(toks[j - 1], "->") ||
+                        isPunct(toks[j - 1], "::"))) {
+            continue;
+          }
+          Finding f;
+          f.file = std::string(path);
+          f.line = toks[j].line;
+          f.rule = std::string(kRuleExecutorHygiene);
+          f.message = "blocking socket call '" + std::string(toks[j].text) +
+                      "' inside a parallelFor worker in service code";
+          f.hint =
+              "only the epoll event loop in src/serve/server.cpp may touch "
+              "sockets; workers compute response strings and the loop "
+              "flushes them";
+          out.push_back(std::move(f));
+        }
       }
     }
   }

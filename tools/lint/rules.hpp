@@ -21,7 +21,12 @@
 //                       outside src/util/executor.*, or a mutable-capture
 //                       lambda passed to `parallelFor` (slot-writes, not
 //                       captured mutation, keep parallel results
-//                       deterministic).
+//                       deterministic). In service code (Options::
+//                       socketIoBanSubstrings, default src/serve/) it also
+//                       flags blocking socket I/O calls inside a
+//                       `parallelFor` argument list: the epoll event loop
+//                       owns every socket, and a worker blocking on
+//                       read/send would stall the whole dispatch batch.
 //   obs-naming          A string literal passed as the registry name to one
 //                       of the observability macros (PAO_COUNTER_ADD,
 //                       PAO_COUNTER_INC, PAO_GAUGE_SET,
@@ -87,6 +92,11 @@ struct Options {
   /// and maps exceptions to exit codes) and the tests.
   std::vector<std::string> diagHygieneExemptSubstrings = {"src/util/",
                                                           "tools/", "tests/"};
+  /// Path substrings where executor-hygiene additionally forbids blocking
+  /// socket I/O from parallelFor worker context. Only the single-threaded
+  /// event loop in src/serve/server.cpp may touch sockets; dispatch workers
+  /// compute responses and hand strings back.
+  std::vector<std::string> socketIoBanSubstrings = {"src/serve/"};
 
   Options();
 };

@@ -78,6 +78,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pao/evaluate.hpp"
+#include "pao/report_json.hpp"
 #include "pao/session.hpp"
 #include "router/router.hpp"
 #include "util/fault.hpp"
@@ -167,18 +168,6 @@ void reportDiags(const lefdef::ParseResult& pr, RobustOpts& rob) {
   }
 }
 
-obs::Json degradedJson(const std::vector<core::DegradedEvent>& events) {
-  obs::Json arr = obs::Json::array();
-  for (const core::DegradedEvent& e : events) {
-    obs::Json j = obs::Json::object();
-    j.set("kind", obs::Json(e.kind));
-    j.set("cls", obs::Json(static_cast<long long>(e.cls)));
-    j.set("detail", obs::Json(e.detail));
-    arr.push(std::move(j));
-  }
-  return arr;
-}
-
 /// Merges parse-time and oracle degradation events into canonical order,
 /// prints them, stores them in the report, and maps them to the exit code:
 /// 4 when any event occurred (wins over `qualityExit`), else `qualityExit`.
@@ -193,7 +182,7 @@ int finishDegraded(const RobustOpts& rob,
                      std::tie(b.cls, b.kind, b.detail);
             });
   if (!all.empty() || rob.keepGoing) {
-    report.section("degraded") = degradedJson(all);
+    report.section("degraded") = core::degradedSectionJson(all);
   }
   if (all.empty()) return qualityExit;
   std::fprintf(stderr, "  degraded         : %zu event(s)\n", all.size());
@@ -312,14 +301,6 @@ void reportCache(const core::AccessCache& cache) {
                cache.size(), cache.hits(), cache.misses());
 }
 
-obs::Json cacheJson(const core::AccessCache& cache) {
-  obs::Json j = obs::Json::object();
-  j.set("entries", obs::Json(cache.size()));
-  j.set("hits", obs::Json(cache.hits()));
-  j.set("misses", obs::Json(cache.misses()));
-  return j;
-}
-
 /// Parses the LEF/DEF pair. Diagnostics carry the real file names; in
 /// keep-going mode parse errors are printed, recorded as "parse_error"
 /// degradation events, and the parsers resync and continue — in strict mode
@@ -345,46 +326,6 @@ void load(LoadedDesign& ld, const char* lefPath, const char* defPath,
                ld.design.name.c_str(), ld.tech.layers().size(),
                ld.lib.masters().size(), ld.design.instances.size(),
                ld.design.nets.size());
-}
-
-obs::Json designJson(const LoadedDesign& ld) {
-  obs::Json j = obs::Json::object();
-  j.set("name", obs::Json(ld.design.name));
-  j.set("layers", obs::Json(ld.tech.layers().size()));
-  j.set("masters", obs::Json(ld.lib.masters().size()));
-  j.set("instances", obs::Json(ld.design.instances.size()));
-  j.set("nets", obs::Json(ld.design.nets.size()));
-  return j;
-}
-
-/// The oracle section: step counts plus both clocks per step (see
-/// OracleResult's timing doc in src/pao/oracle.hpp for the semantics).
-obs::Json oracleJson(const core::OracleResult& res) {
-  obs::Json j = obs::Json::object();
-  j.set("uniqueInstances", obs::Json(res.unique.classes.size()));
-  j.set("totalAps", obs::Json(res.totalAps()));
-  obs::Json timings = obs::Json::object();
-  timings.set("step1WorkerSeconds", obs::Json(res.step1Seconds));
-  timings.set("step2WorkerSeconds", obs::Json(res.step2Seconds));
-  timings.set("step1CpuSeconds", obs::Json(res.step1CpuSeconds));
-  timings.set("step2CpuSeconds", obs::Json(res.step2CpuSeconds));
-  timings.set("step3CpuSeconds", obs::Json(res.step3CpuSeconds));
-  timings.set("steps12WallSeconds", obs::Json(res.steps12WallSeconds));
-  timings.set("step3WallSeconds", obs::Json(res.step3Seconds));
-  timings.set("wallSeconds", obs::Json(res.wallSeconds));
-  j.set("timings", std::move(timings));
-  return j;
-}
-
-obs::Json sessionJson(const core::OracleSession::Stats& stats) {
-  obs::Json j = obs::Json::object();
-  j.set("mutations", obs::Json(stats.mutations));
-  j.set("clusterDpRuns", obs::Json(stats.clusterDpRuns));
-  j.set("lastDirtyClusters", obs::Json(stats.lastDirtyClusters));
-  j.set("lastClusterCount", obs::Json(stats.lastClusterCount));
-  j.set("classBuilds", obs::Json(stats.classBuilds));
-  j.set("cacheHits", obs::Json(stats.cacheHits));
-  return j;
 }
 
 int cmdList() {
@@ -515,18 +456,15 @@ int cmdAnalyze(int argc, char** argv) {
   }
 
   obs::RunReport report("pao_cli analyze");
-  report.section("design") = designJson(ld);
-  obs::Json& config = report.section("config");
-  config.set("mode", obs::Json(mode));
-  config.set("threads", obs::Json(cfg.numThreads));
-  config.set("keepGoing", obs::Json(cfg.keepGoing));
-  obs::Json& oracle = report.section("oracle");
-  oracle = oracleJson(res);
-  oracle.set("dirtyAps", obs::Json(dirty.dirtyAps));
-  oracle.set("failedPins", obs::Json(failed.failedPins));
-  oracle.set("totalPins", obs::Json(failed.totalPins));
-  report.section("session") = sessionJson(session.stats());
-  if (cfg.cache != nullptr) report.section("cache") = cacheJson(cache);
+  report.section("design") =
+      core::designSectionJson(ld.tech, ld.lib, ld.design);
+  report.section("config") =
+      core::analysisConfigJson(mode, cfg.numThreads, cfg.keepGoing);
+  report.section("oracle") = core::oracleSectionJson(res, dirty, failed);
+  report.section("session") = core::sessionSectionJson(session.stats());
+  if (cfg.cache != nullptr) {
+    report.section("cache") = core::cacheSectionJson(cache);
+  }
 
   int code = failed.failedPins == 0 ? 0 : 1;
   code = finishDegraded(rob, res.degraded, report, code);
@@ -608,9 +546,10 @@ int cmdRoute(int argc, char** argv) {
   }
 
   obs::RunReport report("pao_cli route");
-  report.section("design") = designJson(ld);
+  report.section("design") =
+      core::designSectionJson(ld.tech, ld.lib, ld.design);
   report.section("config").set("threads", obs::Json(numThreads));
-  report.section("oracle") = oracleJson(access);
+  report.section("oracle") = core::oracleSectionJson(access);
   obs::Json& routerJ = report.section("router");
   routerJ.set("routedNets", obs::Json(rr.stats.routedNets));
   routerJ.set("failedNets", obs::Json(rr.stats.failedNets));
@@ -622,7 +561,9 @@ int cmdRoute(int argc, char** argv) {
   obs::Json& drcJ = report.section("drc");
   drcJ.set("violations", obs::Json(rr.violations.size()));
   drcJ.set("accessViolations", obs::Json(rr.accessViolations));
-  if (oracleCfg.cache != nullptr) report.section("cache") = cacheJson(cache);
+  if (oracleCfg.cache != nullptr) {
+    report.section("cache") = core::cacheSectionJson(cache);
+  }
 
   int code = finishDegraded(rob, access.degraded, report, 0);
   if (!outputs.finish(report) && code == 0) code = 1;
@@ -748,7 +689,8 @@ int cmdBenchIncremental(int argc, char** argv) {
   std::fprintf(stderr, "  equivalence      : OK\n");
 
   obs::RunReport report("pao_cli bench-incremental");
-  report.section("design") = designJson(ld);
+  report.section("design") =
+      core::designSectionJson(ld.tech, ld.lib, ld.design);
   obs::Json& config = report.section("config");
   config.set("moves", obs::Json(moves));
   config.set("seed", obs::Json(seed));
@@ -761,8 +703,8 @@ int cmdBenchIncremental(int argc, char** argv) {
   bench.set("freshDpRuns", obs::Json(freshDp));
   bench.set("dirtyClusters", obs::Json(dirtySum));
   bench.set("visitedClusters", obs::Json(clusterSum));
-  report.section("session") = sessionJson(session.stats());
-  report.section("cache") = cacheJson(cache);
+  report.section("session") = core::sessionSectionJson(session.stats());
+  report.section("cache") = core::cacheSectionJson(cache);
   if (!outputs.finish(report)) return 1;
   return 0;
 }

@@ -3,16 +3,23 @@
 //   report_check report <file.json>            validate a pao-report/1 doc
 //   report_check trace <file.json> [minSpans] [--require-worker]
 //                                              validate a Chrome trace
-//   report_check compare <a.json> <b.json>     byte-compare two reports
-//                                              after stripping timings
+//   report_check compare <a.json> <b.json> [--ignore KEY ...]
+//                                              byte-compare two reports
+//                                              after stripping timings (and
+//                                              any --ignore top-level keys)
+//   report_check metrics <file.json>           validate a metrics snapshot
+//                                              (report section or pao_serve
+//                                              metrics response)
 //
 // Exit 0 = valid / equal, 1 = invalid / different, 2 = usage or I/O error.
 // Diagnostics go to stderr; nothing is written to stdout.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/report.hpp"
 
@@ -24,7 +31,8 @@ int usage() {
                "  report_check report <file.json>\n"
                "  report_check trace <file.json> [minSpans]"
                " [--require-worker]\n"
-               "  report_check compare <a.json> <b.json>\n");
+               "  report_check compare <a.json> <b.json> [--ignore KEY ...]\n"
+               "  report_check metrics <file.json>\n");
   return 2;
 }
 
@@ -89,12 +97,30 @@ int cmdTrace(int argc, char** argv) {
   return 0;
 }
 
-int cmdCompare(const char* pathA, const char* pathB) {
+/// Top-level keys named with --ignore are dropped before normalization so
+/// reports from different producers (e.g. pao_serve vs pao_cli, whose "tool"
+/// strings legitimately differ) can still be byte-compared.
+pao::obs::Json dropKeys(const pao::obs::Json& doc,
+                        const std::vector<std::string>& ignore) {
+  if (!doc.isObject() || ignore.empty()) return doc;
+  pao::obs::Json out = pao::obs::Json::object();
+  for (const auto& [key, value] : doc.members()) {
+    if (std::find(ignore.begin(), ignore.end(), key) == ignore.end()) {
+      out[key] = value;
+    }
+  }
+  return out;
+}
+
+int cmdCompare(const char* pathA, const char* pathB,
+               const std::vector<std::string>& ignore) {
   pao::obs::Json a;
   pao::obs::Json b;
   if (!parseFile(pathA, a) || !parseFile(pathB, b)) return 2;
-  const std::string na = pao::obs::normalizeForCompare(a).dump();
-  const std::string nb = pao::obs::normalizeForCompare(b).dump();
+  const std::string na =
+      pao::obs::normalizeForCompare(dropKeys(a, ignore)).dump();
+  const std::string nb =
+      pao::obs::normalizeForCompare(dropKeys(b, ignore)).dump();
   if (na != nb) {
     std::fprintf(stderr,
                  "%s and %s differ beyond timings (%zu vs %zu normalized "
@@ -107,6 +133,26 @@ int cmdCompare(const char* pathA, const char* pathB) {
   return 0;
 }
 
+/// Accepts either a bare Registry snapshot or a pao_serve metrics response
+/// (where the snapshot lives under result.metrics.metrics or metrics).
+int cmdMetrics(const char* path) {
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  const pao::obs::Json* snap = &doc;
+  if (const pao::obs::Json* result = doc.find("result")) snap = result;
+  if (const pao::obs::Json* inner = snap->find("metrics")) snap = inner;
+  if (const pao::obs::Json* inner = snap->find("metrics")) snap = inner;
+  std::string error;
+  if (!pao::obs::validateMetricsSnapshot(*snap, &error)) {
+    std::fprintf(stderr, "%s: invalid metrics snapshot: %s\n", path,
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: valid metrics snapshot (%zu counters)\n", path,
+               snap->find("counters")->members().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +160,17 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "report" && argc == 3) return cmdReport(argv[2]);
   if (cmd == "trace") return cmdTrace(argc, argv);
-  if (cmd == "compare" && argc == 4) return cmdCompare(argv[2], argv[3]);
+  if (cmd == "metrics" && argc == 3) return cmdMetrics(argv[2]);
+  if (cmd == "compare" && argc >= 4) {
+    std::vector<std::string> ignore;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--ignore") == 0 && i + 1 < argc) {
+        ignore.push_back(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+    return cmdCompare(argv[2], argv[3], ignore);
+  }
   return usage();
 }
