@@ -22,12 +22,21 @@ namespace {
 
 constexpr int kMaxEvents = 64;
 
+/// Decodes errno for ServeError messages. All call sites run on the single
+/// event-loop thread (setup and the epoll loop), so the static buffer
+/// behind std::strerror is never read concurrently; funneling the one
+/// deliberate use through this helper keeps that argument in one place.
+std::string errnoString(int err) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): single event-loop thread, above.
+  return std::strerror(err);
+}
+
 void addEpoll(int epollFd, int fd, unsigned events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
   if (epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-    throw ServeError(std::string("epoll_ctl add: ") + std::strerror(errno));
+    throw ServeError(std::string("epoll_ctl add: ") + errnoString(errno));
   }
 }
 
@@ -52,11 +61,11 @@ void Server::start() {
   }
   epollFd_ = epoll_create1(EPOLL_CLOEXEC);
   if (epollFd_ < 0) {
-    throw ServeError(std::string("epoll_create1: ") + std::strerror(errno));
+    throw ServeError(std::string("epoll_create1: ") + errnoString(errno));
   }
   wakeFd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wakeFd_ < 0) {
-    throw ServeError(std::string("eventfd: ") + std::strerror(errno));
+    throw ServeError(std::string("eventfd: ") + errnoString(errno));
   }
   addEpoll(epollFd_, wakeFd_, EPOLLIN);
 
@@ -64,7 +73,7 @@ void Server::start() {
     listenFd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                        0);
     if (listenFd_ < 0) {
-      throw ServeError(std::string("socket: ") + std::strerror(errno));
+      throw ServeError(std::string("socket: ") + errnoString(errno));
     }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -77,13 +86,13 @@ void Server::start() {
     if (bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
       throw ServeError("bind " + cfg_.unixSocketPath + ": " +
-                       std::strerror(errno));
+                       errnoString(errno));
     }
   } else {
     listenFd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                        0);
     if (listenFd_ < 0) {
-      throw ServeError(std::string("socket: ") + std::strerror(errno));
+      throw ServeError(std::string("socket: ") + errnoString(errno));
     }
     const int one = 1;
     setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -94,7 +103,7 @@ void Server::start() {
     if (bind(listenFd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
       throw ServeError("bind 127.0.0.1:" + std::to_string(cfg_.tcpPort) +
-                       ": " + std::strerror(errno));
+                       ": " + errnoString(errno));
     }
     sockaddr_in bound{};
     socklen_t len = sizeof(bound);
@@ -104,7 +113,7 @@ void Server::start() {
     }
   }
   if (listen(listenFd_, cfg_.listenBacklog) != 0) {
-    throw ServeError(std::string("listen: ") + std::strerror(errno));
+    throw ServeError(std::string("listen: ") + errnoString(errno));
   }
   addEpoll(epollFd_, listenFd_, EPOLLIN);
 }

@@ -138,7 +138,7 @@ std::string Service::dispatch(const Request& req) {
   const double us = std::chrono::duration<double, std::micro>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
-  PAO_HISTOGRAM_OBSERVE("pao.serve.request_latency_us", us);
+  PAO_HISTOGRAM_OBSERVE("pao.serve.request.micros", us);
   return out;
 }
 
@@ -240,6 +240,11 @@ obs::Json Service::cmdLoad(const Request& req) {
   }
 
   const core::OracleSession::Stats& stats = tenant->session->stats();
+  // The cache is always wired in serve, so every class build that was not a
+  // cache hit is a miss — the cross-tenant warm-cache proof the DESIGN.md
+  // tenancy section advertises.
+  PAO_COUNTER_ADD("pao.serve.cache.hits", stats.cacheHits);
+  PAO_COUNTER_ADD("pao.serve.cache.misses", stats.classBuilds);
   obs::Json result = obs::Json::object();
   result.set("design", core::designSectionJson(tenant->bundle->tech,
                                                tenant->bundle->lib,

@@ -1,0 +1,23 @@
+// Known-negative fixture for the catalog-drift rule, audited against
+// catalog_drift_doc.md under the synthetic path
+// src/fix/catalog_drift_negative.cpp. NOT compiled. Every documented
+// identifier is alive here — including pao.fix.gone, kept alive by a
+// *weak* use (a registry lookup, not an emission site), and pt.one, whose
+// second mention is a fault spec with a trigger suffix.
+void PAO_COUNTER_INC(const char*);
+void PAO_FAULT_POINT(const char*);
+void expectCounter(const char*);
+void armFault(const char*);
+
+const char* srvCode() { return "SRV001"; }
+const char* genCode() { return "GEN000"; }
+
+void metrics() {
+  PAO_COUNTER_INC("pao.fix.alpha");
+  expectCounter("pao.fix.gone");
+}
+
+void faults() {
+  PAO_FAULT_POINT("pt.one");
+  armFault("pt.one:2+");
+}

@@ -1,0 +1,24 @@
+// Known-positive fixture for the catalog-drift rule, audited against
+// catalog_drift_doc.md. NOT compiled — consumed by tests/test_lint.cpp
+// through lintTree() under the synthetic path
+// src/fix/catalog_drift_positive.cpp (the default tests/ exemption would
+// otherwise waive the undocumented-in-code direction). Expected findings:
+// three undocumented emission sites below, plus one dead-in-docs finding
+// anchored in the doc (pao.fix.gone is never referenced here).
+void PAO_COUNTER_INC(const char*);
+void PAO_FAULT_INJECT(const char*);
+
+const char* documentedCode() { return "SRV001"; }
+const char* undocumentedCode() { return "SRV777"; }  // line 12
+
+void metrics() {
+  PAO_COUNTER_INC("pao.fix.alpha");
+  PAO_COUNTER_INC("pao.fix.beta");  // line 16: undocumented metric
+}
+
+void faults() {
+  PAO_FAULT_INJECT("pt.one");
+  PAO_FAULT_INJECT("pt.two");  // line 21: undocumented fault point
+}
+
+const char* legacyCode() { return "GEN000"; }

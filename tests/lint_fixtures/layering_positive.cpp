@@ -1,0 +1,13 @@
+// Known-positive fixture for the layering rule. NOT compiled — consumed by
+// tests/test_lint.cpp, which lints it through lintTree() under the
+// synthetic path src/drc/layering_positive.cpp so the drc module's rank
+// applies to every include below.
+#include <vector>
+
+#include "util/diag.hpp"
+#include "serve/service.hpp"
+#include "benchgen/tech_gen.hpp"
+#include "obs/metrics.hpp"
+#include "geom/polygon.hpp"
+
+int layeringPositive();

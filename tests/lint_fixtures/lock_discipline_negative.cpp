@@ -1,0 +1,40 @@
+// Known-negative fixture for the lock-discipline rule. NOT compiled —
+// consumed by tests/test_lint.cpp through lintTree(). Nothing here may
+// produce a finding: every blocking construct runs after its guard's scope
+// closed, nesting uses distinct mutexes in one consistent order, and
+// deferred guards hold nothing.
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+std::mutex gMu;
+std::mutex gOther;
+int gShared;
+
+void copyOutThenBlock(const char* path) {
+  int local = 0;
+  {
+    const std::lock_guard<std::mutex> lock(gMu);
+    local = gShared;
+  }
+  std::ifstream in(path);  // guard scope closed above: nothing held
+  util::parallelFor(4, [](std::size_t) {}, 4);
+  (void)local;
+}
+
+void distinctMutexesNestInOneOrder() {
+  const std::lock_guard<std::mutex> a(gMu);
+  const std::lock_guard<std::mutex> b(gOther);
+  gShared = 1;
+}
+
+void deferredGuardHoldsNothing(std::mutex& m) {
+  std::unique_lock<std::mutex> lock(m, std::defer_lock);
+  std::ifstream in("fixture.txt");
+  (void)in;
+}

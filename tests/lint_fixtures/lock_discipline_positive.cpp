@@ -1,0 +1,38 @@
+// Known-positive fixture for the per-TU half of the lock-discipline rule.
+// NOT compiled — consumed by tests/test_lint.cpp through lintTree(). Each
+// marked line must produce exactly one finding.
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+
+namespace util {
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+}
+
+struct Worker {
+  void join();
+};
+
+std::mutex gMu;
+
+void fileIoUnderLock(const char* path) {
+  const std::lock_guard<std::mutex> lock(gMu);
+  std::ifstream in(path);  // line 21: file I/O while gMu is held
+  (void)in;
+}
+
+void parallelForUnderLock() {
+  const std::lock_guard<std::mutex> lock(gMu);
+  util::parallelFor(4, [](std::size_t) {}, 4);  // line 27: fan-out held
+}
+
+void joinUnderLock(Worker& w) {
+  const std::scoped_lock lock(gMu);
+  w.join();  // line 32: join while gMu is held
+}
+
+void doubleLock() {
+  const std::lock_guard<std::mutex> outer(gMu);
+  const std::lock_guard<std::mutex> inner(gMu);  // line 37: double lock
+}

@@ -1,0 +1,15 @@
+// Cross-file half of the lock-discipline known-positive pair: this TU
+// acquires gAlpha then gBeta; lock_order_b.cpp acquires the same pair in
+// the opposite order. Linted together through lintTree() each file gets
+// one inversion finding at its inner acquisition. NOT compiled.
+#include <mutex>
+
+std::mutex gAlpha;
+std::mutex gBeta;
+int gProtected;
+
+void alphaThenBeta() {
+  const std::lock_guard<std::mutex> a(gAlpha);
+  const std::lock_guard<std::mutex> b(gBeta);  // line 13: gAlpha -> gBeta
+  gProtected = 1;
+}

@@ -1,0 +1,13 @@
+// Second half of the cross-file lock-order known-positive pair — see
+// lock_order_a.cpp. NOT compiled.
+#include <mutex>
+
+extern std::mutex gAlpha;
+extern std::mutex gBeta;
+extern int gProtected;
+
+void betaThenAlpha() {
+  const std::lock_guard<std::mutex> b(gBeta);
+  const std::lock_guard<std::mutex> a(gAlpha);  // line 11: gBeta -> gAlpha
+  gProtected = 2;
+}

@@ -1,16 +1,24 @@
-// Tests for pao_lint (tools/lint/): tokenizer behavior, all five rules
+// Tests for pao_lint (tools/lint/): tokenizer behavior, the per-file rules
 // against in-memory sources and the known-positive / known-negative fixture
-// files under tests/lint_fixtures/, and the suppression syntax.
+// files under tests/lint_fixtures/, the suppression syntax, and the
+// whole-program pass (layering, lock-discipline, catalog-drift) plus its
+// output formats and baseline ratchet.
 #include <algorithm>
+#include <cstddef>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "lint/analysis.hpp"
 #include "lint/lexer.hpp"
+#include "lint/output.hpp"
 #include "lint/rules.hpp"
+#include "obs/json.hpp"
 
 namespace {
 
@@ -376,6 +384,368 @@ TEST(LintSuppression, WrongRuleDoesNotSuppress) {
       "void f() { std::thread t; }\n",
       Options());
   EXPECT_EQ(unsuppressed(fs).size(), 1u);
+}
+
+// --- Whole-program pass (lintTree) ---------------------------------------
+
+std::string readFixture(const std::string& name) {
+  std::ifstream in(fixture(name));
+  EXPECT_TRUE(in.is_open()) << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Runs lintTree over fixture files mounted at synthetic repo paths (the
+/// layering and catalog rules key off src/<module>/ components that the
+/// real lint_fixtures/ directory deliberately lacks).
+std::vector<Finding> lintTreeFixtures(
+    const std::vector<std::pair<std::string, std::string>>& pathAndFixture,
+    const Options& options) {
+  std::vector<pao::lint::FileInput> files;
+  for (const auto& [path, name] : pathAndFixture) {
+    files.push_back({path, readFixture(name)});
+  }
+  return pao::lint::lintTree(files, options);
+}
+
+/// Options wired to the miniature design doc the catalog fixtures are
+/// audited against.
+Options docOptions() {
+  Options o = fixtureOptions();
+  o.designDocPath = "catalog_drift_doc.md";
+  o.designDocText = readFixture("catalog_drift_doc.md");
+  return o;
+}
+
+std::vector<const Finding*> ruleFindings(const std::vector<Finding>& fs,
+                                         std::string_view rule) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed && f.rule == rule) out.push_back(&f);
+  }
+  return out;
+}
+
+TEST(LintLayering, ModuleRanksFollowTheDag) {
+  using pao::lint::moduleRankOfFile;
+  using pao::lint::moduleRankOfInclude;
+  EXPECT_LT(moduleRankOfInclude("util/env.hpp"),
+            moduleRankOfInclude("geom/polygon.hpp"));
+  EXPECT_LT(moduleRankOfInclude("db/tech.hpp"),
+            moduleRankOfInclude("serve/service.hpp"));
+  EXPECT_EQ(moduleRankOfInclude("obs/metrics.hpp"), 0);
+  EXPECT_EQ(moduleRankOfInclude("vector"), -1);
+  EXPECT_EQ(moduleRankOfFile("src/drc/engine.cpp"),
+            moduleRankOfInclude("drc/engine.hpp"));
+  EXPECT_EQ(moduleRankOfFile("tools/pao_cli.cpp"), -1);
+  EXPECT_EQ(moduleRankOfFile("tests/test_lint.cpp"), -1);
+}
+
+TEST(LintLayering, PositiveFixtureFlagsUpwardAndSiblingIncludes) {
+  const auto fs = lintTreeFixtures(
+      {{"src/drc/layering_positive.cpp", "layering_positive.cpp"}}, Options());
+  const auto hits = ruleFindings(fs, pao::lint::kRuleLayering);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->line, 8);  // serve/ from drc/: upward
+  EXPECT_EQ(hits[1]->line, 9);  // benchgen/ from drc/: sibling
+  EXPECT_EQ(unsuppressed(fs).size(), 2u);
+}
+
+TEST(LintLayering, NegativeFixtureIsClean) {
+  const auto fs = lintTreeFixtures(
+      {{"src/router/layering_negative.cpp", "layering_negative.cpp"}},
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintLockDiscipline, PositiveFixtureFlagsBlockingAndDoubleLock) {
+  const auto fs = lintTreeFixtures(
+      {{"src/db/lock_discipline_positive.cpp", "lock_discipline_positive.cpp"}},
+      Options());
+  const auto hits = ruleFindings(fs, pao::lint::kRuleLockDiscipline);
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0]->line, 21);  // std::ifstream under gMu
+  EXPECT_EQ(hits[1]->line, 27);  // parallelFor under gMu
+  EXPECT_EQ(hits[2]->line, 32);  // join() under scoped_lock
+  EXPECT_EQ(hits[3]->line, 37);  // double lock of gMu
+  EXPECT_NE(hits[3]->message.find("double lock"), std::string::npos);
+  EXPECT_EQ(unsuppressed(fs).size(), 4u);
+}
+
+TEST(LintLockDiscipline, NegativeFixtureIsClean) {
+  const auto fs = lintTreeFixtures(
+      {{"src/db/lock_discipline_negative.cpp", "lock_discipline_negative.cpp"}},
+      Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintLockDiscipline, CrossFileInversionFlagsBothSites) {
+  const auto fs = lintTreeFixtures(
+      {{"src/db/lock_order_a.cpp", "lock_order_a.cpp"},
+       {"src/db/lock_order_b.cpp", "lock_order_b.cpp"}},
+      Options());
+  const auto hits = ruleFindings(fs, pao::lint::kRuleLockDiscipline);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0]->file, "src/db/lock_order_a.cpp");
+  EXPECT_EQ(hits[0]->line, 13);
+  EXPECT_EQ(hits[1]->file, "src/db/lock_order_b.cpp");
+  EXPECT_EQ(hits[1]->line, 11);
+  EXPECT_NE(hits[0]->message.find("acquisition order"), std::string::npos);
+}
+
+TEST(LintLockDiscipline, TreeRuleFindingsAreSuppressible) {
+  const std::string src =
+      "std::mutex m;\n"
+      "void f(const char* p) {\n"
+      "  const std::lock_guard<std::mutex> g(m);\n"
+      "  // pao-lint: allow(lock-discipline): startup path, no contention\n"
+      "  std::ifstream in(p);\n"
+      "}\n";
+  const auto fs = pao::lint::lintTree({{"src/db/s.cpp", src}}, Options());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, pao::lint::kRuleLockDiscipline);
+  EXPECT_TRUE(fs[0].suppressed);
+}
+
+TEST(LintCatalogDrift, PositiveFixtureFlagsBothDirections) {
+  const auto fs = lintTreeFixtures(
+      {{"src/fix/catalog_drift_positive.cpp", "catalog_drift_positive.cpp"}},
+      docOptions());
+  const auto hits = ruleFindings(fs, pao::lint::kRuleCatalogDrift);
+  ASSERT_EQ(hits.size(), 4u);
+  // Dead-in-docs finding is anchored in the doc; sort order puts the doc
+  // path first (c < s).
+  EXPECT_EQ(hits[0]->file, "catalog_drift_doc.md");
+  EXPECT_NE(hits[0]->message.find("pao.fix.gone"), std::string::npos);
+  EXPECT_EQ(hits[1]->line, 12);
+  EXPECT_NE(hits[1]->message.find("SRV777"), std::string::npos);
+  EXPECT_EQ(hits[2]->line, 16);
+  EXPECT_NE(hits[2]->message.find("pao.fix.beta"), std::string::npos);
+  EXPECT_EQ(hits[3]->line, 21);
+  EXPECT_NE(hits[3]->message.find("pt.two"), std::string::npos);
+  EXPECT_EQ(unsuppressed(fs).size(), 4u);
+}
+
+TEST(LintCatalogDrift, NegativeFixtureIsClean) {
+  const auto fs = lintTreeFixtures(
+      {{"src/fix/catalog_drift_negative.cpp", "catalog_drift_negative.cpp"}},
+      docOptions());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintCatalogDrift, TestsPathsAreExemptButStillKeepEntriesAlive) {
+  // Mounted under tests/: the undocumented-in-code direction is waived, but
+  // the file's uses still feed the alive set, so only pao.fix.gone (which
+  // the positive fixture never mentions) stays dead.
+  const auto fs = lintTreeFixtures(
+      {{"tests/catalog_drift_positive.cpp", "catalog_drift_positive.cpp"}},
+      docOptions());
+  const auto hits = ruleFindings(fs, pao::lint::kRuleCatalogDrift);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0]->file, "catalog_drift_doc.md");
+  EXPECT_NE(hits[0]->message.find("pao.fix.gone"), std::string::npos);
+}
+
+std::string readRealDesignDoc() {
+  std::ifstream in(PAO_DESIGN_DOC);
+  EXPECT_TRUE(in.is_open()) << PAO_DESIGN_DOC;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<const Finding*> mentioning(const std::vector<Finding>& fs,
+                                       std::string_view ident) {
+  std::vector<const Finding*> out;
+  for (const Finding& f : fs) {
+    if (!f.suppressed && f.rule == pao::lint::kRuleCatalogDrift &&
+        f.message.find(ident) != std::string::npos) {
+      out.push_back(&f);
+    }
+  }
+  return out;
+}
+
+TEST(LintCatalogDrift, DeletingADocumentedCodeFailsBothDirections) {
+  // The ISSUE acceptance scenario, run against the real DESIGN.md: a
+  // scratch copy with SRV004 scrubbed must (a) flag an emission site of
+  // SRV004 as undocumented, while the intact doc does not, and (b) the
+  // intact doc must flag SRV004 as dead when no scanned file emits it.
+  const std::string doc = readRealDesignDoc();
+  ASSERT_NE(doc.find("SRV004"), std::string::npos);
+  std::string scrubbed = doc;
+  for (std::size_t at = scrubbed.find("SRV004"); at != std::string::npos;
+       at = scrubbed.find("SRV004", at)) {
+    scrubbed.replace(at, 6, "zzzzzz");
+  }
+
+  const std::string emitter =
+      "const char* unknownTenant() { return \"SRV004\"; }\n";
+  Options intact;
+  intact.designDocPath = "DESIGN.md";
+  intact.designDocText = doc;
+  Options cut = intact;
+  cut.designDocText = scrubbed;
+
+  // (a) undocumented-in-code: only the scrubbed doc produces a finding.
+  const auto clean =
+      pao::lint::lintTree({{"src/serve/emitter.cpp", emitter}}, intact);
+  EXPECT_TRUE(mentioning(clean, "SRV004").empty());
+  const auto broken =
+      pao::lint::lintTree({{"src/serve/emitter.cpp", emitter}}, cut);
+  const auto undocumented = mentioning(broken, "SRV004");
+  ASSERT_EQ(undocumented.size(), 1u);
+  EXPECT_EQ(undocumented[0]->file, "src/serve/emitter.cpp");
+  EXPECT_EQ(undocumented[0]->line, 1);
+
+  // (b) dead-in-docs: the intact doc plus a tree that never emits SRV004.
+  const auto dead = pao::lint::lintTree(
+      {{"src/serve/emitter.cpp", "int x;\n"}}, intact);
+  const auto deadHits = mentioning(dead, "SRV004");
+  ASSERT_EQ(deadHits.size(), 1u);
+  EXPECT_EQ(deadHits[0]->file, "DESIGN.md");
+}
+
+// --- Output formats and the baseline ratchet -----------------------------
+
+TEST(LintOutput, RelativizePathFindsLastRepoComponent) {
+  using pao::lint::relativizePath;
+  EXPECT_EQ(relativizePath("/home/u/repo/src/db/tech.hpp"), "src/db/tech.hpp");
+  EXPECT_EQ(relativizePath("./tools/lint/rules.cpp"), "tools/lint/rules.cpp");
+  EXPECT_EQ(relativizePath("/home/u/repo/DESIGN.md"), "DESIGN.md");
+  EXPECT_EQ(relativizePath("unrooted.cpp"), "unrooted.cpp");
+  // `last` component: a scratch checkout under a src/ directory still
+  // resolves to the in-repo path.
+  EXPECT_EQ(relativizePath("/src/jobs/repo/src/geom/rect.hpp"),
+            "src/geom/rect.hpp");
+}
+
+TEST(LintOutput, BaselineKeyIgnoresLineNumbers) {
+  Finding a;
+  a.rule = pao::lint::kRuleLayering;
+  a.file = "/abs/path/src/drc/engine.cpp";
+  a.line = 10;
+  a.message = "m";
+  Finding b = a;
+  b.file = "src/drc/engine.cpp";
+  b.line = 99;
+  EXPECT_EQ(pao::lint::baselineKey(a), pao::lint::baselineKey(b));
+
+  pao::lint::Baseline base;
+  base.keys.insert(pao::lint::baselineKey(a));
+  EXPECT_TRUE(base.contains(b));
+  b.message = "other";
+  EXPECT_FALSE(base.contains(b));
+}
+
+TEST(LintOutput, BaselineRoundTripsThroughRenderAndLoad) {
+  const auto fs = lintTreeFixtures(
+      {{"src/db/lock_discipline_positive.cpp", "lock_discipline_positive.cpp"}},
+      Options());
+  ASSERT_FALSE(fs.empty());
+  const std::string path =
+      ::testing::TempDir() + "/pao_lint_baseline_test.txt";
+  {
+    std::ofstream out(path);
+    out << pao::lint::renderBaseline(fs);
+  }
+  pao::lint::Baseline base;
+  std::string error;
+  ASSERT_TRUE(pao::lint::loadBaseline(path, &base, &error)) << error;
+  for (const Finding& f : fs) EXPECT_TRUE(base.contains(f));
+
+  // The ratchet only silences what it has seen: a new finding still fires.
+  Finding fresh;
+  fresh.rule = pao::lint::kRuleLockDiscipline;
+  fresh.file = "src/db/other.cpp";
+  fresh.message = "new regression";
+  EXPECT_FALSE(base.contains(fresh));
+}
+
+TEST(LintOutput, JsonReportParsesAndCountsFindings) {
+  const auto fs = lintTreeFixtures(
+      {{"src/drc/layering_positive.cpp", "layering_positive.cpp"}}, Options());
+  const std::string text = pao::lint::renderJson(fs, 1);
+  std::string error;
+  const auto doc = pao::obs::Json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  const pao::obs::Json* findings = doc->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->isArray());
+  EXPECT_EQ(findings->items().size(), fs.size());
+  const pao::obs::Json* summary = doc->find("summary");
+  ASSERT_NE(summary, nullptr);
+  const pao::obs::Json* files = summary->find("files_scanned");
+  ASSERT_NE(files, nullptr);
+  EXPECT_EQ(files->asDouble(), 1.0);
+}
+
+TEST(LintOutput, SarifReportHasRulesResultsAndLocations) {
+  auto fs = lintTreeFixtures(
+      {{"src/db/lock_discipline_positive.cpp", "lock_discipline_positive.cpp"}},
+      Options());
+  ASSERT_EQ(fs.size(), 4u);
+  fs[0].suppressed = true;   // exercise the suppressions array
+  fs[1].baselined = true;    // exercise baselineState "unchanged"
+  const std::string text = pao::lint::renderSarif(fs);
+  std::string error;
+  const auto doc = pao::obs::Json::parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  const pao::obs::Json* version = doc->find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->asString(), "2.1.0");
+  const pao::obs::Json* runs = doc->find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items().size(), 1u);
+  const pao::obs::Json& run = runs->items()[0];
+
+  const pao::obs::Json* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->asString(), "pao_lint");
+  EXPECT_EQ(driver->find("rules")->items().size(),
+            pao::lint::ruleCatalog().size());
+
+  const pao::obs::Json* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->items().size(), fs.size());
+  const pao::obs::Json& first = results->items()[0];
+  EXPECT_EQ(first.find("ruleId")->asString(), "lock-discipline");
+  ASSERT_NE(first.find("message")->find("text"), nullptr);
+  const pao::obs::Json& loc =
+      first.find("locations")->items()[0];
+  const pao::obs::Json* phys = loc.find("physicalLocation");
+  ASSERT_NE(phys, nullptr);
+  EXPECT_EQ(phys->find("artifactLocation")->find("uri")->asString(),
+            "src/db/lock_discipline_positive.cpp");
+  EXPECT_EQ(phys->find("region")->find("startLine")->asDouble(), 21.0);
+  ASSERT_NE(first.find("suppressions"), nullptr);
+  EXPECT_EQ(first.find("suppressions")
+                ->items()[0]
+                .find("kind")
+                ->asString(),
+            "inSource");
+  EXPECT_EQ(results->items()[1].find("baselineState")->asString(),
+            "unchanged");
+  EXPECT_EQ(results->items()[2].find("baselineState")->asString(), "new");
+}
+
+TEST(LintOutput, RuleCatalogCoversEveryKnownRule) {
+  const auto& catalog = pao::lint::ruleCatalog();
+  EXPECT_EQ(catalog.size(), 9u);
+  for (const auto& rule : catalog) {
+    EXPECT_FALSE(rule.summary.empty()) << rule.id;
+    if (rule.id == pao::lint::kRuleSuppression) {
+      EXPECT_FALSE(rule.suppressible);
+    } else {
+      EXPECT_TRUE(rule.suppressible) << rule.id;
+    }
+  }
+  pao::lint::Format fmt = pao::lint::Format::kText;
+  EXPECT_TRUE(pao::lint::parseFormat("sarif", &fmt));
+  EXPECT_EQ(fmt, pao::lint::Format::kSarif);
+  EXPECT_FALSE(pao::lint::parseFormat("xml", &fmt));
 }
 
 }  // namespace

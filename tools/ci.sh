@@ -1,9 +1,14 @@
 #!/bin/sh
-# CI entry point: nine legs over the same tree —
+# CI entry point: ten legs over the same tree —
 #   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
 #                      ctest includes the pao_lint_tree static-analysis gate)
 #   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
-#                      bench — fails on any unsuppressed finding)
+#                      bench with --design-doc DESIGN.md, so the whole-
+#                      program rules — layering, lock-discipline,
+#                      catalog-drift — gate alongside the per-file ones;
+#                      fails on any unsuppressed finding. A second pass
+#                      renders --format sarif and report_check validates
+#                      the artifact's SARIF 2.1.0 shape)
 #   3. Obs smoke      (analyze with --report-json/--trace-out on a smoke
 #                      preset, validated by report_check: schema, trace span
 #                      nesting, and threads-1-vs-4 report equivalence)
@@ -40,8 +45,23 @@ cmake --build "$SRC/build-ci-release" -j "$JOBS"
 ctest --test-dir "$SRC/build-ci-release" --output-on-failure -j "$JOBS"
 
 echo "== Static analysis (pao_lint) =="
+# Whole-program run: per-file rules plus layering / lock-discipline /
+# catalog-drift against the real DESIGN.md. No baseline — any unsuppressed
+# finding fails the leg.
 "$SRC/build-ci-release/tools/pao_lint" \
+  --design-doc "$SRC/DESIGN.md" \
   "$SRC/src" "$SRC/tools" "$SRC/tests" "$SRC/examples" "$SRC/bench"
+
+echo "== Static analysis (SARIF artifact) =="
+# The same run rendered as SARIF 2.1.0 — the artifact CI uploaders consume —
+# structurally validated by report_check (version, tool.driver.rules, and
+# per-result ruleId/message/location shape).
+"$SRC/build-ci-release/tools/pao_lint" \
+  --design-doc "$SRC/DESIGN.md" --format sarif \
+  "$SRC/src" "$SRC/tools" "$SRC/tests" "$SRC/examples" "$SRC/bench" \
+  > "$SRC/build-ci-release/lint.sarif"
+"$SRC/build-ci-release/tools/report_check" sarif \
+  "$SRC/build-ci-release/lint.sarif"
 
 echo "== Incremental-session smoke (bench-incremental) =="
 # Session-vs-batch equivalence over random moves, plus warm-cache reuse:

@@ -1,0 +1,377 @@
+#include "lint/analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace pao::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// layering
+// ---------------------------------------------------------------------------
+
+/// The module DAG, flattened to ranks. An include may only point at a
+/// *strictly lower* rank (or the includer's own module); equal-rank
+/// distinct modules are siblings and must not include each other. `obs` is
+/// rank 0 — includable from anywhere — precisely because it must itself
+/// include nothing (its only dependencies are the standard library and
+/// Threads, see DESIGN.md "Observability").
+struct ModuleRank {
+  std::string_view module;
+  int rank;
+};
+constexpr ModuleRank kModuleRanks[] = {
+    {"obs", 0}, {"util", 1},     {"geom", 2}, {"db", 3},     {"lefdef", 4},
+    {"drc", 5}, {"benchgen", 5}, {"pao", 6},  {"viz", 6},    {"router", 7},
+    {"serve", 8},
+};
+
+int rankOfModule(std::string_view module) {
+  for (const ModuleRank& m : kModuleRanks) {
+    if (m.module == module) return m.rank;
+  }
+  return -1;
+}
+
+/// "src/drc/engine.cpp" (or ".../repo/src/drc/engine.cpp") -> "drc".
+/// Anything not under a src/<module>/ directory is unconstrained.
+std::string_view moduleOfFile(std::string_view path) {
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t hit = path.find("src/", at);
+    if (hit == std::string_view::npos) return {};
+    if (hit == 0 || path[hit - 1] == '/') {
+      const std::size_t modBegin = hit + 4;
+      const std::size_t slash = path.find('/', modBegin);
+      if (slash == std::string_view::npos) return {};
+      const std::string_view mod = path.substr(modBegin, slash - modBegin);
+      if (rankOfModule(mod) >= 0) return mod;
+      return {};
+    }
+    at = hit + 1;
+  }
+}
+
+/// "geom/polygon.hpp" -> "geom" when geom is a ranked module; project
+/// includes are relative to src/ (the tree's single include root besides
+/// tools/, whose "lint/..." headers are not ranked).
+std::string_view moduleOfInclude(std::string_view includePath) {
+  const std::size_t slash = includePath.find('/');
+  if (slash == std::string_view::npos) return {};
+  const std::string_view mod = includePath.substr(0, slash);
+  return rankOfModule(mod) >= 0 ? mod : std::string_view{};
+}
+
+void checkLayering(const FileFacts& file, std::vector<Finding>& out) {
+  const std::string_view fromMod = moduleOfFile(file.path);
+  if (fromMod.empty()) return;
+  const int fromRank = rankOfModule(fromMod);
+  for (const IncludeDirective& inc : file.includes) {
+    if (inc.angled) continue;
+    const std::string_view toMod = moduleOfInclude(inc.path);
+    if (toMod.empty() || toMod == fromMod) continue;
+    const int toRank = rankOfModule(toMod);
+    if (toRank < fromRank) continue;
+    Finding f;
+    f.file = file.path;
+    f.line = inc.line;
+    f.rule = std::string(kRuleLayering);
+    if (toRank == fromRank) {
+      f.message = "include of \"" + inc.path + "\" violates module layering: '" +
+                  std::string(toMod) + "' and '" + std::string(fromMod) +
+                  "' are rank-" + std::to_string(toRank) +
+                  " siblings and must not include each other";
+    } else {
+      f.message = "include of \"" + inc.path + "\" violates module layering: '" +
+                  std::string(toMod) + "' (rank " + std::to_string(toRank) +
+                  ") is not below '" + std::string(fromMod) + "' (rank " +
+                  std::to_string(fromRank) + ")";
+    }
+    f.hint =
+        "allowed dependency direction is util -> geom -> db -> lefdef -> "
+        "{drc, benchgen} -> {pao, viz} -> router -> serve, with obs "
+        "includable from anywhere; invert the dependency or move the shared "
+        "piece down the DAG";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline: cross-file acquisition-order inversion
+// ---------------------------------------------------------------------------
+
+struct OrderSite {
+  std::string file;
+  int line = 0;
+};
+
+void checkLockOrder(const std::vector<FileFacts>& files,
+                    std::vector<Finding>& out) {
+  // (first, second) -> every site where `second` was acquired under `first`.
+  std::map<std::pair<std::string, std::string>, std::vector<OrderSite>> edges;
+  for (const FileFacts& file : files) {
+    for (const LockOrderEdge& e : file.lockOrder) {
+      edges[{e.first, e.second}].push_back({file.path, e.line});
+    }
+  }
+  for (const auto& [pair, sites] : edges) {
+    if (pair.first >= pair.second) continue;  // visit each unordered pair once
+    const auto inverse = edges.find({pair.second, pair.first});
+    if (inverse == edges.end()) continue;
+    const auto emit = [&](const OrderSite& here, const std::string& inner,
+                          const std::string& outer, const OrderSite& there) {
+      Finding f;
+      f.file = here.file;
+      f.line = here.line;
+      f.rule = std::string(kRuleLockDiscipline);
+      f.message = "mutex '" + inner + "' is acquired while '" + outer +
+                  "' is held here, but the opposite order occurs at " +
+                  there.file + ":" + std::to_string(there.line) +
+                  " — inconsistent acquisition order can deadlock";
+      f.hint =
+          "pick one global order for this mutex pair (or acquire both via a "
+          "single std::scoped_lock) and use it at every site";
+      out.push_back(std::move(f));
+    };
+    emit(sites.front(), pair.second, pair.first, inverse->second.front());
+    emit(inverse->second.front(), pair.first, pair.second, sites.front());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// catalog-drift
+// ---------------------------------------------------------------------------
+
+bool isDocIdentChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+bool isDocMetricChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+
+std::string_view trimDoc(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '`')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '`' ||
+          s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// What the design document declares, each name mapped to the 1-based line
+/// of its first appearance.
+struct DocCatalog {
+  std::map<std::string, int> codes;
+  std::map<std::string, int> metrics;
+  std::map<std::string, int> faults;
+};
+
+/// Extraction is shape-driven where the shape is unambiguous (error codes
+/// and pao.* metric names, collected from anywhere in the document) and
+/// position-driven where it is not: fault-point names are plain dotted
+/// words, so only the first cell of markdown table rows under a heading
+/// containing "fault" counts — prose and trace-span names never register.
+DocCatalog parseDesignDoc(std::string_view text) {
+  DocCatalog out;
+  int lineNo = 0;
+  bool underFaultHeading = false;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? text.size() - pos
+                                                       : eol - pos);
+    ++lineNo;
+
+    if (!line.empty() && line.front() == '#') {
+      std::string lowered(line);
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      underFaultHeading = lowered.find("fault") != std::string::npos;
+    }
+
+    // Error codes: boundary-delimited PREnnn tokens, anywhere.
+    for (std::size_t i = 0; i < line.size();) {
+      if (!isDocIdentChar(line[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() && isDocIdentChar(line[j])) ++j;
+      const std::string_view word = line.substr(i, j - i);
+      if (isStableErrorCode(word)) {
+        out.codes.emplace(std::string(word), lineNo);
+      }
+      i = j;
+    }
+
+    // Metric names: maximal [a-z0-9_.] runs, anywhere, trimmed of the
+    // sentence punctuation dots they may abut.
+    for (std::size_t i = 0; i < line.size();) {
+      if (!isDocMetricChar(line[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i;
+      while (j < line.size() && isDocMetricChar(line[j])) ++j;
+      std::string_view run = line.substr(i, j - i);
+      while (!run.empty() && run.front() == '.') run.remove_prefix(1);
+      while (!run.empty() && run.back() == '.') run.remove_suffix(1);
+      if (isValidMetricName(run)) {
+        out.metrics.emplace(std::string(run), lineNo);
+      }
+      i = j;
+    }
+
+    // Fault points: first cell of table rows in fault sections.
+    const std::string_view trimmed = trimDoc(line);
+    if (underFaultHeading && !trimmed.empty() && trimmed.front() == '|') {
+      const std::size_t cellEnd = trimmed.find('|', 1);
+      if (cellEnd != std::string_view::npos) {
+        const std::string_view cell =
+            trimDoc(trimmed.substr(1, cellEnd - 1));
+        if (isDottedLowerName(cell) && !isValidMetricName(cell) &&
+            cell.substr(0, 4) != "pao.") {
+          out.faults.emplace(std::string(cell), lineNo);
+        }
+      }
+    }
+
+    if (eol == std::string_view::npos) break;
+    pos = eol + 1;
+  }
+  return out;
+}
+
+std::string_view identClassNoun(IdentClass klass) {
+  switch (klass) {
+    case IdentClass::kErrorCode:
+      return "error code";
+    case IdentClass::kFaultPoint:
+      return "fault point";
+    case IdentClass::kMetricName:
+      return "metric";
+  }
+  return "identifier";
+}
+
+std::string_view identCatalogName(IdentClass klass) {
+  switch (klass) {
+    case IdentClass::kErrorCode:
+      return "error-code tables";
+    case IdentClass::kFaultPoint:
+      return "fault-point catalog";
+    case IdentClass::kMetricName:
+      return "metric catalog";
+  }
+  return "catalogs";
+}
+
+void checkCatalogDrift(const std::vector<FileFacts>& files,
+                       const Options& options, std::vector<Finding>& out) {
+  if (options.designDocText.empty()) return;
+  const DocCatalog doc = parseDesignDoc(options.designDocText);
+  const std::string docPath =
+      options.designDocPath.empty() ? "DESIGN.md" : options.designDocPath;
+
+  const auto docSet = [&doc](IdentClass klass) -> const std::map<std::string, int>& {
+    switch (klass) {
+      case IdentClass::kErrorCode:
+        return doc.codes;
+      case IdentClass::kFaultPoint:
+        return doc.faults;
+      case IdentClass::kMetricName:
+      default:
+        return doc.metrics;
+    }
+  };
+
+  // Direction 1: strong emission sites must be documented. Exempt paths
+  // (tests by default) register scratch identifiers on purpose.
+  std::set<std::string> aliveByClass[3];
+  for (const FileFacts& file : files) {
+    bool exempt = false;
+    for (const std::string& sub : options.catalogExemptSubstrings) {
+      if (file.path.find(sub) != std::string::npos) {
+        exempt = true;
+        break;
+      }
+    }
+    for (const IdentUse& use : file.idents) {
+      aliveByClass[static_cast<int>(use.klass)].insert(use.name);
+      if (!use.strong || exempt) continue;
+      const std::map<std::string, int>& known = docSet(use.klass);
+      if (known.count(use.name) != 0) continue;
+      Finding f;
+      f.file = file.path;
+      f.line = use.line;
+      f.rule = std::string(kRuleCatalogDrift);
+      f.message = std::string(identClassNoun(use.klass)) + " '" + use.name +
+                  "' is emitted here but missing from the " + docPath + " " +
+                  std::string(identCatalogName(use.klass));
+      f.hint = "document it in the " + std::string(identCatalogName(use.klass)) +
+               " (the doc is API — tools and tests key off it), or switch "
+               "this site to a documented identifier";
+      out.push_back(std::move(f));
+    }
+  }
+
+  // Direction 2: every catalog entry must still be alive in code — any
+  // mention counts, strong or weak, exempt paths included.
+  const auto checkDead = [&](const std::map<std::string, int>& known,
+                             IdentClass klass) {
+    const std::set<std::string>& alive = aliveByClass[static_cast<int>(klass)];
+    for (const auto& [name, docLine] : known) {
+      if (alive.count(name) != 0) continue;
+      Finding f;
+      f.file = docPath;
+      f.line = docLine;
+      f.rule = std::string(kRuleCatalogDrift);
+      f.message = "documented " + std::string(identClassNoun(klass)) + " '" +
+                  name + "' has no emission or reference in the scanned tree";
+      f.hint = "delete the stale catalog entry, or restore the code that "
+               "produced it";
+      out.push_back(std::move(f));
+    }
+  };
+  checkDead(doc.codes, IdentClass::kErrorCode);
+  checkDead(doc.faults, IdentClass::kFaultPoint);
+  checkDead(doc.metrics, IdentClass::kMetricName);
+}
+
+}  // namespace
+
+int moduleRankOfFile(std::string_view path) {
+  const std::string_view mod = moduleOfFile(path);
+  return mod.empty() ? -1 : rankOfModule(mod);
+}
+
+int moduleRankOfInclude(std::string_view includePath) {
+  const std::string_view mod = moduleOfInclude(includePath);
+  return mod.empty() ? -1 : rankOfModule(mod);
+}
+
+std::vector<Finding> analyzeTree(const std::vector<FileFacts>& files,
+                                 const Options& options) {
+  std::vector<Finding> out;
+  for (const FileFacts& file : files) {
+    checkLayering(file, out);
+    for (const Finding& f : file.lockFindings) out.push_back(f);
+  }
+  checkLockOrder(files, out);
+  checkCatalogDrift(files, options, out);
+  return out;
+}
+
+}  // namespace pao::lint

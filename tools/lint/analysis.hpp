@@ -1,0 +1,41 @@
+// Pass 2 of pao_lint's whole-program analysis: cross-TU aggregation. Takes
+// the per-file facts extracted by lint/facts.hpp for *every* file handed to
+// the driver and runs the rule families that no single TU can decide:
+//
+//   layering        project-relative includes checked against the module
+//                   DAG (see kModuleRanks in analysis.cpp),
+//   lock-discipline (the cross-file half) mutex pairs acquired in both
+//                   orders anywhere in the tree,
+//   catalog-drift   stable identifiers emitted by code vs the DESIGN.md
+//                   catalogs, in both directions.
+//
+// analyzeTree() is pure: findings come back unsorted and unsuppressed;
+// lintTree() in rules.cpp merges them with the per-file results and applies
+// suppressions.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lint/facts.hpp"
+#include "lint/rules.hpp"
+
+namespace pao::lint {
+
+/// The layering rank of the module owning `path` (a scanned file path, e.g.
+/// "src/drc/engine.cpp"), or -1 when the file is unconstrained (tools/,
+/// tests/, examples/, bench/ or an unknown module). Exposed for tests.
+int moduleRankOfFile(std::string_view path);
+
+/// The layering rank of the module an include directive targets (e.g.
+/// "geom/polygon.hpp" -> rank of geom), or -1 when the include is not a
+/// project module header. Exposed for tests.
+int moduleRankOfInclude(std::string_view includePath);
+
+/// Runs the cross-TU rule families over the aggregate facts. Catalog-drift
+/// needs options.designDocText (skipped when empty); dead-in-docs findings
+/// are anchored at options.designDocPath with the catalog entry's line.
+std::vector<Finding> analyzeTree(const std::vector<FileFacts>& files,
+                                 const Options& options);
+
+}  // namespace pao::lint

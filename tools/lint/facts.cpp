@@ -1,0 +1,298 @@
+#include "lint/facts.hpp"
+
+#include <algorithm>
+
+#include "lint/token_match.hpp"
+
+namespace pao::lint {
+
+namespace {
+
+bool isLower(char c) { return c >= 'a' && c <= 'z'; }
+bool isDigitCh(char c) { return c >= '0' && c <= '9'; }
+
+bool isObsMetricMacro(std::string_view m) {
+  return m == "PAO_COUNTER_ADD" || m == "PAO_COUNTER_INC" ||
+         m == "PAO_GAUGE_SET" || m == "PAO_HISTOGRAM_OBSERVE";
+}
+
+bool isFaultMacro(std::string_view m) {
+  return m == "PAO_FAULT_POINT" || m == "PAO_FAULT_INJECT";
+}
+
+/// Calls that can block (or monopolize the machine) for unbounded time:
+/// holding a mutex across one turns every other contender into a convoy.
+/// `wait` is deliberately absent — condition_variable::wait *requires* the
+/// lock and releases it while blocked.
+bool isBlockingFreeCall(std::string_view name) {
+  // Socket primitives (free calls only; member .read() etc. are different
+  // functions).
+  if (name == "read" || name == "write" || name == "send" || name == "recv" ||
+      name == "sendto" || name == "recvfrom" || name == "sendmsg" ||
+      name == "recvmsg" || name == "accept" || name == "accept4" ||
+      name == "connect" || name == "poll" || name == "select" ||
+      name == "epoll_wait") {
+    return true;
+  }
+  // C file I/O and process spawning.
+  return name == "fopen" || name == "fread" || name == "fwrite" ||
+         name == "fclose" || name == "system" || name == "popen";
+}
+
+/// Stream types whose construction/open touches the filesystem.
+bool isFileStreamType(std::string_view name) {
+  return name == "ifstream" || name == "ofstream" || name == "fstream";
+}
+
+/// One live lock: `mutex` is the normalized receiver chain handed to the
+/// guard's constructor; the guard dies when brace depth drops below
+/// `depth`.
+struct LiveLock {
+  std::string mutex;
+  int line = 0;
+  int depth = 0;
+};
+
+bool isGuardType(std::string_view name) {
+  return name == "lock_guard" || name == "scoped_lock" ||
+         name == "unique_lock";
+}
+
+/// Mutex arguments of a guard constructor: the argument list split on
+/// top-level commas, each argument normalized to its trailing identifier
+/// chain ("buf->mu" -> "buf.mu"). Tag arguments (std::defer_lock etc.) and
+/// `std::adopt_lock` make the guard a non-acquisition (defer) or an
+/// already-ordered adoption; both are skipped conservatively.
+std::vector<std::string> guardMutexes(const std::vector<Token>& toks,
+                                      std::size_t open, std::size_t close,
+                                      bool* deferred) {
+  std::vector<std::string> mutexes;
+  int depth = 0;
+  std::size_t lastIdent = toks.size();
+  const auto flush = [&] {
+    if (lastIdent == toks.size()) return;
+    const Receiver r = receiverChain(toks, lastIdent);
+    if (r.chain == "std.defer_lock" || r.chain == "std.try_to_lock" ||
+        r.chain == "std.adopt_lock" || r.chain == "defer_lock" ||
+        r.chain == "try_to_lock" || r.chain == "adopt_lock") {
+      *deferred = true;
+    } else {
+      mutexes.push_back(r.chain);
+    }
+    lastIdent = toks.size();
+  };
+  for (std::size_t k = open; k <= close && k < toks.size(); ++k) {
+    if (isPunct(toks[k], "(")) ++depth;
+    if (isPunct(toks[k], ")")) --depth;
+    if (depth == 1 && isPunct(toks[k], ",")) {
+      flush();
+      continue;
+    }
+    if (depth >= 1 && toks[k].kind == TokKind::kIdent) lastIdent = k;
+  }
+  flush();
+  return mutexes;
+}
+
+void lockFinding(std::string_view path, int line, std::string message,
+                 std::string hint, std::vector<Finding>& out) {
+  Finding f;
+  f.file = std::string(path);
+  f.line = line;
+  f.rule = std::string(kRuleLockDiscipline);
+  f.message = std::move(message);
+  f.hint = std::move(hint);
+  out.push_back(std::move(f));
+}
+
+void extractLockFacts(std::string_view path, const std::vector<Token>& toks,
+                      const std::vector<int>& depths, FileFacts& out) {
+  std::vector<LiveLock> live;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (isPunct(toks[k], "}")) {
+      const int d = depths[k];
+      std::erase_if(live, [d](const LiveLock& l) { return l.depth > d; });
+      continue;
+    }
+
+    // Guard declaration: [std ::] lock_guard [<...>] name ( mutexes... )
+    if (toks[k].kind == TokKind::kIdent && isGuardType(toks[k].text)) {
+      std::size_t j = k + 1;
+      if (j < toks.size() && isPunct(toks[j], "<")) {
+        j = matchForward(toks, j, "<", ">");
+        if (j >= toks.size()) continue;
+        ++j;
+      }
+      // The guard variable name, then its constructor argument list.
+      if (j + 1 >= toks.size() || toks[j].kind != TokKind::kIdent ||
+          !isPunct(toks[j + 1], "(")) {
+        continue;
+      }
+      const std::size_t open = j + 1;
+      const std::size_t close = matchForward(toks, open, "(", ")");
+      if (close >= toks.size()) continue;
+      bool deferred = false;
+      const std::vector<std::string> mutexes =
+          guardMutexes(toks, open, close, &deferred);
+      if (deferred) continue;
+      const int declDepth = depths[j];
+      const int line = toks[k].line;
+      for (const std::string& m : mutexes) {
+        for (const LiveLock& held : live) {
+          if (held.mutex == m) {
+            lockFinding(path, line,
+                        "double lock of mutex '" + m +
+                            "' (already held since line " +
+                            std::to_string(held.line) + ")",
+                        "locking a non-recursive std::mutex twice on one "
+                        "thread is undefined behavior; split the critical "
+                        "sections or pass the guard down",
+                        out.lockFindings);
+          } else {
+            out.lockOrder.push_back({held.mutex, m, line});
+          }
+        }
+      }
+      for (const std::string& m : mutexes) {
+        live.push_back({m, line, declDepth});
+      }
+      k = close;
+      continue;
+    }
+
+    if (live.empty() || toks[k].kind != TokKind::kIdent) continue;
+
+    // Blocking constructs while at least one lock is live. The innermost
+    // (most recently acquired) lock names the finding.
+    const std::string& held = live.back().mutex;
+    const int heldLine = live.back().line;
+    const bool memberCall =
+        k >= 1 && (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->"));
+    const bool qualified = k >= 1 && isPunct(toks[k - 1], "::");
+    const bool calls = k + 1 < toks.size() && isPunct(toks[k + 1], "(");
+    std::string what;
+    if (toks[k].text == "parallelFor" && calls && !memberCall) {
+      what = "parallelFor(...)";
+    } else if (toks[k].text == "join" && calls && memberCall) {
+      what = ".join()";
+    } else if (toks[k].text == "sleep_for" && calls) {
+      what = "sleep_for(...)";
+    } else if (calls && !memberCall && !qualified &&
+               isBlockingFreeCall(toks[k].text)) {
+      what = std::string(toks[k].text) + "(...)";
+    } else if (!memberCall && isFileStreamType(toks[k].text)) {
+      what = "std::" + std::string(toks[k].text) + " file I/O";
+    }
+    if (!what.empty()) {
+      lockFinding(path, toks[k].line,
+                  "blocking call " + what + " while mutex '" + held +
+                      "' is held (locked at line " +
+                      std::to_string(heldLine) + ")",
+                  "shrink the critical section: copy shared state out under "
+                  "the lock and do I/O / joins / parallelFor after release",
+                  out.lockFindings);
+    }
+  }
+}
+
+void extractIdentFacts(const std::vector<Token>& toks, FileFacts& out) {
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (toks[k].kind != TokKind::kString) continue;
+    std::string_view body = literalBody(toks[k].text);
+    if (body.empty() || body.size() > 80) continue;
+
+    // A fault *spec* ("lef.io:1", "step3.deadline:p0.5:s7") mentions the
+    // point name before the first ':'.
+    std::string_view nameView = body;
+    const std::size_t colon = body.find(':');
+    const bool hasSpecSuffix = colon != std::string_view::npos;
+    if (hasSpecSuffix) nameView = body.substr(0, colon);
+
+    /// Macro call context: `MACRO ( "literal"` — the literal is the name
+    /// argument of an emission site.
+    const bool atMacroArg = k >= 2 && isPunct(toks[k - 1], "(") &&
+                            toks[k - 2].kind == TokKind::kIdent;
+    const std::string_view macro = atMacroArg ? toks[k - 2].text : "";
+
+    if (!hasSpecSuffix && isStableErrorCode(body)) {
+      out.idents.push_back(
+          {IdentClass::kErrorCode, std::string(body), toks[k].line, true});
+      continue;
+    }
+    if (!isDottedLowerName(nameView)) continue;
+    if (isValidMetricName(nameView)) {
+      out.idents.push_back({IdentClass::kMetricName, std::string(nameView),
+                            toks[k].line,
+                            !hasSpecSuffix && isObsMetricMacro(macro)});
+      continue;
+    }
+    if (nameView.substr(0, 4) == "pao.") continue;  // malformed metric name
+    out.idents.push_back({IdentClass::kFaultPoint, std::string(nameView),
+                          toks[k].line,
+                          !hasSpecSuffix && isFaultMacro(macro)});
+  }
+}
+
+}  // namespace
+
+bool isStableErrorCode(std::string_view s) {
+  if (s.size() != 6) return false;
+  const std::string_view prefix = s.substr(0, 3);
+  if (prefix != "SRV" && prefix != "DEF" && prefix != "LEX" &&
+      prefix != "GEN") {
+    return false;
+  }
+  return isDigitCh(s[3]) && isDigitCh(s[4]) && isDigitCh(s[5]);
+}
+
+bool isDottedLowerName(std::string_view s) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = s.find('.', start);
+    const std::string_view seg = dot == std::string_view::npos
+                                     ? s.substr(start)
+                                     : s.substr(start, dot - start);
+    if (seg.empty()) return false;
+    for (const char c : seg) {
+      if (!isLower(c) && !isDigitCh(c) && c != '_') return false;
+    }
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 2;
+}
+
+bool isValidMetricName(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t dot = name.find('.', start);
+    const std::string_view seg =
+        dot == std::string_view::npos ? name.substr(start)
+                                      : name.substr(start, dot - start);
+    if (seg.empty()) return false;
+    for (const char c : seg) {
+      if (!isLower(c) && !isDigitCh(c) && c != '_') return false;
+    }
+    ++segments;
+    if (segments == 1 && seg != "pao") return false;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+FileFacts extractFacts(std::string_view path, const LexResult& lexed) {
+  FileFacts out;
+  out.path = std::string(path);
+  out.includes = lexed.includes;
+  out.suppressions = lexed.suppressions;
+  const std::vector<int> depths = braceDepths(lexed.tokens);
+  extractLockFacts(path, lexed.tokens, depths, out);
+  extractIdentFacts(lexed.tokens, out);
+  return out;
+}
+
+}  // namespace pao::lint

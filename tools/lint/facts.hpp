@@ -1,0 +1,85 @@
+// Pass 1 of pao_lint's whole-program analysis: per-translation-unit fact
+// extraction. extractFacts() walks one lexed TU and records everything the
+// cross-TU rule families (lint/analysis.hpp) need:
+//
+//   - project #include edges (for `layering`),
+//   - lock-scope structure over a brace/scope tracker: which mutexes a
+//     lock_guard/scoped_lock/unique_lock holds and for how long, blocking
+//     calls made while a lock is live, nested acquisitions (for
+//     `lock-discipline`), and the ordered mutex pairs they imply,
+//   - stable-identifier literals: SRVnnn/DEFnnn/LEXnnn/GENnnn error codes,
+//     PAO_FAULTS point names, and pao.* metric names (for `catalog-drift`).
+//
+// Per-TU lock findings (blocking-while-held, double-lock) are complete after
+// pass 1 and are returned here; everything else is aggregated by
+// analyzeTree() in pass 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+#include "lint/rules.hpp"
+
+namespace pao::lint {
+
+/// The stable-identifier namespaces the catalog-drift rule audits.
+enum class IdentClass : std::uint8_t {
+  kErrorCode,   ///< SRVnnn / DEFnnn / LEXnnn / GENnnn
+  kFaultPoint,  ///< dotted lowercase, non-pao. (e.g. "serve.accept")
+  kMetricName,  ///< pao.<phase>.<metric>
+};
+
+/// One appearance of a stable identifier in a TU. Strong uses are
+/// definition/emission sites — a string literal directly inside an obs
+/// metric macro or a PAO_FAULT_POINT/PAO_FAULT_INJECT hook, or any error
+/// code literal. Weak uses are every other mention (test expectations,
+/// fault specs like "lef.io:1", registry lookups): they count as "alive in
+/// code" for the dead-in-docs direction but are never required to be
+/// documented themselves.
+struct IdentUse {
+  IdentClass klass = IdentClass::kErrorCode;
+  std::string name;
+  int line = 0;
+  bool strong = false;
+};
+
+/// `second` was acquired while `first` was still held, at `line`. Pass 2
+/// flags mutex pairs observed in both orders anywhere in the tree.
+struct LockOrderEdge {
+  std::string first;
+  std::string second;
+  int line = 0;
+};
+
+struct FileFacts {
+  std::string path;
+  std::vector<IncludeDirective> includes;
+  std::vector<Suppression> suppressions;
+  std::vector<IdentUse> idents;
+  std::vector<LockOrderEdge> lockOrder;
+  /// lock-discipline findings decidable within one TU: a blocking call made
+  /// while a lock is live, and double-lock of one mutex. Cross-file order
+  /// inversion lives in pass 2.
+  std::vector<Finding> lockFindings;
+};
+
+/// Extracts every fact from one lexed TU. `lexed` must outlive nothing —
+/// all returned strings are owned copies.
+FileFacts extractFacts(std::string_view path, const LexResult& lexed);
+
+/// True when `name` is shaped like a metric name: `pao.` + >= 2 further
+/// dot-separated non-empty [a-z0-9_] segments. Shared with the obs-naming
+/// rule.
+bool isValidMetricName(std::string_view name);
+
+/// True for ^(SRV|DEF|LEX|GEN)[0-9]{3}$ — the stable error-code shape.
+bool isStableErrorCode(std::string_view s);
+
+/// True for dotted lowercase [a-z0-9_] with >= 2 non-empty segments — the
+/// shape shared by fault-point and trace-span names.
+bool isDottedLowerName(std::string_view s);
+
+}  // namespace pao::lint

@@ -116,6 +116,26 @@ LexResult lex(std::string_view src) {
       continue;
     }
     if (c == '#') {
+      // Recognize `#include "..."` / `#include <...>` before skipping the
+      // directive: the whole-program layering rule works on these edges.
+      std::size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      constexpr std::string_view kInclude = "include";
+      if (src.compare(j, kInclude.size(), kInclude) == 0) {
+        j += kInclude.size();
+        while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+        if (j < n && (src[j] == '"' || src[j] == '<')) {
+          const char closeCh = src[j] == '"' ? '"' : '>';
+          const std::size_t pathBegin = j + 1;
+          const std::size_t pathEnd =
+              src.find_first_of(closeCh == '"' ? "\"\n" : ">\n", pathBegin);
+          if (pathEnd != std::string_view::npos && src[pathEnd] == closeCh) {
+            out.includes.push_back(
+                {line, std::string(src.substr(pathBegin, pathEnd - pathBegin)),
+                 closeCh == '>'});
+          }
+        }
+      }
       // Preprocessor directive: skip the whole (possibly continued) line.
       while (i < n) {
         if (src[i] == '\\' && peek(1) == '\n') {

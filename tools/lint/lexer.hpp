@@ -37,9 +37,19 @@ struct Suppression {
   std::string justification;  ///< empty when the author gave none (an error)
 };
 
+/// One `#include` directive. Quoted project-relative includes (`angled ==
+/// false`) are the edges the whole-program `layering` rule checks; angled
+/// system includes are recorded but never constrained.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;  ///< the text between the quotes / angle brackets
+  bool angled = false;
+};
+
 struct LexResult {
   std::vector<Token> tokens;
   std::vector<Suppression> suppressions;
+  std::vector<IncludeDirective> includes;
 };
 
 /// Tokenizes `src`. The returned tokens view into `src`, which must outlive

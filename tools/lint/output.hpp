@@ -1,0 +1,70 @@
+// Output and ratchet layer for pao_lint: renders findings as human text,
+// machine JSON, or SARIF 2.1.0, and implements the --baseline ratchet
+// (known findings keyed by rule|file|message, with file paths relativized
+// to the repository component so absolute and relative invocations agree).
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace pao::lint {
+
+enum class Format : int { kText, kJson, kSarif };
+
+/// Parses a --format operand ("text", "json", "sarif"). False on anything
+/// else.
+bool parseFormat(std::string_view name, Format* out);
+
+/// One catalog entry per rule id, in display order; drives --list-rules and
+/// the SARIF tool.driver.rules array. `suppressible` is false only for the
+/// internal `suppression` rule.
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+  bool suppressible = true;
+};
+const std::vector<RuleInfo>& ruleCatalog();
+
+/// "path/to/repo/src/db/tech.hpp" -> "src/db/tech.hpp": the path suffix
+/// from the last repository-component directory (src/tools/tests/examples/
+/// bench, or a known repo-root file like DESIGN.md) onward. Paths with no
+/// recognizable component come back unchanged (minus a leading "./").
+std::string relativizePath(std::string_view path);
+
+/// rule|relativized-file|message — the identity a baseline entry matches
+/// on. Line numbers are deliberately absent so unrelated edits above a
+/// baselined finding do not un-baseline it.
+std::string baselineKey(const Finding& f);
+
+/// The --baseline ratchet file: one baselineKey per line, '#' comments and
+/// blank lines ignored.
+struct Baseline {
+  std::set<std::string> keys;
+  bool contains(const Finding& f) const { return keys.count(baselineKey(f)) != 0; }
+};
+bool loadBaseline(const std::string& path, Baseline* out, std::string* error);
+
+/// Serializes every unsuppressed finding's key, sorted and unique, for
+/// --write-baseline.
+std::string renderBaseline(const std::vector<Finding>& findings);
+
+/// Human-readable listing (the classic pao_lint output) followed by a
+/// one-line summary. Suppressed findings appear only when `showSuppressed`;
+/// baselined findings are always shown but marked.
+std::string renderText(const std::vector<Finding>& findings,
+                       std::size_t filesScanned, bool showSuppressed);
+
+/// {"findings":[...],"summary":{...}} with every Finding field.
+std::string renderJson(const std::vector<Finding>& findings,
+                       std::size_t filesScanned);
+
+/// SARIF 2.1.0: one run, tool.driver "pao_lint" with the full rule catalog,
+/// one result per finding (suppressed ones carry suppressions[kind:
+/// inSource]; baselined ones baselineState "unchanged", the rest "new").
+std::string renderSarif(const std::vector<Finding>& findings);
+
+}  // namespace pao::lint

@@ -2,28 +2,38 @@
 //
 //   pao_lint [options] <path>...      lint files, or recurse into directories
 //
-// Rules (see lint/rules.hpp and DESIGN.md "Static analysis & invariants"):
-//   pointer-stability, unordered-iteration, executor-hygiene, obs-naming,
-//   diag-hygiene
+// Two passes over every file collected from the given roots: the per-file
+// rules (pointer-stability, unordered-iteration, executor-hygiene,
+// obs-naming, diag-hygiene) plus per-TU fact extraction, then the
+// whole-program rule families over the aggregate (layering,
+// lock-discipline, catalog-drift — the latter needs --design-doc). See
+// lint/rules.hpp and DESIGN.md "Static analysis & invariants".
 //
 // Suppress a finding with a justified comment on, or directly above, the
 // offending line:
 //   // pao-lint: allow(executor-hygiene): benchmark needs its own pool
 //
-// Exit status: 0 when no unsuppressed findings, 1 otherwise, 2 on usage or
-// I/O errors.
+// Exit status: 0 when no unsuppressed, un-baselined findings; 1 otherwise;
+// 2 on usage or I/O errors.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lint/output.hpp"
 #include "lint/rules.hpp"
 
 namespace fs = std::filesystem;
+using pao::lint::Baseline;
+using pao::lint::FileInput;
 using pao::lint::Finding;
+using pao::lint::Format;
 using pao::lint::Options;
+using pao::lint::RuleInfo;
 
 namespace {
 
@@ -59,21 +69,29 @@ void collectFiles(const fs::path& root, std::vector<std::string>& out) {
   }
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: pao_lint [options] <file-or-dir>...\n"
-               "  --annotate M=G   treat accessor M() as returning an\n"
-               "                   unstable reference (invalidation group G)\n"
-               "  --suppressed     also print suppressed findings\n"
-               "  --list-rules     print the rule catalog and exit\n");
-  return 2;
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
 }
 
-void printFinding(const Finding& f, bool markSuppressed) {
-  std::printf("%s:%d: [%s]%s %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-              markSuppressed && f.suppressed ? " (suppressed)" : "",
-              f.message.c_str());
-  if (!f.hint.empty()) std::printf("    hint: %s\n", f.hint.c_str());
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pao_lint [options] <file-or-dir>...\n"
+      "  --design-doc F     audit catalog-drift against design doc F\n"
+      "  --format FMT       output format: text (default), json, sarif\n"
+      "  --baseline F       known findings in F do not fail the run\n"
+      "  --write-baseline F write current unsuppressed findings to F\n"
+      "  --rule R           only report rule R (repeatable)\n"
+      "  --annotate M=G     treat accessor M() as returning an\n"
+      "                     unstable reference (invalidation group G)\n"
+      "  --suppressed       also print suppressed findings (text format)\n"
+      "  --list-rules       print the rule catalog and exit\n");
+  return 2;
 }
 
 }  // namespace
@@ -81,24 +99,49 @@ void printFinding(const Finding& f, bool markSuppressed) {
 int main(int argc, char** argv) {
   Options options;
   std::vector<std::string> roots;
+  std::vector<std::string> onlyRules;
+  std::string baselinePath;
+  std::string writeBaselinePath;
+  Format format = Format::kText;
   bool showSuppressed = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--suppressed") {
       showSuppressed = true;
     } else if (arg == "--list-rules") {
-      std::printf(
-          "pointer-stability    reference from a reallocating container\n"
-          "                     accessor used across a growth call\n"
-          "unordered-iteration  unordered_map/set iteration writes output\n"
-          "                     with no later canonical sort\n"
-          "executor-hygiene     raw std::thread/std::async outside the\n"
-          "                     executor; mutable lambda into parallelFor\n"
-          "obs-naming           observability macro metric name literal\n"
-          "                     not matching pao.<phase>.<metric>\n"
-          "diag-hygiene         bare throw std::runtime_error in library\n"
-          "                     code (use a located ParseError/util::Diag)\n");
+      for (const RuleInfo& r : pao::lint::ruleCatalog()) {
+        std::printf("%-20s %s\n", std::string(r.id).c_str(),
+                    std::string(r.summary).c_str());
+      }
       return 0;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc || !pao::lint::parseFormat(argv[++i], &format)) {
+        return usage();
+      }
+    } else if (arg == "--design-doc") {
+      if (i + 1 >= argc) return usage();
+      options.designDocPath = argv[++i];
+      if (!readFile(options.designDocPath, &options.designDocText)) {
+        std::fprintf(stderr, "pao_lint: cannot read design doc %s\n",
+                     options.designDocPath.c_str());
+        return 2;
+      }
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage();
+      baselinePath = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage();
+      writeBaselinePath = argv[++i];
+    } else if (arg == "--rule") {
+      if (i + 1 >= argc) return usage();
+      const std::string rule = argv[++i];
+      if (!pao::lint::isKnownRule(rule) &&
+          rule != pao::lint::kRuleSuppression) {
+        std::fprintf(stderr, "pao_lint: unknown rule '%s' (--list-rules)\n",
+                     rule.c_str());
+        return 2;
+      }
+      onlyRules.push_back(rule);
     } else if (arg == "--annotate") {
       if (i + 1 >= argc) return usage();
       const std::string_view spec = argv[++i];
@@ -117,39 +160,76 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) return usage();
 
-  std::vector<std::string> files;
+  Baseline baseline;
+  if (!baselinePath.empty()) {
+    std::string error;
+    if (!pao::lint::loadBaseline(baselinePath, &baseline, &error)) {
+      std::fprintf(stderr, "pao_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> paths;
   for (const std::string& r : roots) {
     if (!fs::exists(r)) {
       std::fprintf(stderr, "pao_lint: no such path: %s\n", r.c_str());
       return 2;
     }
-    collectFiles(r, files);
+    collectFiles(r, paths);
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  int unsuppressed = 0;
-  int suppressed = 0;
-  for (const std::string& f : files) {
-    std::string error;
-    const std::vector<Finding> findings = pao::lint::lintFile(f, options,
-                                                              &error);
-    if (!error.empty()) {
-      std::fprintf(stderr, "pao_lint: %s\n", error.c_str());
+  std::vector<FileInput> files;
+  files.reserve(paths.size());
+  for (std::string& p : paths) {
+    FileInput in;
+    in.path = std::move(p);
+    if (!readFile(in.path, &in.src)) {
+      std::fprintf(stderr, "pao_lint: cannot open %s\n", in.path.c_str());
       return 2;
     }
-    for (const Finding& finding : findings) {
-      if (finding.suppressed) {
-        ++suppressed;
-        if (showSuppressed) printFinding(finding, true);
-      } else {
-        ++unsuppressed;
-        printFinding(finding, false);
-      }
+    files.push_back(std::move(in));
+  }
+
+  std::vector<Finding> findings = pao::lint::lintTree(files, options);
+  if (!onlyRules.empty()) {
+    std::erase_if(findings, [&onlyRules](const Finding& f) {
+      return std::find(onlyRules.begin(), onlyRules.end(), f.rule) ==
+             onlyRules.end();
+    });
+  }
+  for (Finding& f : findings) {
+    if (!f.suppressed && baseline.contains(f)) f.baselined = true;
+  }
+
+  if (!writeBaselinePath.empty()) {
+    std::ofstream out(writeBaselinePath, std::ios::binary);
+    out << pao::lint::renderBaseline(findings);
+    if (!out) {
+      std::fprintf(stderr, "pao_lint: cannot write baseline %s\n",
+                   writeBaselinePath.c_str());
+      return 2;
     }
   }
-  std::printf(
-      "pao_lint: %d finding(s), %d suppressed, %zu file(s) scanned\n",
-      unsuppressed, suppressed, files.size());
-  return unsuppressed == 0 ? 0 : 1;
+
+  std::string rendered;
+  switch (format) {
+    case Format::kText:
+      rendered = pao::lint::renderText(findings, files.size(), showSuppressed);
+      break;
+    case Format::kJson:
+      rendered = pao::lint::renderJson(findings, files.size());
+      break;
+    case Format::kSarif:
+      rendered = pao::lint::renderSarif(findings);
+      break;
+  }
+  std::fputs(rendered.c_str(), stdout);
+
+  const bool failed =
+      std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+        return !f.suppressed && !f.baselined;
+      });
+  return failed ? 1 : 0;
 }

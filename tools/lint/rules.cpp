@@ -2,71 +2,18 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iterator>
 #include <set>
 #include <sstream>
 
+#include "lint/analysis.hpp"
+#include "lint/facts.hpp"
 #include "lint/lexer.hpp"
+#include "lint/token_match.hpp"
 
 namespace pao::lint {
 
 namespace {
-
-bool isIdent(const Token& t, std::string_view s) {
-  return t.kind == TokKind::kIdent && t.text == s;
-}
-bool isPunct(const Token& t, std::string_view s) {
-  return t.kind == TokKind::kPunct && t.text == s;
-}
-
-/// Index of the punctuator matching tokens[open] (an `open` punct), or
-/// tokens.size() when unbalanced.
-std::size_t matchForward(const std::vector<Token>& toks, std::size_t open,
-                         std::string_view openTxt, std::string_view closeTxt) {
-  int depth = 0;
-  for (std::size_t k = open; k < toks.size(); ++k) {
-    if (isPunct(toks[k], openTxt)) ++depth;
-    if (isPunct(toks[k], closeTxt) && --depth == 0) return k;
-  }
-  return toks.size();
-}
-
-/// Brace depth each token lives at: an opening `{` lives at the outer depth,
-/// its contents at depth+1.
-std::vector<int> braceDepths(const std::vector<Token>& toks) {
-  std::vector<int> d(toks.size(), 0);
-  int depth = 0;
-  for (std::size_t k = 0; k < toks.size(); ++k) {
-    if (isPunct(toks[k], "}") && depth > 0) --depth;
-    d[k] = depth;
-    if (isPunct(toks[k], "{")) ++depth;
-  }
-  return d;
-}
-
-/// Walks back from `last` (inclusive) over an `a.b->c` chain and returns the
-/// normalized receiver string ("a.b.c") plus the index of its first token.
-/// `last` must be an identifier.
-struct Receiver {
-  std::string chain;
-  std::size_t begin = 0;
-};
-Receiver receiverChain(const std::vector<Token>& toks, std::size_t last) {
-  std::vector<std::string_view> parts{toks[last].text};
-  std::size_t k = last;
-  while (k >= 2 &&
-         (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->") ||
-          isPunct(toks[k - 1], "::")) &&
-         toks[k - 2].kind == TokKind::kIdent) {
-    parts.push_back(toks[k - 2].text);
-    k -= 2;
-  }
-  std::string chain;
-  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
-    if (!chain.empty()) chain.push_back('.');
-    chain.append(*it);
-  }
-  return {std::move(chain), k};
-}
 
 // ---------------------------------------------------------------------------
 // Rule: unordered-iteration
@@ -423,30 +370,6 @@ bool isObsMetricMacro(std::string_view m) {
          m == "PAO_GAUGE_SET" || m == "PAO_HISTOGRAM_OBSERVE";
 }
 
-/// `pao.<phase>.<metric>`: at least three dot-separated segments, each
-/// non-empty and limited to [a-z0-9_], with the first segment exactly `pao`.
-bool isValidMetricName(std::string_view name) {
-  std::size_t segments = 0;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t dot = name.find('.', start);
-    const std::string_view seg =
-        dot == std::string_view::npos ? name.substr(start)
-                                      : name.substr(start, dot - start);
-    if (seg.empty()) return false;
-    for (const char c : seg) {
-      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
-                      c == '_';
-      if (!ok) return false;
-    }
-    ++segments;
-    if (segments == 1 && seg != "pao") return false;
-    if (dot == std::string_view::npos) break;
-    start = dot + 1;
-  }
-  return segments >= 3;
-}
-
 /// Checks string literals passed as the name argument of the observability
 /// macros. Names built at runtime (non-literal first argument) are skipped:
 /// the registry sorts whatever it gets, but the convention can only be
@@ -520,10 +443,14 @@ void ruleDiagHygiene(std::string_view path, const std::vector<Token>& toks,
 // Suppressions
 // ---------------------------------------------------------------------------
 
-void applySuppressions(std::string_view path,
-                       const std::vector<Suppression>& sups,
-                       std::vector<Finding>& findings) {
+/// Marks findings anchored in `path` covered by a justified allow() on the
+/// same line or the line above. Findings in other files (lintTree merges
+/// tree-wide results before suppressing) are left alone.
+void markSuppressed(std::string_view path,
+                    const std::vector<Suppression>& sups,
+                    std::vector<Finding>& findings) {
   for (Finding& f : findings) {
+    if (f.file != path) continue;
     for (const Suppression& s : sups) {
       if (s.rule == f.rule && !s.justification.empty() &&
           (s.line == f.line || s.line == f.line - 1)) {
@@ -532,6 +459,13 @@ void applySuppressions(std::string_view path,
       }
     }
   }
+}
+
+/// Appends a `suppression` finding for every malformed allow() in `path`:
+/// unknown rule id or missing justification.
+void reportBadSuppressions(std::string_view path,
+                           const std::vector<Suppression>& sups,
+                           std::vector<Finding>& findings) {
   for (const Suppression& s : sups) {
     Finding f;
     f.file = std::string(path);
@@ -540,7 +474,8 @@ void applySuppressions(std::string_view path,
     if (!isKnownRule(s.rule)) {
       f.message = "allow() names unknown rule '" + s.rule + "'";
       f.hint = "valid rules: pointer-stability, unordered-iteration, "
-               "executor-hygiene, obs-naming, diag-hygiene";
+               "executor-hygiene, obs-naming, diag-hygiene, layering, "
+               "lock-discipline, catalog-drift";
     } else if (s.justification.empty()) {
       f.message = "allow(" + s.rule + ") without a justification";
       f.hint = "suppressions must say why the code is safe: "
@@ -550,6 +485,17 @@ void applySuppressions(std::string_view path,
     }
     findings.push_back(std::move(f));
   }
+}
+
+/// Runs the five per-file rules over one lexed TU.
+void runFileRules(std::string_view path, const LexResult& lexed,
+                  const std::vector<int>& depths, const Options& options,
+                  std::vector<Finding>& findings) {
+  rulePointerStability(path, lexed.tokens, depths, options, findings);
+  ruleUnorderedIteration(path, lexed.tokens, depths, findings);
+  ruleExecutorHygiene(path, lexed.tokens, options, findings);
+  ruleObsNaming(path, lexed.tokens, findings);
+  ruleDiagHygiene(path, lexed.tokens, options, findings);
 }
 
 }  // namespace
@@ -567,7 +513,8 @@ std::vector<AccessorAnnotation> defaultAccessors() {
 bool isKnownRule(std::string_view rule) {
   return rule == kRulePointerStability || rule == kRuleUnorderedIteration ||
          rule == kRuleExecutorHygiene || rule == kRuleObsNaming ||
-         rule == kRuleDiagHygiene;
+         rule == kRuleDiagHygiene || rule == kRuleLayering ||
+         rule == kRuleLockDiscipline || rule == kRuleCatalogDrift;
 }
 
 std::vector<Finding> lintSource(std::string_view path, std::string_view src,
@@ -575,16 +522,45 @@ std::vector<Finding> lintSource(std::string_view path, std::string_view src,
   const LexResult lexed = lex(src);
   const std::vector<int> depths = braceDepths(lexed.tokens);
   std::vector<Finding> findings;
-  rulePointerStability(path, lexed.tokens, depths, options, findings);
-  ruleUnorderedIteration(path, lexed.tokens, depths, findings);
-  ruleExecutorHygiene(path, lexed.tokens, options, findings);
-  ruleObsNaming(path, lexed.tokens, findings);
-  ruleDiagHygiene(path, lexed.tokens, options, findings);
-  applySuppressions(path, lexed.suppressions, findings);
+  runFileRules(path, lexed, depths, options, findings);
+  markSuppressed(path, lexed.suppressions, findings);
+  reportBadSuppressions(path, lexed.suppressions, findings);
   std::stable_sort(findings.begin(), findings.end(),
                    [](const Finding& a, const Finding& b) {
                      return a.line < b.line;
                    });
+  return findings;
+}
+
+std::vector<Finding> lintTree(const std::vector<FileInput>& files,
+                              const Options& options) {
+  std::vector<Finding> findings;
+  std::vector<FileFacts> facts;
+  facts.reserve(files.size());
+  for (const FileInput& in : files) {
+    const LexResult lexed = lex(in.src);
+    const std::vector<int> depths = braceDepths(lexed.tokens);
+    runFileRules(in.path, lexed, depths, options, findings);
+    facts.push_back(extractFacts(in.path, lexed));
+  }
+  std::vector<Finding> tree = analyzeTree(facts, options);
+  findings.insert(findings.end(), std::make_move_iterator(tree.begin()),
+                  std::make_move_iterator(tree.end()));
+  // Suppressions run after the merge so tree-wide findings anchored in a
+  // scanned file can be allow()ed at their anchor line like any other.
+  // Findings anchored in the design document have no scanned source to
+  // carry a comment — those can only be baselined.
+  for (const FileFacts& ff : facts) {
+    markSuppressed(ff.path, ff.suppressions, findings);
+    reportBadSuppressions(ff.path, ff.suppressions, findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
   return findings;
 }
 

@@ -43,6 +43,28 @@
 //                       exception type (see DESIGN.md "Robustness & failure
 //                       semantics").
 //
+// Three further rule families are *whole-program*: they only run through
+// lintTree(), which aggregates per-TU facts (lint/facts.hpp) across every
+// file handed to the driver:
+//
+//   layering            The module DAG `util -> geom -> db -> lefdef ->
+//                       {drc, benchgen} -> {pao, viz} -> router -> serve`
+//                       (with `obs` includable from anywhere) enforced on
+//                       project-relative quoted includes. An include of a
+//                       higher-ranked or same-rank sibling module is a
+//                       finding.
+//   lock-discipline     Blocking calls (file/socket I/O, parallelFor,
+//                       .join(), sleep_for) while a lock_guard/scoped_lock/
+//                       unique_lock is live in the enclosing scope;
+//                       double-lock of one mutex; and cross-file
+//                       inconsistent acquisition order between mutex pairs.
+//   catalog-drift       Stable identifiers (SRVnnn/DEFnnn/LEXnnn/GENnnn
+//                       error codes, PAO_FAULTS point names, pao.* metric
+//                       names) emitted by code but absent from the DESIGN.md
+//                       catalogs, and catalog entries no longer present in
+//                       code — both directions, making DESIGN.md a checked
+//                       artifact. Needs Options::designDocText.
+//
 // A further internal rule id, `suppression`, reports malformed suppressions
 // (missing justification, unknown rule id); it cannot itself be suppressed.
 #pragma once
@@ -59,6 +81,9 @@ inline constexpr std::string_view kRuleUnorderedIteration =
 inline constexpr std::string_view kRuleExecutorHygiene = "executor-hygiene";
 inline constexpr std::string_view kRuleObsNaming = "obs-naming";
 inline constexpr std::string_view kRuleDiagHygiene = "diag-hygiene";
+inline constexpr std::string_view kRuleLayering = "layering";
+inline constexpr std::string_view kRuleLockDiscipline = "lock-discipline";
+inline constexpr std::string_view kRuleCatalogDrift = "catalog-drift";
 inline constexpr std::string_view kRuleSuppression = "suppression";
 
 struct Finding {
@@ -68,6 +93,7 @@ struct Finding {
   std::string message;
   std::string hint;
   bool suppressed = false;  ///< a justified allow() covers this finding
+  bool baselined = false;   ///< present in the --baseline ratchet file
 };
 
 /// A project accessor known to return a reference into reallocating vector
@@ -97,8 +123,24 @@ struct Options {
   /// event loop in src/serve/server.cpp may touch sockets; dispatch workers
   /// compute responses and hand strings back.
   std::vector<std::string> socketIoBanSubstrings = {"src/serve/"};
+  /// Path substrings whose *emission sites* are exempt from the
+  /// undocumented-in-code half of catalog-drift: tests register scratch
+  /// metrics and synthetic fault points on purpose. Their identifier uses
+  /// still count as "alive in code" for the dead-in-docs direction.
+  std::vector<std::string> catalogExemptSubstrings = {"tests/"};
+  /// The design document the catalog-drift rule audits against (normally
+  /// DESIGN.md, loaded by the driver's --design-doc flag). When the text is
+  /// empty the rule is skipped entirely.
+  std::string designDocPath;
+  std::string designDocText;
 
   Options();
+};
+
+/// One in-memory translation unit handed to lintTree().
+struct FileInput {
+  std::string path;
+  std::string src;
 };
 
 /// The built-in annotation list. Empty today on purpose: Tech::addLayer /
@@ -110,14 +152,26 @@ std::vector<AccessorAnnotation> defaultAccessors();
 /// True when `rule` is a rule id findings can carry (and allow() can name).
 bool isKnownRule(std::string_view rule);
 
-/// Lints one in-memory translation unit. `path` is used for reporting and
-/// for the executor-hygiene path exemptions. Suppressed findings are
-/// returned with `suppressed == true` so callers can count or hide them.
+/// Lints one in-memory translation unit with the *per-file* rules only
+/// (pointer-stability, unordered-iteration, executor-hygiene, obs-naming,
+/// diag-hygiene). `path` is used for reporting and for the executor-hygiene
+/// path exemptions. Suppressed findings are returned with
+/// `suppressed == true` so callers can count or hide them.
 std::vector<Finding> lintSource(std::string_view path, std::string_view src,
                                 const Options& options);
 
-/// Reads and lints `path`. On I/O failure returns empty and sets *error.
+/// Reads and lints `path` (per-file rules only). On I/O failure returns
+/// empty and sets *error.
 std::vector<Finding> lintFile(const std::string& path, const Options& options,
                               std::string* error);
+
+/// The whole-program entry point: runs the per-file rules on every input,
+/// extracts per-TU facts, then runs the cross-TU rule families (layering,
+/// lock-discipline, catalog-drift) over the aggregate. Suppressions apply
+/// to every finding anchored in a scanned file; findings anchored in the
+/// design document (dead-in-docs catalog drift) can only be baselined.
+/// Results are sorted by (file, line, rule).
+std::vector<Finding> lintTree(const std::vector<FileInput>& files,
+                              const Options& options);
 
 }  // namespace pao::lint

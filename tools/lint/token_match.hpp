@@ -1,0 +1,94 @@
+// Small token-stream matching helpers shared by the per-file rule passes
+// (lint/rules.cpp) and the whole-program fact extractor (lint/facts.cpp).
+// Everything operates on the flat token vector produced by lint/lexer.hpp;
+// nothing here allocates beyond the returned values.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace pao::lint {
+
+inline bool isIdent(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kIdent && t.text == s;
+}
+inline bool isPunct(const Token& t, std::string_view s) {
+  return t.kind == TokKind::kPunct && t.text == s;
+}
+
+/// Index of the punctuator matching tokens[open] (an `open` punct), or
+/// tokens.size() when unbalanced.
+inline std::size_t matchForward(const std::vector<Token>& toks,
+                                std::size_t open, std::string_view openTxt,
+                                std::string_view closeTxt) {
+  int depth = 0;
+  for (std::size_t k = open; k < toks.size(); ++k) {
+    if (isPunct(toks[k], openTxt)) ++depth;
+    if (isPunct(toks[k], closeTxt) && --depth == 0) return k;
+  }
+  return toks.size();
+}
+
+/// Brace depth each token lives at: an opening `{` lives at the outer depth,
+/// its contents at depth+1.
+inline std::vector<int> braceDepths(const std::vector<Token>& toks) {
+  std::vector<int> d(toks.size(), 0);
+  int depth = 0;
+  for (std::size_t k = 0; k < toks.size(); ++k) {
+    if (isPunct(toks[k], "}") && depth > 0) --depth;
+    d[k] = depth;
+    if (isPunct(toks[k], "{")) ++depth;
+  }
+  return d;
+}
+
+/// Walks back from `last` (inclusive) over an `a.b->c` chain and returns the
+/// normalized receiver string ("a.b.c") plus the index of its first token.
+/// `last` must be an identifier.
+struct Receiver {
+  std::string chain;
+  std::size_t begin = 0;
+};
+inline Receiver receiverChain(const std::vector<Token>& toks,
+                              std::size_t last) {
+  std::vector<std::string_view> parts{toks[last].text};
+  std::size_t k = last;
+  while (k >= 2 &&
+         (isPunct(toks[k - 1], ".") || isPunct(toks[k - 1], "->") ||
+          isPunct(toks[k - 1], "::")) &&
+         toks[k - 2].kind == TokKind::kIdent) {
+    parts.push_back(toks[k - 2].text);
+    k -= 2;
+  }
+  std::string chain;
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    if (!chain.empty()) chain.push_back('.');
+    chain.append(*it);
+  }
+  return {std::move(chain), k};
+}
+
+/// The contents of a string-literal token with the surrounding quotes (and
+/// any encoding/raw prefix) removed. Raw string delimiters are stripped too.
+inline std::string_view literalBody(std::string_view text) {
+  const std::size_t open = text.find('"');
+  if (open == std::string_view::npos) return text;
+  // R"delim( ... )delim"
+  if (open > 0 && text[open - 1] == 'R') {
+    const std::size_t lp = text.find('(', open);
+    const std::size_t rp = text.rfind(')');
+    if (lp != std::string_view::npos && rp != std::string_view::npos &&
+        rp > lp) {
+      return text.substr(lp + 1, rp - lp - 1);
+    }
+  }
+  std::string_view body = text.substr(open + 1);
+  if (!body.empty() && body.back() == '"') body.remove_suffix(1);
+  return body;
+}
+
+}  // namespace pao::lint

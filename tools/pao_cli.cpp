@@ -712,6 +712,8 @@ int cmdBenchIncremental(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): first statement of main, no
+  // other threads exist yet and nothing ever calls setenv.
   if (const char* spec = std::getenv("PAO_FAULTS")) {
     std::string error;
     if (!pao::util::FaultRegistry::instance().configure(spec, &error)) {

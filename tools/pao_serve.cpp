@@ -54,6 +54,8 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): first statement of main, no
+  // other threads exist yet and nothing ever calls setenv.
   if (const char* spec = std::getenv("PAO_FAULTS")) {
     std::string error;
     if (!pao::util::FaultRegistry::instance().configure(spec, &error)) {

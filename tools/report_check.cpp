@@ -10,6 +10,9 @@
 //   report_check metrics <file.json>           validate a metrics snapshot
 //                                              (report section or pao_serve
 //                                              metrics response)
+//   report_check sarif <file.json>             validate a SARIF 2.1.0 log
+//                                              (as emitted by pao_lint
+//                                              --format sarif)
 //
 // Exit 0 = valid / equal, 1 = invalid / different, 2 = usage or I/O error.
 // Diagnostics go to stderr; nothing is written to stdout.
@@ -32,7 +35,8 @@ int usage() {
                "  report_check trace <file.json> [minSpans]"
                " [--require-worker]\n"
                "  report_check compare <a.json> <b.json> [--ignore KEY ...]\n"
-               "  report_check metrics <file.json>\n");
+               "  report_check metrics <file.json>\n"
+               "  report_check sarif <file.json>\n");
   return 2;
 }
 
@@ -153,12 +157,93 @@ int cmdMetrics(const char* path) {
   return 0;
 }
 
+/// Structural validation of a SARIF 2.1.0 log: version, a non-empty runs
+/// array whose first run names a tool driver with a rule catalog, and every
+/// result carrying ruleId, a message text, and at least one physical
+/// location with an artifact URI and a positive startLine.
+int cmdSarif(const char* path) {
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  const auto fail = [path](const char* what) {
+    std::fprintf(stderr, "%s: invalid SARIF: %s\n", path, what);
+    return 1;
+  };
+  const pao::obs::Json* version = doc.find("version");
+  if (version == nullptr || !version->isString() ||
+      version->asString() != "2.1.0") {
+    return fail("version must be \"2.1.0\"");
+  }
+  const pao::obs::Json* runs = doc.find("runs");
+  if (runs == nullptr || !runs->isArray() || runs->items().empty()) {
+    return fail("runs must be a non-empty array");
+  }
+  const pao::obs::Json& run = runs->items().front();
+  const pao::obs::Json* tool = run.find("tool");
+  const pao::obs::Json* driver = tool != nullptr ? tool->find("driver") : nullptr;
+  const pao::obs::Json* name = driver != nullptr ? driver->find("name") : nullptr;
+  if (name == nullptr || !name->isString() || name->asString().empty()) {
+    return fail("runs[0].tool.driver.name missing");
+  }
+  const pao::obs::Json* rules = driver->find("rules");
+  if (rules == nullptr || !rules->isArray() || rules->items().empty()) {
+    return fail("runs[0].tool.driver.rules missing or empty");
+  }
+  for (const pao::obs::Json& rule : rules->items()) {
+    const pao::obs::Json* id = rule.find("id");
+    if (id == nullptr || !id->isString() || id->asString().empty()) {
+      return fail("every rule needs a non-empty id");
+    }
+  }
+  const pao::obs::Json* results = run.find("results");
+  if (results == nullptr || !results->isArray()) {
+    return fail("runs[0].results must be an array");
+  }
+  for (const pao::obs::Json& r : results->items()) {
+    const pao::obs::Json* ruleId = r.find("ruleId");
+    if (ruleId == nullptr || !ruleId->isString() ||
+        ruleId->asString().empty()) {
+      return fail("every result needs a ruleId");
+    }
+    const pao::obs::Json* message = r.find("message");
+    const pao::obs::Json* text =
+        message != nullptr ? message->find("text") : nullptr;
+    if (text == nullptr || !text->isString() || text->asString().empty()) {
+      return fail("every result needs message.text");
+    }
+    const pao::obs::Json* locations = r.find("locations");
+    if (locations == nullptr || !locations->isArray() ||
+        locations->items().empty()) {
+      return fail("every result needs locations");
+    }
+    const pao::obs::Json* phys =
+        locations->items().front().find("physicalLocation");
+    const pao::obs::Json* artifact =
+        phys != nullptr ? phys->find("artifactLocation") : nullptr;
+    const pao::obs::Json* uri =
+        artifact != nullptr ? artifact->find("uri") : nullptr;
+    if (uri == nullptr || !uri->isString() || uri->asString().empty()) {
+      return fail("every result needs physicalLocation.artifactLocation.uri");
+    }
+    const pao::obs::Json* region = phys->find("region");
+    const pao::obs::Json* startLine =
+        region != nullptr ? region->find("startLine") : nullptr;
+    if (startLine == nullptr || !startLine->isNumber() ||
+        startLine->asDouble() < 1) {
+      return fail("every result needs region.startLine >= 1");
+    }
+  }
+  std::fprintf(stderr, "%s: valid SARIF 2.1.0 (%zu rules, %zu results)\n",
+               path, rules->items().size(), results->items().size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   if (cmd == "report" && argc == 3) return cmdReport(argv[2]);
+  if (cmd == "sarif" && argc == 3) return cmdSarif(argv[2]);
   if (cmd == "trace") return cmdTrace(argc, argv);
   if (cmd == "metrics" && argc == 3) return cmdMetrics(argv[2]);
   if (cmd == "compare" && argc >= 4) {
