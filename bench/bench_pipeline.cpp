@@ -1,0 +1,166 @@
+// Pipeline-shape bench for the job-graph oracle (ROADMAP item 2): runs the
+// mixed preset through OracleSession and reports
+//   - the graph shape: node count, Step-3 DP nodes that started while
+//     Steps 1-2 work was still pending (pipeline overlap), steal count,
+//   - the memory layout win: heap allocation count per analyze with the
+//     scratch arena on vs bypassed (same code path, Arena::setBypass).
+//
+// Self-check (exit 1 on failure): the overlap must be nonzero — the DFS
+// schedule starts a ready cluster before unrelated classes finish, even
+// serially — and the arena must cut heap allocations by >= 30%.
+//
+// The binary overrides global operator new/delete to count allocations;
+// keep it leaf (no other benches link this TU).
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "bench_common.hpp"
+#include "benchgen/testcase.hpp"
+#include "pao/session.hpp"
+#include "util/arena.hpp"
+
+namespace {
+std::atomic<std::uint64_t> gHeapAllocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  gHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(n ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  gHeapAllocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (n + a - 1) / a * a;
+  void* p = std::aligned_alloc(a, rounded ? rounded : a);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) { return operator new(n); }
+void* operator new[](std::size_t n, std::align_val_t align) {
+  return operator new(n, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+using namespace pao;
+
+namespace {
+
+struct RunMeasure {
+  core::OracleSession::Stats stats;
+  std::uint64_t heapAllocs = 0;
+  std::uint64_t arenaBytes = 0;
+};
+
+RunMeasure analyzeOnce(const db::Design& design, int threads) {
+  core::OracleConfig cfg;
+  cfg.numThreads = threads;
+  const std::uint64_t allocs0 = gHeapAllocs.load(std::memory_order_relaxed);
+  util::Arena::resetBytesRequested();
+  core::OracleSession session(design, cfg);
+  RunMeasure m;
+  m.stats = session.stats();
+  m.heapAllocs = gHeapAllocs.load(std::memory_order_relaxed) - allocs0;
+  m.arenaBytes = util::Arena::bytesRequested();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = bench::benchScale(0.02);
+  bench::BenchReport report("bench_pipeline");
+  const benchgen::Testcase tc = benchgen::generate(benchgen::mixedSpec(),
+                                                   scale);
+  std::printf("Pipeline shape on %s (scale %.3g, %zu insts)\n",
+              tc.spec.name.c_str(), scale, tc.design->instances.size());
+
+  // Serial run: the overlap count is deterministic at one worker (the DFS
+  // schedule is fixed), which is what the self-check keys on.
+  const RunMeasure arenaRun = analyzeOnce(*tc.design, /*threads=*/1);
+  // Full-pool run, only for the steal counter (schedule-dependent).
+  const RunMeasure pooled = analyzeOnce(*tc.design, /*threads=*/0);
+
+  util::Arena::setBypass(true);
+  const RunMeasure bypassRun = analyzeOnce(*tc.design, /*threads=*/1);
+  util::Arena::setBypass(false);
+
+  const std::size_t clusterJobs = arenaRun.stats.lastClusterCount;
+  const double overlapFraction =
+      clusterJobs > 0 ? static_cast<double>(arenaRun.stats.overlapJobs) /
+                            static_cast<double>(clusterJobs)
+                      : 0.0;
+  const double allocCut =
+      bypassRun.heapAllocs > 0
+          ? 1.0 - static_cast<double>(arenaRun.heapAllocs) /
+                      static_cast<double>(bypassRun.heapAllocs)
+          : 0.0;
+
+  std::printf("%-34s | %10s\n", "quantity", "value");
+  bench::printRule(50);
+  std::printf("%-34s | %10zu\n", "graph jobs", arenaRun.stats.graphJobs);
+  std::printf("%-34s | %10zu\n", "cluster DP jobs", clusterJobs);
+  std::printf("%-34s | %10zu\n", "overlap jobs (serial DFS)",
+              arenaRun.stats.overlapJobs);
+  std::printf("%-34s | %10.3f\n", "overlap fraction", overlapFraction);
+  std::printf("%-34s | %10zu\n", "steals (threads=0 run)",
+              static_cast<std::size_t>(pooled.stats.graphSteals));
+  std::printf("%-34s | %10llu\n", "arena bytes requested",
+              static_cast<unsigned long long>(arenaRun.arenaBytes));
+  std::printf("%-34s | %10llu\n", "heap allocs (arena)",
+              static_cast<unsigned long long>(arenaRun.heapAllocs));
+  std::printf("%-34s | %10llu\n", "heap allocs (bypass)",
+              static_cast<unsigned long long>(bypassRun.heapAllocs));
+  std::printf("%-34s | %9.1f%%\n", "heap-alloc reduction", allocCut * 100.0);
+  std::fflush(stdout);
+
+  report.bench()
+      .set("instances", obs::Json(tc.design->instances.size()))
+      .set("graphJobs", obs::Json(arenaRun.stats.graphJobs))
+      .set("clusterJobs", obs::Json(clusterJobs))
+      .set("overlapJobs", obs::Json(arenaRun.stats.overlapJobs))
+      .set("overlapFraction", obs::Json(overlapFraction))
+      .set("steals", obs::Json(pooled.stats.graphSteals))
+      .set("pairChecks", obs::Json(arenaRun.stats.pairChecks))
+      .set("arenaBytes", obs::Json(static_cast<double>(arenaRun.arenaBytes)))
+      .set("heapAllocsArena", obs::Json(static_cast<double>(arenaRun.heapAllocs)))
+      .set("heapAllocsBypass",
+           obs::Json(static_cast<double>(bypassRun.heapAllocs)))
+      .set("heapAllocReduction", obs::Json(allocCut));
+  report.write();
+
+  bool ok = true;
+  if (arenaRun.stats.overlapJobs == 0) {
+    std::fprintf(stderr,
+                 "selfcheck FAILED: no Step-3 job started while Steps 1-2 "
+                 "work was pending\n");
+    ok = false;
+  }
+  if (allocCut < 0.30) {
+    std::fprintf(stderr,
+                 "selfcheck FAILED: arena cut heap allocations by %.1f%% "
+                 "(need >= 30%%)\n",
+                 allocCut * 100.0);
+    ok = false;
+  }
+  if (ok) std::fprintf(stderr, "selfcheck OK\n");
+  return ok ? 0 : 1;
+}

@@ -54,7 +54,7 @@ int main() {
                     static_cast<long long>(ap.loc.y),
                     typeNames[static_cast<int>(ap.prefType)],
                     typeNames[static_cast<int>(ap.nonPrefType)],
-                    ap.viaDefs.size(), ap.dirs & core::kEast ? 'E' : '-',
+                    ap.viaIdx.size(), ap.dirs & core::kEast ? 'E' : '-',
                     ap.dirs & core::kWest ? 'W' : '-',
                     ap.dirs & core::kNorth ? 'N' : '-',
                     ap.dirs & core::kSouth ? 'S' : '-',

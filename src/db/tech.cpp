@@ -33,7 +33,8 @@ Layer& Tech::addLayer(std::string layerName, LayerType type) {
 ViaDef& Tech::addViaDef(std::string viaName) {
   ViaDef& v = viaDefs_.emplace_back();
   v.name = std::move(viaName);
-  viaByName_[v.name] = static_cast<int>(viaDefs_.size()) - 1;
+  v.index = static_cast<int>(viaDefs_.size()) - 1;
+  viaByName_[v.name] = v.index;
   return v;
 }
 

@@ -78,6 +78,7 @@ struct Layer {
 /// enclosure) centered on the via origin.
 struct ViaDef {
   std::string name;
+  int index = -1;     ///< position in Tech::viaDefs() (stable id)
   int botLayer = -1;  ///< routing layer index
   int cutLayer = -1;  ///< cut layer index
   int topLayer = -1;  ///< routing layer index
@@ -112,6 +113,7 @@ class Tech {
   const Layer* findLayer(std::string_view name) const;
 
   const std::deque<ViaDef>& viaDefs() const { return viaDefs_; }
+  const ViaDef& viaDef(int idx) const { return viaDefs_.at(idx); }
   const ViaDef* findViaDef(std::string_view name) const;
   /// All via defs whose bottom routing layer is `botLayer`, default-first.
   std::vector<const ViaDef*> viaDefsFromLayer(int botLayer) const;

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/executor.hpp"
+#include "util/jobs.hpp"
 
 namespace pao::drc {
 
@@ -274,10 +275,14 @@ std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
     });
   }
 
+  // Each shard is a node of a (single-layer) job graph: callers that are
+  // themselves job-graph nodes degrade to serial via the nested-run rule,
+  // and shard slot writes keep the merge below schedule-invariant.
   std::vector<std::vector<Violation>> shardOut(tasks.size());
-  util::parallelFor(
-      tasks.size(), [&](std::size_t t) { tasks[t](shardOut[t]); },
-      numThreads);
+  util::JobGraph graph;
+  graph.addJobRange(tasks.size(),
+                    [&](std::size_t t) { tasks[t](shardOut[t]); });
+  graph.run(numThreads);
 
   std::vector<Violation> out;
   for (std::vector<Violation>& shard : shardOut) {

@@ -3,9 +3,9 @@
 // fixed-size grid cells and rectangle queries visit only overlapping bins.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "geom/geom.hpp"
@@ -22,7 +22,9 @@ class GridIndex {
   void insert(const Rect& bbox, T value) {
     const std::size_t idx = items_.size();
     items_.push_back({bbox, std::move(value)});
-    forEachBin(bbox, [&](std::int64_t key) { bins_[key].push_back(idx); });
+    forEachBin(bbox, [&](std::int64_t key, std::int64_t, std::int64_t) {
+      bins_[key].push_back(idx);
+    });
   }
 
   void clear() {
@@ -33,16 +35,26 @@ class GridIndex {
   std::size_t size() const { return items_.size(); }
 
   /// Invokes `fn(bbox, value)` for every item whose bbox intersects `query`
-  /// (closed-region semantics: touching counts).
+  /// (closed-region semantics: touching counts). Allocation-free: an item
+  /// spanning several visited bins is reported only from the first bin (in
+  /// scan order) of its bbox's bin range clipped to the query's — a
+  /// stateless dedup, so concurrent queries need no shared state either.
   template <typename Fn>
   void query(const Rect& query, Fn&& fn) const {
-    std::unordered_set<std::size_t> seen;
-    forEachBin(query, [&](std::int64_t key) {
+    if (query.empty()) return;
+    const std::int64_t qx1 = floorDiv(query.xlo);
+    const std::int64_t qy1 = floorDiv(query.ylo);
+    forEachBin(query, [&](std::int64_t key, std::int64_t gx, std::int64_t gy) {
       const auto it = bins_.find(key);
       if (it == bins_.end()) return;
       for (const std::size_t idx : it->second) {
-        if (!items_[idx].bbox.intersects(query)) continue;
-        if (seen.insert(idx).second) fn(items_[idx].bbox, items_[idx].value);
+        const Rect& bbox = items_[idx].bbox;
+        if (!bbox.intersects(query)) continue;
+        if (gx != std::max(qx1, floorDiv(bbox.xlo)) ||
+            gy != std::max(qy1, floorDiv(bbox.ylo))) {
+          continue;
+        }
+        fn(bbox, items_[idx].value);
       }
     });
   }
@@ -69,7 +81,7 @@ class GridIndex {
     const std::int64_t y2 = floorDiv(r.yhi);
     for (std::int64_t gy = y1; gy <= y2; ++gy) {
       for (std::int64_t gx = x1; gx <= x2; ++gx) {
-        fn((gy << 21) ^ gx);
+        fn((gy << 21) ^ gx, gx, gy);
       }
     }
   }

@@ -6,13 +6,31 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "util/arena.hpp"
+
 namespace pao::geom {
+
+// These primitives run inside the DRC hot loop (every checkVia calls
+// unionBoundary twice through min-step/EOL), so all internal scratch —
+// interval lists, sweep events, edge stitching tables — lives in the
+// calling thread's arena and dies at function exit. Only the returned
+// containers touch the heap.
 
 namespace {
 
-/// Merges a set of closed intervals into a minimal disjoint set.
-std::vector<Interval> mergeIntervals(std::vector<Interval> ivs) {
-  std::vector<Interval> out;
+using util::ArenaVector;
+
+template <typename K, typename V, typename Comp = std::less<K>>
+using ArenaMap = std::map<K, V, Comp, util::ArenaAllocator<std::pair<const K, V>>>;
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+using ArenaHashMap =
+    std::unordered_map<K, V, Hash, std::equal_to<K>,
+                       util::ArenaAllocator<std::pair<const K, V>>>;
+
+/// Merges a set of closed intervals into a minimal disjoint set (in place).
+void mergeIntervals(ArenaVector<Interval>& ivs, ArenaVector<Interval>& out) {
+  out.clear();
   std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
     return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
   });
@@ -24,7 +42,6 @@ std::vector<Interval> mergeIntervals(std::vector<Interval> ivs) {
       out.push_back(iv);
     }
   }
-  return out;
 }
 
 std::vector<Rect> transpose(const std::vector<Rect>& rects) {
@@ -34,33 +51,43 @@ std::vector<Rect> transpose(const std::vector<Rect>& rects) {
   return out;
 }
 
-}  // namespace
-
-std::vector<Rect> unionSlabs(std::vector<Rect> rects) {
-  std::erase_if(rects, [](const Rect& r) { return r.empty() || r.area() == 0; });
-  if (rects.empty()) return {};
-
-  std::vector<Coord> ys;
-  ys.reserve(rects.size() * 2);
+/// Shared slab sweep: appends the disjoint canonical slabs of the union of
+/// `rects` to `out` (any container with emplace_back/back/size/operator[]).
+/// The caller must hold an ArenaScope — an arena-backed `out` is allocated
+/// from that scope, so opening one here would rewind it on return.
+template <typename OutVec>
+void unionSlabsInto(const std::vector<Rect>& rects, OutVec& out) {
+  ArenaVector<Rect> live;
+  live.reserve(rects.size());
   for (const Rect& r : rects) {
+    if (!r.empty() && r.area() != 0) live.push_back(r);
+  }
+  if (live.empty()) return;
+
+  ArenaVector<Coord> ys;
+  ys.reserve(live.size() * 2);
+  for (const Rect& r : live) {
     ys.push_back(r.ylo);
     ys.push_back(r.yhi);
   }
   std::sort(ys.begin(), ys.end());
   ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
 
-  std::vector<Rect> out;
-  // Open rects from the previous band keyed by x-interval, for vertical merge.
-  std::map<std::pair<Coord, Coord>, std::size_t> open;
+  // Open slabs from the previous band keyed by x-interval, for vertical
+  // merge.
+  ArenaMap<std::pair<Coord, Coord>, std::size_t> open;
+  ArenaVector<Interval> xs;
+  ArenaVector<Interval> merged;
   for (std::size_t bi = 0; bi + 1 < ys.size(); ++bi) {
     const Coord y1 = ys[bi];
     const Coord y2 = ys[bi + 1];
-    std::vector<Interval> xs;
-    for (const Rect& r : rects) {
+    xs.clear();
+    for (const Rect& r : live) {
       if (r.ylo <= y1 && r.yhi >= y2) xs.push_back(r.xSpan());
     }
-    std::map<std::pair<Coord, Coord>, std::size_t> nextOpen;
-    for (const Interval& iv : mergeIntervals(std::move(xs))) {
+    ArenaMap<std::pair<Coord, Coord>, std::size_t> nextOpen;
+    mergeIntervals(xs, merged);
+    for (const Interval& iv : merged) {
       const auto key = std::make_pair(iv.lo, iv.hi);
       const auto it = open.find(key);
       if (it != open.end() && out[it->second].yhi == y1) {
@@ -73,19 +100,31 @@ std::vector<Rect> unionSlabs(std::vector<Rect> rects) {
     }
     open = std::move(nextOpen);
   }
+}
+
+}  // namespace
+
+std::vector<Rect> unionSlabs(std::vector<Rect> rects) {
+  util::ArenaScope scratch(util::scratchArena());
+  std::vector<Rect> out;
+  unionSlabsInto(rects, out);
   return out;
 }
 
 Area unionArea(const std::vector<Rect>& rects) {
+  util::ArenaScope scratch(util::scratchArena());
+  ArenaVector<Rect> slabs;
+  unionSlabsInto(rects, slabs);
   Area a = 0;
-  for (const Rect& r : unionSlabs(rects)) a += r.area();
+  for (const Rect& r : slabs) a += r.area();
   return a;
 }
 
 std::vector<std::vector<Rect>> connectedComponents(
     const std::vector<Rect>& rects) {
+  util::ArenaScope scratch(util::scratchArena());
   const std::size_t n = rects.size();
-  std::vector<std::size_t> parent(n);
+  ArenaVector<std::size_t> parent(n);
   std::iota(parent.begin(), parent.end(), 0);
   const auto find = [&](std::size_t i) {
     while (parent[i] != i) {
@@ -99,7 +138,7 @@ std::vector<std::vector<Rect>> connectedComponents(
       if (rects[i].intersects(rects[j])) parent[find(i)] = find(j);
     }
   }
-  std::unordered_map<std::size_t, std::size_t> rootToIdx;
+  ArenaHashMap<std::size_t, std::size_t> rootToIdx;
   std::vector<std::vector<Rect>> out;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t root = find(i);
@@ -121,10 +160,11 @@ struct RawEdge {
 /// contributions and appends net boundary edges. `plus` intervals carry
 /// weight +1, `minus` weight -1; net +1 emits a forward edge, net -1 a
 /// reversed edge, at the given fixed coordinate.
-void sweepLine(Coord fixed, bool horizontal, std::vector<Interval> plus,
-               std::vector<Interval> minus, std::vector<RawEdge>& out) {
+void sweepLine(Coord fixed, bool horizontal, const ArenaVector<Interval>& plus,
+               const ArenaVector<Interval>& minus,
+               ArenaVector<RawEdge>& out) {
   // Event-based coverage count over the variable axis.
-  std::map<Coord, int> delta;
+  ArenaMap<Coord, int> delta;
   for (const Interval& iv : plus) {
     delta[iv.lo] += 1;
     delta[iv.hi] -= 1;
@@ -172,52 +212,52 @@ Point dirOf(const RawEdge& e) {
 }  // namespace
 
 std::vector<BoundaryRing> unionBoundary(const std::vector<Rect>& rects) {
-  const std::vector<Rect> slabs = unionSlabs(rects);
+  util::ArenaScope scratch(util::scratchArena());
+  ArenaVector<Rect> slabs;
+  unionSlabsInto(rects, slabs);
   if (slabs.empty()) return {};
 
-  std::vector<RawEdge> edges;
+  ArenaVector<RawEdge> edges;
 
+  using IntervalPair = std::pair<ArenaVector<Interval>, ArenaVector<Interval>>;
   // Horizontal boundary edges: group slab bottoms (+1) and tops (-1) by y.
   {
-    std::map<Coord, std::pair<std::vector<Interval>, std::vector<Interval>>> byY;
+    ArenaMap<Coord, IntervalPair> byY;
     for (const Rect& s : slabs) {
       byY[s.ylo].first.push_back(s.xSpan());
       byY[s.yhi].second.push_back(s.xSpan());
     }
     for (auto& [y, pm] : byY) {
-      sweepLine(y, /*horizontal=*/true, std::move(pm.first),
-                std::move(pm.second), edges);
+      sweepLine(y, /*horizontal=*/true, pm.first, pm.second, edges);
     }
   }
   // Vertical boundary edges: rights carry +1 (direction +y, interior left),
   // lefts carry -1 (direction -y).
   {
-    std::map<Coord, std::pair<std::vector<Interval>, std::vector<Interval>>> byX;
+    ArenaMap<Coord, IntervalPair> byX;
     for (const Rect& s : slabs) {
       byX[s.xhi].first.push_back(s.ySpan());
       byX[s.xlo].second.push_back(s.ySpan());
     }
-    std::vector<RawEdge> vertical;
     for (auto& [x, pm] : byX) {
-      sweepLine(x, /*horizontal=*/false, std::move(pm.first),
-                std::move(pm.second), vertical);
+      sweepLine(x, /*horizontal=*/false, pm.first, pm.second, edges);
     }
-    edges.insert(edges.end(), vertical.begin(), vertical.end());
   }
 
   // Stitch directed edges into rings; interior is on the left of every edge.
-  std::unordered_map<Point, std::vector<std::size_t>> outgoing;
+  ArenaHashMap<Point, ArenaVector<std::size_t>> outgoing;
   for (std::size_t i = 0; i < edges.size(); ++i) {
     outgoing[edges[i].from].push_back(i);
   }
-  std::vector<bool> used(edges.size(), false);
+  ArenaVector<char> used(edges.size(), 0);
   std::vector<BoundaryRing> rings;
+  ArenaVector<BoundaryEdge> ring;
   for (std::size_t seed = 0; seed < edges.size(); ++seed) {
     if (used[seed]) continue;
-    BoundaryRing ring;
+    ring.clear();
     std::size_t cur = seed;
     while (!used[cur]) {
-      used[cur] = true;
+      used[cur] = 1;
       ring.push_back({edges[cur].from, edges[cur].to});
       const Point at = edges[cur].to;
       const auto it = outgoing.find(at);
@@ -238,6 +278,7 @@ std::vector<BoundaryRing> unionBoundary(const std::vector<Rect>& rects) {
     }
     // Merge collinear consecutive edges, including across the wrap point.
     BoundaryRing merged;
+    merged.reserve(ring.size());
     for (const BoundaryEdge& e : ring) {
       if (!merged.empty()) {
         BoundaryEdge& last = merged.back();
@@ -271,9 +312,10 @@ std::vector<BoundaryRing> unionBoundary(const std::vector<Rect>& rects) {
 }
 
 std::vector<Rect> maxRects(const std::vector<Rect>& rects) {
+  util::ArenaScope scratch(util::scratchArena());
   std::vector<Rect> out;
 
-  const auto extendVertically = [](const std::vector<Rect>& slabs,
+  const auto extendVertically = [](const ArenaVector<Rect>& slabs,
                                    std::vector<Rect>& result) {
     for (const Rect& s : slabs) {
       Coord lo = s.ylo;
@@ -296,9 +338,13 @@ std::vector<Rect> maxRects(const std::vector<Rect>& rects) {
     }
   };
 
-  extendVertically(unionSlabs(rects), out);
+  ArenaVector<Rect> slabs;
+  unionSlabsInto(rects, slabs);
+  extendVertically(slabs, out);
   std::vector<Rect> vOut;
-  extendVertically(unionSlabs(transpose(rects)), vOut);
+  slabs.clear();
+  unionSlabsInto(transpose(rects), slabs);
+  extendVertically(slabs, vOut);
   for (const Rect& r : transpose(vOut)) out.push_back(r);
 
   std::sort(out.begin(), out.end());

@@ -172,8 +172,8 @@ std::string AccessCache::save(const db::Tech& tech,
         os << "AP " << ap.loc.x << " " << ap.loc.y << " " << ap.layer << " "
            << static_cast<int>(ap.prefType) << " "
            << static_cast<int>(ap.nonPrefType) << " "
-           << static_cast<int>(ap.dirs) << " " << ap.viaDefs.size();
-        for (const db::ViaDef* via : ap.viaDefs) os << " " << via->name;
+           << static_cast<int>(ap.dirs) << " " << ap.viaIdx.size();
+        for (const std::int32_t v : ap.viaIdx) os << " " << tech.viaDef(v).name;
         os << "\n";
       }
     }
@@ -317,7 +317,7 @@ std::size_t AccessCache::load(const std::string& text, const db::Tech& tech,
           if (via == nullptr) {
             return corrupt("unknown via '" + viaName + "'");
           }
-          ap.viaDefs.push_back(via);
+          ap.viaIdx.push_back(via->index);
         }
       }
     }
@@ -412,7 +412,7 @@ std::size_t AccessCache::loadV1(std::istream& is, std::size_t textSize,
           is >> viaName;
           const db::ViaDef* via = tech.findViaDef(viaName);
           if (via != nullptr) {
-            ap.viaDefs.push_back(via);
+            ap.viaIdx.push_back(via->index);
           } else {
             ok = false;
           }

@@ -2,13 +2,20 @@
 // plus the directions (planar east/west/north/south and via "up") from which
 // the detailed router may end routing there, with the list of DRC-valid
 // up-vias (primary first) and the coordinate-type cost that prioritized it.
+//
+// Layout note (ROADMAP item 2): vias are stored as indices into
+// Tech::viaDefs() in a small inline buffer, not as a heap-owning vector of
+// pointers. Oracles hold millions of APs; the flat index layout keeps the
+// struct compact, allocation-free in the common case (<= 4 valid up-vias),
+// and trivially serializable — the cache maps index <-> via name at the
+// file boundary.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "db/tech.hpp"
 #include "geom/geom.hpp"
+#include "util/small_vec.hpp"
 
 namespace pao::core {
 
@@ -37,12 +44,14 @@ struct AccessPoint {
   CoordType prefType = CoordType::kOnTrack;     ///< preferred-direction coord
   CoordType nonPrefType = CoordType::kOnTrack;  ///< non-preferred-direction
   std::uint8_t dirs = 0;  ///< valid AccessDir bits
-  /// DRC-valid up-vias; front() is the primary via.
-  std::vector<const db::ViaDef*> viaDefs;
+  /// DRC-valid up-vias as indices into Tech::viaDefs(); [0] is the primary.
+  util::SmallVec<std::int32_t, 4> viaIdx;
 
   bool hasUp() const { return (dirs & kUp) != 0; }
-  const db::ViaDef* primaryVia() const {
-    return viaDefs.empty() ? nullptr : viaDefs.front();
+  /// Index of the primary up-via in Tech::viaDefs(), or -1.
+  std::int32_t primaryViaIdx() const { return viaIdx.empty() ? -1 : viaIdx[0]; }
+  const db::ViaDef* primaryVia(const db::Tech& tech) const {
+    return viaIdx.empty() ? nullptr : &tech.viaDef(viaIdx[0]);
   }
   /// Coordinate-type cost (lower is better; Sec. II-C).
   int typeCost() const { return cost(prefType) + cost(nonPrefType); }

@@ -129,9 +129,9 @@ bool AccessPointGenerator::validate(AccessPoint& ap, int pinIdx) const {
 
   // Up-via access: probe every via def rooted on this layer, default first.
   for (const db::ViaDef* via : design.tech->viaDefsFromLayer(ap.layer)) {
-    if (engine.isViaClean(*via, ap.loc, net)) ap.viaDefs.push_back(via);
+    if (engine.isViaClean(*via, ap.loc, net)) ap.viaIdx.push_back(via->index);
   }
-  if (!ap.viaDefs.empty()) ap.dirs |= kUp;
+  if (!ap.viaIdx.empty()) ap.dirs |= kUp;
 
   // Planar access: probe an escape stub of the default wire width leaving the
   // point in each direction.

@@ -7,9 +7,10 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/arena.hpp"
 #include "util/cpu_time.hpp"
-#include "util/executor.hpp"
 #include "util/fault.hpp"
+#include "util/jobs.hpp"
 
 namespace pao::core {
 
@@ -57,30 +58,21 @@ std::vector<std::vector<int>> buildClusters(const db::Design& design) {
   return clusters;
 }
 
-std::vector<std::vector<std::size_t>> clusterWaves(
+std::vector<std::vector<std::size_t>> clusterDeps(
     const std::vector<std::vector<int>>& clusters) {
-  std::vector<std::size_t> waveOf(clusters.size(), 0);
-  std::size_t lastWave = 0;
-  std::unordered_map<int, std::size_t> instWave;
+  std::vector<std::vector<std::size_t>> deps(clusters.size());
+  // lastCluster[inst]: the most recent earlier cluster containing inst.
+  std::unordered_map<int, std::size_t> lastCluster;
   for (std::size_t c = 0; c < clusters.size(); ++c) {
-    std::size_t w = 0;
     for (const int inst : clusters[c]) {
-      const auto it = instWave.find(inst);
-      if (it != instWave.end()) w = std::max(w, it->second + 1);
+      const auto it = lastCluster.find(inst);
+      if (it != lastCluster.end()) deps[c].push_back(it->second);
     }
-    waveOf[c] = w;
-    lastWave = std::max(lastWave, w);
-    for (const int inst : clusters[c]) {
-      auto [it, inserted] = instWave.try_emplace(inst, w);
-      if (!inserted) it->second = std::max(it->second, w);
-    }
+    std::sort(deps[c].begin(), deps[c].end());
+    deps[c].erase(std::unique(deps[c].begin(), deps[c].end()), deps[c].end());
+    for (const int inst : clusters[c]) lastCluster[inst] = c;
   }
-  std::vector<std::vector<std::size_t>> waves(
-      clusters.empty() ? 0 : lastWave + 1);
-  for (std::size_t c = 0; c < clusters.size(); ++c) {
-    waves[waveOf[c]].push_back(c);
-  }
-  return waves;
+  return deps;
 }
 
 ClusterSelector::ClusterSelector(const db::Design& design,
@@ -190,24 +182,29 @@ bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
   const std::vector<PlacedAp> left = boundaryAps(instA, patA, /*right=*/true);
   const std::vector<PlacedAp> right =
       boundaryAps(instB, patB, /*right=*/false);
+  const db::Tech& tech = *design_->tech;
+  // Probes are tallied locally and committed only if this thread's result
+  // wins the memo-cache insert below, which makes the published count equal
+  // to the serial one at any thread count (see numPairChecks()).
+  std::size_t localChecks = 0;
   const auto viaClean = [&](const PlacedAp& ap,
                             const std::vector<drc::Shape>& ownEdge,
                             const std::vector<drc::Shape>& otherEdge,
                             const PlacedAp* other) {
-    if (ap.ap->primaryVia() == nullptr) return true;
+    if (ap.ap->primaryVia(tech) == nullptr) return true;
     // The via's own cell shapes come along (its own pin bar shares the via's
     // net id) so merged-component rules see the real pin geometry; conflicts
     // against the own cell were already cleared in Step 2.
     std::vector<drc::Shape> extra = otherEdge;
     extra.insert(extra.end(), ownEdge.begin(), ownEdge.end());
-    if (other != nullptr && other->ap->primaryVia() != nullptr) {
+    if (other != nullptr && other->ap->primaryVia(tech) != nullptr) {
       for (const drc::Shape& s : pairEngine_.viaShapes(
-               *other->ap->primaryVia(), other->loc, other->net)) {
+               *other->ap->primaryVia(tech), other->loc, other->net)) {
         extra.push_back(s);
       }
     }
-    ++numPairChecks_;
-    return pairEngine_.isViaClean(*ap.ap->primaryVia(), ap.loc, ap.net,
+    ++localChecks;
+    return pairEngine_.isViaClean(*ap.ap->primaryVia(tech), ap.loc, ap.net,
                                   extra);
   };
   for (const PlacedAp& a : left) {
@@ -230,9 +227,14 @@ bool ClusterSelector::patternsCompatible(int instA, int patA, int instB,
       }
     }
   }
+  bool committed = false;
   {
     std::lock_guard<std::mutex> lock(cacheMu_);
-    pairCache_.emplace(key, clean);
+    committed = pairCache_.emplace(key, clean).second;
+  }
+  if (committed) {
+    numPairChecks_.fetch_add(localChecks, std::memory_order_relaxed);
+    PAO_COUNTER_ADD("pao.step3.pair_checks", localChecks);
   }
   return clean;
 }
@@ -286,24 +288,26 @@ std::vector<int> ClusterSelector::run() {
   // Clusters are almost always instance-disjoint and can run concurrently;
   // only multi-height instances appear in several clusters, and those
   // clusters must keep their serial order (the first cluster to decide an
-  // instance pins its pattern for the later ones). clusterWaves() encodes
-  // exactly that dependency.
-  const std::vector<std::vector<std::size_t>> waves = clusterWaves(clusters_);
-  for (const std::vector<std::size_t>& wave : waves) {
-    util::parallelFor(
-        wave.size(),
-        [&](std::size_t i) { selectCluster(clusters_[wave[i]], chosen); },
-        cfg_.numThreads);
+  // instance pins its pattern for the later ones). clusterDeps() encodes
+  // exactly that chain as job-graph edges, so independent clusters overlap
+  // freely instead of waiting at wave barriers.
+  const std::vector<std::vector<std::size_t>> deps = clusterDeps(clusters_);
+  util::JobGraph graph;
+  std::vector<util::JobId> ids(clusters_.size());
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    std::vector<util::JobId> depIds;
+    depIds.reserve(deps[c].size());
+    for (const std::size_t d : deps[c]) depIds.push_back(ids[d]);
+    ids[c] = graph.addJob(
+        [this, c, &chosen] { selectCluster(clusters_[c], chosen); }, depIds);
   }
+  graph.run(cfg_.numThreads);
   return chosen;
 }
 
 void ClusterSelector::selectCluster(const std::vector<int>& cluster,
                                     std::vector<int>& chosen) {
-  // DP over instances, one vertex per (instance, pattern).
   const int n = static_cast<int>(cluster.size());
-  std::vector<std::vector<long long>> cost(n);
-  std::vector<std::vector<int>> prev(n);
 
   const auto numPatterns = [&](int pos) {
     const int cls = unique_->classOf[cluster[pos]];
@@ -315,9 +319,15 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
     return (*classes_)[cls].patterns[p].cost;
   };
 
+  // All DP state is per-job scratch in the worker's arena: the active list,
+  // the state offsets, and one flat cost/prev pair ((instance, pattern)
+  // vertices at [off[i], off[i+1])) instead of a vector-of-vectors.
+  util::ArenaScope scratch(util::scratchArena());
+
   // Instances without patterns (fillers, pinless cells) are transparent:
   // they keep -1 and the DP skips over them. Compact the cluster first.
-  std::vector<int> active;
+  util::ArenaVector<int> active;
+  active.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     if (numPatterns(i) > 0) active.push_back(i);
   }
@@ -329,9 +339,7 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
     return;
   }
   ++numDpRuns_;
-  // Deterministic per cluster (one DP per cluster regardless of schedule;
-  // numPairChecks_ is NOT mirrored here because its racy over-count would
-  // break the registry's thread-count-invariance contract).
+  // Deterministic per cluster: one DP per cluster regardless of schedule.
   PAO_COUNTER_INC("pao.step3.cluster_dp_runs");
   PAO_HISTOGRAM_OBSERVE("pao.step3.cluster_size", active.size());
   PAO_TRACE_SCOPE("step3.cluster_dp");
@@ -347,12 +355,10 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
   } cpuAccum{&dpCpuNanos_, cpu0};
 
   const int an = static_cast<int>(active.size());
-  cost.assign(an, {});
-  prev.assign(an, {});
-  for (int i = 0; i < an; ++i) {
-    cost[i].assign(numPatterns(active[i]), kInf);
-    prev[i].assign(numPatterns(active[i]), -1);
-  }
+  util::ArenaVector<int> off(static_cast<std::size_t>(an) + 1, 0);
+  for (int i = 0; i < an; ++i) off[i + 1] = off[i] + numPatterns(active[i]);
+  util::ArenaVector<long long> cost(static_cast<std::size_t>(off[an]), kInf);
+  util::ArenaVector<int> prev(static_cast<std::size_t>(off[an]), -1);
   // A pattern already chosen by an earlier (multi-height) cluster pass is
   // pinned: the DP may only use that vertex for the instance.
   const auto allowed = [&](int pos, int p) {
@@ -361,7 +367,7 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
   };
   for (int p = 0; p < numPatterns(active[0]); ++p) {
     if (!allowed(active[0], p)) continue;
-    cost[0][p] = patternCost(active[0], p);
+    cost[p] = patternCost(active[0], p);
   }
   for (int i = 1; i < an; ++i) {
     const int instB = cluster[active[i]];
@@ -372,14 +378,14 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
     for (int q = 0; q < numPatterns(active[i]); ++q) {
       if (!allowed(active[i], q)) continue;
       for (int p = 0; p < numPatterns(active[i - 1]); ++p) {
-        if (cost[i - 1][p] >= kInf) continue;
+        if (cost[off[i - 1] + p] >= kInf) continue;
         long long ec = patternCost(active[i], q);
         if (adjacent && !patternsCompatible(instA, p, instB, q)) {
           ec += cfg_.drcCost;
         }
-        if (cost[i - 1][p] + ec < cost[i][q]) {
-          cost[i][q] = cost[i - 1][p] + ec;
-          prev[i][q] = p;
+        if (cost[off[i - 1] + p] + ec < cost[off[i] + q]) {
+          cost[off[i] + q] = cost[off[i - 1] + p] + ec;
+          prev[off[i] + q] = p;
         }
       }
     }
@@ -388,15 +394,15 @@ void ClusterSelector::selectCluster(const std::vector<int>& cluster,
   // Trace back.
   int best = -1;
   long long bestCost = kInf;
-  for (int q = 0; q < static_cast<int>(cost[an - 1].size()); ++q) {
-    if (cost[an - 1][q] < bestCost) {
-      bestCost = cost[an - 1][q];
+  for (int q = 0; q < off[an] - off[an - 1]; ++q) {
+    if (cost[off[an - 1] + q] < bestCost) {
+      bestCost = cost[off[an - 1] + q];
       best = q;
     }
   }
   for (int i = an - 1; i >= 0 && best >= 0; --i) {
     chosen[cluster[active[i]]] = best;
-    best = prev[i][best];
+    best = prev[off[i] + best];
   }
 }
 

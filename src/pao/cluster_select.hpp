@@ -30,9 +30,10 @@ struct ClusterSelectConfig {
   /// Check every pin pair across the boundary instead of only the two facing
   /// boundary pins (ablation; the paper checks boundary pins only).
   bool boundaryPinsOnly = true;
-  /// Worker threads for the per-cluster DP. Clusters are scheduled in waves
-  /// so that clusters sharing a (multi-height) instance keep their serial
-  /// pinning order; the chosen patterns are identical for any thread count.
+  /// Worker threads for the per-cluster DP. Clusters run as a job graph
+  /// whose edges chain clusters sharing a (multi-height) instance, so those
+  /// keep their serial pinning order while disjoint clusters overlap; the
+  /// chosen patterns are identical for any thread count.
   /// 1 = serial; 0 = hardware concurrency.
   int numThreads = 1;
   /// The ClassAccess vector stores access points relative to each class's
@@ -63,12 +64,14 @@ struct ClassAccess {
 /// instance insertion order (rows bottom-up, runs left to right).
 std::vector<std::vector<int>> buildClusters(const db::Design& design);
 
-/// Dependency waves over `clusters` for parallel DP: a cluster's wave is one
-/// past the latest wave of any earlier cluster sharing an instance, so
-/// same-wave clusters are instance-disjoint and waves replay the serial
-/// pinning order of multi-height chains. Returns indices into `clusters`
-/// grouped by wave, each wave in ascending cluster order.
-std::vector<std::vector<std::size_t>> clusterWaves(
+/// Per-cluster scheduling dependencies for the job graph: deps[c] lists, in
+/// ascending order, the earlier clusters that must decide before cluster c
+/// may run — for each instance of c, the latest earlier cluster containing
+/// that instance (multi-height instances chain their clusters; disjoint
+/// clusters have no deps). Replaying these edges reproduces the serial
+/// pinning order exactly, without the barrier the old wave schedule put
+/// between instance-disjoint clusters.
+std::vector<std::vector<std::size_t>> clusterDeps(
     const std::vector<std::vector<int>>& clusters);
 
 class ClusterSelector {
@@ -91,9 +94,12 @@ class ClusterSelector {
 
   /// Clusters found (instance indices, left to right) — exposed for tests.
   const std::vector<std::vector<int>>& clusters() const { return clusters_; }
-  /// Pair checks performed. With numThreads > 1 two workers may race to
-  /// compute the same uncached pair, so the count can exceed the serial one;
-  /// the boolean results (and hence the selection) are unaffected.
+  /// Pair checks performed, counted deterministically: each unique memo key
+  /// contributes its via-clean probe count exactly once — when two workers
+  /// race to compute the same uncached pair, only the one whose result is
+  /// committed to the cache adds its probes. The total therefore equals the
+  /// serial count at any thread count (schedule-invariant; mirrored to the
+  /// "pao.step3.pair_checks" registry counter and the session snapshot).
   std::size_t numPairChecks() const { return numPairChecks_.load(); }
   /// selectCluster invocations that actually ran a DP (clusters with at
   /// least one pattern-bearing instance). Cumulative across run() and

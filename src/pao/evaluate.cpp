@@ -19,7 +19,7 @@ DirtyApStats countDirtyAps(const db::Design& design,
       for (const AccessPoint& ap : ca.pinAps[p]) {
         ++stats.totalAps;
         const int net = ctx.pinNet(sig[p]);
-        const db::ViaDef* via = ap.primaryVia();
+        const db::ViaDef* via = ap.primaryVia(*design.tech);
         bool clean;
         if (via != nullptr) {
           clean = ctx.engine().isViaClean(*via, ap.loc, net);
@@ -137,10 +137,10 @@ FailedPinStats countFailedPins(const db::Design& design,
       if (netIt->second >= static_cast<int>(design.nets.size())) continue;
       PinRef ref{i, pos, netIt->second, -1, false};
       const auto chosen = result.chosenAp(design, i, pos);
-      if (chosen && chosen->ap->primaryVia() != nullptr) {
+      if (chosen && chosen->ap->primaryVia(*design.tech) != nullptr) {
         ref.placedIdx = static_cast<int>(placed.size());
         placed.push_back(
-            {i, pos, chosen->ap->primaryVia(), chosen->loc, netIt->second});
+            {i, pos, chosen->ap->primaryVia(*design.tech), chosen->loc, netIt->second});
       } else if (chosen && chosen->ap->dirs != 0) {
         // Planar-only access (macro pins): counts as accessible; the stub
         // legality was validated at generation and re-checked by
@@ -176,8 +176,8 @@ FailedPinStats countFailedPins(const db::Design& design,
             design.instances[ui.representative].origin;
         for (const AccessPoint& ap :
              result.classes[cls].pinAps[ref.pinPos]) {
-          if (ap.primaryVia() == nullptr) continue;
-          if (engine.isViaClean(*ap.primaryVia(), ap.loc + delta, ref.net)) {
+          if (ap.primaryVia(*design.tech) == nullptr) continue;
+          if (engine.isViaClean(*ap.primaryVia(*design.tech), ap.loc + delta, ref.net)) {
             anyClean = true;
             break;
           }

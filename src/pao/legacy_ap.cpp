@@ -106,7 +106,7 @@ std::vector<AccessPoint> LegacyApGenerator::generate(int pinIdx) const {
           ap.nonPrefType = CoordType::kOnTrack;
           if (!seen.insert(ap.loc).second) continue;
           for (const db::ViaDef* via : design.tech->viaDefsFromLayer(li)) {
-            if (crudeValidate(ap, *via, pinIdx)) ap.viaDefs.push_back(via);
+            if (crudeValidate(ap, *via, pinIdx)) ap.viaIdx.push_back(via->index);
           }
           // Planar escape probes, with the same brute-force scan per stub.
           const Coord stubHalf = layer.width / 2;
@@ -139,7 +139,7 @@ std::vector<AccessPoint> LegacyApGenerator::generate(int pinIdx) const {
             }
             if (clear) ap.dirs |= probe.dir;
           }
-          if (!ap.viaDefs.empty()) {
+          if (!ap.viaIdx.empty()) {
             ap.dirs |= kUp;
             aps.push_back(std::move(ap));
           }

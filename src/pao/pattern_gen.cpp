@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "util/arena.hpp"
 
 namespace pao::core {
 
@@ -53,18 +54,20 @@ bool PatternGenerator::pairClean(int pinA, int apA, int pinB, int apB) {
 
   const AccessPoint& a = (*pinAps_)[pinA][apA];
   const AccessPoint& b = (*pinAps_)[pinB][apB];
+  const db::Tech& tech = *ctx_->design().tech;
   bool clean = true;
   // Only up-vias participate in pattern-stage DRC (Sec. III-B, last para).
-  if (a.primaryVia() != nullptr && b.primaryVia() != nullptr) {
+  if (a.primaryVia(tech) != nullptr && b.primaryVia(tech) != nullptr) {
     ++numPairChecks_;
     // Each generator runs serially within its class, and classes run once
     // each: the total is thread-count-invariant.
     PAO_COUNTER_INC("pao.step2.pair_checks");
     const std::vector<int>& sig = ctx_->signalPins();
-    clean = ctx_->engine()
-                .checkViaPair(*a.primaryVia(), a.loc, ctx_->pinNet(sig[pinA]),
-                              *b.primaryVia(), b.loc, ctx_->pinNet(sig[pinB]))
-                .empty();
+    clean =
+        ctx_->engine()
+            .checkViaPair(*a.primaryVia(tech), a.loc, ctx_->pinNet(sig[pinA]),
+                          *b.primaryVia(tech), b.loc, ctx_->pinNet(sig[pinB]))
+            .empty();
   }
   pairCleanCache_.emplace(key, clean);
   return clean;
@@ -100,47 +103,56 @@ std::vector<AccessPattern> PatternGenerator::run() {
   std::vector<AccessPattern> patterns;
   if (order_.empty()) return patterns;
   const int numOrdered = static_cast<int>(order_.size());
+  const db::Tech& tech = *ctx_->design().tech;
+
+  // Flat DP layout (ROADMAP item 2): pin m's AP states occupy
+  // [off[m], off[m+1]) of one contiguous cost/prev pair instead of a
+  // vector-of-vectors — two bumps in the worker's scratch arena per
+  // iteration instead of 2*(numOrdered+1) heap round-trips.
+  util::ArenaScope runScratch(util::scratchArena());
+  util::ArenaVector<int> off(static_cast<std::size_t>(numOrdered) + 1, 0);
+  for (int m = 0; m < numOrdered; ++m) {
+    off[m + 1] = off[m] + static_cast<int>((*pinAps_)[order_[m]].size());
+  }
+  const int total = off[numOrdered];
 
   for (int iter = 0; iter < cfg_.numPatterns; ++iter) {
-    // dp[m][n]: best path cost reaching AP n of ordered pin m, with the
-    // chosen predecessor AP index on pin m-1.
-    std::vector<std::vector<long long>> cost(numOrdered);
-    std::vector<std::vector<int>> prev(numOrdered);
-    for (int m = 0; m < numOrdered; ++m) {
-      const int nAps = static_cast<int>((*pinAps_)[order_[m]].size());
-      cost[m].assign(nAps, kInf);
-      prev[m].assign(nAps, -1);
-    }
+    // Per-iteration scratch dies at the bottom of the loop body.
+    util::ArenaScope iterScratch(util::scratchArena());
+    util::ArenaVector<long long> cost(static_cast<std::size_t>(total), kInf);
+    util::ArenaVector<int> prev(static_cast<std::size_t>(total), -1);
 
     // Source layer: entering the first pin costs its AP cost (plus the
     // boundary penalty when this boundary AP was already consumed).
-    for (int n = 0; n < static_cast<int>(cost[0].size()); ++n) {
+    for (int n = 0; n < off[1]; ++n) {
       long long c = apCost(order_[0], n);
       if (cfg_.boundaryAware &&
           std::find(usedBoundaryAps_.begin(), usedBoundaryAps_.end(),
                     std::make_pair(order_[0], n)) != usedBoundaryAps_.end()) {
         c = cfg_.penaltyCost;
       }
-      cost[0][n] = c;
+      cost[n] = c;
     }
 
     for (int m = 1; m < numOrdered; ++m) {
       const int curPin = order_[m];
       const int prevPin = order_[m - 1];
-      for (int n = 0; n < static_cast<int>(cost[m].size()); ++n) {
-        for (int np = 0; np < static_cast<int>(cost[m - 1].size()); ++np) {
-          if (cost[m - 1][np] >= kInf) continue;
+      const int nCur = off[m + 1] - off[m];
+      const int nPrev = off[m] - off[m - 1];
+      for (int n = 0; n < nCur; ++n) {
+        for (int np = 0; np < nPrev; ++np) {
+          if (cost[off[m - 1] + np] >= kInf) continue;
           // The predecessor of `np` is already fixed — the history pair is
           // deterministic (paper Sec. III-B).
-          const int prevPrevAp = m >= 2 ? prev[m - 1][np] : -1;
+          const int prevPrevAp = m >= 2 ? prev[off[m - 1] + np] : -1;
           const int prevPrevPin = m >= 2 ? order_[m - 2] : -1;
           const long long ec = edgeCost(prevPin, np, curPin, n,
                                         prevPrevAp >= 0 ? prevPrevPin : -1,
                                         prevPrevAp);
-          const long long total = cost[m - 1][np] + ec;
-          if (total < cost[m][n]) {
-            cost[m][n] = total;
-            prev[m][n] = np;
+          const long long totalCost = cost[off[m - 1] + np] + ec;
+          if (totalCost < cost[off[m] + n]) {
+            cost[off[m] + n] = totalCost;
+            prev[off[m] + n] = np;
           }
         }
       }
@@ -150,9 +162,9 @@ std::vector<AccessPattern> PatternGenerator::run() {
     const int last = numOrdered - 1;
     int bestN = -1;
     long long bestCost = kInf;
-    for (int n = 0; n < static_cast<int>(cost[last].size()); ++n) {
-      if (cost[last][n] < bestCost) {
-        bestCost = cost[last][n];
+    for (int n = 0; n < off[last + 1] - off[last]; ++n) {
+      if (cost[off[last] + n] < bestCost) {
+        bestCost = cost[off[last] + n];
         bestN = n;
       }
     }
@@ -164,7 +176,7 @@ std::vector<AccessPattern> PatternGenerator::run() {
     int n = bestN;
     for (int m = last; m >= 0; --m) {
       pat.apIdx[order_[m]] = n;
-      n = prev[m][n];
+      n = prev[off[m] + n];
     }
 
     // Reject duplicates (the penalty mechanism usually prevents them, but a
@@ -181,9 +193,9 @@ std::vector<AccessPattern> PatternGenerator::run() {
     for (std::size_t i = 0; i < pat.apIdx.size(); ++i) {
       if (pat.apIdx[i] < 0) continue;
       const AccessPoint& ap = (*pinAps_)[i][pat.apIdx[i]];
-      if (ap.primaryVia() == nullptr) continue;
+      if (ap.primaryVia(tech) == nullptr) continue;
       for (const drc::Shape& s : ctx_->engine().viaShapes(
-               *ap.primaryVia(), ap.loc, ctx_->pinNet(sig[i]))) {
+               *ap.primaryVia(tech), ap.loc, ctx_->pinNet(sig[i]))) {
         allVias.push_back(s);
       }
     }
@@ -191,13 +203,13 @@ std::vector<AccessPattern> PatternGenerator::run() {
     for (std::size_t i = 0; i < pat.apIdx.size() && pat.validated; ++i) {
       if (pat.apIdx[i] < 0) continue;
       const AccessPoint& ap = (*pinAps_)[i][pat.apIdx[i]];
-      if (ap.primaryVia() == nullptr) continue;
+      if (ap.primaryVia(tech) == nullptr) continue;
       // Context for this via: every other pin's via shapes.
       std::vector<drc::Shape> others;
       for (const drc::Shape& s : allVias) {
         if (s.net != ctx_->pinNet(sig[i])) others.push_back(s);
       }
-      if (!ctx_->engine().isViaClean(*ap.primaryVia(), ap.loc,
+      if (!ctx_->engine().isViaClean(*ap.primaryVia(tech), ap.loc,
                                      ctx_->pinNet(sig[i]), others)) {
         pat.validated = false;
       }

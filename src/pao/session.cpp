@@ -15,6 +15,7 @@
 #include "util/cpu_time.hpp"
 #include "util/executor.hpp"
 #include "util/fault.hpp"
+#include "util/jobs.hpp"
 
 namespace pao::core {
 
@@ -69,17 +70,71 @@ void OracleSession::requireMutable() const {
   }
 }
 
-void OracleSession::computeClassAccess(std::size_t c) {
+/// State threaded from a class's Step-1 node to its Step-2 node in the
+/// pipeline graph. The graph edge S1(c) -> S2(c) provides the
+/// happens-before; nothing here needs synchronization.
+struct OracleSession::ClassBuildState {
+  /// Entered the full analysis path (not unplaced/pinless/cache-hit):
+  /// classStep2 owes this class finalization (normalize, cache, stats).
+  bool analyzed = false;
+  /// classStep2 must still run the pattern DP (false in legacyMode and
+  /// after a Step-1 keepGoing fallback, which already produced patterns).
+  bool patternsPending = false;
+  std::optional<InstContext> ctx;
+  AccessCache::Key key{};
+  geom::Point repOrigin{};
+  std::optional<DegradedEvent> event;
+  double step1 = 0;
+  double step2 = 0;
+  double cpu1 = 0;
+  double cpu2 = 0;
+};
+
+namespace {
+
+/// TrRte-style access for one class: legacy APs + first-AP pattern. The
+/// primary path in legacyMode, and the keep-going fallback otherwise.
+void legacyAccessInto(ClassAccess& ca, const InstContext& ctx) {
+  ca.pinAps = LegacyApGenerator(ctx).generateAll();
+  ca.patterns.push_back(firstApPattern(ca.pinAps));
+  for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
+    if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
+  }
+}
+
+}  // namespace
+
+void OracleSession::fallbackToLegacy(std::size_t c, ClassBuildState& st,
+                                     const std::exception& e) {
+  st.event = DegradedEvent{"class_fallback", e.what(), static_cast<int>(c)};
+  st.patternsPending = false;
+  ClassAccess& ca = classes_[c];
+  ca = ClassAccess{};
+  try {
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cpu1 = util::threadCpuSeconds();
+    legacyAccessInto(ca, *st.ctx);
+    st.step1 += secondsSince(t1);
+    st.cpu1 += util::threadCpuSeconds() - cpu1;
+  } catch (const std::exception& e2) {
+    // Even the fallback failed: the class keeps empty access (its pins
+    // count as failed) but the run continues.
+    ca = ClassAccess{};
+    st.event = DegradedEvent{"class_failed", e2.what(), static_cast<int>(c)};
+  }
+}
+
+void OracleSession::classStep1(std::size_t c, ClassBuildState& st) {
   const db::UniqueInstance& ui = index_.classes().classes[c];
   if (ui.members.empty()) return;  // nothing placed; stays un-analyzed
   ClassAccess& ca = classes_[c];
   classReady_[c] = 1;
   if (ui.master->signalPinIndices().empty()) return;  // fillers etc.
 
-  const AccessCache::Key key = AccessCache::keyOf(ui);
+  st.key = AccessCache::keyOf(ui);
   if (cache_ != nullptr && !cfg_.legacyMode) {
     std::lock_guard<std::mutex> lock(cacheMu_);
-    if (const ClassAccess* hit = cache_->find(key)) {
+    if (const ClassAccess* hit = cache_->find(st.key)) {
       ca = *hit;  // stored origin-relative, same as the session convention
       ++stats_.cacheHits;
       PAO_COUNTER_INC("pao.oracle.cache_hits");
@@ -88,88 +143,75 @@ void OracleSession::computeClassAccess(std::size_t c) {
     PAO_COUNTER_INC("pao.oracle.cache_misses");
   }
 
+  st.analyzed = true;
+  st.repOrigin = design_->instances[ui.representative].origin;
+  st.ctx.emplace(*design_, ui);
   PAO_TRACE_SCOPE("oracle.class_access");
-  const geom::Point repOrigin = design_->instances[ui.representative].origin;
-  const InstContext ctx(*design_, ui);
-  double step1 = 0;
-  double step2 = 0;
-  double cpuStep1 = 0;
-  double cpuStep2 = 0;
-
-  // TrRte-style access for this class: legacy APs + first-AP pattern. The
-  // primary path in legacyMode, and the keep-going fallback otherwise.
-  const auto legacyAccess = [&] {
-    ca.pinAps = LegacyApGenerator(ctx).generateAll();
-    ca.patterns.push_back(firstApPattern(ca.pinAps));
-    for (int i = 0; i < static_cast<int>(ca.pinAps.size()); ++i) {
-      if (!ca.pinAps[i].empty()) ca.pinOrder.push_back(i);
-    }
-  };
-
-  const auto generate = [&] {
-    const auto t1 = std::chrono::steady_clock::now();
-    const double cpu1 = util::threadCpuSeconds();
-    if (cfg_.legacyMode) {
-      legacyAccess();
-      step1 = secondsSince(t1);
-      cpuStep1 = util::threadCpuSeconds() - cpu1;
-      return;
-    }
-    ApGenConfig apCfg = cfg_.apGen;
-    // Macro (block) pins admit planar access: via access is only mandatory
-    // for standard cells (paper footnote 1).
-    if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
-    ca.pinAps = AccessPointGenerator(ctx, apCfg).generateAll();
-    step1 = secondsSince(t1);
-    const double cpu2 = util::threadCpuSeconds();
-
-    const auto t2 = std::chrono::steady_clock::now();
-    PatternGenerator gen(ctx, ca.pinAps, cfg_.patternGen);
-    ca.patterns = gen.run();
-    ca.pinOrder = gen.pinOrder();
-    step2 = secondsSince(t2);
-    cpuStep1 = cpu2 - cpu1;
-    cpuStep2 = util::threadCpuSeconds() - cpu2;
-  };
-
-  std::optional<DegradedEvent> event;
   try {
     // The fault point models "this class's Steps 1-2 analysis blew up";
     // legacyMode has no deeper fallback to degrade to, so it stays strict.
     if (!cfg_.legacyMode) PAO_FAULT_INJECT("oracle.class_access");
-    generate();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double cpu1 = util::threadCpuSeconds();
+    if (cfg_.legacyMode) {
+      legacyAccessInto(ca, *st.ctx);
+    } else {
+      ApGenConfig apCfg = cfg_.apGen;
+      // Macro (block) pins admit planar access: via access is only
+      // mandatory for standard cells (paper footnote 1).
+      if (ui.master->cls == db::MasterClass::kBlock) apCfg.requireVia = false;
+      ca.pinAps = AccessPointGenerator(*st.ctx, apCfg).generateAll();
+      st.patternsPending = true;
+    }
+    st.step1 = secondsSince(t1);
+    st.cpu1 = util::threadCpuSeconds() - cpu1;
   } catch (const std::exception& e) {
     if (!cfg_.keepGoing || cfg_.legacyMode) throw;
-    event = DegradedEvent{"class_fallback", e.what(), static_cast<int>(c)};
-    ca = ClassAccess{};
+    fallbackToLegacy(c, st, e);
+  }
+}
+
+void OracleSession::classStep2(std::size_t c, ClassBuildState& st) {
+  if (!st.analyzed) return;
+  ClassAccess& ca = classes_[c];
+  if (st.patternsPending) {
+    PAO_TRACE_SCOPE("oracle.class_access");
     try {
-      const auto t1 = std::chrono::steady_clock::now();
-      const double cpu1 = util::threadCpuSeconds();
-      legacyAccess();
-      step1 += secondsSince(t1);
-      cpuStep1 += util::threadCpuSeconds() - cpu1;
-    } catch (const std::exception& e2) {
-      // Even the fallback failed: the class keeps empty access (its pins
-      // count as failed) but the run continues.
-      ca = ClassAccess{};
-      event = DegradedEvent{"class_failed", e2.what(), static_cast<int>(c)};
+      const auto t2 = std::chrono::steady_clock::now();
+      const double cpu2 = util::threadCpuSeconds();
+      PatternGenerator gen(*st.ctx, ca.pinAps, cfg_.patternGen);
+      ca.patterns = gen.run();
+      ca.pinOrder = gen.pinOrder();
+      st.step2 = secondsSince(t2);
+      st.cpu2 = util::threadCpuSeconds() - cpu2;
+    } catch (const std::exception& e) {
+      if (!cfg_.keepGoing || cfg_.legacyMode) throw;
+      fallbackToLegacy(c, st, e);
     }
   }
   PAO_COUNTER_INC("pao.oracle.class_builds");
 
   // Normalize to origin-relative so the entry is placement-independent.
-  ca = AccessCache::translate(ca, geom::Point{0, 0} - repOrigin);
+  ca = AccessCache::translate(ca, geom::Point{0, 0} - st.repOrigin);
 
   std::lock_guard<std::mutex> lock(cacheMu_);
   // A degraded class result must never poison the cross-run cache: a later
   // fault-free run would silently inherit the fallback access.
-  if (cache_ != nullptr && !cfg_.legacyMode && !event) cache_->store(key, ca);
-  if (event) degraded_.push_back(std::move(*event));
+  if (cache_ != nullptr && !cfg_.legacyMode && !st.event) {
+    cache_->store(st.key, ca);
+  }
+  if (st.event) degraded_.push_back(std::move(*st.event));
   ++stats_.classBuilds;
-  step1Seconds_ += step1;
-  step2Seconds_ += step2;
-  step1CpuSeconds_ += cpuStep1;
-  step2CpuSeconds_ += cpuStep2;
+  step1Seconds_ += st.step1;
+  step2Seconds_ += st.step2;
+  step1CpuSeconds_ += st.cpu1;
+  step2CpuSeconds_ += st.cpu2;
+}
+
+void OracleSession::computeClassAccess(std::size_t c) {
+  ClassBuildState st;
+  classStep1(c, st);
+  classStep2(c, st);
 }
 
 void OracleSession::buildAll() {
@@ -179,37 +221,115 @@ void OracleSession::buildAll() {
   classes_.assign(numClasses, ClassAccess{});
   classReady_.assign(numClasses, 0);
 
-  // Steps 1-2, one independent work item per class; each writes only its
-  // own slot (step1Seconds_/step2Seconds_ report summed per-class worker
-  // time for every thread count — see OracleResult).
-  {
-    PAO_TRACE_SCOPE("oracle.steps12");
-    util::parallelFor(
-        numClasses, [&](std::size_t c) { computeClassAccess(c); },
-        cfg_.numThreads);
-  }
-  steps12WallSeconds_ = secondsSince(t0);
-
-  const auto t3 = std::chrono::steady_clock::now();
-  {
-    PAO_TRACE_SCOPE("oracle.step3");
-    if (cfg_.runClusterSelection) {
-      ClusterSelectConfig csCfg = cfg_.clusterSelect;
-      csCfg.numThreads = cfg_.numThreads;
-      csCfg.originRelativeClasses = true;
-      csCfg.budgetSeconds = cfg_.step3BudgetSeconds;
-      selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
-                                                    classes_, csCfg);
-      chosen_ = selector_->run();
-      clusters_ = selector_->clusters();
-      stats_.clusterDpRuns = selector_->numDpRuns();
-      step3CpuSeconds_ = selector_->dpCpuSeconds();
-      recordBudgetExpiry();
-    } else {
+  if (!cfg_.runClusterSelection) {
+    // No Step-3 DP (legacy / ablation): Steps 1-2 per class, then the
+    // trivial first-pattern selection. Each class writes only its own slot
+    // (step1Seconds_/step2Seconds_ report summed per-class worker time for
+    // every thread count — see OracleResult).
+    {
+      PAO_TRACE_SCOPE("oracle.steps12");
+      util::parallelFor(
+          numClasses, [&](std::size_t c) { computeClassAccess(c); },
+          cfg_.numThreads);
+    }
+    steps12WallSeconds_ = secondsSince(t0);
+    const auto t3 = std::chrono::steady_clock::now();
+    {
+      PAO_TRACE_SCOPE("oracle.step3");
       trivialSelection();
     }
+    step3Seconds_ = secondsSince(t3);
+    wallSeconds_ = secondsSince(t0);
+    designRevision_ = design_->revision();
+    return;
   }
-  step3Seconds_ = secondsSince(t3);
+
+  // The full flow runs as ONE job graph (ROADMAP item 2): each class
+  // contributes a Step-1 node chained to a Step-2 node, and each cluster a
+  // Step-3 DP node depending only on its member classes' Step-2 nodes plus
+  // the same-instance predecessor clusters (clusterDeps). A cluster whose
+  // classes finished early therefore overlaps other classes' Steps 1-2 —
+  // there is no barrier between the phases. Node ids interleave
+  // S1(0),S2(0),S1(1),... so a strict-mode failure still rethrows the
+  // lowest class's exception, like the old per-phase parallelFor did.
+  ClusterSelectConfig csCfg = cfg_.clusterSelect;
+  csCfg.numThreads = cfg_.numThreads;
+  csCfg.originRelativeClasses = true;
+  csCfg.budgetSeconds = cfg_.step3BudgetSeconds;
+  selector_ = std::make_unique<ClusterSelector>(*design_, index_.classes(),
+                                                classes_, csCfg);
+  selector_->armBudget();
+  chosen_.assign(design_->instances.size(), -1);
+
+  std::vector<ClassBuildState> states(numClasses);
+  pendingSteps12_.store(numClasses, std::memory_order_relaxed);
+  overlapJobs_.store(0, std::memory_order_relaxed);
+  step3Started_.store(false, std::memory_order_relaxed);
+
+  util::JobGraph graph;
+  std::vector<util::JobId> s2Id(numClasses);
+  for (std::size_t c = 0; c < numClasses; ++c) {
+    const util::JobId s1 =
+        graph.addJob([this, c, &states] { classStep1(c, states[c]); });
+    const util::JobId s1Dep[] = {s1};
+    s2Id[c] = graph.addJob(
+        [this, c, &states, t0] {
+          classStep2(c, states[c]);
+          if (pendingSteps12_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            steps12WallSeconds_ = secondsSince(t0);
+          }
+        },
+        s1Dep);
+  }
+
+  const std::vector<std::vector<int>>& clusters = selector_->clusters();
+  const std::vector<std::vector<std::size_t>> cDeps = clusterDeps(clusters);
+  const std::vector<int>& classOf = index_.classes().classOf;
+  std::vector<util::JobId> clusterIds(clusters.size());
+  std::vector<util::JobId> deps;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    deps.clear();
+    for (const int inst : clusters[k]) {
+      const int cls = classOf[inst];
+      if (cls >= 0) deps.push_back(s2Id[static_cast<std::size_t>(cls)]);
+    }
+    for (const std::size_t d : cDeps[k]) deps.push_back(clusterIds[d]);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    clusterIds[k] = graph.addJob(
+        [this, k, &clusters] {
+          if (pendingSteps12_.load(std::memory_order_acquire) > 0) {
+            overlapJobs_.fetch_add(1, std::memory_order_relaxed);
+          }
+          bool expected = false;
+          if (step3Started_.compare_exchange_strong(expected, true)) {
+            step3T0_ = std::chrono::steady_clock::now();
+          }
+          selector_->selectCluster(clusters[k], chosen_);
+        },
+        deps);
+  }
+
+  {
+    PAO_TRACE_SCOPE("oracle.pipeline");
+    graph.run(cfg_.numThreads);
+  }
+
+  clusters_ = selector_->clusters();
+  stats_.lastClusterCount = clusters.size();
+  stats_.clusterDpRuns = selector_->numDpRuns();
+  stats_.pairChecks = selector_->numPairChecks();
+  stats_.graphJobs = graph.stats().jobs;
+  stats_.overlapJobs = overlapJobs_.load(std::memory_order_relaxed);
+  stats_.graphSteals = graph.stats().steals;
+  step3CpuSeconds_ = selector_->dpCpuSeconds();
+  recordBudgetExpiry();
+  // step3Seconds_ spans from the first DP node's start to the end of the
+  // graph — with overlap, "Step-3 wall time" necessarily includes tail
+  // Steps 1-2 work running alongside.
+  step3Seconds_ = step3Started_.load(std::memory_order_relaxed)
+                      ? secondsSince(step3T0_)
+                      : 0.0;
   wallSeconds_ = secondsSince(t0);
   designRevision_ = design_->revision();
 }
@@ -338,20 +458,31 @@ void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
     }
   }
 
-  // Re-run the DP for dirty clusters only, wave-scheduled so dirty clusters
-  // sharing a multi-height instance replay their serial pinning order. Each
+  // Re-run the DP for dirty clusters only, as a job graph whose edges chain
+  // dirty clusters sharing a multi-height instance (clusterDeps) so those
+  // replay their serial pinning order while disjoint ones overlap. Each
   // mutation gets a fresh Step-3 budget.
   selector_->armBudget();
-  const std::vector<std::vector<std::size_t>> waves =
-      clusterWaves(dirtyClusters);
-  for (const std::vector<std::size_t>& wave : waves) {
-    util::parallelFor(
-        wave.size(),
-        [&](std::size_t i) {
-          selector_->selectCluster(dirtyClusters[wave[i]], chosen_);
-        },
-        cfg_.numThreads);
+  {
+    util::JobGraph graph;
+    const std::vector<std::vector<std::size_t>> deps =
+        clusterDeps(dirtyClusters);
+    std::vector<util::JobId> ids(dirtyClusters.size());
+    std::vector<util::JobId> depIds;
+    for (std::size_t k = 0; k < dirtyClusters.size(); ++k) {
+      depIds.clear();
+      for (const std::size_t d : deps[k]) depIds.push_back(ids[d]);
+      ids[k] = graph.addJob(
+          [this, k, &dirtyClusters] {
+            selector_->selectCluster(dirtyClusters[k], chosen_);
+          },
+          depIds);
+    }
+    graph.run(cfg_.numThreads);
+    stats_.graphJobs += graph.stats().jobs;
+    stats_.graphSteals += graph.stats().steals;
   }
+  stats_.pairChecks = selector_->numPairChecks();
 
   stats_.lastDirtyClusters = dirtyClusters.size();
   stats_.lastClusterCount = newClusters.size();

@@ -22,6 +22,8 @@
 // thread count.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -86,21 +88,49 @@ class OracleSession {
     /// Cumulative Step-3 cluster-DP invocations (initial build included).
     std::size_t clusterDpRuns = 0;
     /// Dirty clusters recomputed by the last mutation, and the total
-    /// cluster count at that point — the incrementality headline.
+    /// cluster count after the last build or mutation — the incrementality
+    /// headline (a full build sets the count with zero dirty clusters).
     std::size_t lastDirtyClusters = 0;
     std::size_t lastClusterCount = 0;
     /// Steps 1-2 per-class analyses actually computed (signature misses).
     std::size_t classBuilds = 0;
     /// Per-class analyses answered from the configured AccessCache.
     std::size_t cacheHits = 0;
+    /// Step-3 boundary pair checks, counted deterministically (see
+    /// ClusterSelector::numPairChecks). Schedule-invariant; reported.
+    std::size_t pairChecks = 0;
+    /// Job-graph shape of the last full build plus mutation re-runs:
+    /// total nodes, Step-3 DP nodes that started while Steps 1-2 work was
+    /// still pending (the pipeline-overlap headline), and cross-worker
+    /// steals. graphJobs/overlapJobs are deterministic for a fixed thread
+    /// count; graphSteals is schedule-dependent (bench-only — neither is
+    /// part of the canonical report output).
+    std::size_t graphJobs = 0;
+    std::size_t overlapJobs = 0;
+    std::size_t graphSteals = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Per-class build state threaded between the Step-1 and Step-2 job-graph
+  /// nodes of one class (defined in session.cpp).
+  struct ClassBuildState;
+
   void buildAll();
   /// Computes (or cache-loads) class `c`'s origin-relative Steps 1-2 access
-  /// into classes_[c]. Thread-safe across distinct classes.
+  /// into classes_[c]. Thread-safe across distinct classes. The fused form
+  /// of classStep1 + classStep2, used on the mutation path.
   void computeClassAccess(std::size_t c);
+  /// Step 1 of class `c`: cache lookup, then access point generation (or the
+  /// legacy generator in legacyMode). One job-graph node per class.
+  void classStep1(std::size_t c, ClassBuildState& st);
+  /// Step 2 of class `c`: pattern DP, origin normalization, cache store and
+  /// stats commit. Depends on classStep1(c) in the pipeline graph.
+  void classStep2(std::size_t c, ClassBuildState& st);
+  /// keepGoing fallback shared by both steps: legacy access for the class,
+  /// or empty access (class_failed) when even that throws.
+  void fallbackToLegacy(std::size_t c, ClassBuildState& st,
+                        const std::exception& e);
   /// Grows per-class storage after the index created classes, then makes
   /// sure `cls` is analyzed.
   void ensureClassAccess(int cls);
@@ -140,6 +170,15 @@ class OracleSession {
   double step2CpuSeconds_ = 0;
   double step3CpuSeconds_ = 0;
   double steps12WallSeconds_ = 0;
+  /// Pipeline-graph bookkeeping for the initial build: Steps 1-2 nodes not
+  /// yet finished (the Step-2 node that drains it stamps
+  /// steps12WallSeconds_), Step-3 nodes that started while it was nonzero,
+  /// and the start time of the first Step-3 node (step3Started_ winner
+  /// writes step3T0_; read after the graph joins).
+  std::atomic<std::size_t> pendingSteps12_{0};
+  std::atomic<std::size_t> overlapJobs_{0};
+  std::atomic<bool> step3Started_{false};
+  std::chrono::steady_clock::time_point step3T0_{};
 };
 
 }  // namespace pao::core

@@ -75,9 +75,9 @@ Point AccessSource::placeDelta(int instIdx, int cls) const {
 
 std::optional<PinContact> AccessSource::fromAp(int instIdx,
                                                const AccessPoint& ap) const {
-  if (ap.primaryVia() == nullptr) return std::nullopt;
+  if (ap.primaryVia(*design_->tech) == nullptr) return std::nullopt;
   const Point delta = placeDelta(instIdx, classOf(instIdx));
-  return PinContact{ap.primaryVia(), ap.loc + delta};
+  return PinContact{ap.primaryVia(*design_->tech), ap.loc + delta};
 }
 
 std::optional<PinContact> AccessSource::contact(int instIdx,
@@ -103,7 +103,7 @@ std::optional<PinContact> AccessSource::contact(int instIdx,
       const AccessPoint* best = nullptr;
       geom::Coord bestDist = geom::kCoordMax;
       for (const AccessPoint& ap : ca.pinAps[sigPinPos]) {
-        if (ap.primaryVia() == nullptr) continue;
+        if (ap.primaryVia(*design_->tech) == nullptr) continue;
         const geom::Coord d = geom::manhattanDist(ap.loc + delta, target);
         if (d < bestDist) {
           bestDist = d;
@@ -118,10 +118,10 @@ std::optional<PinContact> AccessSource::contact(int instIdx,
           session_ != nullptr
               ? session_->chosenAp(instIdx, sigPinPos)
               : result_->chosenAp(*design_, instIdx, sigPinPos);
-      if (!chosen || chosen->ap->primaryVia() == nullptr) {
+      if (!chosen || chosen->ap->primaryVia(*design_->tech) == nullptr) {
         return std::nullopt;
       }
-      return PinContact{chosen->ap->primaryVia(), chosen->loc};
+      return PinContact{chosen->ap->primaryVia(*design_->tech), chosen->loc};
     }
   }
   return std::nullopt;

@@ -1,7 +1,10 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <utility>
 
@@ -15,8 +18,8 @@
 #include "pao/evaluate.hpp"
 #include "pao/report_json.hpp"
 #include "serve/protocol.hpp"
-#include "util/executor.hpp"
 #include "util/fault.hpp"
+#include "util/jobs.hpp"
 
 namespace pao::serve {
 
@@ -151,11 +154,40 @@ std::vector<std::string> Service::dispatchBatch(
     }
     return out;
   }
-  // Slot writes only — each worker computes one tenant's response string.
-  // Socket I/O stays on the transport thread (lint: executor-hygiene).
-  util::parallelFor(
-      batch.size(), [&](std::size_t i) { out[i] = dispatch(batch[i]); },
-      static_cast<int>(batch.size()));
+  // Per-tenant request graph: every request is a node chained to the
+  // previous request of the same tenant, so arrival order holds within a
+  // tenant while distinct tenants overlap. Tenant-less requests (global /
+  // serial commands, malformed lines) are barriers: they wait for all
+  // earlier chains and gate all later ones. Slot writes only — each node
+  // computes one response string; socket I/O stays on the transport thread
+  // (lint: executor-hygiene).
+  util::JobGraph graph;
+  std::vector<util::JobId> ids(batch.size());
+  std::map<std::string, util::JobId> lastOfTenant;
+  std::optional<util::JobId> lastBarrier;
+  std::vector<util::JobId> deps;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    deps.clear();
+    if (batch[i].tenant.empty()) {
+      for (const auto& [tenant, id] : lastOfTenant) deps.push_back(id);
+      if (lastBarrier) deps.push_back(*lastBarrier);
+    } else {
+      const auto it = lastOfTenant.find(batch[i].tenant);
+      if (it != lastOfTenant.end()) deps.push_back(it->second);
+      if (lastBarrier) deps.push_back(*lastBarrier);
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    ids[i] = graph.addJob(
+        [this, i, &batch, &out] { out[i] = dispatch(batch[i]); }, deps);
+    if (batch[i].tenant.empty()) {
+      lastOfTenant.clear();
+      lastBarrier = ids[i];
+    } else {
+      lastOfTenant[batch[i].tenant] = ids[i];
+    }
+  }
+  graph.run(static_cast<int>(batch.size()));
   return out;
 }
 

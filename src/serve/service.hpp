@@ -16,14 +16,16 @@
 //
 // Concurrency contract (what makes the PR 3 determinism guarantee extend
 // to the service):
-//   * Requests for the same tenant are always dispatched in arrival order,
-//     one at a time (the transport batches at most one request per tenant
-//     and serial commands alone; see Server::drainQueue).
-//   * dispatchBatch may run different tenants' requests concurrently via
-//     util::parallelFor; sessions touch no shared state except the
-//     internally-synchronized AccessCache and obs registry. Cache hit/miss
-//     *counters* are therefore schedule-dependent; chosen patterns, query
-//     answers and report sections are not.
+//   * Requests for the same tenant are always dispatched in arrival order:
+//     dispatchBatch builds a per-tenant request graph (util::JobGraph) that
+//     chains same-tenant requests and treats tenant-less/serial commands as
+//     barriers, so distinct tenants overlap while each tenant's order
+//     holds. (The transport additionally batches at most one request per
+//     tenant and serial commands alone; see Server::drainQueue.)
+//   * Concurrent nodes touch no shared state except the internally-
+//     synchronized AccessCache and obs registry. Cache hit/miss *counters*
+//     are therefore schedule-dependent; chosen patterns, query answers and
+//     report sections are not.
 //   * With ServiceConfig::deterministic, dispatchBatch degrades to strict
 //     arrival order on the calling thread.
 #pragma once

@@ -1,0 +1,209 @@
+// Bump/arena allocation for per-class and per-job scratch (ROADMAP item 2's
+// memory half). The hot paths — AP candidate generation, pattern/cluster DP
+// tables, DRC shard scratch — allocate many short-lived vectors whose
+// lifetimes all end when the enclosing job finishes. An Arena turns each of
+// those heap round-trips into a pointer bump inside a reusable block:
+//
+//   * Arena owns a chain of geometrically-growing blocks. allocate() bumps;
+//     nothing is freed until rewind()/reset(), which just resets the bump
+//     cursor and keeps the blocks for the next job.
+//   * ArenaScope is the lifetime rule: take a watermark on entry, rewind on
+//     exit. Scopes nest (inner scratch dies before outer scratch), which is
+//     exactly the nesting of job bodies calling helpers.
+//   * scratchArena() hands every thread its own Arena, so job bodies never
+//     contend. Workers die with their pool; their arenas go with them.
+//   * ArenaAllocator<T> adapts an Arena to the std allocator interface so
+//     existing std::vector code converts by swapping the allocator
+//     (ArenaVector<T>). Deallocation is a no-op — memory dies at scope exit.
+//
+// Determinism note: bytesRequested() is a schedule-invariant measure of how
+// much scratch the workload asked for (same work => same total), but block
+// counts are per-thread and NOT schedule-invariant; neither is registered
+// with the obs metrics registry. They surface only through bench reports.
+//
+// The global bypass switch routes ArenaAllocator through plain operator
+// new/delete so benches can measure the no-arena baseline through the SAME
+// code path (bench_pipeline's allocation-count comparison). The choice is
+// captured per allocator instance at construction, so a container built
+// while bypass was on frees through the heap even if the switch flips later.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pao::util {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() = default;
+
+  /// Bump-allocates `bytes` aligned to `align` (power of two). Grows a new
+  /// block when the current one is exhausted; oversize requests get a
+  /// dedicated block. Never returns nullptr (throws std::bad_alloc).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    gBytesRequested.fetch_add(bytes, std::memory_order_relaxed);
+    while (cur_ < blocks_.size()) {
+      Block& b = blocks_[cur_];
+      const std::size_t aligned = alignUp(off_, align);
+      if (aligned + bytes <= b.size) {
+        off_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      // Current block exhausted for this request: move to the next (its
+      // cursor starts at 0 — earlier blocks stay live until rewind).
+      ++cur_;
+      off_ = 0;
+    }
+    addBlock(bytes + align);
+    Block& b = blocks_[cur_];
+    const std::size_t aligned = alignUp(0, align);
+    off_ = aligned + bytes;
+    return b.data.get() + aligned;
+  }
+
+  /// Watermark for ArenaScope: (block index, bump offset).
+  struct Mark {
+    std::size_t block = 0;
+    std::size_t offset = 0;
+  };
+
+  Mark mark() const { return Mark{cur_, off_}; }
+
+  /// Rewinds the bump cursor to a previously taken mark. Blocks are kept
+  /// for reuse; every allocation made after the mark is dead afterwards.
+  void rewind(Mark m) {
+    cur_ = m.block;
+    off_ = m.offset;
+  }
+
+  /// Rewinds everything (blocks retained).
+  void reset() { rewind(Mark{}); }
+
+  std::size_t blockCount() const { return blocks_.size(); }
+
+  std::size_t capacityBytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Process-wide toggle: when on, ArenaAllocator instances constructed from
+  /// then on use the heap instead of the arena. Benches only.
+  static void setBypass(bool on) {
+    gBypass.store(on, std::memory_order_relaxed);
+  }
+  static bool bypass() { return gBypass.load(std::memory_order_relaxed); }
+
+  /// Cumulative bytes requested from all arenas (schedule-invariant for a
+  /// fixed workload; see header comment). Bench-only counter.
+  static std::uint64_t bytesRequested() {
+    return gBytesRequested.load(std::memory_order_relaxed);
+  }
+  static void resetBytesRequested() {
+    gBytesRequested.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static std::size_t alignUp(std::size_t v, std::size_t align) {
+    return (v + align - 1) & ~(align - 1);
+  }
+
+  void addBlock(std::size_t minBytes) {
+    std::size_t size = blocks_.empty() ? kDefaultBlockBytes
+                                       : blocks_.back().size * 2;
+    if (size < minBytes) size = minBytes;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    cur_ = blocks_.size() - 1;
+    off_ = 0;
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t cur_ = 0;
+  std::size_t off_ = 0;
+
+  inline static std::atomic<bool> gBypass{false};
+  inline static std::atomic<std::uint64_t> gBytesRequested{0};
+};
+
+/// RAII lifetime rule for arena scratch: everything allocated between
+/// construction and destruction dies at destruction. Scopes nest.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena) : arena_(arena), mark_(arena.mark()) {}
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+  ~ArenaScope() { arena_.rewind(mark_); }
+
+ private:
+  Arena& arena_;
+  Arena::Mark mark_;
+};
+
+/// Each thread's private scratch arena. Job bodies reach it through
+/// ArenaScope + ArenaVector; no cross-thread sharing, no contention.
+inline Arena& scratchArena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+/// std-allocator adapter. arena_ == nullptr means "heap" (the bypass mode,
+/// captured at construction — see header comment). Deallocation through an
+/// arena is a no-op; the enclosing ArenaScope reclaims.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  /// Binds to the calling thread's scratch arena unless bypass is on.
+  ArenaAllocator() : arena_(Arena::bypass() ? nullptr : &scratchArena()) {}
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    const std::size_t bytes = n * sizeof(T);
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(bytes, std::align_val_t{alignof(T)}));
+    }
+    return static_cast<T*>(arena_->allocate(bytes, alignof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) {
+      ::operator delete(p, std::align_val_t{alignof(T)});
+    }
+    // Arena memory dies at ArenaScope exit.
+  }
+
+  Arena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Vector whose backing store lives in the thread's scratch arena (or the
+/// heap under bypass). Use inside an ArenaScope; do not return across it.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace pao::util

@@ -1,29 +1,10 @@
 #include "util/executor.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <exception>
-#include <mutex>
 #include <thread>
-#include <vector>
 
-#include "obs/enabled.hpp"
-#if PAO_OBS_ENABLED
-#include <optional>
-#include <string>
-
-#include "obs/trace.hpp"
-#endif
+#include "util/jobs.hpp"
 
 namespace pao::util {
-
-namespace {
-
-/// Set while a thread is draining a parallelFor — a nested call sees it and
-/// runs inline instead of spawning a second pool.
-thread_local bool gInsideParallelFor = false;
-
-}  // namespace
 
 int resolveThreads(int numThreads) {
   if (numThreads >= 1) return numThreads;
@@ -34,74 +15,13 @@ int resolveThreads(int numThreads) {
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn,
                  int numThreads) {
   if (n == 0) return;
-
-  // First-failing-index exception, independent of schedule.
-  std::mutex failMu;
-  std::size_t failIdx = n;
-  std::exception_ptr failure;
-  const auto recordFailure = [&](std::size_t i) {
-    std::lock_guard<std::mutex> lock(failMu);
-    if (i < failIdx) {
-      failIdx = i;
-      failure = std::current_exception();
-    }
-  };
-
-  const int workers =
-      gInsideParallelFor
-          ? 1
-          : static_cast<int>(std::min<std::size_t>(
-                static_cast<std::size_t>(resolveThreads(numThreads)), n));
-
-  if (workers <= 1) {
-    const bool wasInside = gInsideParallelFor;
-    gInsideParallelFor = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      try {
-        fn(i);
-      } catch (...) {
-        recordFailure(i);
-      }
-    }
-    gInsideParallelFor = wasInside;
-  } else {
-#if PAO_OBS_ENABLED
-    // Name worker spans after the submitting thread's innermost open span
-    // (e.g. "oracle.steps12" -> "oracle.steps12.worker") so Perfetto groups
-    // worker activity under its phase. Captured here, before workers start,
-    // because the stack is thread-local to the submitter.
-    std::string workerSpanName;
-    if (obs::Tracer::instance().enabled()) {
-      const std::string parent = obs::Tracer::currentSpanName();
-      if (!parent.empty()) workerSpanName = parent + ".worker";
-    }
-#endif
-    std::atomic<std::size_t> next{0};
-    const auto drain = [&] {
-      gInsideParallelFor = true;
-#if PAO_OBS_ENABLED
-      std::optional<obs::TraceScope> workerSpan;
-      if (!workerSpanName.empty()) {
-        workerSpan.emplace(workerSpanName, obs::Json());
-      }
-#endif
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        try {
-          fn(i);
-        } catch (...) {
-          recordFailure(i);
-        }
-      }
-      gInsideParallelFor = false;
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (int t = 1; t < workers; ++t) pool.emplace_back(drain);
-    drain();  // the calling thread works too
-    for (std::thread& t : pool) t.join();
-  }
-
-  if (failure) std::rethrow_exception(failure);
+  // A single-layer graph: n dependency-free jobs sharing one body. The
+  // graph's contract subsumes the old fork-join one — every index is
+  // attempted, the lowest failing index's exception is rethrown, and a
+  // nested call degrades to serial on the calling worker.
+  JobGraph graph;
+  graph.addJobRange(n, fn);
+  graph.run(numThreads);
 }
 
 }  // namespace pao::util

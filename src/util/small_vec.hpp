@@ -1,0 +1,122 @@
+// Small-buffer vector for the data-layout overhaul (ROADMAP item 2): hot
+// structs like AccessPoint keep short index lists (via-def indices) inline
+// instead of owning a heap allocation apiece. The first N elements live in
+// the struct; pathological inputs that exceed N spill to the heap with full
+// std::vector growth semantics, so no input is ever truncated.
+//
+// Deliberately minimal: the subset of the vector interface the pin-access
+// code uses. T must be default-constructible and assignable (the intended
+// use is small trivial types — indices, ids, coordinates); elements are
+// value slots, not placement-new storage, which keeps the type simple and
+// the common path allocation-free.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <utility>
+
+namespace pao::util {
+
+template <typename T, std::size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    for (const T& v : init) push_back(v);
+  }
+  SmallVec(const SmallVec& other) { assignFrom(other); }
+  SmallVec(SmallVec&& other) noexcept { moveFrom(std::move(other)); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      size_ = 0;
+      assignFrom(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) moveFrom(std::move(other));
+    return *this;
+  }
+  ~SmallVec() = default;
+
+  void push_back(const T& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data()[size_++] = v;
+  }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+
+  T* data() { return heap_ ? heap_.get() : inline_; }
+  const T* data() const { return heap_ ? heap_.get() : inline_; }
+
+  T& operator[](std::size_t i) { return data()[i]; }
+  const T& operator[](std::size_t i) const { return data()[i]; }
+  T& front() { return data()[0]; }
+  const T& front() const { return data()[0]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+
+ private:
+  void grow(std::size_t newCap) {
+    if (newCap < size_ + 1) newCap = size_ + 1;
+    auto fresh = std::unique_ptr<T[]>(new T[newCap]);
+    std::move(begin(), end(), fresh.get());
+    heap_ = std::move(fresh);
+    cap_ = newCap;
+  }
+
+  void assignFrom(const SmallVec& other) {
+    reserve(other.size_);
+    std::copy(other.begin(), other.end(), data());
+    size_ = other.size_;
+  }
+
+  void moveFrom(SmallVec&& other) {
+    if (other.heap_) {
+      heap_ = std::move(other.heap_);
+      cap_ = other.cap_;
+      size_ = other.size_;
+    } else {
+      heap_.reset();
+      cap_ = N;
+      size_ = other.size_;
+      std::move(other.inline_, other.inline_ + other.size_, inline_);
+    }
+    other.size_ = 0;
+    other.cap_ = N;
+    other.heap_.reset();
+  }
+
+  T inline_[N] = {};
+  std::unique_ptr<T[]> heap_;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace pao::util

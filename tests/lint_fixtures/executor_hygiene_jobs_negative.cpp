@@ -1,0 +1,65 @@
+// Known-negative fixture for the executor-hygiene job-graph extension.
+// NOT compiled — fed to lintSource, including under "src/serve/fixture.cpp".
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+using JobId = unsigned;
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+struct JobGraph {
+  template <typename Fn>
+  JobId addJob(Fn&& fn);
+  template <typename Fn>
+  JobId addJob(Fn&& fn, std::initializer_list<JobId> deps);
+  template <typename Fn>
+  JobId addJobRange(std::size_t n, Fn&& fn);
+  void run(int numThreads);
+};
+}
+
+struct Request {
+  std::string line;
+};
+std::string dispatchOne(const Request& r);
+
+// Fine: nodes write response strings into pre-sized slots through a
+// const-capture lambda; ordering is expressed as dependency edges.
+std::vector<std::string> dispatchBatch(const std::vector<Request>& batch) {
+  std::vector<std::string> out(batch.size());
+  util::JobGraph graph;
+  util::JobId prev = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i == 0) {
+      prev = graph.addJob([&out, &batch, i] { out[i] = dispatchOne(batch[i]); });
+    } else {
+      prev = graph.addJob([&out, &batch, i] { out[i] = dispatchOne(batch[i]); },
+                          {prev});
+    }
+  }
+  graph.run(static_cast<int>(batch.size()));
+  return out;
+}
+
+struct Conn {
+  std::string in;
+  std::size_t read(char* buf, std::size_t n);  // member, not the syscall
+};
+
+// Fine: member call through an object is not the socket API.
+void drainBuffered(std::vector<Conn*>& conns) {
+  util::JobGraph graph;
+  graph.addJobRange(conns.size(), [&](std::size_t i) {
+    char buf[64];
+    conns[i]->read(buf, sizeof(buf));
+  });
+  graph.run(1);
+}
+
+// Fine: socket calls outside any node body (the event loop itself).
+void eventLoopRead(int fd) {
+  char buf[4096];
+  read(fd, buf, sizeof(buf));
+  send(fd, buf, sizeof(buf), 0);
+}

@@ -1,0 +1,48 @@
+// Known-positive fixture for the executor-hygiene job-graph extension.
+// NOT compiled — consumed by tests/test_lint.cpp as lint input only.
+// Linted twice: under a neutral path (mutable + nested parallelFor fire)
+// and under "src/serve/fixture.cpp" (the socket ban fires as well).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace util {
+using JobId = unsigned;
+template <typename Fn>
+void parallelFor(std::size_t n, Fn&& fn, int numThreads);
+struct JobGraph {
+  template <typename Fn>
+  JobId addJob(Fn&& fn);
+  template <typename Fn>
+  JobId addJobRange(std::size_t n, Fn&& fn);
+  void run(int numThreads);
+};
+}
+
+void mutableNodeBody() {
+  util::JobGraph graph;
+  int next = 0;
+  graph.addJob([next]() mutable { ++next; });  // line 25: mutable capture
+  graph.run(0);
+}
+
+void nestedParallelForInNode(std::vector<int>& out) {
+  util::JobGraph graph;
+  graph.addJobRange(4, [&](std::size_t) {
+    // line 33: parallelFor inside a job-node body degrades to serial.
+    util::parallelFor(
+        out.size(), [&out](std::size_t i) { out[i] = 1; }, 0);
+  });
+  graph.run(0);
+}
+
+void nodeReadsSocket(const std::vector<int>& fds) {
+  util::JobGraph graph;
+  std::vector<std::string> out(fds.size());
+  graph.addJobRange(fds.size(), [&](std::size_t i) {
+    char buf[256];
+    read(fds[i], buf, sizeof(buf));  // line 44: socket read in a node
+    out[i] = buf;
+  });
+  graph.run(4);
+}

@@ -56,7 +56,7 @@ TEST_F(AccessSourceFixture, PatternModeMatchesOracleChoice) {
   const auto chosen = oracle_->chosenAp(*tc_->design, inst, pin);
   ASSERT_TRUE(chosen.has_value());
   EXPECT_EQ(contact->loc, chosen->loc);
-  EXPECT_EQ(contact->via, chosen->ap->primaryVia());
+  EXPECT_EQ(contact->via, chosen->ap->primaryVia(*tc_->design->tech));
 }
 
 TEST_F(AccessSourceFixture, FirstApModeTakesTheFirstPoint) {

@@ -40,8 +40,8 @@ TEST_F(ApGenFixture, OnTrackPointsFirst) {
   EXPECT_EQ(aps[0].prefType, CoordType::kOnTrack);
   EXPECT_EQ(aps[0].nonPrefType, CoordType::kOnTrack);
   EXPECT_TRUE(aps[0].hasUp());
-  ASSERT_NE(aps[0].primaryVia(), nullptr);
-  EXPECT_EQ(aps[0].primaryVia()->name, "V1_0");
+  ASSERT_NE(aps[0].primaryVia(*td_.design->tech), nullptr);
+  EXPECT_EQ(aps[0].primaryVia(*td_.design->tech)->name, "V1_0");
 }
 
 TEST_F(ApGenFixture, EarlyTerminationAroundK) {

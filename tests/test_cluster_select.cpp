@@ -96,8 +96,8 @@ TEST_F(ClusterFixture, AbuttingInstancesChooseCompatiblePatterns) {
   drc::DrcEngine engine(*td_.tech);
   const Point leftLoc = left.loc + Point{1200, 0};  // u1 is shifted by 1200
   EXPECT_TRUE(engine
-                  .checkViaPair(*right.primaryVia(), right.loc, 1,
-                                *left.primaryVia(), leftLoc, 2)
+                  .checkViaPair(*right.primaryVia(*td_.tech), right.loc, 1,
+                                *left.primaryVia(*td_.tech), leftLoc, 2)
                   .empty())
       << "selected boundary vias conflict: " << right.loc << " vs "
       << leftLoc;

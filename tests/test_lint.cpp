@@ -258,6 +258,47 @@ TEST(LintExecutorHygiene, SocketBanIsScopedToServePaths) {
   EXPECT_TRUE(unsuppressed(fs).empty());
 }
 
+TEST(LintExecutorHygiene, FlagsJobGraphPositives) {
+  const auto fs = lintFixture("executor_hygiene_jobs_positive.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0]->line, 25);
+  EXPECT_NE(live[0]->message.find("mutable-capture lambda submitted"),
+            std::string::npos);
+  EXPECT_EQ(live[1]->line, 33);
+  EXPECT_NE(live[1]->message.find("parallelFor inside a job-node body"),
+            std::string::npos);
+}
+
+TEST(LintExecutorHygiene, FlagsSocketIoInServeJobNodes) {
+  // Under src/serve/ the same fixture additionally trips the socket ban
+  // for the read() inside a graph node.
+  const auto fs = lintFixtureAs("executor_hygiene_jobs_positive.cpp",
+                                "src/serve/fixture.cpp");
+  const auto live = unsuppressed(fs);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[2]->line, 44);
+  EXPECT_NE(live[2]->message.find("'read'"), std::string::npos);
+  EXPECT_NE(live[2]->message.find("job-graph node"), std::string::npos);
+}
+
+TEST(LintExecutorHygiene, AcceptsJobGraphNegatives) {
+  EXPECT_TRUE(
+      unsuppressed(lintFixture("executor_hygiene_jobs_negative.cpp")).empty());
+  // The dispatch shape stays clean under the serve socket ban too.
+  const auto fs = lintFixtureAs("executor_hygiene_jobs_negative.cpp",
+                                "src/serve/fixture.cpp");
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
+TEST(LintExecutorHygiene, JobGraphImplementationIsExempt) {
+  // The job-graph implementation owns its worker pool: raw std::thread is
+  // exempt there, exactly like the executor.
+  const auto fs = lintSource("src/util/jobs.cpp",
+                             "void f() { std::thread t; }", Options());
+  EXPECT_TRUE(unsuppressed(fs).empty());
+}
+
 // --- obs-naming ----------------------------------------------------------
 
 TEST(LintObsNaming, FlagsAllKnownPositives) {

@@ -170,8 +170,8 @@ TEST_F(OracleFixture, ThreadCountDoesNotChangeResult) {
           EXPECT_EQ(x.prefType, y.prefType);
           EXPECT_EQ(x.nonPrefType, y.nonPrefType);
           EXPECT_EQ(x.dirs, y.dirs);
-          // ViaDef identity (pointers into the shared Tech) and order.
-          EXPECT_EQ(x.viaDefs, y.viaDefs);
+          // Via identity (indices into the shared Tech) and order.
+          EXPECT_EQ(x.viaIdx, y.viaIdx);
         }
       }
     }

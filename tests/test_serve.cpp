@@ -51,14 +51,18 @@ struct TestFiles {
 };
 
 /// Writes a small generated testcase to disk once per process; `load`
-/// needs real files. ~50 instances keeps every test sub-second.
+/// needs real files. ~50 instances keeps every test sub-second. The paths
+/// carry the pid: ctest runs each test as its own process, and parallel
+/// ctest invocations would otherwise truncate-and-rewrite the very files a
+/// sibling process is mid-parse on.
 const TestFiles& testFiles() {
   static const TestFiles files = [] {
     const auto specs = pao::benchgen::ispd18Suite();
     pao::benchgen::Testcase tc = pao::benchgen::generate(specs[0], 0.005);
+    const std::string tag = std::to_string(::getpid());
     TestFiles f;
-    f.lef = testing::TempDir() + "pao_serve_test.lef";
-    f.def = testing::TempDir() + "pao_serve_test.def";
+    f.lef = testing::TempDir() + "pao_serve_test_" + tag + ".lef";
+    f.def = testing::TempDir() + "pao_serve_test_" + tag + ".def";
     std::ofstream(f.lef) << pao::lefdef::writeLef(*tc.tech, *tc.lib);
     std::ofstream(f.def) << pao::lefdef::writeDef(*tc.design);
     return f;

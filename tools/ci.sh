@@ -25,10 +25,13 @@
 #                      fault injection compiled out must not reference the
 #                      obs registry, tracer, or fault registry at all)
 #   7. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
-#                      parallel executor paths in DrcEngine::checkAll, the
-#                      oracle Steps 1-3, router planning, and the pao_serve
-#                      soak: >=4 concurrent clients over 2 tenants against
-#                      the live epoll server)
+#                      job-graph executor paths in DrcEngine::checkAll, the
+#                      oracle Steps 1-3 pipeline graph, router planning, and
+#                      the pao_serve soak: >=4 concurrent clients over 2
+#                      tenants against the live epoll server; plus a
+#                      dedicated soak — the JobGraph suite repeated under
+#                      oversubscription and the oracle graph-vs-batch
+#                      equivalence at threads 1/4/0)
 #   8. UBSan          (-fsanitize=undefined with all diagnostics fatal)
 #   9. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
 #                      LEF/DEF parsers and cache reader, zero findings)
@@ -142,6 +145,18 @@ cmake -B "$SRC/build-ci-tsan" -S "$SRC" \
 cmake --build "$SRC/build-ci-tsan" -j "$JOBS"
 # TSan slows execution ~5-15x; keep -j so independent tests overlap.
 ctest --test-dir "$SRC/build-ci-tsan" --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer job-graph soak =="
+# The scheduler races that matter (steal vs. owner pop, ready-count
+# decrement vs. wakeup, dependent-push vs. drain) need many graph
+# lifecycles to surface, not one pass: repeat the whole JobGraph suite —
+# ManySmallGraphsUnderOversubscription runs 8 workers on whatever cores
+# the CI box has — and then pin the end-to-end contract: the oracle's
+# single pipeline graph must match the fresh batch run at threads 1/4/0.
+"$SRC/build-ci-tsan/tests/pao_tests" \
+  --gtest_filter='JobGraph.*' --gtest_repeat=20 --gtest_brief=1
+"$SRC/build-ci-tsan/tests/pao_tests" --gtest_brief=1 \
+  --gtest_filter='OracleFixture.ThreadCountDoesNotChangeResult:Threads/SessionEquivalence.*'
 
 echo "== UndefinedBehaviorSanitizer build =="
 cmake -B "$SRC/build-ci-ubsan" -S "$SRC" \

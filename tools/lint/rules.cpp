@@ -318,7 +318,15 @@ void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
           "and nested-call contracts hold";
       out.push_back(std::move(f));
     }
-    if (isIdent(toks[k], "parallelFor") && isPunct(toks[k + 1], "(")) {
+    // Worker-body scans cover both submission APIs: parallelFor call
+    // arguments and job-graph addJob/addJobRange arguments (the inline
+    // lambda that becomes a node body). Declarations match too, but their
+    // parameter lists carry none of the flagged tokens.
+    const bool isParallelForCall = isIdent(toks[k], "parallelFor");
+    const bool isJobSubmit =
+        isIdent(toks[k], "addJob") || isIdent(toks[k], "addJobRange");
+    if ((isParallelForCall || isJobSubmit) && k + 1 < toks.size() &&
+        isPunct(toks[k + 1], "(")) {
       const std::size_t cp = matchForward(toks, k + 1, "(", ")");
       for (std::size_t j = k + 2; j < cp && j < toks.size(); ++j) {
         if (isIdent(toks[j], "mutable")) {
@@ -326,11 +334,29 @@ void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
           f.file = std::string(path);
           f.line = toks[j].line;
           f.rule = std::string(kRuleExecutorHygiene);
-          f.message = "mutable-capture lambda passed to parallelFor";
+          f.message = isParallelForCall
+                          ? "mutable-capture lambda passed to parallelFor"
+                          : "mutable-capture lambda submitted to the job "
+                            "graph";
           f.hint =
               "write each task's result into a pre-sized slot instead of "
               "mutating captured state; slot writes keep results "
               "schedule-independent";
+          out.push_back(std::move(f));
+          continue;
+        }
+        if (isJobSubmit && isIdent(toks[j], "parallelFor")) {
+          // A parallelFor inside a node body degrades to serial under the
+          // nested-run rule, silently flattening the intended parallelism.
+          Finding f;
+          f.file = std::string(path);
+          f.line = toks[j].line;
+          f.rule = std::string(kRuleExecutorHygiene);
+          f.message = "raw parallelFor inside a job-node body";
+          f.hint =
+              "nested parallel sections degrade to serial; add the inner "
+              "iterations as graph jobs and express the ordering as "
+              "dependency edges instead";
           out.push_back(std::move(f));
           continue;
         }
@@ -349,7 +375,9 @@ void ruleExecutorHygiene(std::string_view path, const std::vector<Token>& toks,
           f.line = toks[j].line;
           f.rule = std::string(kRuleExecutorHygiene);
           f.message = "blocking socket call '" + std::string(toks[j].text) +
-                      "' inside a parallelFor worker in service code";
+                      (isParallelForCall
+                           ? "' inside a parallelFor worker in service code"
+                           : "' inside a job-graph node in service code");
           f.hint =
               "only the epoll event loop in src/serve/server.cpp may touch "
               "sockets; workers compute response strings and the loop "

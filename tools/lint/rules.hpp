@@ -110,9 +110,11 @@ struct Options {
   /// generic `std::vector` growth-call detection is always on regardless.
   std::vector<AccessorAnnotation> accessors;
   /// Path suffixes exempt from the raw-thread half of executor-hygiene
-  /// (the executor implementation itself must use std::thread).
+  /// (the executor and job-graph implementations themselves must use
+  /// std::thread to build the worker pool).
   std::vector<std::string> rawThreadExemptSuffixes = {
-      "src/util/executor.cpp", "src/util/executor.hpp"};
+      "src/util/executor.cpp", "src/util/executor.hpp",
+      "src/util/jobs.cpp", "src/util/jobs.hpp"};
   /// Path substrings exempt from diag-hygiene: the generic error machinery
   /// itself (src/util/), the CLI front ends (tools/, whose main() catches
   /// and maps exceptions to exit codes) and the tests.
