@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/profile.hpp"
 #include "obs/report.hpp"
 
 namespace pao::bench {
@@ -63,6 +64,18 @@ class BenchReport {
   /// The "bench" section, for per-bench result rows and summaries.
   obs::Json& bench() { return report_.section("bench"); }
   obs::RunReport& report() { return report_; }
+
+  /// Attaches a job-graph profile as the report's "profile" section,
+  /// upgrading the schema to pao-report/2 (validateReport rejects the
+  /// section under v1). No-op on an empty profile, so callers can pass
+  /// Session::lastGraphProfile() unconditionally; repeated calls keep the
+  /// latest graph. Callers gate on PAO_OBS_ENABLED — without the capture
+  /// in JobGraph::run every profile is empty and this never fires.
+  void attachProfile(const obs::GraphProfile& profile) {
+    if (profile.empty()) return;
+    report_.doc().set("schema", obs::Json(obs::kReportSchemaV2));
+    report_.section("profile") = obs::profileSectionJson(profile);
+  }
 
   /// Captures metrics and writes BENCH_<name>.json. Returns false (with a
   /// diagnostic on stderr) on I/O error.

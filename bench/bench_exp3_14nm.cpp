@@ -67,5 +67,8 @@ int main() {
       .set("chosenAps", obs::Json(chosen))
       .set("offTrackAps", obs::Json(offTrack))
       .set("totalSeconds", obs::Json(res.totalSeconds()));
+#if PAO_OBS_ENABLED
+  report.attachProfile(oracle.lastGraphProfile());
+#endif
   return report.write() ? 0 : 1;
 }

@@ -68,6 +68,9 @@ struct RunMeasure {
   core::OracleSession::Stats stats;
   std::uint64_t heapAllocs = 0;
   std::uint64_t arenaBytes = 0;
+#if PAO_OBS_ENABLED
+  pao::obs::GraphProfile profile;
+#endif
 };
 
 RunMeasure analyzeOnce(const db::Design& design, int threads) {
@@ -80,6 +83,9 @@ RunMeasure analyzeOnce(const db::Design& design, int threads) {
   m.stats = session.stats();
   m.heapAllocs = gHeapAllocs.load(std::memory_order_relaxed) - allocs0;
   m.arenaBytes = util::Arena::bytesRequested();
+#if PAO_OBS_ENABLED
+  m.profile = session.lastGraphProfile();
+#endif
   return m;
 }
 
@@ -145,6 +151,11 @@ int main() {
       .set("heapAllocsBypass",
            obs::Json(static_cast<double>(bypassRun.heapAllocs)))
       .set("heapAllocReduction", obs::Json(allocCut));
+#if PAO_OBS_ENABLED
+  // Profile of the full-pool run, so BENCH_bench_pipeline.json carries the
+  // measured critical path and parallelism headroom next to the shape rows.
+  report.attachProfile(pooled.profile);
+#endif
   report.write();
 
   bool ok = true;

@@ -57,6 +57,11 @@ int main() {
                   .set("dirtyPaaf", obs::Json(paafDirty.dirtyAps))
                   .set("step1SecondsLegacy", obs::Json(legacyRes.step1Seconds))
                   .set("step1SecondsPaaf", obs::Json(paafRes.step1Seconds)));
+#if PAO_OBS_ENABLED
+    // Last selected testcase's PAAF pipeline profile wins — one headroom
+    // sample per report is enough for the CI digest.
+    report.attachProfile(paaf.lastGraphProfile());
+#endif
   }
   std::printf("\nPaper shape check: PAAF generates MORE access points, with "
               "ZERO dirty points,\nwhile the TrRte baseline emits dirty "

@@ -136,7 +136,6 @@ std::vector<Violation> DrcEngine::checkViaPair(const db::ViaDef& viaA,
 std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
   PAO_TRACE_SCOPE("drc.check_all");
   const int numLayers = static_cast<int>(tech_->layers().size());
-  const int threads = util::resolveThreads(numThreads);
 
   // The batch check is sharded into independent tasks: contiguous shape
   // ranges for the pairwise loops and net ranges for the merged-component
@@ -151,8 +150,13 @@ std::vector<Violation> DrcEngine::checkAll(int numThreads) const {
                                const std::function<void(
                                    std::size_t, std::size_t,
                                    std::vector<Violation>&)>& body) {
+    // Fixed shard target, independent of the thread count, so the task
+    // count (and with it pao.jobs.executed) is identical at any --threads.
+    // 64 shards per range keeps plenty of steal granularity for the worker
+    // counts this engine sees without drowning the graph in tiny jobs.
+    static constexpr std::size_t kShardTarget = 64;
     const std::size_t chunk =
-        std::max<std::size_t>(1, (count + threads * 4 - 1) / (threads * 4));
+        std::max<std::size_t>(1, (count + kShardTarget - 1) / kShardTarget);
     for (std::size_t lo = 0; lo < count; lo += chunk) {
       const std::size_t hi = std::min(count, lo + chunk);
       tasks.push_back([body, lo, hi](std::vector<Violation>& out) {

@@ -39,6 +39,41 @@ std::span<const long long> defaultHistogramBounds() {
   return kBounds;
 }
 
+double histogramQuantile(std::span<const long long> bounds,
+                         std::span<const std::uint64_t> buckets, double q) {
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;  // empty-histogram sentinel
+  const double rank = q * static_cast<double>(total);
+  double cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cum + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: the histogram cannot resolve past its last
+        // finite bound, so saturate there instead of extrapolating.
+        return bounds.empty() ? 0.0
+                              : static_cast<double>(bounds[bounds.size() - 1]);
+      }
+      const double lower = i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+      const double upper = static_cast<double>(bounds[i]);
+      const double frac =
+          (rank - cum) / static_cast<double>(buckets[i]);  // in [0, 1]
+      return lower + (upper - lower) * (frac < 0 ? 0 : frac);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : static_cast<double>(bounds[bounds.size() - 1]);
+}
+
+double histogramQuantile(const Histogram& h, double q) {
+  const std::vector<std::uint64_t> buckets = h.counts();
+  return histogramQuantile(h.bounds(), buckets, q);
+}
+
 Registry& Registry::instance() {
   static Registry* const kInstance = new Registry();  // leaked on purpose
   return *kInstance;

@@ -82,6 +82,22 @@ class Histogram {
 /// sizes).
 std::span<const long long> defaultHistogramBounds();
 
+/// Estimated q-quantile (q clamped to [0, 1]) of a fixed-bucket histogram
+/// by linear interpolation inside the containing bucket (bucket i spans
+/// (bounds[i-1], bounds[i]], bucket 0 starts at 0). `buckets` must hold
+/// bounds.size() + 1 entries, the last being the overflow bucket.
+///
+/// Sentinels — always finite, never NaN:
+///   * empty histogram (all buckets zero)         -> 0.0
+///   * quantile landing in the overflow bucket    -> last finite bound
+///     (the histogram cannot resolve beyond it); 0.0 when `bounds` is empty
+///   * single sample interpolates like any other count, so q = 0 returns
+///     its bucket's lower edge and q = 1 its upper bound
+double histogramQuantile(std::span<const long long> bounds,
+                         std::span<const std::uint64_t> buckets, double q);
+/// Convenience overload over a live registry histogram.
+double histogramQuantile(const Histogram& h, double q);
+
 /// Thread-local shard for a loop that increments one counter many times:
 /// accumulates in a plain integer, flushes one relaxed add on scope exit.
 class ScopedCount {

@@ -1,0 +1,314 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace pao::obs {
+
+namespace {
+
+std::int64_t durNs(const ProfileNode& n) {
+  return n.endNs > n.beginNs ? n.endNs - n.beginNs : 0;
+}
+
+double toMicros(std::int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+bool failValidation(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+const Json* requireKey(const Json& obj, const char* key, std::string* error) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) failValidation(error, std::string("profile.") + key + " missing");
+  return v;
+}
+
+bool requireNonNegNumber(const Json& obj, const char* key, double* out,
+                         std::string* error) {
+  const Json* v = requireKey(obj, key, error);
+  if (v == nullptr) return false;
+  if (!v->isNumber() || v->asDouble() < 0) {
+    return failValidation(error, std::string("profile.") + key +
+                                     " must be a non-negative number");
+  }
+  if (out != nullptr) *out = v->asDouble();
+  return true;
+}
+
+}  // namespace
+
+ProfileAnalysis analyzeProfile(const GraphProfile& profile) {
+  ProfileAnalysis out;
+  const std::size_t n = profile.nodes.size();
+  if (n == 0) return out;
+
+  // Forward pass in id order — deps < id makes ascending ids a topological
+  // order. finish[i] = dur[i] + max(finish[dep]); ties keep the lowest
+  // predecessor so the reported path is deterministic for a fixed capture.
+  std::vector<std::int64_t> finish(n, 0);
+  std::vector<std::int64_t> ready(n, 0);
+  std::vector<std::int32_t> bestPred(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t dur = durNs(profile.nodes[i]);
+    out.totalNs += dur;
+    std::int64_t best = 0;
+    for (std::uint32_t d = profile.depOff[i]; d < profile.depOff[i + 1]; ++d) {
+      const std::uint32_t dep = profile.deps[d];
+      if (finish[dep] > best) {
+        best = finish[dep];
+        bestPred[i] = static_cast<std::int32_t>(dep);
+      }
+      ready[i] = std::max(ready[i], profile.nodes[dep].endNs);
+    }
+    finish[i] = best + dur;
+  }
+  std::size_t tail = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (finish[i] > finish[tail]) tail = i;
+  }
+  out.criticalPathNs = finish[tail];
+  for (std::int32_t i = static_cast<std::int32_t>(tail); i >= 0;
+       i = bestPred[static_cast<std::size_t>(i)]) {
+    out.criticalPath.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::reverse(out.criticalPath.begin(), out.criticalPath.end());
+
+  out.headroom = out.criticalPathNs > 0
+                     ? static_cast<double>(out.totalNs) /
+                           static_cast<double>(out.criticalPathNs)
+                     : 1.0;
+  out.speedup = profile.wallNs > 0 ? static_cast<double>(out.totalNs) /
+                                         static_cast<double>(profile.wallNs)
+                                   : 1.0;
+
+  out.perWorker.assign(
+      profile.workers > 0 ? static_cast<std::size_t>(profile.workers) : 0,
+      WorkerSlice{});
+  std::int64_t waitSum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ProfileNode& node = profile.nodes[i];
+    const std::int64_t wait =
+        node.beginNs > ready[i] ? node.beginNs - ready[i] : 0;
+    waitSum += wait;
+    out.queue.maxWaitNs = std::max(out.queue.maxWaitNs, wait);
+    if (node.worker < 0 ||
+        node.worker >= static_cast<std::int32_t>(out.perWorker.size())) {
+      continue;
+    }
+    WorkerSlice& slice = out.perWorker[static_cast<std::size_t>(node.worker)];
+    slice.busyNs += durNs(node);
+    ++slice.nodes;
+    if (node.stolenFrom >= 0) ++slice.steals;
+  }
+  out.queue.meanWaitNs = static_cast<double>(waitSum) / static_cast<double>(n);
+  out.queue.avgDepth = profile.wallNs > 0
+                           ? static_cast<double>(waitSum) /
+                                 static_cast<double>(profile.wallNs)
+                           : 0.0;
+  for (WorkerSlice& slice : out.perWorker) {
+    slice.idleNs =
+        profile.wallNs > slice.busyNs ? profile.wallNs - slice.busyNs : 0;
+    slice.utilization = profile.wallNs > 0
+                            ? static_cast<double>(slice.busyNs) /
+                                  static_cast<double>(profile.wallNs)
+                            : 0.0;
+  }
+  return out;
+}
+
+Json profileSectionJson(const GraphProfile& profile) {
+  return profileSectionJson(profile, analyzeProfile(profile));
+}
+
+Json profileSectionJson(const GraphProfile& profile,
+                        const ProfileAnalysis& analysis) {
+  Json section = Json::object();
+  section.set("jobs", Json(profile.nodes.size()));
+  section.set("workers", Json(profile.workers));
+  section.set("steals", Json(profile.steals));
+  section.set("wallMicros", Json(toMicros(profile.wallNs)));
+  section.set("totalMicros", Json(toMicros(analysis.totalNs)));
+  section.set("criticalPathMicros", Json(toMicros(analysis.criticalPathNs)));
+  section.set("headroom", Json(analysis.headroom));
+  section.set("speedup", Json(analysis.speedup));
+  Json path = Json::array();
+  for (const std::uint32_t id : analysis.criticalPath) {
+    path.push(Json(static_cast<long long>(id)));
+  }
+  section.set("criticalPath", std::move(path));
+  Json queue = Json::object();
+  queue.set("maxWaitMicros", Json(toMicros(analysis.queue.maxWaitNs)));
+  queue.set("meanWaitMicros", Json(analysis.queue.meanWaitNs / 1000.0));
+  queue.set("avgDepth", Json(analysis.queue.avgDepth));
+  section.set("queue", std::move(queue));
+  Json workers = Json::array();
+  for (std::size_t w = 0; w < analysis.perWorker.size(); ++w) {
+    const WorkerSlice& slice = analysis.perWorker[w];
+    Json j = Json::object();
+    j.set("worker", Json(w));
+    j.set("busyMicros", Json(toMicros(slice.busyNs)));
+    j.set("idleMicros", Json(toMicros(slice.idleNs)));
+    j.set("utilization", Json(slice.utilization));
+    j.set("nodes", Json(slice.nodes));
+    j.set("steals", Json(slice.steals));
+    workers.push(std::move(j));
+  }
+  section.set("perWorker", std::move(workers));
+  return section;
+}
+
+bool validateProfileSection(const Json& section, std::string* error) {
+  if (!section.isObject()) {
+    return failValidation(error, "profile is not an object");
+  }
+  const Json* jobs = requireKey(section, "jobs", error);
+  if (jobs == nullptr) return false;
+  if (!jobs->isInt() || jobs->asInt() < 0) {
+    return failValidation(error, "profile.jobs must be a non-negative integer");
+  }
+  const Json* workers = requireKey(section, "workers", error);
+  if (workers == nullptr) return false;
+  if (!workers->isInt() || workers->asInt() < 1) {
+    return failValidation(error, "profile.workers must be a positive integer");
+  }
+  double wall = 0, total = 0, critical = 0, headroom = 0;
+  if (!requireNonNegNumber(section, "wallMicros", &wall, error) ||
+      !requireNonNegNumber(section, "totalMicros", &total, error) ||
+      !requireNonNegNumber(section, "criticalPathMicros", &critical, error) ||
+      !requireNonNegNumber(section, "headroom", &headroom, error) ||
+      !requireNonNegNumber(section, "speedup", nullptr, error)) {
+    return false;
+  }
+  if (critical > wall) {
+    return failValidation(error,
+                          "profile.criticalPathMicros exceeds wallMicros");
+  }
+  if (critical > total) {
+    return failValidation(error,
+                          "profile.criticalPathMicros exceeds totalMicros");
+  }
+  if (headroom < 1.0) {
+    return failValidation(error, "profile.headroom below 1");
+  }
+  const Json* path = requireKey(section, "criticalPath", error);
+  if (path == nullptr) return false;
+  if (!path->isArray()) {
+    return failValidation(error, "profile.criticalPath must be an array");
+  }
+  long long prev = -1;
+  for (const Json& id : path->items()) {
+    if (!id.isInt() || id.asInt() < 0 || id.asInt() >= jobs->asInt()) {
+      return failValidation(error,
+                            "profile.criticalPath id outside [0, jobs)");
+    }
+    if (id.asInt() <= prev) {
+      return failValidation(error,
+                            "profile.criticalPath ids not strictly ascending");
+    }
+    prev = id.asInt();
+  }
+  const Json* queue = requireKey(section, "queue", error);
+  if (queue == nullptr) return false;
+  if (!queue->isObject()) {
+    return failValidation(error, "profile.queue must be an object");
+  }
+  if (!requireNonNegNumber(*queue, "maxWaitMicros", nullptr, error) ||
+      !requireNonNegNumber(*queue, "meanWaitMicros", nullptr, error) ||
+      !requireNonNegNumber(*queue, "avgDepth", nullptr, error)) {
+    return false;
+  }
+  const Json* perWorker = requireKey(section, "perWorker", error);
+  if (perWorker == nullptr) return false;
+  if (!perWorker->isArray() ||
+      perWorker->items().size() !=
+          static_cast<std::size_t>(workers->asInt())) {
+    return failValidation(error,
+                          "profile.perWorker must hold one entry per worker");
+  }
+  for (std::size_t w = 0; w < perWorker->items().size(); ++w) {
+    const Json& slice = perWorker->items()[w];
+    if (!slice.isObject()) {
+      return failValidation(error, "profile.perWorker entry not an object");
+    }
+    const Json* worker = slice.find("worker");
+    if (worker == nullptr || !worker->isInt() ||
+        worker->asInt() != static_cast<long long>(w)) {
+      return failValidation(error,
+                            "profile.perWorker entries must be in worker "
+                            "order");
+    }
+    if (!requireNonNegNumber(slice, "busyMicros", nullptr, error) ||
+        !requireNonNegNumber(slice, "idleMicros", nullptr, error) ||
+        !requireNonNegNumber(slice, "utilization", nullptr, error)) {
+      return false;
+    }
+    for (const char* key : {"nodes", "steals"}) {
+      const Json* v = slice.find(key);
+      if (v == nullptr || !v->isInt() || v->asInt() < 0) {
+        return failValidation(error, std::string("profile.perWorker.") + key +
+                                         " must be a non-negative integer");
+      }
+    }
+  }
+  return true;
+}
+
+void recordProfileTrace(const GraphProfile& profile) {
+  if (profile.empty() || profile.epochUs == 0) return;
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t base = profile.epochUs;
+  for (std::size_t i = 0; i < profile.nodes.size(); ++i) {
+    const ProfileNode& node = profile.nodes[i];
+    if (node.worker < 0) continue;
+    TraceEvent ev;
+    ev.name = "jobs.node";
+    Json args = Json::object();
+    args.set("id", Json(static_cast<long long>(i)));
+    if (node.stolenFrom >= 0) args.set("stolenFrom", Json(node.stolenFrom));
+    if (node.skipped) args.set("skipped", Json(true));
+    ev.args = std::move(args);
+    ev.tsUs = base + node.beginNs / 1000;
+    ev.durUs = durNs(node) / 1000;
+    ev.tid = node.worker;
+    ev.pid = kJobTrackPid;
+    tracer.recordEvent(std::move(ev));
+  }
+  // Flow events along dependency edges: an "s" inside the producing node's
+  // slice and a matching "f" (bp:"e") at the consuming node's start, so the
+  // viewer draws the DAG edges across worker tracks.
+  std::size_t edge = 0;
+  for (std::size_t i = 0; i < profile.nodes.size() && edge < kMaxFlowEdges;
+       ++i) {
+    const ProfileNode& to = profile.nodes[i];
+    if (to.worker < 0) continue;
+    for (std::uint32_t d = profile.depOff[i];
+         d < profile.depOff[i + 1] && edge < kMaxFlowEdges; ++d) {
+      const ProfileNode& from = profile.nodes[profile.deps[d]];
+      if (from.worker < 0) continue;
+      ++edge;
+      TraceEvent s;
+      s.name = "jobs.dep";
+      s.tsUs = base + std::max(from.beginNs, from.endNs - 1) / 1000;
+      s.durUs = 0;
+      s.tid = from.worker;
+      s.pid = kJobTrackPid;
+      s.ph = 's';
+      s.flowId = edge;
+      tracer.recordEvent(std::move(s));
+      TraceEvent f;
+      f.name = "jobs.dep";
+      f.tsUs = base + to.beginNs / 1000;
+      f.durUs = 0;
+      f.tid = to.worker;
+      f.pid = kJobTrackPid;
+      f.ph = 'f';
+      f.flowId = edge;
+      tracer.recordEvent(std::move(f));
+    }
+  }
+}
+
+}  // namespace pao::obs

@@ -1,0 +1,114 @@
+// Job-graph profiling: the post-run analysis layer over util::JobGraph's
+// per-node capture. The executor (when built with PAO_OBS) records, for
+// every node, begin/end timestamps, the executing worker and steal
+// provenance into per-worker append-only logs; this module turns that raw
+// capture into the numbers every perf PR is judged by:
+//
+//   * the measured critical path through the dependency DAG — the chain of
+//     node times that lower-bounds wall time at any worker count;
+//   * parallelism headroom (sum-of-node-time / critical-path-time): how
+//     many workers the graph could keep busy in the limit;
+//   * per-worker utilization / idle / steal breakdown;
+//   * queue-occupancy stats (how long ready nodes waited to be popped).
+//
+// The data types live here (obs includes nothing outside obs) and are
+// filled by util/jobs.cpp; analysis, the "profile" report section
+// (pao-report/2, see obs/report.hpp), its validator, and the Perfetto
+// worker-track export (flow events along dependency edges) live in
+// profile.cpp. DESIGN.md "Observability" documents the section schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pao::obs {
+
+/// One executed (or skipped) job-graph node. Timestamps are nanoseconds
+/// relative to the graph run's start.
+struct ProfileNode {
+  std::int64_t beginNs = 0;
+  std::int64_t endNs = 0;
+  std::int32_t worker = -1;      ///< executing worker; -1 = never ran
+  std::int32_t stolenFrom = -1;  ///< victim worker when stolen; -1 = own pop
+  bool skipped = false;          ///< poisoned by an upstream failure
+};
+
+/// Raw capture of one JobGraph::run(): per-node timing plus the dependency
+/// CSR, copied out of the graph after the drain so the profile outlives it.
+struct GraphProfile {
+  std::vector<ProfileNode> nodes;     ///< indexed by job id
+  std::vector<std::uint32_t> depOff;  ///< CSR offsets, nodes.size()+1
+  std::vector<std::uint32_t> deps;    ///< flat dependency lists (dep < id)
+  int workers = 0;
+  std::int64_t wallNs = 0;   ///< run() entry to drain completion
+  std::uint64_t steals = 0;  ///< cross-deque pops (schedule-dependent)
+  /// Tracer timestamp (Tracer::nowUs) of the run start when tracing was
+  /// live, else 0 — lets recordProfileTrace place node spans on the same
+  /// timeline as the phase spans.
+  std::int64_t epochUs = 0;
+
+  bool empty() const { return nodes.empty(); }
+};
+
+/// Per-worker slice of a ProfileAnalysis.
+struct WorkerSlice {
+  std::int64_t busyNs = 0;
+  std::int64_t idleNs = 0;  ///< wall - busy, clamped at 0
+  std::size_t nodes = 0;
+  std::size_t steals = 0;  ///< nodes this worker popped from another deque
+  double utilization = 0;  ///< busy / wall (0 when wall is 0)
+};
+
+/// Queue-occupancy summary: a node's wait is pop-time minus ready-time
+/// (ready = latest dependency end, or run start for roots).
+struct QueueStats {
+  std::int64_t maxWaitNs = 0;
+  double meanWaitNs = 0;
+  /// Time-averaged count of ready-but-unpopped nodes: sum-of-wait / wall.
+  double avgDepth = 0;
+};
+
+struct ProfileAnalysis {
+  std::int64_t totalNs = 0;         ///< sum of node durations
+  std::int64_t criticalPathNs = 0;  ///< longest dependency chain, measured
+  std::vector<std::uint32_t> criticalPath;  ///< node ids, ascending
+  /// totalNs / criticalPathNs — the worker count beyond which this graph
+  /// cannot speed up. 1.0 when the critical path is everything (or empty).
+  double headroom = 1.0;
+  double speedup = 1.0;  ///< totalNs / wallNs: parallelism actually achieved
+  std::vector<WorkerSlice> perWorker;
+  QueueStats queue;
+};
+
+/// Pure function of the capture; deterministic for a fixed capture.
+ProfileAnalysis analyzeProfile(const GraphProfile& profile);
+
+/// The "profile" section of a pao-report/2 document. Timing-valued keys use
+/// the *Micros suffix so normalizeForCompare strips them; on a serial run
+/// the surviving structure ("jobs", "criticalPath") is deterministic for
+/// graphs whose longest chain is not a near-tie.
+Json profileSectionJson(const GraphProfile& profile);
+Json profileSectionJson(const GraphProfile& profile,
+                        const ProfileAnalysis& analysis);
+
+/// Structural + arithmetic validation of a "profile" section: required
+/// keys, criticalPath strictly ascending ids inside [0, jobs), critical
+/// path time <= wall time, headroom >= 1, perWorker shaped to "workers".
+bool validateProfileSection(const Json& section, std::string* error = nullptr);
+
+/// Replays the capture into the Tracer as proper per-worker Perfetto
+/// tracks: one "jobs.node" complete event per node on (pid 2, tid worker),
+/// plus s/f flow events along dependency edges so the viewer draws arrows
+/// from each node to its dependents. Flow events are capped (kMaxFlowEdges)
+/// to keep huge graphs from flooding the ring buffer. No-op when the
+/// capture is empty or was taken with tracing off (epochUs == 0).
+void recordProfileTrace(const GraphProfile& profile);
+
+inline constexpr std::size_t kMaxFlowEdges = 4096;
+/// Perfetto pid for the job-graph worker tracks (phase spans use pid 1).
+inline constexpr int kJobTrackPid = 2;
+
+}  // namespace pao::obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 
 #ifndef PAO_GIT_SHA
 #define PAO_GIT_SHA "unknown"
@@ -58,7 +59,7 @@ bool isKnownTopLevelKey(std::string_view key) {
   static constexpr std::string_view kKnown[] = {
       "schema", "tool",    "env",   "design", "config", "args",
       "timings", "oracle", "session", "cache", "drc",   "router",
-      "bench",  "metrics", "notes", "degraded"};
+      "bench",  "metrics", "notes", "degraded", "profile"};
   for (const std::string_view k : kKnown) {
     if (k == key) return true;
   }
@@ -122,7 +123,8 @@ bool validateReport(const Json& doc, std::string* error) {
   if (schema == nullptr || !schema->isString()) {
     return failValidation(error, "missing string 'schema'");
   }
-  if (schema->asString() != kReportSchema) {
+  if (schema->asString() != kReportSchema &&
+      schema->asString() != kReportSchemaV2) {
     return failValidation(error,
                           "unknown schema '" + schema->asString() + "'");
   }
@@ -152,43 +154,70 @@ bool validateReport(const Json& doc, std::string* error) {
   if (metrics != nullptr && !validateMetricsSnapshot(*metrics, error)) {
     return false;
   }
+  const Json* profile = doc.find("profile");
+  if (profile != nullptr) {
+    if (schema->asString() != kReportSchemaV2) {
+      return failValidation(error,
+                            "'profile' section requires schema pao-report/2");
+    }
+    if (!validateProfileSection(*profile, error)) return false;
+  }
   return true;
 }
 
 namespace {
+
+bool hasSuffix(std::string_view key, std::string_view suffix) {
+  return key.size() > suffix.size() &&
+         key.substr(key.size() - suffix.size()) == suffix;
+}
 
 bool isTimingKey(std::string_view key) {
   if (key == "timings" || key == "threads" || key == "hwThreads" ||
       key == "seconds") {
     return true;
   }
-  static constexpr std::string_view kSuffix = "Seconds";
-  return key.size() > kSuffix.size() &&
-         key.substr(key.size() - kSuffix.size()) == kSuffix;
+  return hasSuffix(key, "Seconds") || hasSuffix(key, "Micros");
 }
 
-}  // namespace
+/// Schedule-valued "profile" keys: measured on one particular run with one
+/// particular worker count. The surviving keys ("jobs", "criticalPath")
+/// describe the graph's structure.
+bool isProfileScheduleKey(std::string_view key) {
+  for (const std::string_view k :
+       {"workers", "steals", "headroom", "speedup", "perWorker", "queue"}) {
+    if (k == key) return true;
+  }
+  return false;
+}
 
-Json normalizeForCompare(const Json& doc) {
+Json normalizeImpl(const Json& doc, bool insideProfile) {
   switch (doc.type()) {
     case Json::Type::kObject: {
       Json out = Json::object();
       for (const auto& [key, value] : doc.members()) {
         if (isTimingKey(key)) continue;
-        out.set(key, normalizeForCompare(value));
+        if (insideProfile && isProfileScheduleKey(key)) continue;
+        out.set(key, normalizeImpl(value, insideProfile || key == "profile"));
       }
       return out;
     }
     case Json::Type::kArray: {
       Json out = Json::array();
       for (const Json& item : doc.items()) {
-        out.push(normalizeForCompare(item));
+        out.push(normalizeImpl(item, insideProfile));
       }
       return out;
     }
     default:
       return doc;
   }
+}
+
+}  // namespace
+
+Json normalizeForCompare(const Json& doc) {
+  return normalizeImpl(doc, /*insideProfile=*/false);
 }
 
 bool validateTrace(const Json& doc, int minSpans, bool requireWorker,

@@ -31,6 +31,10 @@
 namespace pao::obs {
 
 inline constexpr std::string_view kReportSchema = "pao-report/1";
+/// Schema v2 = v1 plus an optional "profile" section (job-graph profile,
+/// see obs/profile.hpp). Producers opt in by overwriting the "schema" key;
+/// validateReport accepts both and rejects "profile" under v1.
+inline constexpr std::string_view kReportSchemaV2 = "pao-report/2";
 
 class RunReport {
  public:
@@ -72,8 +76,12 @@ bool validateReport(const Json& doc, std::string* error = nullptr);
 bool validateMetricsSnapshot(const Json& metrics, std::string* error = nullptr);
 
 /// Recursively strips timing-valued keys ("timings", "threads", "hwThreads",
-/// "seconds", any key ending in "Seconds") so reports from identical work at
-/// different thread counts compare byte-identical.
+/// "seconds", any key ending in "Seconds" or "Micros") so reports from
+/// identical work at different thread counts compare byte-identical. Inside
+/// a "profile" section the schedule-valued keys ("workers", "steals",
+/// "headroom", "speedup", "perWorker", "queue") are stripped too — what
+/// survives is the critical-path *structure*, which two serial runs of the
+/// same graph reproduce.
 Json normalizeForCompare(const Json& doc);
 
 /// Validation for an exported Chrome trace: well-formed traceEvents with

@@ -72,9 +72,14 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
 
 void Tracer::record(std::string name, Json args, std::int64_t tsUs,
                     std::int64_t durUs) {
+  TraceEvent ev{std::move(name), std::move(args), tsUs, durUs, 0};
+  ev.tid = localBuffer().tid;
+  recordEvent(std::move(ev));
+}
+
+void Tracer::recordEvent(TraceEvent ev) {
   ThreadBuffer& buf = localBuffer();
   std::lock_guard<std::mutex> lock(buf.mu);
-  TraceEvent ev{std::move(name), std::move(args), tsUs, durUs, buf.tid};
   ++buf.recorded;
   if (buf.ring.size() < buf.capacity) {
     buf.ring.push_back(std::move(ev));
@@ -141,11 +146,17 @@ std::string Tracer::exportChromeTrace() const {
     Json e = Json::object();
     e.set("name", Json(std::move(ev.name)));
     e.set("cat", Json("pao"));
-    e.set("ph", Json("X"));
+    e.set("ph", Json(std::string(1, ev.ph)));
     e.set("ts", Json(ev.tsUs));
-    e.set("dur", Json(ev.durUs));
-    e.set("pid", Json(1));
+    if (ev.ph == 'X') e.set("dur", Json(ev.durUs));
+    e.set("pid", Json(ev.pid));
     e.set("tid", Json(ev.tid));
+    if (ev.ph == 's' || ev.ph == 'f') {
+      e.set("id", Json(ev.flowId));
+      // Bind the 'f' to the enclosing slice so the arrow lands at the
+      // consuming node's start rather than its end.
+      if (ev.ph == 'f') e.set("bp", Json("e"));
+    }
     if (!ev.args.isNull()) e.set("args", std::move(ev.args));
     events.push(std::move(e));
   }

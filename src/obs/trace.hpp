@@ -38,6 +38,12 @@ struct TraceEvent {
   std::int64_t tsUs;  // start, microseconds since tracer enable
   std::int64_t durUs;
   int tid;
+  // Defaults describe an ordinary span. obs/profile.cpp overrides them to
+  // place job-graph nodes on their own per-worker tracks (pid 2) and to
+  // draw dependency arrows with flow events ('s' start / 'f' finish).
+  int pid = 1;
+  char ph = 'X';
+  std::uint64_t flowId = 0;  // pairs an 's' with its 'f'; 0 = not a flow
 };
 
 class Tracer {
@@ -56,6 +62,11 @@ class Tracer {
   /// Records a completed span on the calling thread's ring buffer.
   void record(std::string name, Json args, std::int64_t tsUs,
               std::int64_t durUs);
+
+  /// Records a pre-built event verbatim — tid/pid/ph/flowId are kept as
+  /// given rather than stamped with the calling thread's tid. Used by
+  /// obs/profile.cpp to replay a job-graph capture onto worker tracks.
+  void recordEvent(TraceEvent ev);
 
   /// Innermost open span name on the calling thread ("" when none). Used by
   /// util::parallelFor to name worker spans after their submitting phase.

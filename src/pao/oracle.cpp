@@ -61,6 +61,9 @@ OracleResult PinAccessOracle::run() {
   // The batch oracle is a thin wrapper these days: a read-only OracleSession
   // does the full Steps 1-3 build, and its snapshot is the batch result.
   const OracleSession session(*design_, cfg_);
+#if PAO_OBS_ENABLED
+  graphProfile_ = session.lastGraphProfile();
+#endif
   return session.snapshot();
 }
 

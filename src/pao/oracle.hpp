@@ -11,11 +11,16 @@
 #include <vector>
 
 #include "db/unique_inst.hpp"
+#include "obs/enabled.hpp"
 #include "pao/access_cache.hpp"
 #include "pao/ap_gen.hpp"
 #include "pao/cluster_select.hpp"
 #include "pao/legacy_ap.hpp"
 #include "pao/pattern_gen.hpp"
+
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 
 namespace pao::core {
 
@@ -136,9 +141,19 @@ class PinAccessOracle {
   /// Runs the configured flow end to end.
   OracleResult run();
 
+#if PAO_OBS_ENABLED
+  /// Profile of the pipeline job graph of the last run() (empty before the
+  /// first run, or when the legacy parallelFor path ran). The benches feed
+  /// this to BenchReport::attachProfile.
+  const obs::GraphProfile& lastGraphProfile() const { return graphProfile_; }
+#endif
+
  private:
   const db::Design* design_;
   OracleConfig cfg_;
+#if PAO_OBS_ENABLED
+  obs::GraphProfile graphProfile_;
+#endif
 };
 
 }  // namespace pao::core

@@ -322,6 +322,9 @@ void OracleSession::buildAll() {
   stats_.graphJobs = graph.stats().jobs;
   stats_.overlapJobs = overlapJobs_.load(std::memory_order_relaxed);
   stats_.graphSteals = graph.stats().steals;
+#if PAO_OBS_ENABLED
+  graphProfile_ = graph.profile();
+#endif
   step3CpuSeconds_ = selector_->dpCpuSeconds();
   recordBudgetExpiry();
   // step3Seconds_ spans from the first DP node's start to the end of the
@@ -481,6 +484,9 @@ void OracleSession::recomputeAfterMutation(const std::vector<int>& touched) {
     graph.run(cfg_.numThreads);
     stats_.graphJobs += graph.stats().jobs;
     stats_.graphSteals += graph.stats().steals;
+#if PAO_OBS_ENABLED
+    if (graph.size() > 0) graphProfile_ = graph.profile();
+#endif
   }
   stats_.pairChecks = selector_->numPairChecks();
 

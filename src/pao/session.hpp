@@ -31,9 +31,14 @@
 #include <vector>
 
 #include "db/unique_inst.hpp"
+#include "obs/enabled.hpp"
 #include "pao/access_cache.hpp"
 #include "pao/cluster_select.hpp"
 #include "pao/oracle.hpp"
+
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 
 namespace pao::core {
 
@@ -111,6 +116,13 @@ class OracleSession {
   };
   const Stats& stats() const { return stats_; }
 
+#if PAO_OBS_ENABLED
+  /// Profile of the most recent pipeline job graph (initial build or
+  /// mutation re-run). Empty when the legacy parallelFor path ran. Feed to
+  /// obs::analyzeProfile / obs::profileSectionJson for the run report.
+  const obs::GraphProfile& lastGraphProfile() const { return graphProfile_; }
+#endif
+
  private:
   /// Per-class build state threaded between the Step-1 and Step-2 job-graph
   /// nodes of one class (defined in session.cpp).
@@ -179,6 +191,9 @@ class OracleSession {
   std::atomic<std::size_t> overlapJobs_{0};
   std::atomic<bool> step3Started_{false};
   std::chrono::steady_clock::time_point step3T0_{};
+#if PAO_OBS_ENABLED
+  obs::GraphProfile graphProfile_;
+#endif
 };
 
 }  // namespace pao::core

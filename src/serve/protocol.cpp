@@ -26,7 +26,7 @@ Request parseRequest(std::string line) {
 
 bool isSerialCommand(std::string_view cmd) {
   return cmd == "ping" || cmd == "load" || cmd == "unload" ||
-         cmd == "metrics" || cmd == "shutdown";
+         cmd == "metrics" || cmd == "profile" || cmd == "shutdown";
 }
 
 bool isKnownCommand(std::string_view cmd) {
@@ -47,6 +47,16 @@ std::string errorLine(std::string_view code, const std::string& message) {
   resp.set("ok", obs::Json(false));
   resp.set("code", obs::Json(code));
   resp.set("error", obs::Json(message));
+  return resp.dump();
+}
+
+std::string errorLine(std::string_view code, const std::string& message,
+                      std::uint64_t requestId) {
+  obs::Json resp = obs::Json::object();
+  resp.set("ok", obs::Json(false));
+  resp.set("code", obs::Json(code));
+  resp.set("error", obs::Json(message));
+  resp.set("req", obs::Json(requestId));
   return resp.dump();
 }
 

@@ -6,6 +6,11 @@
 //   {"ok": true, "result": {...}}
 //   {"ok": false, "code": "SRVnnn", "error": "<human-readable reason>"}
 //
+// Error responses produced by the dispatcher additionally carry a "req"
+// field — the service-wide monotonic request id assigned at dispatch —
+// so a client (or an operator grepping the slow-request log, which prints
+// the same id) can correlate a failure with the server-side record.
+//
 // The SRVnnn codes are stable API (tests assert them; see DESIGN.md
 // "Service architecture" for the command grammar):
 //
@@ -23,6 +28,7 @@
 //           unchanged unless the command's doc says otherwise)
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -71,5 +77,8 @@ bool isKnownCommand(std::string_view cmd);
 /// Response lines (no trailing newline; the transport appends it).
 std::string okLine(obs::Json result);
 std::string errorLine(std::string_view code, const std::string& message);
+/// Dispatcher flavor: appends the monotonic request id as "req".
+std::string errorLine(std::string_view code, const std::string& message,
+                      std::uint64_t requestId);
 
 }  // namespace pao::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -111,8 +112,11 @@ std::string Service::handleLine(const std::string& line) {
   const Request req = parseRequest(line);
   if (!tryAdmit(req)) {
     PAO_COUNTER_INC("pao.serve.admission_rejects");
-    return errorLine(kErrBusy, "tenant '" + req.tenant +
-                                   "' has no in-flight budget left");
+    const std::uint64_t reqId =
+        nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+    return errorLine(kErrBusy,
+                     "tenant '" + req.tenant + "' has no in-flight budget left",
+                     reqId);
   }
   const std::string response = dispatch(req);
   release(req);
@@ -120,20 +124,23 @@ std::string Service::handleLine(const std::string& line) {
 }
 
 std::string Service::dispatch(const Request& req) {
-  PAO_TRACE_SCOPE("serve.request");
+  const std::uint64_t reqId =
+      nextRequestId_.fetch_add(1, std::memory_order_relaxed);
+  PAO_TRACE_SCOPE("serve.request",
+                  obs::Json::object().set("req", obs::Json(reqId)));
   const auto t0 = std::chrono::steady_clock::now();
   std::string out;
   if (req.malformed) {
-    out = errorLine(kErrMalformed, req.parseError);
+    out = errorLine(kErrMalformed, req.parseError, reqId);
     PAO_COUNTER_INC("pao.serve.errors_total");
   } else {
     try {
       out = okLine(dispatchCommand(req));
     } catch (const ProtocolError& e) {
-      out = errorLine(e.code, e.message);
+      out = errorLine(e.code, e.message, reqId);
       PAO_COUNTER_INC("pao.serve.errors_total");
     } catch (const std::exception& e) {
-      out = errorLine(kErrInternal, e.what());
+      out = errorLine(kErrInternal, e.what(), reqId);
       PAO_COUNTER_INC("pao.serve.errors_total");
     }
   }
@@ -142,7 +149,36 @@ std::string Service::dispatch(const Request& req) {
                         std::chrono::steady_clock::now() - t0)
                         .count();
   PAO_HISTOGRAM_OBSERVE("pao.serve.request.micros", us);
+  maybeLogSlow(req, reqId, us);
   return out;
+}
+
+void Service::maybeLogSlow(const Request& req, std::uint64_t requestId,
+                           double micros) {
+  if (cfg_.slowRequestMicros <= 0 ||
+      micros <= static_cast<double>(cfg_.slowRequestMicros)) {
+    return;
+  }
+  PAO_COUNTER_INC("pao.serve.slow_requests");
+  // Rate-limit the stderr line to one per second: the counter keeps exact
+  // totals, the log is for a human tailing the daemon.
+  const std::int64_t now =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  constexpr std::int64_t kLogIntervalNs = 1000000000;  // 1 s
+  std::int64_t last = lastSlowLogNs_.load(std::memory_order_relaxed);
+  if (last != 0 && now - last < kLogIntervalNs) return;
+  if (!lastSlowLogNs_.compare_exchange_strong(last, now,
+                                              std::memory_order_relaxed)) {
+    return;  // another thread logged concurrently
+  }
+  std::fprintf(stderr,
+               "pao_serve: slow request req=%llu cmd=%s tenant=%s "
+               "micros=%.0f\n",
+               static_cast<unsigned long long>(requestId),
+               req.cmd.empty() ? "?" : req.cmd.c_str(),
+               req.tenant.empty() ? "-" : req.tenant.c_str(), micros);
 }
 
 std::vector<std::string> Service::dispatchBatch(
@@ -188,6 +224,12 @@ std::vector<std::string> Service::dispatchBatch(
     }
   }
   graph.run(static_cast<int>(batch.size()));
+#if PAO_OBS_ENABLED
+  {
+    const std::lock_guard<std::mutex> lock(profileMu_);
+    lastBatchProfile_ = graph.profile();
+  }
+#endif
   return out;
 }
 
@@ -206,6 +248,7 @@ obs::Json Service::dispatchCommand(const Request& req) {
   if (req.cmd == "query") return cmdQuery(req);
   if (req.cmd == "report") return cmdReport(req);
   if (req.cmd == "metrics") return cmdMetrics(req);
+  if (req.cmd == "profile") return cmdProfile(req);
   if (req.cmd == "history") return cmdHistory(req);
   if (req.cmd == "save") return cmdSave(req);
   // shutdown — answered before the transport begins its teardown.
@@ -462,7 +505,37 @@ obs::Json Service::cmdMetrics(const Request&) {
     perTenant.set(name, std::move(j));
   }
   result.set("perTenant", std::move(perTenant));
+#if PAO_OBS_ENABLED
+  // Rolling request-latency digest, derived from the fixed-bucket
+  // histogram the dispatcher already feeds — no extra bookkeeping.
+  {
+    const obs::Histogram& h =
+        obs::Registry::instance().histogram("pao.serve.request.micros");
+    obs::Json latency = obs::Json::object();
+    latency.set("count", obs::Json(h.count()));
+    latency.set("p50Micros", obs::Json(obs::histogramQuantile(h, 0.50)));
+    latency.set("p95Micros", obs::Json(obs::histogramQuantile(h, 0.95)));
+    latency.set("p99Micros", obs::Json(obs::histogramQuantile(h, 0.99)));
+    result.set("latency", std::move(latency));
+  }
+#endif
   result.set("metrics", obs::Registry::instance().snapshot());
+  return result;
+}
+
+obs::Json Service::cmdProfile(const Request&) {
+  obs::Json result = obs::Json::object();
+#if PAO_OBS_ENABLED
+  const std::lock_guard<std::mutex> lock(profileMu_);
+  if (lastBatchProfile_.empty()) {
+    result.set("available", obs::Json(false));
+  } else {
+    result.set("available", obs::Json(true));
+    result.set("profile", obs::profileSectionJson(lastBatchProfile_));
+  }
+#else
+  result.set("available", obs::Json(false));
+#endif
   return result;
 }
 

@@ -41,9 +41,14 @@
 #include "db/design.hpp"
 #include "db/lib.hpp"
 #include "db/tech.hpp"
+#include "obs/enabled.hpp"
 #include "pao/access_cache.hpp"
 #include "pao/session.hpp"
 #include "serve/protocol.hpp"
+
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 
 namespace pao::serve {
 
@@ -55,6 +60,9 @@ struct ServiceConfig {
   std::size_t maxTenants = 64;
   /// Process every request in arrival order on the calling thread.
   bool deterministic = false;
+  /// Requests slower than this are counted (pao.serve.slow_requests) and
+  /// logged to stderr, rate-limited to one line per second. <= 0 disables.
+  long long slowRequestMicros = 250000;
 };
 
 class Service {
@@ -117,8 +125,14 @@ class Service {
   obs::Json cmdQuery(const Request& req);
   obs::Json cmdReport(const Request& req);
   obs::Json cmdMetrics(const Request& req);
+  obs::Json cmdProfile(const Request& req);
   obs::Json cmdHistory(const Request& req);
   obs::Json cmdSave(const Request& req);
+
+  /// Bumps pao.serve.slow_requests and (rate-limited) logs to stderr when
+  /// `micros` exceeds cfg_.slowRequestMicros.
+  void maybeLogSlow(const Request& req, std::uint64_t requestId,
+                    double micros);
 
   Tenant& requireTenant(const Request& req);
   /// Resolves "inst" (integer index or instance name) in `t`'s design.
@@ -134,6 +148,19 @@ class Service {
   mutable std::mutex mu_;
   std::map<std::string, int> inflight_;
   std::atomic<bool> shutdown_{false};
+  /// Service-wide monotonic request id: assigned at dispatch, threaded
+  /// through the request's trace span, error responses and the slow log.
+  std::atomic<std::uint64_t> nextRequestId_{1};
+  /// Last slow-request stderr line's timestamp (steady ns); CAS-guarded
+  /// rate limit of one line per second.
+  std::atomic<std::int64_t> lastSlowLogNs_{0};
+#if PAO_OBS_ENABLED
+  /// Job-graph profile of the last concurrent dispatchBatch (the `profile`
+  /// command's answer). Guarded by profileMu_: batches from distinct
+  /// connections may complete concurrently.
+  mutable std::mutex profileMu_;
+  obs::GraphProfile lastBatchProfile_;
+#endif
 };
 
 }  // namespace pao::serve

@@ -8,8 +8,10 @@
 
 #include "obs/enabled.hpp"
 #if PAO_OBS_ENABLED
+#include <chrono>
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #endif
 
@@ -20,6 +22,14 @@ namespace {
 /// Set while a thread is draining a graph — a nested run() (or parallelFor)
 /// sees it and runs inline instead of spawning a second pool.
 thread_local bool gInsideJobRun = false;
+
+#if PAO_OBS_ENABLED
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+#endif
 
 }  // namespace
 
@@ -62,7 +72,8 @@ JobId JobGraph::addJobRange(std::size_t n,
   return first;
 }
 
-bool JobGraph::tryPop(std::size_t worker, JobId& out) {
+bool JobGraph::tryPop(std::size_t worker, JobId& out, int& stolenFrom) {
+  stolenFrom = -1;
   {
     WorkerDeque& own = *deques_[worker];
     std::lock_guard<std::mutex> lock(own.mu);
@@ -73,22 +84,32 @@ bool JobGraph::tryPop(std::size_t worker, JobId& out) {
     }
   }
   for (std::size_t k = 1; k < numWorkers_; ++k) {
-    WorkerDeque& victim = *deques_[(worker + k) % numWorkers_];
+    const std::size_t victimIdx = (worker + k) % numWorkers_;
+    WorkerDeque& victim = *deques_[victimIdx];
     std::lock_guard<std::mutex> lock(victim.mu);
     if (!victim.q.empty()) {
       out = victim.q.front();  // thief end: FIFO, oldest first
       victim.q.pop_front();
       steals_.fetch_add(1, std::memory_order_relaxed);
+      stolenFrom = static_cast<int>(victimIdx);
       return true;
     }
   }
   return false;
 }
 
-void JobGraph::execute(JobId id, std::size_t worker) {
+void JobGraph::execute(JobId id, std::size_t worker,
+                       [[maybe_unused]] int stolenFrom) {
+#if PAO_OBS_ENABLED
+  const std::int64_t beginNs = nowNs() - profileEpochNs_;
+#endif
   Node& node = nodes_[id];
   if (poisoned_[id].load(std::memory_order_acquire) != 0) {
     skipped_.fetch_add(1, std::memory_order_relaxed);
+#if PAO_OBS_ENABLED
+    profileLogs_[worker].push_back(
+        {id, beginNs, beginNs, stolenFrom, /*skipped=*/true});
+#endif
     finish(id, /*poisonSuccessors=*/true, worker);
     return;
   }
@@ -108,6 +129,10 @@ void JobGraph::execute(JobId id, std::size_t worker) {
     }
   }
   if (!failed) executed_.fetch_add(1, std::memory_order_relaxed);
+#if PAO_OBS_ENABLED
+  profileLogs_[worker].push_back(
+      {id, beginNs, nowNs() - profileEpochNs_, stolenFrom, /*skipped=*/false});
+#endif
   finish(id, failed, worker);
 }
 
@@ -155,12 +180,13 @@ void JobGraph::finish(JobId id, bool poisonSuccessors, std::size_t worker) {
 void JobGraph::workerLoop(std::size_t worker) {
   for (;;) {
     JobId id = 0;
-    if (tryPop(worker, id)) {
+    int stolenFrom = -1;
+    if (tryPop(worker, id, stolenFrom)) {
       {
         std::lock_guard<std::mutex> lock(idleMu_);
         --readyCount_;
       }
-      execute(id, worker);
+      execute(id, worker, stolenFrom);
       continue;
     }
     std::unique_lock<std::mutex> lock(idleMu_);
@@ -218,6 +244,17 @@ void JobGraph::run(int numThreads) {
     deques_.push_back(std::make_unique<WorkerDeque>());
   }
 
+#if PAO_OBS_ENABLED
+  profileEpochNs_ = nowNs();
+  // Epoch on the tracer's clock too, so recordProfileTrace can place job
+  // spans on the same timeline as the ordinary phase spans. 0 = tracing off.
+  profile_.epochUs = obs::Tracer::instance().enabled()
+                         ? obs::Tracer::instance().nowUs()
+                         : 0;
+  profileLogs_.assign(numWorkers_, {});
+  for (auto& log : profileLogs_) log.reserve(n / numWorkers_ + 8);
+#endif
+
   // Seed the initially-ready jobs round-robin across workers, each deque
   // filled in descending id order so the owner's LIFO pop starts at its
   // lowest id. With one worker this makes the serial schedule "ascending
@@ -271,6 +308,34 @@ void JobGraph::run(int numThreads) {
   stats_.executed = executed_.load(std::memory_order_relaxed);
   stats_.skipped = skipped_.load(std::memory_order_relaxed);
   stats_.steals = steals_.load(std::memory_order_relaxed);
+
+#if PAO_OBS_ENABLED
+  // Assemble the per-worker logs into one indexed-by-id profile. Runs after
+  // the drain on the submitting thread — no worker is still writing.
+  profile_.nodes.assign(n, obs::ProfileNode{});
+  for (std::size_t w = 0; w < profileLogs_.size(); ++w) {
+    for (const ProfileEntry& e : profileLogs_[w]) {
+      obs::ProfileNode& pn = profile_.nodes[e.id];
+      pn.beginNs = e.beginNs;
+      pn.endNs = e.endNs;
+      pn.worker = static_cast<std::int32_t>(w);
+      pn.stolenFrom = e.stolenFrom;
+      pn.skipped = e.skipped;
+    }
+  }
+  profile_.depOff.resize(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    profile_.depOff[i] = nodes_[i].depBegin;
+  }
+  profile_.depOff[n] = static_cast<std::uint32_t>(deps_.size());
+  profile_.deps = deps_;
+  profile_.workers = static_cast<int>(numWorkers_);
+  profile_.wallNs = nowNs() - profileEpochNs_;
+  profile_.steals = stats_.steals;
+  PAO_COUNTER_ADD("pao.jobs.executed",
+                  static_cast<long long>(stats_.executed));
+  PAO_COUNTER_ADD("pao.jobs.skipped", static_cast<long long>(stats_.skipped));
+#endif
 
   if (failure_) std::rethrow_exception(failure_);
 }

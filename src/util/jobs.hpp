@@ -33,8 +33,17 @@
 // front (FIFO, oldest first). The deques here are mutex-guarded rather
 // than lock-free: every queue operation is adjacent to a std::function
 // call that dwarfs it, and the lock keeps the executor trivially clean
-// under TSan. Executed/skipped counts are schedule-invariant; the steal
-// count is not (bench-only — never registered with the obs registry).
+// under TSan. Executed/skipped counts are schedule-invariant and feed the
+// registry counters pao.jobs.executed / pao.jobs.skipped; the steal count
+// is not schedule-invariant (report-only — never registered).
+//
+// Profiling (PAO_OBS builds only): every node's begin/end timestamps,
+// executing worker and steal provenance are appended to per-worker logs —
+// each worker writes only its own vector, so the hot path takes no lock —
+// and assembled into an obs::GraphProfile after the drain (profile()).
+// obs/profile.hpp turns that into critical-path / headroom / utilization
+// analysis. With PAO_OBS=OFF the capture, the member and the accessor
+// compile out entirely (the ci.sh nm gate checks no obs symbol survives).
 //
 // parallelFor (util/executor.hpp) is a thin wrapper: one addJobRange over
 // a dependency-free graph.
@@ -52,6 +61,11 @@
 #include <span>
 #include <string>
 #include <vector>
+
+#include "obs/enabled.hpp"
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 
 namespace pao::util {
 
@@ -90,6 +104,13 @@ class JobGraph {
   /// Valid after run(). See Stats for which fields are schedule-invariant.
   const Stats& stats() const { return stats_; }
 
+#if PAO_OBS_ENABLED
+  /// Valid after run(): per-node timestamps/worker/steal provenance plus
+  /// the dependency CSR, ready for obs::analyzeProfile. Timestamps are
+  /// nanoseconds relative to the run() epoch.
+  const obs::GraphProfile& profile() const { return profile_; }
+#endif
+
   std::size_t size() const { return nodes_.size(); }
 
   /// True while the calling thread is inside a job body (or a parallelFor
@@ -110,10 +131,13 @@ class JobGraph {
     std::deque<JobId> q;
   };
 
-  void execute(JobId id, std::size_t worker);
+  void execute(JobId id, std::size_t worker, int stolenFrom);
   void finish(JobId id, bool poisonSuccessors, std::size_t worker);
   void workerLoop(std::size_t worker);
-  bool tryPop(std::size_t worker, JobId& out);
+  /// Pops a job for `worker`: own deque first (LIFO back), then steals
+  /// round-robin (FIFO front). `stolenFrom` is the victim's worker index,
+  /// or -1 for an own pop.
+  bool tryPop(std::size_t worker, JobId& out, int& stolenFrom);
 
   std::vector<Node> nodes_;
   std::vector<std::function<void(std::size_t)>> rangeBodies_;
@@ -150,6 +174,21 @@ class JobGraph {
   std::atomic<std::size_t> steals_{0};
   Stats stats_;
   bool ran_ = false;
+
+#if PAO_OBS_ENABLED
+  // Hot-path profile capture: each worker appends to its own log, so no
+  // lock or atomic is needed beyond what the scheduler already takes.
+  struct ProfileEntry {
+    JobId id;
+    std::int64_t beginNs;
+    std::int64_t endNs;
+    std::int32_t stolenFrom;
+    bool skipped;
+  };
+  std::vector<std::vector<ProfileEntry>> profileLogs_;
+  std::int64_t profileEpochNs_ = 0;
+  obs::GraphProfile profile_;
+#endif
 };
 
 }  // namespace pao::util

@@ -11,6 +11,11 @@ void goodNames() {
   PAO_GAUGE_SET("pao.router.queue_depth", 7);
   PAO_HISTOGRAM_OBSERVE("pao.step3.cluster_size", 5);
   PAO_COUNTER_INC("pao.oracle.cache.hits_l2");  // four segments are fine
+  // The job-graph profiler's registry counters and the serve slow-request
+  // counter (PR 9) must stay catalog- and naming-clean.
+  PAO_COUNTER_ADD("pao.jobs.executed", 1);
+  PAO_COUNTER_ADD("pao.jobs.skipped", 1);
+  PAO_COUNTER_INC("pao.serve.slow_requests");
 }
 
 void notStaticallyCheckable(const char* dynamicName) {

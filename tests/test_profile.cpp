@@ -1,0 +1,346 @@
+// Job-graph profiling (obs/profile.hpp): critical-path analysis over the
+// executor's per-node capture at every thread count, the "profile" report
+// section's round-trip + validator, the Perfetto worker-track replay with
+// dependency flow events, serial structural determinism under
+// normalizeForCompare, and the histogram quantile helper's NaN-free
+// sentinels.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/enabled.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/jobs.hpp"
+
+namespace pao::obs {
+namespace {
+
+TEST(ProfileAnalysis, EmptyCaptureAnalyzesToNeutralDefaults) {
+  const ProfileAnalysis a = analyzeProfile(GraphProfile{});
+  EXPECT_EQ(a.totalNs, 0);
+  EXPECT_EQ(a.criticalPathNs, 0);
+  EXPECT_TRUE(a.criticalPath.empty());
+  EXPECT_DOUBLE_EQ(a.headroom, 1.0);
+  EXPECT_DOUBLE_EQ(a.speedup, 1.0);
+  EXPECT_TRUE(a.perWorker.empty());
+}
+
+// --- histogram quantiles (satellite: NaN-free edge cases) ------------------
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero) {
+  const std::vector<long long> bounds{10, 100};
+  const std::vector<std::uint64_t> buckets{0, 0, 0};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.99), 0.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastFiniteBound) {
+  const std::vector<long long> bounds{10, 100};
+  const std::vector<std::uint64_t> buckets{0, 0, 5};  // all above 100
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.5), 100.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 1.0), 100.0);
+}
+
+TEST(HistogramQuantile, EmptyBoundsReturnsZeroEvenWithSamples) {
+  const std::vector<long long> bounds{};
+  const std::vector<std::uint64_t> buckets{7};  // overflow-only histogram
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleInterpolatesAcrossItsBucket) {
+  const std::vector<long long> bounds{10, 100};
+  const std::vector<std::uint64_t> buckets{0, 1, 0};  // one sample in (10,100]
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 0.5), 55.0);
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 1.0), 100.0);
+}
+
+TEST(HistogramQuantile, OutOfRangeQuantileIsClamped) {
+  const std::vector<long long> bounds{10, 100};
+  const std::vector<std::uint64_t> buckets{0, 1, 0};
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, -3.0),
+                   histogramQuantile(bounds, buckets, 0.0));
+  EXPECT_DOUBLE_EQ(histogramQuantile(bounds, buckets, 42.0),
+                   histogramQuantile(bounds, buckets, 1.0));
+}
+
+TEST(HistogramQuantile, QuantilesAreMonotonicInQ) {
+  const std::vector<long long> bounds{1, 10, 100, 1000};
+  const std::vector<std::uint64_t> buckets{4, 3, 2, 1, 1};
+  const double p50 = histogramQuantile(bounds, buckets, 0.50);
+  const double p95 = histogramQuantile(bounds, buckets, 0.95);
+  const double p99 = histogramQuantile(bounds, buckets, 0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(HistogramQuantile, LiveHistogramOverloadMatchesSpans) {
+  Histogram h({10, 100});
+  EXPECT_DOUBLE_EQ(histogramQuantile(h, 0.5), 0.0);  // empty
+  h.observe(50);
+  EXPECT_DOUBLE_EQ(histogramQuantile(h, 1.0), 100.0);
+  h.observe(5000);  // overflow bucket
+  EXPECT_DOUBLE_EQ(histogramQuantile(h, 1.0), 100.0);
+}
+
+#if PAO_OBS_ENABLED
+
+// --- graph capture + critical path -----------------------------------------
+
+void burn(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+TEST(GraphProfile, ChainCriticalPathIsEveryNodeAtAnyThreadCount) {
+  for (int threads : {1, 4, 0}) {
+    util::JobGraph g;
+    util::JobId prev = 0;
+    for (int i = 0; i < 4; ++i) {
+      const util::JobId deps[] = {prev};
+      const auto body = [] { burn(2); };
+      prev = (i == 0) ? g.addJob(body) : g.addJob(body, deps);
+    }
+    g.run(threads);
+    const GraphProfile& p = g.profile();
+    ASSERT_EQ(p.nodes.size(), 4u) << "threads " << threads;
+    EXPECT_GE(p.workers, 1) << "threads " << threads;
+    const ProfileAnalysis a = analyzeProfile(p);
+    const std::vector<std::uint32_t> want{0, 1, 2, 3};
+    EXPECT_EQ(a.criticalPath, want) << "threads " << threads;
+    EXPECT_GT(a.criticalPathNs, 0) << "threads " << threads;
+    EXPECT_LE(a.criticalPathNs, p.wallNs) << "threads " << threads;
+    EXPECT_LE(a.criticalPathNs, a.totalNs) << "threads " << threads;
+  }
+}
+
+TEST(GraphProfile, DiamondCriticalPathFollowsTheHeavyBranch) {
+  for (int threads : {1, 4}) {
+    util::JobGraph g;
+    const util::JobId top = g.addJob([] { burn(1); });
+    const util::JobId topDep[] = {top};
+    g.addJob([] { burn(8); }, topDep);  // id 1: the heavy branch
+    g.addJob([] { burn(1); }, topDep);  // id 2
+    const util::JobId join[] = {1, 2};
+    g.addJob([] { burn(1); }, join);  // id 3
+    g.run(threads);
+    const ProfileAnalysis a = analyzeProfile(g.profile());
+    const std::vector<std::uint32_t> want{0, 1, 3};
+    EXPECT_EQ(a.criticalPath, want) << "threads " << threads;
+  }
+}
+
+TEST(GraphProfile, FanOutReportsHeadroomAboveOne) {
+  util::JobGraph g;
+  const util::JobId root = g.addJob([] { burn(1); });
+  const util::JobId rootDep[] = {root};
+  for (int i = 0; i < 8; ++i) g.addJob([] { burn(3); }, rootDep);
+  g.run(4);
+  const GraphProfile& p = g.profile();
+  const ProfileAnalysis a = analyzeProfile(p);
+  // Headroom is structural (sum-of-work / longest chain): ~25ms over ~4ms.
+  EXPECT_GT(a.headroom, 1.0);
+  EXPECT_GT(a.speedup, 0.0);
+  ASSERT_EQ(a.perWorker.size(), static_cast<std::size_t>(p.workers));
+  std::size_t nodesSeen = 0;
+  std::size_t stealsSeen = 0;
+  for (const WorkerSlice& w : a.perWorker) {
+    nodesSeen += w.nodes;
+    stealsSeen += w.steals;
+    EXPECT_GE(w.utilization, 0.0);
+    EXPECT_LE(w.busyNs + w.idleNs, p.wallNs + 1);
+  }
+  EXPECT_EQ(nodesSeen, 9u);
+  EXPECT_EQ(stealsSeen, static_cast<std::size_t>(p.steals));
+}
+
+TEST(GraphProfile, SkippedNodesAreMarkedAndCostFree) {
+  util::JobGraph g;
+  const util::JobId bad =
+      g.addJob([] { throw std::runtime_error("boom"); });
+  const util::JobId badDep[] = {bad};
+  g.addJob([] {}, badDep);  // poisoned
+  EXPECT_THROW(g.run(2), std::runtime_error);
+  // The profile is assembled before the rethrow.
+  const GraphProfile& p = g.profile();
+  ASSERT_EQ(p.nodes.size(), 2u);
+  EXPECT_FALSE(p.nodes[0].skipped);
+  EXPECT_TRUE(p.nodes[1].skipped);
+  EXPECT_EQ(p.nodes[1].beginNs, p.nodes[1].endNs);  // zero duration
+  const ProfileAnalysis a = analyzeProfile(p);
+  EXPECT_GE(a.totalNs, 0);
+}
+
+// --- "profile" report section ----------------------------------------------
+
+GraphProfile runFanOutProfile() {
+  util::JobGraph g;
+  const util::JobId root = g.addJob([] { burn(1); });
+  const util::JobId rootDep[] = {root};
+  for (int i = 0; i < 4; ++i) g.addJob([] { burn(2); }, rootDep);
+  g.run(2);
+  return g.profile();
+}
+
+TEST(ProfileSection, JsonRoundTripValidatesAndIsByteStable) {
+  const GraphProfile p = runFanOutProfile();
+  const Json section = profileSectionJson(p);
+  std::string err;
+  EXPECT_TRUE(validateProfileSection(section, &err)) << err;
+  const std::optional<Json> parsed = Json::parse(section.dump(1), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(validateProfileSection(*parsed, &err)) << err;
+  EXPECT_EQ(parsed->dump(1), section.dump(1));
+}
+
+TEST(ProfileSection, ValidatorRejectsMalformedSections) {
+  const GraphProfile p = runFanOutProfile();
+  const Json good = profileSectionJson(p);
+  std::string err;
+  ASSERT_TRUE(validateProfileSection(good, &err)) << err;
+
+  EXPECT_FALSE(validateProfileSection(Json::object(), &err));  // keys missing
+  EXPECT_FALSE(validateProfileSection(Json(42), &err));  // not an object
+
+  Json badHeadroom = good;
+  badHeadroom.set("headroom", Json(0.5));
+  EXPECT_FALSE(validateProfileSection(badHeadroom, &err));
+
+  Json badCritical = good;
+  badCritical.set("criticalPathMicros", Json(1.0e12));  // exceeds wall
+  EXPECT_FALSE(validateProfileSection(badCritical, &err));
+
+  Json badPath = good;
+  badPath.set("criticalPath",
+              Json::array().push(Json(2)).push(Json(1)));  // not ascending
+  EXPECT_FALSE(validateProfileSection(badPath, &err));
+
+  Json badIds = good;
+  badIds.set("criticalPath", Json::array().push(Json(999)));  // >= jobs
+  EXPECT_FALSE(validateProfileSection(badIds, &err));
+
+  Json badWorkers = good;
+  badWorkers.set("perWorker", Json::array());  // wrong shard count
+  EXPECT_FALSE(validateProfileSection(badWorkers, &err));
+}
+
+TEST(ProfileSection, ReportSchemaV2CarriesProfileAndV1RejectsIt) {
+  const GraphProfile p = runFanOutProfile();
+  RunReport report("pao_tests profile");
+  report.section("profile") = profileSectionJson(p);
+  std::string err;
+  // Schema is still v1: the profile section must be rejected.
+  EXPECT_FALSE(validateReport(report.doc(), &err));
+  report.doc().set("schema", Json(kReportSchemaV2));
+  EXPECT_TRUE(validateReport(report.doc(), &err)) << err;
+}
+
+TEST(ProfileSection, SerialRunsNormalizeToIdenticalStructure) {
+  const auto runSerialChain = [] {
+    util::JobGraph g;
+    util::JobId prev = 0;
+    for (int i = 0; i < 5; ++i) {
+      const util::JobId deps[] = {prev};
+      const auto body = [] { burn(1); };
+      prev = (i == 0) ? g.addJob(body) : g.addJob(body, deps);
+    }
+    g.run(1);
+    return g.profile();
+  };
+  const GraphProfile p1 = runSerialChain();
+  const GraphProfile p2 = runSerialChain();
+  EXPECT_EQ(analyzeProfile(p1).criticalPath, analyzeProfile(p2).criticalPath);
+
+  const auto reportFor = [](const GraphProfile& p) {
+    RunReport r("pao_tests profile");
+    r.doc().set("schema", Json(kReportSchemaV2));
+    r.section("profile") = profileSectionJson(p);
+    return normalizeForCompare(r.doc()).dump(1);
+  };
+  EXPECT_EQ(reportFor(p1), reportFor(p2));
+}
+
+// --- Perfetto worker-track replay -------------------------------------------
+
+TEST(ProfileTrace, ReplayEmitsWorkerTracksAndFlowEvents) {
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  burn(1);  // ensure the run's tracer timestamp is nonzero (epochUs == 0
+            // is the "tracing off" sentinel)
+  util::JobGraph g;
+  const util::JobId top = g.addJob([] { burn(1); });
+  const util::JobId topDep[] = {top};
+  const util::JobId left = g.addJob([] { burn(2); }, topDep);
+  const util::JobId right = g.addJob([] { burn(1); }, topDep);
+  const util::JobId join[] = {left, right};
+  g.addJob([] { burn(1); }, join);
+  g.run(2);
+  const GraphProfile p = g.profile();
+  EXPECT_NE(p.epochUs, 0);  // captured on the tracer's timeline
+  recordProfileTrace(p);
+  const std::string exported = tracer.exportChromeTrace();
+  tracer.disable();
+
+  std::string err;
+  const std::optional<Json> doc = Json::parse(exported, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  EXPECT_TRUE(validateTrace(*doc, 1, /*requireWorker=*/false, &err)) << err;
+
+  const Json* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t nodeSpans = 0;
+  std::size_t flowStarts = 0;
+  std::size_t flowEnds = 0;
+  for (const Json& ev : events->items()) {
+    const Json* name = ev.find("name");
+    const Json* ph = ev.find("ph");
+    if (name == nullptr || ph == nullptr) continue;
+    if (name->asString() == "jobs.node" && ph->asString() == "X") {
+      ++nodeSpans;
+      const Json* pid = ev.find("pid");
+      ASSERT_NE(pid, nullptr);
+      EXPECT_EQ(pid->asInt(), kJobTrackPid);
+    }
+    if (name->asString() == "jobs.dep") {
+      const Json* flowId = ev.find("id");
+      ASSERT_NE(flowId, nullptr);
+      EXPECT_GT(flowId->asInt(), 0);
+      if (ph->asString() == "s") ++flowStarts;
+      if (ph->asString() == "f") {
+        ++flowEnds;
+        const Json* bp = ev.find("bp");
+        ASSERT_NE(bp, nullptr);
+        EXPECT_EQ(bp->asString(), "e");
+      }
+    }
+  }
+  EXPECT_EQ(nodeSpans, 4u);
+  EXPECT_EQ(flowStarts, 4u);  // one per dependency edge
+  EXPECT_EQ(flowEnds, 4u);
+}
+
+TEST(ProfileTrace, CaptureTakenWithTracingOffIsNotReplayed) {
+  util::JobGraph g;
+  g.addJob([] {});
+  g.run(1);
+  const GraphProfile p = g.profile();
+  EXPECT_EQ(p.epochUs, 0);
+  Tracer& tracer = Tracer::instance();
+  tracer.enable();
+  recordProfileTrace(p);  // no-op: not on the tracer's timeline
+  EXPECT_EQ(tracer.eventCount(), 0u);
+  tracer.disable();
+}
+
+#endif  // PAO_OBS_ENABLED
+
+}  // namespace
+}  // namespace pao::obs

@@ -26,7 +26,11 @@
 #include "lefdef/def_writer.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "obs/enabled.hpp"
 #include "obs/report.hpp"
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 #include "pao/report_json.hpp"
 #include "pao/session.hpp"
 #include "serve/protocol.hpp"
@@ -121,7 +125,8 @@ TEST(ServeProtocol, FlagsMalformedJson) {
 }
 
 TEST(ServeProtocol, ClassifiesSerialCommands) {
-  for (const char* cmd : {"ping", "load", "unload", "metrics", "shutdown"}) {
+  for (const char* cmd :
+       {"ping", "load", "unload", "metrics", "profile", "shutdown"}) {
     EXPECT_TRUE(pao::serve::isSerialCommand(cmd)) << cmd;
   }
   for (const char* cmd : {"move", "orient", "add", "remove", "query",
@@ -143,6 +148,11 @@ TEST(ServeProtocol, ResponseLinesAreCompactSingleLine) {
   EXPECT_EQ(err,
             "{\"ok\":false,\"code\":\"SRV003\",\"error\":\"no such "
             "command\"}");
+  const std::string errWithId = pao::serve::errorLine(
+      pao::serve::kErrUnknownCommand, "no such command", 42);
+  EXPECT_EQ(errWithId,
+            "{\"ok\":false,\"code\":\"SRV003\",\"error\":\"no such "
+            "command\",\"req\":42}");
 }
 
 // --- dispatch diagnostics -------------------------------------------------
@@ -174,6 +184,79 @@ TEST(ServeDispatch, StableErrorCodes) {
                                  "\"inst\":0,\"dx\":\"ten\"}"),
               "SRV002");
 }
+
+TEST(ServeDispatch, ErrorResponsesCarryMonotonicRequestIds) {
+  Service service(ServiceConfig{});
+  const Json a = parseResponse(service.handleLine("{oops"));
+  const Json b = parseResponse(service.handleLine("{\"cmd\":\"nope\"}"));
+  const Json* reqA = a.find("req");
+  const Json* reqB = b.find("req");
+  ASSERT_TRUE(reqA != nullptr && reqA->isInt());
+  ASSERT_TRUE(reqB != nullptr && reqB->isInt());
+  EXPECT_GE(reqA->asInt(), 1);
+  EXPECT_GT(reqB->asInt(), reqA->asInt());
+  // The SRV006 admission-reject path gets an id too.
+  ServiceConfig tight;
+  tight.tenantBudget = 1;
+  Service tightService(tight);
+  const Request hold = parseRequest("{\"cmd\":\"query\",\"tenant\":\"t\"}");
+  ASSERT_TRUE(tightService.tryAdmit(hold));
+  const Json busy = parseResponse(
+      tightService.handleLine("{\"cmd\":\"query\",\"tenant\":\"t\"}"));
+  const Json* reqBusy = busy.find("req");
+  ASSERT_TRUE(reqBusy != nullptr && reqBusy->isInt());
+  tightService.release(hold);
+  // Successful responses carry no "req" — the ok-line shape is unchanged.
+  const Json pong = parseResponse(tightService.handleLine("{\"cmd\":\"ping\"}"));
+  EXPECT_EQ(pong.find("req"), nullptr);
+}
+
+#if PAO_OBS_ENABLED
+TEST(ServeDispatch, MetricsResponseCarriesLatencyDigest) {
+  Service service(ServiceConfig{});
+  expectOk(service.handleLine("{\"cmd\":\"ping\"}"));
+  const Json metrics = expectOk(service.handleLine("{\"cmd\":\"metrics\"}"));
+  const Json* latency = metrics.find("latency");
+  ASSERT_NE(latency, nullptr);
+  const Json* count = latency->find("count");
+  ASSERT_TRUE(count != nullptr && count->isInt());
+  EXPECT_GE(count->asInt(), 1);  // registry is process-global
+  double prev = 0;
+  for (const char* key : {"p50Micros", "p95Micros", "p99Micros"}) {
+    const Json* q = latency->find(key);
+    ASSERT_TRUE(q != nullptr && q->isNumber()) << key;
+    EXPECT_GE(q->asDouble(), prev) << key;  // quantiles are monotonic
+    prev = q->asDouble();
+  }
+}
+
+TEST(ServeDispatch, ProfileCommandReturnsLastBatchGraph) {
+  Service service(ServiceConfig{});
+  // No concurrent batch has run yet.
+  const Json before = expectOk(service.handleLine("{\"cmd\":\"profile\"}"));
+  ASSERT_NE(before.find("available"), nullptr);
+  EXPECT_FALSE(before.find("available")->asBool());
+
+  expectOk(service.handleLine(loadLine("pa")));
+  expectOk(service.handleLine(loadLine("pb")));
+  std::vector<Request> batch;
+  batch.push_back(parseRequest("{\"cmd\":\"query\",\"tenant\":\"pa\"}"));
+  batch.push_back(parseRequest("{\"cmd\":\"query\",\"tenant\":\"pb\"}"));
+  for (const Request& r : batch) ASSERT_TRUE(service.tryAdmit(r));
+  const std::vector<std::string> responses = service.dispatchBatch(batch);
+  for (const Request& r : batch) service.release(r);
+  ASSERT_EQ(responses.size(), 2u);
+
+  const Json after = expectOk(service.handleLine("{\"cmd\":\"profile\"}"));
+  ASSERT_NE(after.find("available"), nullptr);
+  ASSERT_TRUE(after.find("available")->asBool());
+  const Json* profile = after.find("profile");
+  ASSERT_NE(profile, nullptr);
+  std::string error;
+  EXPECT_TRUE(pao::obs::validateProfileSection(*profile, &error)) << error;
+  EXPECT_EQ(profile->find("jobs")->asInt(), 2);
+}
+#endif
 
 TEST(ServeDispatch, ErrorsDoNotPoisonTheSession) {
   Service service(ServiceConfig{});

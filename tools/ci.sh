@@ -11,7 +11,10 @@
 #                      the artifact's SARIF 2.1.0 shape)
 #   3. Obs smoke      (analyze with --report-json/--trace-out on a smoke
 #                      preset, validated by report_check: schema, trace span
-#                      nesting, and threads-1-vs-4 report equivalence)
+#                      nesting, and threads-1-vs-4 report equivalence; plus
+#                      the profile smoke: analyze --profile-out on the mixed
+#                      preset at --threads 4 must emit a valid pao-report/2
+#                      whose headroom exceeds 1)
 #   4. Fault matrix   (tests/fault_matrix.sh: every cataloged fault point
 #                      under --keep-going recovers or degrades with the
 #                      documented exit code and a valid pao-report/1)
@@ -97,6 +100,22 @@ echo "== Observability smoke (report + trace) =="
 "$BI_DIR/tools/report_check" compare \
   "$BI_DIR/ci_obs_r1.json" "$BI_DIR/ci_obs_r4.json"
 
+echo "== Profile smoke (job-graph profiler) =="
+# The mixed preset at --threads 4 must emit a schema-valid pao-report/2
+# profile section whose critical path fits under the measured wall time and
+# whose parallelism headroom exceeds 1 (the acceptance bar for the
+# profiler: a multi-worker run on a fan-out-rich graph is never fully
+# serial).
+"$BI_DIR/tools/pao_cli" gen mixed 0.04 "$BI_DIR/ci_prof"
+"$BI_DIR/tools/pao_cli" analyze "$BI_DIR/ci_prof.lef" "$BI_DIR/ci_prof.def" \
+  --threads 4 --profile-out "$BI_DIR/ci_prof_p.json"
+"$BI_DIR/tools/report_check" profile "$BI_DIR/ci_prof_p.json"
+# report_check prints its human summary on stderr (stdout stays empty).
+PROF_HEADROOM=$("$BI_DIR/tools/report_check" profile "$BI_DIR/ci_prof_p.json" \
+  2>&1 | sed -n 's/^ *headroom *: *\([0-9.][0-9.]*\).*/\1/p')
+echo "profile headroom: ${PROF_HEADROOM:-missing}"
+awk "BEGIN { exit !(${PROF_HEADROOM:-0} > 1.0) }"
+
 echo "== Fault-injection matrix =="
 # Every cataloged fault point, injected one at a time via PAO_FAULTS, must
 # either fully recover or degrade gracefully with the documented exit code
@@ -128,8 +147,10 @@ cmake --build "$OFF_DIR" -j "$JOBS" \
 for lib in pao_util pao_drc pao_core pao_router pao_lefdef; do
   archive=$(find "$OFF_DIR/src" -name "lib${lib}.a" | head -n 1)
   [ -n "$archive" ]
-  if nm -C "$archive" | grep -E 'pao::obs::(Registry|Tracer)' >/dev/null; then
-    echo "FAIL: $lib references obs::Registry/Tracer with PAO_OBS=OFF"
+  if nm -C "$archive" | grep -E \
+      'pao::obs::(Registry|Tracer|analyzeProfile|profileSectionJson|recordProfileTrace|GraphProfile)' \
+      >/dev/null; then
+    echo "FAIL: $lib references obs registry/tracer/profiler with PAO_OBS=OFF"
     exit 1
   fi
   if nm -C "$archive" | grep -E ' U .*FaultRegistry' >/dev/null; then

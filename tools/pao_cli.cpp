@@ -20,6 +20,13 @@
 //   --cache-out <file>         save the access cache after the run
 //   --report-json <file|->     write a pao-report/1 JSON document
 //   --trace-out <file>         write a Chrome/Perfetto trace of the run
+//   --profile-out <file|->     write a pao-report/2 document whose
+//                              "profile" section is the oracle pipeline's
+//                              job-graph profile (critical path, headroom,
+//                              per-worker utilization); with --trace-out
+//                              the trace additionally gains per-worker job
+//                              tracks with dependency flow arrows
+//                              (PAO_OBS=ON builds only)
 // route options:
 //   --out <file.def>           write the routed design as DEF
 //   --threads N                worker threads for oracle, access planning
@@ -75,8 +82,12 @@
 #include "lefdef/def_writer.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "obs/enabled.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#if PAO_OBS_ENABLED
+#include "obs/profile.hpp"
+#endif
 #include "pao/evaluate.hpp"
 #include "pao/report_json.hpp"
 #include "pao/session.hpp"
@@ -94,7 +105,7 @@ int usage() {
       "  pao_cli gen <preset> <scale> <out-prefix>\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
       " [--report-failed N] [--cache-in f] [--cache-out f]"
-      " [--report-json f|-] [--trace-out f]"
+      " [--report-json f|-] [--trace-out f] [--profile-out f|-]"
       " [--strict|--keep-going] [--step3-budget S] [--faults SPEC]\n"
       "  pao_cli route <lef> <def> [--out routed.def] [--threads N]"
       " [--cache-in f] [--cache-out f] [--report-json f|-] [--trace-out f]"
@@ -198,11 +209,15 @@ struct LoadedDesign {
   db::Design design;
 };
 
-/// Shared --report-json/--trace-out handling: the tracer is enabled before
-/// the workload runs and both artifacts are written at scope exit.
+/// Shared --report-json/--trace-out/--profile-out handling: the tracer is
+/// enabled before the workload runs and all artifacts are written at scope
+/// exit. The profile goes to its own file (schema pao-report/2) so the
+/// plain --report-json document stays v1 and byte-comparable across thread
+/// counts after normalizeForCompare.
 struct ObsOutputs {
   const char* reportPath = nullptr;
   const char* tracePath = nullptr;
+  const char* profilePath = nullptr;
 
   bool parseFlag(int argc, char** argv, int& i) {
     if (std::strcmp(argv[i], "--report-json") == 0 && i + 1 < argc) {
@@ -211,6 +226,10 @@ struct ObsOutputs {
     }
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       tracePath = argv[++i];
+      return true;
+    }
+    if (std::strcmp(argv[i], "--profile-out") == 0 && i + 1 < argc) {
+      profilePath = argv[++i];
       return true;
     }
     return false;
@@ -256,6 +275,42 @@ struct ObsOutputs {
     return ok;
   }
 };
+
+#if PAO_OBS_ENABLED
+/// Writes a pao-report/2 document whose "profile" section is the job-graph
+/// profile of the oracle pipeline (--profile-out). A separate file from
+/// --report-json so that document stays schema v1 and byte-comparable
+/// across thread counts. Returns false (after printing to stderr) when the
+/// pipeline graph never ran or on validation/I/O failure.
+bool writeProfileReport(const char* path, const obs::GraphProfile& gp,
+                        obs::Json config) {
+  if (gp.empty()) {
+    std::fprintf(stderr,
+                 "profile: no pipeline job graph ran (legacy mode or empty "
+                 "design); nothing to write\n");
+    return false;
+  }
+  obs::RunReport report("pao_cli analyze");
+  report.doc().set("schema", obs::Json(obs::kReportSchemaV2));
+  report.section("config") = std::move(config);
+  report.section("profile") = obs::profileSectionJson(gp);
+  std::string error;
+  if (!obs::validateReport(report.doc(), &error)) {
+    std::fprintf(stderr,
+                 "internal error: profile report fails validation: %s\n",
+                 error.c_str());
+    return false;
+  }
+  if (!report.writeFile(path, &error)) {
+    std::fprintf(stderr, "profile: %s\n", error.c_str());
+    return false;
+  }
+  if (std::strcmp(path, "-") != 0) {
+    std::fprintf(stderr, "profile: wrote %s\n", path);
+  }
+  return true;
+}
+#endif
 
 /// Preloads `cache` from `path`. Strict mode exits 1 on any rejection
 /// (wrong fingerprint, corruption, unreadable file) so a stale cache never
@@ -341,6 +396,11 @@ int cmdList() {
   std::fprintf(stderr, "%-2s %-13s %10zu %8d %10zu %6s\n", "a",
                aes.name.c_str(), aes.numCells, aes.numMacros, aes.numNets,
                "14nm");
+  const benchgen::TestcaseSpec mixed = benchgen::mixedSpec();
+  std::fprintf(stderr, "%-2s %-13s %10zu %8d %10zu %6s\n", "m",
+               mixed.name.c_str(), mixed.numCells, mixed.numMacros,
+               mixed.numNets,
+               mixed.node == benchgen::Node::k45 ? "45nm" : "32nm");
   return 0;
 }
 
@@ -353,6 +413,8 @@ int cmdGen(int argc, char** argv) {
   benchgen::TestcaseSpec spec;
   if (which == "a" || which == "aes14") {
     spec = benchgen::aes14Spec();
+  } else if (which == "m" || which == "mixed") {
+    spec = benchgen::mixedSpec();
   } else {
     const int idx = std::atoi(which.c_str());
     const auto suite = benchgen::ispd18Suite();
@@ -468,6 +530,25 @@ int cmdAnalyze(int argc, char** argv) {
 
   int code = failed.failedPins == 0 ? 0 : 1;
   code = finishDegraded(rob, res.degraded, report, code);
+  if (outputs.profilePath != nullptr) {
+#if PAO_OBS_ENABLED
+    // Job spans go to the trace only when both artifacts were asked for:
+    // per-node events would otherwise crowd the phase spans out of the
+    // submitting thread's ring buffer.
+    if (outputs.tracePath != nullptr) {
+      obs::recordProfileTrace(session.lastGraphProfile());
+    }
+    if (!writeProfileReport(
+            outputs.profilePath, session.lastGraphProfile(),
+            core::analysisConfigJson(mode, cfg.numThreads, cfg.keepGoing)) &&
+        code == 0) {
+      code = 1;
+    }
+#else
+    std::fprintf(stderr, "--profile-out requires a PAO_OBS=ON build\n");
+    if (code == 0) code = 1;
+#endif
+  }
   if (!outputs.finish(report) && code == 0) code = 1;
   return code;
 }

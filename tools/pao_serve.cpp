@@ -15,6 +15,10 @@
 //                      over-budget connections are stalled, not dropped
 //   --max-tenants N    resident design limit (default 64)
 //   --deterministic    process requests strictly in arrival order
+//   --slow-micros N    slow-request threshold in microseconds (default
+//                      250000); slower requests bump
+//                      pao.serve.slow_requests and print a rate-limited
+//                      stderr line carrying the request id; 0 disables
 //   --faults SPEC      arm fault injection (serve.accept / serve.read /
 //                      serve.write and the library points; also read from
 //                      the PAO_FAULTS env variable)
@@ -47,7 +51,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: pao_serve (--socket PATH | --port N) [--threads N]"
                " [--budget N] [--max-tenants N] [--deterministic]"
-               " [--faults SPEC]\n");
+               " [--slow-micros N] [--faults SPEC]\n");
   return 2;
 }
 
@@ -80,6 +84,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--deterministic") == 0) {
       serviceCfg.deterministic = true;
+    } else if (std::strcmp(argv[i], "--slow-micros") == 0 && i + 1 < argc) {
+      serviceCfg.slowRequestMicros = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc) {
       std::string error;
       if (!pao::util::FaultRegistry::instance().configure(argv[++i],

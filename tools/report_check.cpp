@@ -13,6 +13,11 @@
 //   report_check sarif <file.json>             validate a SARIF 2.1.0 log
 //                                              (as emitted by pao_lint
 //                                              --format sarif)
+//   report_check profile <file.json>           validate a pao-report/2 doc
+//                                              with a "profile" section and
+//                                              print the critical path,
+//                                              headroom and per-worker
+//                                              utilization
 //
 // Exit 0 = valid / equal, 1 = invalid / different, 2 = usage or I/O error.
 // Diagnostics go to stderr; nothing is written to stdout.
@@ -36,7 +41,8 @@ int usage() {
                " [--require-worker]\n"
                "  report_check compare <a.json> <b.json> [--ignore KEY ...]\n"
                "  report_check metrics <file.json>\n"
-               "  report_check sarif <file.json>\n");
+               "  report_check sarif <file.json>\n"
+               "  report_check profile <file.json>\n");
   return 2;
 }
 
@@ -237,12 +243,62 @@ int cmdSarif(const char* path) {
   return 0;
 }
 
+/// Validates a pao-report/2 document carrying a "profile" section (the
+/// section shape itself is checked by validateReport -> validateProfileSection)
+/// and prints the measured critical path and parallelism summary.
+int cmdProfile(const char* path) {
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  std::string error;
+  if (!pao::obs::validateReport(doc, &error)) {
+    std::fprintf(stderr, "%s: invalid report: %s\n", path, error.c_str());
+    return 1;
+  }
+  const pao::obs::Json* profile = doc.find("profile");
+  if (profile == nullptr) {
+    std::fprintf(stderr, "%s: report carries no 'profile' section\n", path);
+    return 1;
+  }
+  const auto num = [&](const char* key) {
+    return profile->find(key)->asDouble();
+  };
+  const pao::obs::Json& cp = *profile->find("criticalPath");
+  std::string cpIds;
+  for (const pao::obs::Json& id : cp.items()) {
+    if (!cpIds.empty()) cpIds += " -> ";
+    cpIds += std::to_string(id.asInt());
+  }
+  std::fprintf(stderr, "%s: valid profile\n", path);
+  std::fprintf(stderr, "  jobs              : %.0f over %.0f worker(s), "
+                       "%.0f steal(s)\n",
+               num("jobs"), num("workers"), num("steals"));
+  std::fprintf(stderr, "  wall              : %.0f us\n", num("wallMicros"));
+  std::fprintf(stderr, "  total node time   : %.0f us\n",
+               num("totalMicros"));
+  std::fprintf(stderr, "  critical path     : %.0f us, %zu node(s): %s\n",
+               num("criticalPathMicros"), cp.items().size(), cpIds.c_str());
+  std::fprintf(stderr, "  headroom          : %.2f\n", num("headroom"));
+  std::fprintf(stderr, "  speedup           : %.2f\n", num("speedup"));
+  const pao::obs::Json& perWorker = *profile->find("perWorker");
+  std::fprintf(stderr, "  %-8s %12s %12s %8s %8s %8s\n", "worker", "busy us",
+               "idle us", "util", "nodes", "steals");
+  for (const pao::obs::Json& w : perWorker.items()) {
+    std::fprintf(stderr, "  %-8lld %12.0f %12.0f %8.2f %8lld %8lld\n",
+                 w.find("worker")->asInt(), w.find("busyMicros")->asDouble(),
+                 w.find("idleMicros")->asDouble(),
+                 w.find("utilization")->asDouble(), w.find("nodes")->asInt(),
+                 w.find("steals")->asInt());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   if (cmd == "report" && argc == 3) return cmdReport(argv[2]);
+  if (cmd == "profile" && argc == 3) return cmdProfile(argv[2]);
   if (cmd == "sarif" && argc == 3) return cmdSarif(argv[2]);
   if (cmd == "trace") return cmdTrace(argc, argv);
   if (cmd == "metrics" && argc == 3) return cmdMetrics(argv[2]);
