@@ -1,0 +1,305 @@
+#include "benchgen/huge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "benchgen/tech_gen.hpp"
+#include "lefdef/def_writer.hpp"
+
+namespace pao::benchgen {
+
+using db::Master;
+using geom::Coord;
+
+namespace {
+
+/// Deterministic LCG (the pao_cli bench-incremental constants); cheap
+/// enough to re-run the whole placement stream once per DEF section.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 17;
+  }
+};
+
+struct Placed {
+  std::size_t idx;
+  int masterIdx;  ///< into the weighted pool
+  Coord x, y;
+  geom::Orient orient;
+};
+
+struct Layout {
+  std::vector<const Master*> pool;  ///< weighted core masters
+  Coord height = 0;
+  Coord rowSites = 0;
+  Coord dieW = 0;
+  int maxRows = 0;
+  std::size_t targetCells = 0;
+  unsigned gapPerMille = 0;  ///< P(gap) * 1000 from utilization
+};
+
+Layout planLayout(const HugeSpec& spec, double scale,
+                  const db::Library& lib) {
+  Layout lay;
+  for (const auto& mp : lib.masters()) {
+    if (mp->cls != db::MasterClass::kCore) continue;
+    lay.pool.push_back(mp.get());
+    if (mp->width <= spec.siteWidth * 3) {
+      lay.pool.push_back(mp.get());  // double weight for small cells
+    }
+  }
+  lay.targetCells = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(spec.numCells) *
+                                  scale));
+  double avgSites = 0;
+  for (const Master* m : lay.pool) {
+    avgSites += static_cast<double>(m->width) / spec.siteWidth;
+  }
+  avgSites /= static_cast<double>(lay.pool.size());
+  lay.height = cellHeight(nodeParams(spec.node));
+  const double totalSites = static_cast<double>(lay.targetCells) * avgSites /
+                            spec.utilization;
+  const int numRows = std::max(
+      2,
+      static_cast<int>(std::sqrt(totalSites * spec.siteWidth / lay.height)));
+  lay.rowSites = std::max<Coord>(
+      64, static_cast<Coord>(totalSites / numRows) + 1);
+  lay.dieW = lay.rowSites * spec.siteWidth;
+  lay.maxRows = numRows * 2 + 4;  // slack; the loop stops at targetCells
+  lay.gapPerMille = static_cast<unsigned>(
+      std::clamp(1000.0 * (1.0 - spec.utilization), 0.0, 999.0));
+  return lay;
+}
+
+/// The one deterministic placement stream every DEF section replays.
+/// Returns {cells placed, rows used}.
+template <class Fn>
+std::pair<std::size_t, int> placeLoop(const HugeSpec& spec,
+                                      const Layout& lay, Fn&& fn) {
+  Lcg rng{spec.seed * 2654435761ULL + 1};
+  std::size_t placed = 0;
+  int rowsUsed = 0;
+  for (int r = 0; r < lay.maxRows && placed < lay.targetCells; ++r) {
+    rowsUsed = r + 1;
+    const Coord y = static_cast<Coord>(r) * lay.height;
+    Coord x = 0;
+    while (x < lay.dieW && placed < lay.targetCells) {
+      if (rng.next() % 1000 < lay.gapPerMille) {
+        x += (1 + static_cast<Coord>(rng.next() % 3)) * spec.siteWidth;
+        continue;
+      }
+      const int mi = static_cast<int>(rng.next() % lay.pool.size());
+      const Master* m = lay.pool[mi];
+      if (x + m->width > lay.dieW) break;
+      const bool flipRow = r % 2 != 0;
+      const bool mirror = rng.next() % 100 < 35;
+      const geom::Orient orient =
+          flipRow ? (mirror ? geom::Orient::R180 : geom::Orient::MX)
+                  : (mirror ? geom::Orient::MY : geom::Orient::R0);
+      fn(Placed{placed, mi, x, y, orient});
+      x += m->width;
+      ++placed;
+    }
+  }
+  return {placed, rowsUsed};
+}
+
+std::string instName(std::size_t idx) {
+  return "inst_" + std::to_string(idx);
+}
+
+/// Driver/sink pin choice per pool master, mirroring generate()'s netlist
+/// conventions (Z/Q/P* drive; other signal or clock pins sink).
+struct MasterPins {
+  int driver = 0;
+  std::vector<int> sinks;
+};
+
+std::vector<MasterPins> classifyPins(const std::vector<const Master*>& pool) {
+  std::vector<MasterPins> out(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const Master& m = *pool[i];
+    for (int p = 0; p < static_cast<int>(m.pins.size()); ++p) {
+      const db::Pin& pin = m.pins[p];
+      if (pin.use != db::PinUse::kSignal && pin.use != db::PinUse::kClock) {
+        continue;
+      }
+      if (pin.name == "Z" || pin.name == "Q" || pin.name[0] == 'P') {
+        out[i].driver = p;
+      } else {
+        out[i].sinks.push_back(p);
+      }
+    }
+    if (out[i].sinks.empty()) out[i].sinks.push_back(out[i].driver);
+  }
+  return out;
+}
+
+}  // namespace
+
+HugeSpec hugeSpec() { return {}; }
+
+HugeTechLib makeHugeTechLib(const HugeSpec& spec) {
+  HugeTechLib tl;
+  const NodeParams node = nodeParams(spec.node);
+  tl.tech = makeTech(node);
+  LibParams lp;
+  lp.node = node;
+  lp.siteWidth = spec.siteWidth;
+  lp.numCombMasters = spec.numCombMasters;
+  tl.lib = makeLibrary(lp, *tl.tech);
+  return tl;
+}
+
+HugeCounts writeHugeDef(const HugeSpec& spec, double scale,
+                        const db::Tech& tech, const db::Library& lib,
+                        std::ostream& def) {
+  namespace out = lefdef::defout;
+  const Layout lay = planLayout(spec, scale, lib);
+  const std::size_t numNets = std::max<std::size_t>(
+      1,
+      static_cast<std::size_t>(static_cast<double>(spec.numNets) * scale));
+  const std::size_t numIoPins = static_cast<std::size_t>(
+      static_cast<double>(spec.numIoPins) * scale);
+
+  // Pass 1 — dry run: the exact cell and row counts, needed up front for
+  // DIEAREA and the section headers.
+  const auto [cells, rowsUsed] = placeLoop(spec, lay, [](const Placed&) {});
+  const Coord dieH = static_cast<Coord>(rowsUsed) * lay.height;
+  const NodeParams node = nodeParams(spec.node);
+
+  out::header(def, spec.name, tech.dbuPerMicron, {0, 0, lay.dieW, dieH});
+  for (int r = 0; r < rowsUsed; ++r) {
+    db::Row row;
+    row.name = "ROW_" + std::to_string(r);
+    row.site = "core";
+    row.origin = {0, static_cast<Coord>(r) * lay.height};
+    row.orient = r % 2 == 0 ? geom::Orient::R0 : geom::Orient::MX;
+    row.numSites = static_cast<int>(lay.rowSites);
+    row.siteWidth = spec.siteWidth;
+    row.height = lay.height;
+    out::row(def, row);
+  }
+  out::sectionGap(def);
+
+  // Track patterns exactly as generate() lays them out: both axes per
+  // routing layer, all starting at half the M1 pitch.
+  for (const db::Layer& l : tech.layers()) {
+    if (l.type != db::LayerType::kRouting) continue;
+    db::TrackPattern ty;
+    ty.layer = l.index;
+    ty.axis = db::Dir::kHorizontal;
+    ty.start = node.m1Pitch / 2;
+    ty.step = l.pitch;
+    ty.count = static_cast<int>((dieH - ty.start) / l.pitch);
+    out::track(def, ty, l.name);
+    db::TrackPattern tx = ty;
+    tx.axis = db::Dir::kVertical;
+    tx.count = static_cast<int>((lay.dieW - tx.start) / l.pitch);
+    out::track(def, tx, l.name);
+  }
+  out::sectionGap(def);
+
+  // Pass 2 — COMPONENTS.
+  out::componentsBegin(def, cells);
+  placeLoop(spec, lay, [&](const Placed& p) {
+    out::component(def, instName(p.idx), lay.pool[p.masterIdx]->name,
+                   {p.x, p.y}, p.orient);
+  });
+  out::componentsEnd(def);
+
+  // PINS — boundary IO on M4, like generate().
+  const db::Layer* m4 = tech.findLayer("M4");
+  const Coord w = m4->width;
+  out::pinsBegin(def, numIoPins);
+  {
+    Lcg rng{spec.seed * 88172645463325252ULL + 7};
+    for (std::size_t k = 0; k < numIoPins; ++k) {
+      const Coord t =
+          static_cast<Coord>(rng.next() % std::max<Coord>(1, lay.dieW));
+      const Coord tv =
+          static_cast<Coord>(rng.next() % std::max<Coord>(1, dieH));
+      geom::Rect rect;
+      switch (k % 4) {
+        case 0: rect = {t, 0, t + 4 * w, 2 * w}; break;
+        case 1: rect = {t, dieH - 2 * w, t + 4 * w, dieH}; break;
+        case 2: rect = {0, tv, 2 * w, tv + 4 * w}; break;
+        default: rect = {lay.dieW - 2 * w, tv, lay.dieW, tv + 4 * w}; break;
+      }
+      out::pin(def, "io_" + std::to_string(k), m4->name, rect);
+    }
+  }
+  out::pinsEnd(def);
+
+  // IO pin k joins net (k * 977) % numNets; nets stream in index order, so
+  // a sorted (net, io) list sweeps along with them.
+  std::vector<std::pair<std::size_t, std::size_t>> ioOfNet;
+  ioOfNet.reserve(numIoPins);
+  for (std::size_t k = 0; k < numIoPins; ++k) {
+    ioOfNet.emplace_back((k * 977) % numNets, k);
+  }
+  std::sort(ioOfNet.begin(), ioOfNet.end());
+
+  // Pass 3 — NETS, replaying the placement stream with a ring of recent
+  // instances: each net connects a driver to 1-3 sinks placed nearby in
+  // stream order (locality without any spatial index).
+  const std::vector<MasterPins> pins = classifyPins(lay.pool);
+  out::netsBegin(def, numNets);
+  {
+    Lcg rng{spec.seed * 6364136223846793005ULL + 11};
+    std::vector<Placed> ring;
+    ring.reserve(64);
+    std::size_t ringAt = 0;
+    std::size_t netsEmitted = 0;
+    std::size_t ioAt = 0;
+    placeLoop(spec, lay, [&](const Placed& p) {
+      while (netsEmitted < numNets &&
+             (p.idx + 1) * numNets >= (netsEmitted + 1) * cells) {
+        out::netBegin(def, "net_" + std::to_string(netsEmitted));
+        const Master* dm = lay.pool[p.masterIdx];
+        out::netInstTerm(def, instName(p.idx),
+                         dm->pins[pins[p.masterIdx].driver].name);
+        const std::size_t fanout =
+            std::min<std::size_t>(1 + rng.next() % 3, ring.size());
+        for (std::size_t s = 0; s < fanout; ++s) {
+          const Placed& sink = ring[rng.next() % ring.size()];
+          const MasterPins& mp = pins[sink.masterIdx];
+          const int pinIdx = mp.sinks[rng.next() % mp.sinks.size()];
+          out::netInstTerm(def, instName(sink.idx),
+                           lay.pool[sink.masterIdx]->pins[pinIdx].name);
+        }
+        while (ioAt < ioOfNet.size() && ioOfNet[ioAt].first == netsEmitted) {
+          out::netIoTerm(def, "io_" + std::to_string(ioOfNet[ioAt].second));
+          ++ioAt;
+        }
+        out::netEnd(def);
+        ++netsEmitted;
+      }
+      if (ring.size() < 64) {
+        ring.push_back(p);
+      } else {
+        ring[ringAt] = p;
+        ringAt = (ringAt + 1) % 64;
+      }
+    });
+    // cells >= 1 and the loop condition hits numNets exactly at the last
+    // placement, so every net is emitted by here.
+  }
+  out::netsEnd(def);
+  out::end(def);
+
+  HugeCounts counts;
+  counts.cells = cells;
+  counts.nets = numNets;
+  counts.ioPins = numIoPins;
+  counts.rows = rowsUsed;
+  return counts;
+}
+
+}  // namespace pao::benchgen

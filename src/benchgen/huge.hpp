@@ -1,0 +1,61 @@
+// The "huge" benchgen preset (ROADMAP item 3): million-to-ten-million
+// instance designs for the 100x-scale ingest work. Unlike generate(), the
+// design is never materialized — the DEF text streams straight to an
+// ostream from a deterministic placement loop that is re-run once per file
+// section, so generating a 10M-instance case costs O(ring buffer) memory.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "benchgen/lib_gen.hpp"
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+
+namespace pao::benchgen {
+
+struct HugeSpec {
+  std::string name = "pao_huge";
+  Node node = Node::k45;
+  std::size_t numCells = 1'500'000;
+  std::size_t numNets = 1'200'000;
+  std::size_t numIoPins = 2000;
+  geom::Coord siteWidth = 380;
+  double utilization = 0.85;
+  int numCombMasters = 14;
+  unsigned seed = 17;
+};
+
+/// The default huge preset (~1.5M cells, ~150MB of DEF at scale 1).
+HugeSpec hugeSpec();
+
+/// What writeHugeDef actually emitted (cells can fall short of the spec by
+/// a few when the last row fills up; everything else is exact).
+struct HugeCounts {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::size_t ioPins = 0;
+  int rows = 0;
+};
+
+/// The tech and library a huge design references; small and materialized
+/// normally (same generators as the Table-I presets).
+struct HugeTechLib {
+  std::unique_ptr<db::Tech> tech;
+  std::unique_ptr<db::Library> lib;
+};
+HugeTechLib makeHugeTechLib(const HugeSpec& spec);
+
+/// Streams the DEF of `spec` scaled by `scale` (cells/nets/IO counts scale
+/// proportionally) to `def`. Deterministic: the same spec and scale produce
+/// byte-identical text on every run. The text is emitted through the same
+/// lefdef::defout helpers writeDef() uses, so parsing it and re-writing
+/// with writeDef() is a byte-stable fixpoint (locked by
+/// test_properties.cpp).
+HugeCounts writeHugeDef(const HugeSpec& spec, double scale,
+                        const db::Tech& tech, const db::Library& lib,
+                        std::ostream& def);
+
+}  // namespace pao::benchgen

@@ -1,0 +1,88 @@
+#include "db/fingerprint.hpp"
+
+#include <string_view>
+
+namespace pao::db {
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void rect(const geom::Rect& r) {
+    i64(r.xlo);
+    i64(r.ylo);
+    i64(r.xhi);
+    i64(r.yhi);
+  }
+  void point(const geom::Point& p) {
+    i64(p.x);
+    i64(p.y);
+  }
+};
+
+}  // namespace
+
+std::uint64_t designFingerprint(const Design& d) {
+  Fnv f;
+  f.str(d.name);
+  f.rect(d.dieArea);
+  f.u64(d.rows.size());
+  for (const Row& r : d.rows) {
+    f.str(r.name);
+    f.str(r.site);
+    f.point(r.origin);
+    f.i64(static_cast<int>(r.orient));
+    f.i64(r.numSites);
+    f.i64(r.siteWidth);
+    f.i64(r.height);
+  }
+  f.u64(d.trackPatterns.size());
+  for (const TrackPattern& tp : d.trackPatterns) {
+    f.i64(tp.layer);
+    f.i64(static_cast<int>(tp.axis));
+    f.i64(tp.start);
+    f.i64(tp.step);
+    f.i64(tp.count);
+  }
+  f.u64(d.instances.size());
+  for (const Instance& inst : d.instances) {
+    f.str(inst.name);
+    f.str(inst.master != nullptr ? std::string_view(inst.master->name)
+                                 : std::string_view());
+    f.point(inst.origin);
+    f.i64(static_cast<int>(inst.orient));
+  }
+  f.u64(d.ioPins.size());
+  for (const IoPin& p : d.ioPins) {
+    f.str(p.name);
+    f.i64(p.layer);
+    f.rect(p.rect);
+  }
+  f.u64(d.nets.size());
+  for (const Net& n : d.nets) {
+    f.str(n.name);
+    f.u64(n.terms.size());
+    for (const NetTerm& t : n.terms) {
+      f.i64(t.instIdx);
+      f.i64(t.pinIdx);
+      f.i64(t.ioPinIdx);
+    }
+  }
+  return f.h;
+}
+
+}  // namespace pao::db

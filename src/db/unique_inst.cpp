@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/jobs.hpp"
+
 namespace pao::db {
 
 std::vector<Coord> trackOffsets(const Design& design, const Instance& inst) {
@@ -49,8 +51,101 @@ UniqueInstances extractUniqueInstances(const Design& design) {
   return out;
 }
 
+UniqueInstances extractUniqueInstances(const Design& design, int numThreads) {
+  using Key = std::tuple<const Master*, geom::Orient, std::vector<Coord>>;
+  const std::size_t n = design.instances.size();
+  // Fixed shard target, like DrcEngine's rangeChunks: the shard (= job)
+  // count must depend only on the design, never on the worker count, so
+  // pao.jobs.executed stays thread-invariant. Shards stay coarse (at
+  // least ~1k instances each): the merge is one map probe per
+  // *shard-local class*, so per-shard overhead is set by the class
+  // count, not the instance count.
+  constexpr std::size_t kShardTarget = 64;
+  const std::size_t numShards = std::min<std::size_t>(
+      kShardTarget, std::max<std::size_t>(1, n / 1024 + 1));
+  if (numShards <= 1) return extractUniqueInstances(design);
+
+  struct Shard {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /// Signature -> shard-local class id, local ids dense in shard-local
+    /// first-appearance order.
+    std::map<Key, int> local;
+    std::vector<const Key*> keyOf;  ///< local class id -> signature
+    std::vector<int> localClassOf;  ///< per instance in [begin, end)
+  };
+  std::vector<Shard> shards(numShards);
+  for (std::size_t s = 0; s < numShards; ++s) {
+    shards[s].begin = n * s / numShards;
+    shards[s].end = n * (s + 1) / numShards;
+  }
+
+  util::JobGraph graph;
+  graph.addJobRange(numShards, [&](std::size_t s) {
+    Shard& sh = shards[s];
+    sh.localClassOf.reserve(sh.end - sh.begin);
+    for (std::size_t i = sh.begin; i < sh.end; ++i) {
+      const Instance& inst = design.instances[i];
+      Key key{inst.master, inst.orient, trackOffsets(design, inst)};
+      const auto [it, added] =
+          sh.local.emplace(std::move(key), static_cast<int>(sh.keyOf.size()));
+      if (added) sh.keyOf.push_back(&it->first);
+      sh.localClassOf.push_back(it->second);
+    }
+  });
+  graph.run(numThreads);
+
+  // Canonical merge: shards in instance order, each shard's new signatures
+  // in shard-local first-appearance order. A signature's global class is
+  // created when the FIRST shard containing it merges, so the global class
+  // sequence equals the serial first-appearance sequence.
+  UniqueInstances out;
+  out.classOf.assign(n, -1);
+  std::map<Key, int> globalIdx;
+  std::vector<std::vector<int>> localToGlobal(numShards);
+  for (std::size_t s = 0; s < numShards; ++s) {
+    Shard& sh = shards[s];
+    localToGlobal[s].reserve(sh.keyOf.size());
+    for (const Key* key : sh.keyOf) {
+      const auto [it, added] =
+          globalIdx.emplace(*key, static_cast<int>(out.classes.size()));
+      if (added) {
+        UniqueInstance ui;
+        ui.master = std::get<0>(*key);
+        ui.orient = std::get<1>(*key);
+        ui.offsets = std::get<2>(*key);
+        out.classes.push_back(std::move(ui));
+      }
+      localToGlobal[s].push_back(it->second);
+    }
+  }
+  // Members fill by ascending instance index — the serial convention —
+  // and the representative is the lowest member.
+  for (std::size_t s = 0; s < numShards; ++s) {
+    const Shard& sh = shards[s];
+    for (std::size_t i = sh.begin; i < sh.end; ++i) {
+      const int cls = localToGlobal[s][sh.localClassOf[i - sh.begin]];
+      out.classOf[i] = cls;
+      out.classes[cls].members.push_back(static_cast<int>(i));
+    }
+  }
+  for (UniqueInstance& cls : out.classes) {
+    cls.representative = cls.members.front();
+  }
+  return out;
+}
+
 UniqueInstanceIndex::UniqueInstanceIndex(const Design& design)
     : design_(&design), ui_(extractUniqueInstances(design)) {
+  buildClassIdx();
+}
+
+UniqueInstanceIndex::UniqueInstanceIndex(const Design& design, int numThreads)
+    : design_(&design), ui_(extractUniqueInstances(design, numThreads)) {
+  buildClassIdx();
+}
+
+void UniqueInstanceIndex::buildClassIdx() {
   for (int c = 0; c < static_cast<int>(ui_.classes.size()); ++c) {
     const UniqueInstance& cls = ui_.classes[c];
     classIdx_.emplace(Key{cls.master, cls.orient, cls.offsets}, c);

@@ -34,6 +34,15 @@ struct UniqueInstances {
 /// boundary DRC — but callers typically skip them for access analysis.
 UniqueInstances extractUniqueInstances(const Design& design);
 
+/// Sharded parallel extraction: contiguous instance ranges are signatured
+/// into per-shard maps on a util::JobGraph, then merged canonically in
+/// shard order (each shard's new signatures in shard-local first-appearance
+/// order). That merge order reproduces the serial first-appearance order
+/// exactly, so class indices — and everything keyed by them — are
+/// byte-identical to extractUniqueInstances(design) at any thread or shard
+/// count (tests/test_stream_parse.cpp locks this).
+UniqueInstances extractUniqueInstances(const Design& design, int numThreads);
+
 /// The track-offset part of an instance's signature.
 std::vector<Coord> trackOffsets(const Design& design, const Instance& inst);
 
@@ -53,6 +62,9 @@ std::vector<Coord> trackOffsets(const Design& design, const Instance& inst);
 class UniqueInstanceIndex {
  public:
   explicit UniqueInstanceIndex(const Design& design);
+  /// Builds the initial classes with the sharded parallel extraction
+  /// (identical result at any thread count); mutations stay serial.
+  UniqueInstanceIndex(const Design& design, int numThreads);
 
   const UniqueInstances& classes() const { return ui_; }
   int classOf(int instIdx) const { return ui_.classOf[instIdx]; }
@@ -79,6 +91,7 @@ class UniqueInstanceIndex {
   /// attaching `instIdx` to it.
   int attach(int instIdx);
   void detach(int instIdx, int cls);
+  void buildClassIdx();
 
   const Design* design_;
   UniqueInstances ui_;

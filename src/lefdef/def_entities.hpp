@@ -1,0 +1,239 @@
+// The DEF grammar, factored as function templates over the lexer type so
+// the legacy single-pass parser (lefdef::Lexer) and the chunked streaming
+// parser (lefdef::StreamLexer) share one implementation of every
+// statement and entity. Equivalence of the two ingest paths (see
+// tests/test_stream_parse.cpp) rests on this: both instantiate the exact
+// same grammar code, so diagnostics (codes, messages, locations) and the
+// populated db objects are byte-identical by construction.
+//
+// Entity parsers are called with the leading '-' already consumed and
+// never consume past the entity's terminating ';' — the invariant the
+// streaming chunker relies on to cut COMPONENTS/NETS sections at
+// after-';' token boundaries.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "db/design.hpp"
+#include "lefdef/lexer.hpp"
+
+namespace pao::lefdef {
+
+template <typename Lex>
+void parseRowEntity(Lex& lex, db::Design& design) {
+  lex.expect("ROW");
+  db::Row row;
+  row.name = std::string(lex.next());
+  row.site = std::string(lex.next());
+  row.origin.x = lex.nextInt();
+  row.origin.y = lex.nextInt();
+  row.orient = geom::orientFromString(lex.next());
+  if (lex.accept("DO")) {
+    row.numSites = static_cast<int>(lex.nextInt());
+    lex.expect("BY");
+    lex.nextInt();  // rows in y (always 1 for std rows)
+    lex.expect("STEP");
+    row.siteWidth = lex.nextInt();
+    lex.nextInt();  // y step
+  }
+  lex.expect(";");
+  design.rows.push_back(std::move(row));
+}
+
+template <typename Lex>
+void parseTracksEntity(Lex& lex, db::Design& design) {
+  lex.expect("TRACKS");
+  db::TrackPattern tp;
+  const std::string_view axis = lex.next();
+  // DEF TRACKS X: vertical tracks (fixed x); TRACKS Y: horizontal tracks.
+  tp.axis = axis == "X" ? db::Dir::kVertical : db::Dir::kHorizontal;
+  tp.start = lex.nextInt();
+  lex.expect("DO");
+  tp.count = static_cast<int>(lex.nextInt());
+  lex.expect("STEP");
+  tp.step = lex.nextInt();
+  lex.expect("LAYER");
+  const std::string layerName(lex.next());
+  const db::Layer* layer = design.tech->findLayer(layerName);
+  if (layer == nullptr) {
+    throw ParseError(lex.diagPrev(
+        "DEF001", "TRACKS references unknown layer '" + layerName + "'"));
+  }
+  tp.layer = layer->index;
+  lex.expect(";");
+  design.trackPatterns.push_back(tp);
+}
+
+/// One COMPONENTS entity (leading '-' consumed). `resolveMaster` maps a
+/// master name to a const db::Master* (null for unknown -> DEF002).
+template <typename Lex, typename ResolveMaster>
+db::Instance parseComponentEntity(Lex& lex, ResolveMaster&& resolveMaster) {
+  db::Instance inst;
+  inst.name = std::string(lex.next());
+  const std::string masterName(lex.next());
+  inst.master = resolveMaster(masterName);
+  if (inst.master == nullptr) {
+    throw ParseError(lex.diagPrev(
+        "DEF002",
+        "component references unknown master '" + masterName + "'"));
+  }
+  while (!lex.accept(";")) {
+    if (lex.accept("+")) {
+      const std::string_view kw = lex.next();
+      if (kw == "PLACED" || kw == "FIXED") {
+        lex.expect("(");
+        inst.origin.x = lex.nextInt();
+        inst.origin.y = lex.nextInt();
+        lex.expect(")");
+        inst.orient = geom::orientFromString(lex.next());
+      }
+    } else {
+      lex.next();
+    }
+  }
+  return inst;
+}
+
+/// One PINS entity (leading '-' consumed).
+template <typename Lex>
+db::IoPin parsePinEntity(Lex& lex, const db::Tech& tech) {
+  db::IoPin pin;
+  pin.name = std::string(lex.next());
+  geom::Rect shape;
+  geom::Point placed;
+  while (!lex.accept(";")) {
+    if (lex.accept("+")) {
+      const std::string_view kw = lex.next();
+      if (kw == "LAYER") {
+        const db::Layer* layer = tech.findLayer(lex.next());
+        pin.layer = layer ? layer->index : -1;
+        lex.expect("(");
+        const geom::Coord x1 = lex.nextInt();
+        const geom::Coord y1 = lex.nextInt();
+        lex.expect(")");
+        lex.expect("(");
+        const geom::Coord x2 = lex.nextInt();
+        const geom::Coord y2 = lex.nextInt();
+        lex.expect(")");
+        shape = {x1, y1, x2, y2};
+      } else if (kw == "PLACED" || kw == "FIXED") {
+        lex.expect("(");
+        placed.x = lex.nextInt();
+        placed.y = lex.nextInt();
+        lex.expect(")");
+        lex.next();  // orient
+      }
+    } else {
+      lex.next();
+    }
+  }
+  pin.rect = shape.translate(placed.x, placed.y);
+  return pin;
+}
+
+/// One NETS entity (leading '-' consumed). `findInst` maps a component
+/// name to its instance index (-1 for unknown -> DEF004); instance pin and
+/// IO pin names resolve against `design`, which must already hold the
+/// COMPONENTS and PINS sections (in-file-order parses guarantee this).
+template <typename Lex, typename FindInst>
+db::Net parseNetEntity(Lex& lex, const db::Design& design,
+                       FindInst&& findInst) {
+  db::Net net;
+  net.name = std::string(lex.next());
+  while (!lex.accept(";")) {
+    if (lex.peek() == "+") {
+      // '+' attributes (ROUTED wiring, USE, ...) follow the terms; skip
+      // the remainder of this net statement.
+      while (!lex.accept(";")) lex.next();
+      break;
+    }
+    if (lex.accept("(")) {
+      const std::string a(lex.next());
+      db::NetTerm term;
+      if (a != "PIN") {
+        term.instIdx = findInst(a);
+        if (term.instIdx < 0) {
+          throw ParseError(lex.diagPrev(
+              "DEF004", "net references unknown component '" + a + "'"));
+        }
+      }
+      const std::string b(lex.next());
+      if (a == "PIN") {
+        for (int i = 0; i < static_cast<int>(design.ioPins.size()); ++i) {
+          if (design.ioPins[i].name == b) {
+            term.ioPinIdx = i;
+            break;
+          }
+        }
+        if (term.ioPinIdx < 0) {
+          throw ParseError(lex.diagPrev(
+              "DEF003", "net references unknown IO pin '" + b + "'"));
+        }
+      } else {
+        const db::Master& m = *design.instances[term.instIdx].master;
+        for (int i = 0; i < static_cast<int>(m.pins.size()); ++i) {
+          if (m.pins[i].name == b) {
+            term.pinIdx = i;
+            break;
+          }
+        }
+        if (term.pinIdx < 0) {
+          throw ParseError(lex.diagPrev(
+              "DEF005",
+              "net references unknown pin '" + b + "' on '" + a + "'"));
+        }
+      }
+      lex.expect(")");
+      net.terms.push_back(term);
+    } else {
+      lex.next();
+    }
+  }
+  return net;
+}
+
+/// Top-level statements outside the entity sections: DESIGN, UNITS,
+/// DIEAREA, ROW, TRACKS, END, and the skip-unknown default. Returns false
+/// when the current token opens a section (COMPONENTS/PINS/NETS) the
+/// caller must handle.
+template <typename Lex>
+bool parseSimpleDefStatement(Lex& lex, db::Design& design, int& dbu) {
+  const std::string_view tok = lex.peek();
+  if (tok == "COMPONENTS" || tok == "PINS" || tok == "NETS") return false;
+  if (tok == "DESIGN") {
+    lex.next();
+    design.name = std::string(lex.next());
+    lex.expect(";");
+  } else if (tok == "UNITS") {
+    lex.next();
+    lex.expect("DISTANCE");
+    lex.expect("MICRONS");
+    dbu = static_cast<int>(lex.nextInt());
+    lex.expect(";");
+  } else if (tok == "DIEAREA") {
+    lex.next();
+    lex.expect("(");
+    const geom::Coord x1 = lex.nextInt();
+    const geom::Coord y1 = lex.nextInt();
+    lex.expect(")");
+    lex.expect("(");
+    const geom::Coord x2 = lex.nextInt();
+    const geom::Coord y2 = lex.nextInt();
+    lex.expect(")");
+    lex.expect(";");
+    design.dieArea = {x1, y1, x2, y2};
+  } else if (tok == "ROW") {
+    parseRowEntity(lex, design);
+  } else if (tok == "TRACKS") {
+    parseTracksEntity(lex, design);
+  } else if (tok == "END") {
+    lex.next();
+    if (!lex.done()) lex.next();
+  } else {
+    lex.skipStatement();
+  }
+  return true;
+}
+
+}  // namespace pao::lefdef

@@ -1,5 +1,6 @@
 #include "lefdef/def_parser.hpp"
 
+#include "lefdef/def_entities.hpp"
 #include "lefdef/lexer.hpp"
 
 namespace pao::lefdef {
@@ -7,8 +8,11 @@ namespace pao::lefdef {
 namespace {
 
 using db::Design;
-using geom::Coord;
 
+// The single-pass reference parser. The grammar proper lives in
+// def_entities.hpp (shared with the chunked streaming parser); this class
+// contributes the legacy control flow: statement dispatch, per-entity and
+// top-level error recovery, and the maxErrors bail-out.
 class DefParser {
  public:
   DefParser(std::string_view text, Design& design, const ParseOptions& opts)
@@ -54,88 +58,15 @@ class DefParser {
   }
 
   void step() {
+    if (parseSimpleDefStatement(lex_, design_, dbu_)) return;
     const std::string_view tok = lex_.peek();
-    if (tok == "DESIGN") {
-      lex_.next();
-      design_.name = std::string(lex_.next());
-      lex_.expect(";");
-    } else if (tok == "UNITS") {
-      lex_.next();
-      lex_.expect("DISTANCE");
-      lex_.expect("MICRONS");
-      dbu_ = static_cast<int>(lex_.nextInt());
-      lex_.expect(";");
-    } else if (tok == "DIEAREA") {
-      lex_.next();
-      lex_.expect("(");
-      const Coord x1 = lex_.nextInt();
-      const Coord y1 = lex_.nextInt();
-      lex_.expect(")");
-      lex_.expect("(");
-      const Coord x2 = lex_.nextInt();
-      const Coord y2 = lex_.nextInt();
-      lex_.expect(")");
-      lex_.expect(";");
-      design_.dieArea = {x1, y1, x2, y2};
-    } else if (tok == "ROW") {
-      parseRow();
-    } else if (tok == "TRACKS") {
-      parseTracks();
-    } else if (tok == "COMPONENTS") {
+    if (tok == "COMPONENTS") {
       parseComponents();
     } else if (tok == "PINS") {
       parsePins();
-    } else if (tok == "NETS") {
-      parseNets();
-    } else if (tok == "END") {
-      lex_.next();
-      if (!lex_.done()) lex_.next();
     } else {
-      lex_.skipStatement();
+      parseNets();
     }
-  }
-
-  void parseRow() {
-    lex_.expect("ROW");
-    db::Row row;
-    row.name = std::string(lex_.next());
-    row.site = std::string(lex_.next());
-    row.origin.x = lex_.nextInt();
-    row.origin.y = lex_.nextInt();
-    row.orient = geom::orientFromString(lex_.next());
-    if (lex_.accept("DO")) {
-      row.numSites = static_cast<int>(lex_.nextInt());
-      lex_.expect("BY");
-      lex_.nextInt();  // rows in y (always 1 for std rows)
-      lex_.expect("STEP");
-      row.siteWidth = lex_.nextInt();
-      lex_.nextInt();  // y step
-    }
-    lex_.expect(";");
-    design_.rows.push_back(std::move(row));
-  }
-
-  void parseTracks() {
-    lex_.expect("TRACKS");
-    db::TrackPattern tp;
-    const std::string_view axis = lex_.next();
-    // DEF TRACKS X: vertical tracks (fixed x); TRACKS Y: horizontal tracks.
-    tp.axis = axis == "X" ? db::Dir::kVertical : db::Dir::kHorizontal;
-    tp.start = lex_.nextInt();
-    lex_.expect("DO");
-    tp.count = static_cast<int>(lex_.nextInt());
-    lex_.expect("STEP");
-    tp.step = lex_.nextInt();
-    lex_.expect("LAYER");
-    const std::string layerName(lex_.next());
-    const db::Layer* layer = design_.tech->findLayer(layerName);
-    if (layer == nullptr) {
-      throw ParseError(lex_.diagPrev(
-          "DEF001", "TRACKS references unknown layer '" + layerName + "'"));
-    }
-    tp.layer = layer->index;
-    lex_.expect(";");
-    design_.trackPatterns.push_back(tp);
   }
 
   /// Runs `body` for each `- ...` entity, recovering per entity: a bad
@@ -159,81 +90,25 @@ class DefParser {
     lex_.expect("COMPONENTS");
     lex_.nextInt();
     lex_.expect(";");
-    forEachEntity([&] { parseOneComponent(); });
+    forEachEntity([&] {
+      design_.instances.push_back(parseComponentEntity(
+          lex_, [&](const std::string& name) {
+            return design_.lib->findMaster(name);
+          }));
+    });
     lex_.expect("END");
     lex_.expect("COMPONENTS");
-  }
-
-  void parseOneComponent() {
-    db::Instance inst;
-    inst.name = std::string(lex_.next());
-    const std::string masterName(lex_.next());
-    inst.master = design_.lib->findMaster(masterName);
-    if (inst.master == nullptr) {
-      throw ParseError(lex_.diagPrev(
-          "DEF002", "component references unknown master '" + masterName +
-                        "'"));
-    }
-    while (!lex_.accept(";")) {
-      if (lex_.accept("+")) {
-        const std::string_view kw = lex_.next();
-        if (kw == "PLACED" || kw == "FIXED") {
-          lex_.expect("(");
-          inst.origin.x = lex_.nextInt();
-          inst.origin.y = lex_.nextInt();
-          lex_.expect(")");
-          inst.orient = geom::orientFromString(lex_.next());
-        }
-      } else {
-        lex_.next();
-      }
-    }
-    design_.instances.push_back(std::move(inst));
   }
 
   void parsePins() {
     lex_.expect("PINS");
     lex_.nextInt();
     lex_.expect(";");
-    forEachEntity([&] { parseOnePin(); });
+    forEachEntity(
+        [&] { design_.ioPins.push_back(parsePinEntity(lex_, *design_.tech)); });
     lex_.expect("END");
     lex_.expect("PINS");
     design_.buildInstanceIndex();
-  }
-
-  void parseOnePin() {
-    db::IoPin pin;
-    pin.name = std::string(lex_.next());
-    geom::Rect shape;
-    geom::Point placed;
-    while (!lex_.accept(";")) {
-      if (lex_.accept("+")) {
-        const std::string_view kw = lex_.next();
-        if (kw == "LAYER") {
-          const db::Layer* layer = design_.tech->findLayer(lex_.next());
-          pin.layer = layer ? layer->index : -1;
-          lex_.expect("(");
-          const Coord x1 = lex_.nextInt();
-          const Coord y1 = lex_.nextInt();
-          lex_.expect(")");
-          lex_.expect("(");
-          const Coord x2 = lex_.nextInt();
-          const Coord y2 = lex_.nextInt();
-          lex_.expect(")");
-          shape = {x1, y1, x2, y2};
-        } else if (kw == "PLACED" || kw == "FIXED") {
-          lex_.expect("(");
-          placed.x = lex_.nextInt();
-          placed.y = lex_.nextInt();
-          lex_.expect(")");
-          lex_.next();  // orient
-        }
-      } else {
-        lex_.next();
-      }
-    }
-    pin.rect = shape.translate(placed.x, placed.y);
-    design_.ioPins.push_back(std::move(pin));
   }
 
   void parseNets() {
@@ -242,72 +117,12 @@ class DefParser {
     lex_.expect(";");
     design_.buildInstanceIndex();
     forEachEntity([&] {
-      // The net is emplaced before its terms parse; drop it again if the
-      // entity fails so recovery never leaves a half-built net behind.
-      const std::size_t netsBefore = design_.nets.size();
-      try {
-        parseOneNet();
-      } catch (...) {
-        design_.nets.resize(netsBefore);
-        throw;
-      }
+      design_.nets.push_back(parseNetEntity(
+          lex_, design_,
+          [&](const std::string& name) { return design_.findInstance(name); }));
     });
     lex_.expect("END");
     lex_.expect("NETS");
-  }
-
-  void parseOneNet() {
-    db::Net& net = design_.nets.emplace_back();
-    net.name = std::string(lex_.next());
-    while (!lex_.accept(";")) {
-      if (lex_.peek() == "+") {
-        // '+' attributes (ROUTED wiring, USE, ...) follow the terms; skip
-        // the remainder of this net statement.
-        while (!lex_.accept(";")) lex_.next();
-        break;
-      }
-      if (lex_.accept("(")) {
-        const std::string a(lex_.next());
-        db::NetTerm term;
-        if (a != "PIN") {
-          term.instIdx = design_.findInstance(a);
-          if (term.instIdx < 0) {
-            throw ParseError(lex_.diagPrev(
-                "DEF004", "net references unknown component '" + a + "'"));
-          }
-        }
-        const std::string b(lex_.next());
-        if (a == "PIN") {
-          for (int i = 0; i < static_cast<int>(design_.ioPins.size()); ++i) {
-            if (design_.ioPins[i].name == b) {
-              term.ioPinIdx = i;
-              break;
-            }
-          }
-          if (term.ioPinIdx < 0) {
-            throw ParseError(lex_.diagPrev(
-                "DEF003", "net references unknown IO pin '" + b + "'"));
-          }
-        } else {
-          const db::Master& m = *design_.instances[term.instIdx].master;
-          for (int i = 0; i < static_cast<int>(m.pins.size()); ++i) {
-            if (m.pins[i].name == b) {
-              term.pinIdx = i;
-              break;
-            }
-          }
-          if (term.pinIdx < 0) {
-            throw ParseError(lex_.diagPrev(
-                "DEF005",
-                "net references unknown pin '" + b + "' on '" + a + "'"));
-          }
-        }
-        lex_.expect(")");
-        net.terms.push_back(term);
-      } else {
-        lex_.next();
-      }
-    }
   }
 
   Lexer lex_;

@@ -1,66 +1,173 @@
 #include "lefdef/def_writer.hpp"
 
+#include <charconv>
+#include <ostream>
 #include <sstream>
 
 namespace pao::lefdef {
 
+namespace defout {
+
+namespace {
+
+/// Fixed-size line assembly for the two emitters that run millions of times
+/// per file; everything else uses plain stream formatting.
+struct LineBuf {
+  char buf[256];
+  char* p = buf;
+
+  void lit(std::string_view s) {
+    // Identifiers and literals in this writer are far below the buffer
+    // size; truncate rather than overrun on pathological names.
+    const std::size_t room = static_cast<std::size_t>(buf + sizeof buf - p);
+    const std::size_t n = s.size() < room ? s.size() : room;
+    std::char_traits<char>::copy(p, s.data(), n);
+    p += n;
+  }
+  void num(long long v) {
+    p = std::to_chars(p, buf + sizeof buf, v).ptr;
+  }
+  void flush(std::ostream& os) { os.write(buf, p - buf); }
+};
+
+}  // namespace
+
+void header(std::ostream& os, const std::string& designName,
+            int dbuPerMicron, const geom::Rect& dieArea) {
+  os << "VERSION 5.8 ;\n";
+  os << "DESIGN " << designName << " ;\n";
+  os << "UNITS DISTANCE MICRONS " << dbuPerMicron << " ;\n";
+  os << "DIEAREA ( " << dieArea.xlo << " " << dieArea.ylo << " ) ( "
+     << dieArea.xhi << " " << dieArea.yhi << " ) ;\n\n";
+}
+
+void row(std::ostream& os, const db::Row& r) {
+  os << "ROW " << r.name << " " << r.site << " " << r.origin.x << " "
+     << r.origin.y << " " << geom::toString(r.orient) << " DO " << r.numSites
+     << " BY 1 STEP " << r.siteWidth << " 0 ;\n";
+}
+
+void track(std::ostream& os, const db::TrackPattern& tp,
+           const std::string& layerName) {
+  os << "TRACKS " << (tp.axis == db::Dir::kVertical ? "X" : "Y") << " "
+     << tp.start << " DO " << tp.count << " STEP " << tp.step << " LAYER "
+     << layerName << " ;\n";
+}
+
+void sectionGap(std::ostream& os) { os << "\n"; }
+
+void componentsBegin(std::ostream& os, std::size_t n) {
+  os << "COMPONENTS " << n << " ;\n";
+}
+
+void component(std::ostream& os, std::string_view name,
+               std::string_view master, geom::Point origin,
+               geom::Orient orient) {
+  LineBuf b;
+  b.lit(" - ");
+  b.lit(name);
+  b.lit(" ");
+  b.lit(master);
+  b.lit(" + PLACED ( ");
+  b.num(origin.x);
+  b.lit(" ");
+  b.num(origin.y);
+  b.lit(" ) ");
+  b.lit(geom::toString(orient));
+  b.lit(" ;\n");
+  b.flush(os);
+}
+
+void componentsEnd(std::ostream& os) { os << "END COMPONENTS\n\n"; }
+
+void pinsBegin(std::ostream& os, std::size_t n) {
+  os << "PINS " << n << " ;\n";
+}
+
+void pin(std::ostream& os, std::string_view name, std::string_view layerName,
+         const geom::Rect& shape) {
+  // Shapes are stored in absolute coordinates; emit with PLACED (0 0).
+  os << " - " << name << " + NET " << name << " + LAYER " << layerName
+     << " ( " << shape.xlo << " " << shape.ylo << " ) ( " << shape.xhi << " "
+     << shape.yhi << " ) + PLACED ( 0 0 ) N ;\n";
+}
+
+void pinsEnd(std::ostream& os) { os << "END PINS\n\n"; }
+
+void netsBegin(std::ostream& os, std::size_t n) {
+  os << "NETS " << n << " ;\n";
+}
+
+void netBegin(std::ostream& os, std::string_view name) {
+  os << " - " << name;
+}
+
+void netInstTerm(std::ostream& os, std::string_view inst,
+                 std::string_view pin) {
+  LineBuf b;
+  b.lit(" ( ");
+  b.lit(inst);
+  b.lit(" ");
+  b.lit(pin);
+  b.lit(" )");
+  b.flush(os);
+}
+
+void netIoTerm(std::ostream& os, std::string_view ioPin) {
+  os << " ( PIN " << ioPin << " )";
+}
+
+void netEnd(std::ostream& os) { os << " ;\n"; }
+
+void netsEnd(std::ostream& os) { os << "END NETS\n\n"; }
+
+void end(std::ostream& os) { os << "END DESIGN\n"; }
+
+}  // namespace defout
+
 std::string writeDef(const db::Design& d) {
   std::ostringstream os;
-  os << "VERSION 5.8 ;\n";
-  os << "DESIGN " << d.name << " ;\n";
-  os << "UNITS DISTANCE MICRONS " << (d.tech ? d.tech->dbuPerMicron : 2000)
-     << " ;\n";
-  os << "DIEAREA ( " << d.dieArea.xlo << " " << d.dieArea.ylo << " ) ( "
-     << d.dieArea.xhi << " " << d.dieArea.yhi << " ) ;\n\n";
+  defout::header(os, d.name, d.tech ? d.tech->dbuPerMicron : 2000,
+                 d.dieArea);
 
   for (const db::Row& r : d.rows) {
-    os << "ROW " << r.name << " " << r.site << " " << r.origin.x << " "
-       << r.origin.y << " " << geom::toString(r.orient) << " DO "
-       << r.numSites << " BY 1 STEP " << r.siteWidth << " 0 ;\n";
+    defout::row(os, r);
   }
-  os << "\n";
+  defout::sectionGap(os);
 
   for (const db::TrackPattern& tp : d.trackPatterns) {
-    os << "TRACKS " << (tp.axis == db::Dir::kVertical ? "X" : "Y") << " "
-       << tp.start << " DO " << tp.count << " STEP " << tp.step << " LAYER "
-       << d.tech->layer(tp.layer).name << " ;\n";
+    defout::track(os, tp, d.tech->layer(tp.layer).name);
   }
-  os << "\n";
+  defout::sectionGap(os);
 
-  os << "COMPONENTS " << d.instances.size() << " ;\n";
+  defout::componentsBegin(os, d.instances.size());
   for (const db::Instance& inst : d.instances) {
-    os << " - " << inst.name << " " << inst.master->name << " + PLACED ( "
-       << inst.origin.x << " " << inst.origin.y << " ) "
-       << geom::toString(inst.orient) << " ;\n";
+    defout::component(os, inst.name, inst.master->name, inst.origin,
+                      inst.orient);
   }
-  os << "END COMPONENTS\n\n";
+  defout::componentsEnd(os);
 
-  os << "PINS " << d.ioPins.size() << " ;\n";
+  defout::pinsBegin(os, d.ioPins.size());
   for (const db::IoPin& p : d.ioPins) {
-    // Shapes are stored in absolute coordinates; emit with PLACED (0 0).
-    os << " - " << p.name << " + NET " << p.name << " + LAYER "
-       << d.tech->layer(p.layer).name << " ( " << p.rect.xlo << " "
-       << p.rect.ylo << " ) ( " << p.rect.xhi << " " << p.rect.yhi
-       << " ) + PLACED ( 0 0 ) N ;\n";
+    defout::pin(os, p.name, d.tech->layer(p.layer).name, p.rect);
   }
-  os << "END PINS\n\n";
+  defout::pinsEnd(os);
 
-  os << "NETS " << d.nets.size() << " ;\n";
+  defout::netsBegin(os, d.nets.size());
   for (const db::Net& n : d.nets) {
-    os << " - " << n.name;
+    defout::netBegin(os, n.name);
     for (const db::NetTerm& t : n.terms) {
       if (t.isIo()) {
-        os << " ( PIN " << d.ioPins[t.ioPinIdx].name << " )";
+        defout::netIoTerm(os, d.ioPins[t.ioPinIdx].name);
       } else {
         const db::Instance& inst = d.instances[t.instIdx];
-        os << " ( " << inst.name << " " << inst.master->pins[t.pinIdx].name
-           << " )";
+        defout::netInstTerm(os, inst.name, inst.master->pins[t.pinIdx].name);
       }
     }
-    os << " ;\n";
+    defout::netEnd(os);
   }
-  os << "END NETS\n\n";
-  os << "END DESIGN\n";
+  defout::netsEnd(os);
+  defout::end(os);
   return os.str();
 }
 

@@ -1,12 +1,54 @@
 // DEF subset writer matching the parser's statement subset.
 #pragma once
 
+#include <cstddef>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "db/design.hpp"
 
 namespace pao::lefdef {
 
 std::string writeDef(const db::Design& design);
+
+/// Streaming DEF emitters. writeDef() and benchgen's huge-case generator
+/// both produce their text through these, so a generated-then-parsed design
+/// re-written with writeDef() round-trips byte-identically — the fixpoint
+/// the scale property tests depend on. Call order mirrors the file layout:
+/// header, row*, sectionGap, track*, sectionGap, components…, pins…, nets…,
+/// end.
+namespace defout {
+
+void header(std::ostream& os, const std::string& designName,
+            int dbuPerMicron, const geom::Rect& dieArea);
+void row(std::ostream& os, const db::Row& r);
+void track(std::ostream& os, const db::TrackPattern& tp,
+           const std::string& layerName);
+/// The blank line separating the ROW and TRACKS groups from what follows.
+void sectionGap(std::ostream& os);
+
+void componentsBegin(std::ostream& os, std::size_t n);
+void component(std::ostream& os, std::string_view name,
+               std::string_view master, geom::Point origin,
+               geom::Orient orient);
+void componentsEnd(std::ostream& os);
+
+void pinsBegin(std::ostream& os, std::size_t n);
+void pin(std::ostream& os, std::string_view name, std::string_view layerName,
+         const geom::Rect& shape);
+void pinsEnd(std::ostream& os);
+
+void netsBegin(std::ostream& os, std::size_t n);
+void netBegin(std::ostream& os, std::string_view name);
+void netInstTerm(std::ostream& os, std::string_view inst,
+                 std::string_view pin);
+void netIoTerm(std::ostream& os, std::string_view ioPin);
+void netEnd(std::ostream& os);
+void netsEnd(std::ostream& os);
+
+void end(std::ostream& os);
+
+}  // namespace defout
 
 }  // namespace pao::lefdef

@@ -1,0 +1,68 @@
+#include "lefdef/source.hpp"
+
+#include "lefdef/lexer.hpp"
+#include "util/diag.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PAO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PAO_HAVE_MMAP 0
+#endif
+
+#include <fstream>
+#include <sstream>
+
+namespace pao::lefdef {
+
+FileSource::FileSource(const std::string& path) {
+#if PAO_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        ::close(fd);
+        return;  // empty file: empty view, nothing to map
+      }
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (p != MAP_FAILED) {
+        map_ = p;
+        mapLen_ = static_cast<std::size_t>(st.st_size);
+        text_ = {static_cast<const char*>(p), mapLen_};
+        mapped_ = true;
+        return;
+      }
+    } else {
+      ::close(fd);
+    }
+    // Regular-open succeeded but map/stat failed (e.g. procfs, some network
+    // filesystems): fall through to the read() path.
+  }
+#endif
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    util::Diag d;
+    d.code = "IO001";
+    d.loc.file = path;
+    d.message = "cannot open file";
+    throw ParseError(std::move(d));
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  fallback_ = std::move(ss).str();
+  text_ = fallback_;
+}
+
+FileSource::~FileSource() {
+#if PAO_HAVE_MMAP
+  if (map_ != nullptr) ::munmap(map_, mapLen_);
+#endif
+}
+
+}  // namespace pao::lefdef

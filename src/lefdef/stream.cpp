@@ -1,0 +1,425 @@
+#include "lefdef/stream.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "lefdef/def_entities.hpp"
+#include "lefdef/def_parser.hpp"
+#include "lefdef/lef_parser.hpp"
+#include "lefdef/source.hpp"
+#include "lefdef/stream_lexer.hpp"
+#include "obs/metrics.hpp"
+#include "util/arena.hpp"
+#include "util/fault.hpp"
+#include "util/interner.hpp"
+#include "util/jobs.hpp"
+
+namespace pao::lefdef {
+
+namespace {
+
+using db::Design;
+
+/// Entity layout of one COMPONENTS/NETS section: byte offsets of every
+/// `-` entity start (positions where the legacy forEachEntity loop begins
+/// an iteration) plus the offset where the entity region ends (the END
+/// keyword, trailing junk, or end of input).
+struct SectionScan {
+  std::vector<std::size_t> starts;
+  std::size_t regionEnd = 0;
+};
+
+/// Byte range of one chunk plus the number of entities it holds.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t entities = 0;
+};
+
+/// "No early stop" sentinel for ChunkOut::earlyStop.
+constexpr std::size_t kNoStop = static_cast<std::size_t>(-1);
+
+/// Per-chunk parse output. Instances/nets commit in chunk order, so the
+/// merged result is independent of the schedule.
+template <typename Entity>
+struct ChunkOut {
+  std::vector<Entity> parsed;
+  std::vector<util::Diag> diags;
+  /// Strict mode: the first entity error in this chunk. The in-order merge
+  /// rethrows the earliest chunk's failure so the file-first error wins
+  /// even when a later chunk finished sooner.
+  std::optional<util::Diag> failure;
+  /// Byte offset of a non-entity statement token the chunk's loop stopped
+  /// at (junk after a successfully parsed entity). The serial section loop
+  /// ends there, so the merge discards every later chunk and the driver
+  /// re-enters the serial grammar at this offset.
+  std::size_t earlyStop = kNoStop;
+};
+
+class StreamDefParser {
+ public:
+  StreamDefParser(std::string_view text, Design& design,
+                  const StreamOptions& opts, IngestStats* stats)
+      : text_(text),
+        lines_(text),
+        opts_(opts),
+        lex_(text, lines_, opts.parse.file),
+        design_(design),
+        stats_(stats) {}
+
+  ParseResult run() {
+    local_ = design_;
+    try {
+      // A strict-mode ParseError propagates from here with the caller's
+      // design untouched (the partial parse lives in the discarded
+      // local_).
+      while (!lex_.done()) {
+        const std::size_t before = lex_.pos();
+        try {
+          step();
+        } catch (const ParseError& e) {
+          if (!opts_.parse.recover) throw;
+          record(e.diag);
+          resync(before, {"DESIGN", "UNITS", "DIEAREA", "ROW", "TRACKS",
+                          "COMPONENTS", "PINS", "NETS", "END"});
+        }
+      }
+    } catch (const NeedLegacy&) {
+      // The file's error count reached ParseOptions::maxErrors. The
+      // legacy parser's bail-out stops mid-file (GEN001, partial
+      // sections); re-running it from scratch on the original design is
+      // the simplest way to reproduce that state bit for bit — such
+      // files are error-dense, so never the scale case.
+      if (stats_ != nullptr) stats_->legacyFallback = true;
+      const std::size_t instBefore = design_.instances.size();
+      const std::size_t netsBefore = design_.nets.size();
+      ParseResult r = parseDef(text_, design_, opts_.parse);
+      finishStats(design_.instances.size() - instBefore,
+                  design_.nets.size() - netsBefore);
+      return r;
+    }
+    local_.buildInstanceIndex();
+    const std::size_t instBefore = design_.instances.size();
+    const std::size_t netsBefore = design_.nets.size();
+    design_ = std::move(local_);
+    finishStats(design_.instances.size() - instBefore,
+                design_.nets.size() - netsBefore);
+    return std::move(res_);
+  }
+
+ private:
+  /// Thrown once the total error count reaches maxErrors; run() answers
+  /// with a legacy re-parse (exact GEN001/Bail semantics).
+  struct NeedLegacy {};
+
+  void record(const util::Diag& d) {
+    res_.diags.push_back(d);
+    if (res_.errorCount() >= opts_.parse.maxErrors) throw NeedLegacy{};
+  }
+
+  void resync(std::size_t before,
+              std::initializer_list<std::string_view> stops) {
+    if (lex_.pos() == before && !lex_.done()) lex_.next();
+    lex_.syncTo(stops);
+  }
+
+  void step() {
+    if (parseSimpleDefStatement(lex_, local_, dbu_)) return;
+    const std::string_view tok = lex_.peek();
+    if (tok == "COMPONENTS") {
+      parseComponentsStreamed();
+    } else if (tok == "PINS") {
+      parsePinsSerial();
+    } else {
+      parseNetsStreamed();
+    }
+  }
+
+  /// Tokenizes (without parsing) through a section's entity region,
+  /// recording entity-start offsets. Entities begin at a `-` in statement
+  /// position (= right after a consumed ';', where forEachEntity tests);
+  /// an entity's bytes run to the next statement position, so a malformed
+  /// entity that swallows following `-` tokens stays in one piece exactly
+  /// as the serial parse would consume it. Leaves lex_ at the region end.
+  SectionScan scanEntities() {
+    SectionScan scan;
+    while (!lex_.done() && lex_.peek() == "-") {
+      scan.starts.push_back(lex_.byteOffset());
+      lex_.next();
+      while (!lex_.done() && lex_.next() != ";") {
+      }
+      // Junk tokens between this entity's ';' and the next '-'/END belong
+      // to this entity's byte range: the serial parse reaches them either
+      // inside a failed entity's resync (which skips ahead to '-'/END) or
+      // at the loop condition after a successful parse, where the section
+      // stops. The chunk runner reproduces both (see earlyStop).
+      while (!lex_.done() && lex_.peek() != "-" && lex_.peek() != "END") {
+        lex_.next();
+      }
+    }
+    scan.regionEnd = lex_.byteOffset();
+    return scan;
+  }
+
+  /// Groups scanned entities into byte-contiguous chunks of roughly
+  /// opts_.chunkBytes. Chunking granularity is schedule only — results
+  /// are committed per entity in file order regardless.
+  std::vector<ChunkRange> makeChunks(const SectionScan& scan) const {
+    std::vector<ChunkRange> chunks;
+    if (scan.starts.empty()) return chunks;
+    const std::size_t target = std::max<std::size_t>(1, opts_.chunkBytes);
+    ChunkRange cur{scan.starts[0], 0, 0};
+    for (std::size_t i = 0; i < scan.starts.size(); ++i) {
+      const std::size_t entityEnd =
+          i + 1 < scan.starts.size() ? scan.starts[i + 1] : scan.regionEnd;
+      if (cur.entities > 0 && entityEnd - cur.begin > target) {
+        cur.end = scan.starts[i];
+        chunks.push_back(cur);
+        cur = {scan.starts[i], 0, 0};
+      }
+      ++cur.entities;
+      cur.end = entityEnd;
+    }
+    chunks.push_back(cur);
+    return chunks;
+  }
+
+  /// Runs one entity chunk: the legacy forEachEntity loop over a bounded
+  /// StreamLexer, with per-entity recovery (error counting is deferred to
+  /// the in-order merge). `makeParseOne` is invoked once per chunk on the
+  /// worker thread, inside the chunk's ArenaScope, and returns the
+  /// entity-parsing callable — chunk-local state (the master-resolution
+  /// cache) lives in that closure, on the worker's arena.
+  template <typename Entity, typename MakeParseOne>
+  void runChunks(const std::vector<ChunkRange>& chunks,
+                 std::vector<ChunkOut<Entity>>& outs,
+                 MakeParseOne makeParseOne) {
+    outs.resize(chunks.size());
+    util::JobGraph graph;
+    graph.addJobRange(chunks.size(), [&](std::size_t ci) {
+      util::ArenaScope scope(util::scratchArena());
+      const ChunkRange& range = chunks[ci];
+      ChunkOut<Entity>& out = outs[ci];
+      out.parsed.reserve(range.entities);
+      StreamLexer cl(text_, range.begin, range.end, lines_,
+                     opts_.parse.file);
+      auto parseOne = makeParseOne();
+      while (cl.accept("-")) {
+        const std::size_t before = cl.pos();
+        try {
+          out.parsed.push_back(parseOne(cl));
+        } catch (const ParseError& e) {
+          if (!opts_.parse.recover) {
+            // Strict mode: stop this chunk at its first error. Jobs never
+            // throw; the in-order merge rethrows the earliest chunk's
+            // failure so an earlyStop in an earlier chunk still wins.
+            out.failure = e.diag;
+            return;
+          }
+          out.diags.push_back(e.diag);
+          if (cl.pos() == before && !cl.done()) cl.next();
+          cl.syncTo({"-", "END"});
+        }
+      }
+      // The loop exits mid-chunk only on junk that isn't an entity start
+      // (chunks end at entity boundaries, and a failed entity's resync
+      // already consumed its trailing junk). The serial section loop ends
+      // at this exact token.
+      if (!cl.done()) out.earlyStop = cl.byteOffset();
+    });
+    // Chunk jobs are independent and added in file order; strict-mode
+    // errors and early stops are resolved by the in-order merge.
+    graph.run(opts_.numThreads);
+    if (stats_ != nullptr) stats_->chunks += chunks.size();
+  }
+
+  /// Merges chunk outputs in chunk (= file) order: entities append to
+  /// `sink`, diagnostics flow through record() so the maxErrors threshold
+  /// fires on exactly the same diagnostic as the serial parse. A
+  /// strict-mode failure rethrows here (earliest chunk = file-first
+  /// error). Returns the first chunk's earlyStop offset — everything after
+  /// it is discarded, entities and diagnostics alike, because the serial
+  /// parse ends the section there and never sees them — or kNoStop.
+  template <typename Entity>
+  std::size_t mergeChunks(std::vector<ChunkOut<Entity>>& outs,
+                          std::vector<Entity>& sink) {
+    std::size_t total = 0;
+    for (const ChunkOut<Entity>& out : outs) total += out.parsed.size();
+    sink.reserve(sink.size() + total);
+    for (ChunkOut<Entity>& out : outs) {
+      for (Entity& e : out.parsed) sink.push_back(std::move(e));
+      for (const util::Diag& d : out.diags) record(d);
+      if (out.failure) throw ParseError(std::move(*out.failure));
+      if (out.earlyStop != kNoStop) return out.earlyStop;
+    }
+    return kNoStop;
+  }
+
+  void parseComponentsStreamed() {
+    lex_.expect("COMPONENTS");
+    lex_.nextInt();
+    lex_.expect(";");
+    const SectionScan scan = scanEntities();
+    const std::vector<ChunkRange> chunks = makeChunks(scan);
+    std::vector<ChunkOut<db::Instance>> outs;
+    // Per-chunk master resolution: a tiny arena-backed cache in front of
+    // Library::findMaster. Libraries hold tens of masters while chunks
+    // hold thousands of components, so a linear probe over the names this
+    // chunk has already seen beats a map lookup per component. Key bytes
+    // are copied into the chunk's arena scratch (the incoming std::string
+    // dies with the entity); the cache vector itself is arena-allocated
+    // and reclaimed wholesale by the chunk's ArenaScope rewind.
+    using CacheEntry = std::pair<std::string_view, const db::Master*>;
+    runChunks(chunks, outs, [this] {
+      return [this, cache = util::ArenaVector<CacheEntry>()](
+                 StreamLexer& cl) mutable {
+        return parseComponentEntity(cl, [&](const std::string& name) {
+          for (const CacheEntry& e : cache) {
+            if (e.first == name) return e.second;
+          }
+          const db::Master* m = local_.lib->findMaster(name);
+          char* buf = static_cast<char*>(
+              util::scratchArena().allocate(std::max<std::size_t>(
+                                                name.size(), 1),
+                                            1));
+          std::memcpy(buf, name.data(), name.size());
+          cache.emplace_back(std::string_view(buf, name.size()), m);
+          return m;
+        });
+      };
+    });
+    const std::size_t stop = mergeChunks(outs, local_.instances);
+    // On an early stop, re-enter the serial grammar at the junk statement
+    // the chunk worker stopped at; expect() then fails exactly where the
+    // legacy section loop would.
+    if (stop != kNoStop) lex_.seekTo(stop);
+    lex_.expect("END");
+    lex_.expect("COMPONENTS");
+  }
+
+  void parsePinsSerial() {
+    lex_.expect("PINS");
+    lex_.nextInt();
+    lex_.expect(";");
+    while (lex_.accept("-")) {
+      const std::size_t before = lex_.pos();
+      try {
+        local_.ioPins.push_back(parsePinEntity(lex_, *local_.tech));
+      } catch (const ParseError& e) {
+        if (!opts_.parse.recover) throw;
+        record(e.diag);
+        resync(before, {"-", "END"});
+      }
+    }
+    lex_.expect("END");
+    lex_.expect("PINS");
+    local_.buildInstanceIndex();
+  }
+
+  void parseNetsStreamed() {
+    lex_.expect("NETS");
+    lex_.nextInt();
+    lex_.expect(";");
+    // Component references resolve through an interner over the merged
+    // instances: the interned id is dense in first-appearance order, so
+    // idToInst is a flat array and each lookup is one hash probe with no
+    // std::string construction. Duplicate names keep the last index, the
+    // same last-wins rule as Design::buildInstanceIndex.
+    util::StringInterner names;
+    std::vector<int> idToInst;
+    idToInst.reserve(local_.instances.size());
+    for (int i = 0; i < static_cast<int>(local_.instances.size()); ++i) {
+      const std::uint32_t id = names.intern(local_.instances[i].name);
+      if (id == static_cast<std::uint32_t>(idToInst.size())) {
+        idToInst.push_back(i);
+      } else {
+        idToInst[id] = i;
+      }
+    }
+    const auto findInst = [&](const std::string& name) -> int {
+      const std::uint32_t id = names.find(name);
+      return id == util::StringInterner::kNone ? -1 : idToInst[id];
+    };
+    const SectionScan scan = scanEntities();
+    const std::vector<ChunkRange> chunks = makeChunks(scan);
+    std::vector<ChunkOut<db::Net>> outs;
+    runChunks(chunks, outs, [this, &findInst] {
+      return [this, &findInst](StreamLexer& cl) {
+        return parseNetEntity(cl, local_, findInst);
+      };
+    });
+    const std::size_t stop = mergeChunks(outs, local_.nets);
+    if (stop != kNoStop) lex_.seekTo(stop);
+    lex_.expect("END");
+    lex_.expect("NETS");
+  }
+
+  void finishStats(std::size_t components, std::size_t nets) {
+    if (stats_ != nullptr) {
+      stats_->bytes = text_.size();
+      stats_->components += components;
+      stats_->nets += nets;
+    }
+    PAO_COUNTER_ADD("pao.ingest.def_bytes",
+                    static_cast<long long>(text_.size()));
+    PAO_COUNTER_ADD("pao.ingest.components", static_cast<long long>(components));
+    PAO_COUNTER_ADD("pao.ingest.nets", static_cast<long long>(nets));
+  }
+
+  std::string_view text_;
+  LineIndex lines_;
+  StreamOptions opts_;
+  StreamLexer lex_;
+  Design& design_;
+  IngestStats* stats_;
+  Design local_;
+  ParseResult res_;
+  int dbu_ = 2000;
+};
+
+}  // namespace
+
+ParseResult parseDefStream(std::string_view text, db::Design& design,
+                           const StreamOptions& opts, IngestStats* stats) {
+  return StreamDefParser(text, design, opts, stats).run();
+}
+
+ParseResult parseDefFile(const std::string& path, db::Design& design,
+                         const StreamOptions& opts, IngestStats* stats) {
+  PAO_FAULT_INJECT("def.io");
+  const auto t0 = std::chrono::steady_clock::now();
+  FileSource src(path);
+  ParseResult r = parseDefStream(src.text(), design, opts, stats);
+  if (stats != nullptr) {
+    stats->mapped = src.mapped();
+    stats->parseSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return r;
+}
+
+ParseResult parseLefFile(const std::string& path, db::Tech& tech,
+                         db::Library& lib, const ParseOptions& opts,
+                         IngestStats* stats) {
+  PAO_FAULT_INJECT("lef.io");
+  const auto t0 = std::chrono::steady_clock::now();
+  FileSource src(path);
+  ParseResult r = parseLef(src.text(), tech, lib, opts);
+  if (stats != nullptr) {
+    stats->bytes = src.sizeBytes();
+    stats->mapped = src.mapped();
+    stats->parseSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  PAO_COUNTER_ADD("pao.ingest.lef_bytes",
+                  static_cast<long long>(src.sizeBytes()));
+  return r;
+}
+
+}  // namespace pao::lefdef

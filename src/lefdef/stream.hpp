@@ -1,0 +1,93 @@
+// Streaming LEF/DEF ingest (ROADMAP item 3): the multi-million-instance
+// front end. parseDefStream() tokenizes lazily over one immutable view of
+// the input (mmap-backed via FileSource for the *File forms), splits the
+// COMPONENTS and NETS sections into entity-aligned chunks, and parses the
+// chunks in parallel on a util::JobGraph with per-chunk util::Arena
+// scratch — while preserving the legacy parser's diagnostics/recovery
+// contract exactly:
+//
+//   * Same grammar code: both parsers instantiate def_entities.hpp, so
+//     codes, messages, locations and excerpts are byte-identical.
+//   * Chunk boundaries are only ever cut at after-';' entity starts — the
+//     positions where the legacy forEachEntity loop begins an iteration —
+//     so recovery resyncs can never cross a boundary and per-entity
+//     behaviour matches the serial parse on any input, well-formed or not.
+//     Junk tokens between an entity's ';' and the next entity stay in the
+//     preceding entity's chunk; where the serial section loop would stop
+//     at such junk, the chunk worker flags an early stop, the merge
+//     discards every later chunk, and the driver re-enters the serial
+//     grammar at that exact byte.
+//   * Strict mode: each chunk stops at its first entity error and the
+//     in-order merge rethrows the earliest chunk's error (or reproduces
+//     an earlier chunk's early stop), i.e. the file's first error,
+//     exactly like the serial parse. (On a strict-mode throw the target
+//     design is left untouched, where the legacy parser leaves a partial
+//     parse behind — the one documented divergence; see DESIGN.md
+//     "Streaming ingest & scale".)
+//   * Recovery mode: chunk diagnostics merge in chunk order (= file
+//     order). If the file's total error count reaches
+//     ParseOptions::maxErrors the streamed attempt is abandoned and the
+//     input is re-parsed with the legacy parser, reproducing its GEN001
+//     bail-out semantics bit for bit.
+//
+// The NETS section resolves component references through a
+// util::StringInterner built over the just-merged instances (one hash
+// probe per term, no per-lookup std::string), and parsed nets/instances
+// commit in chunk order so the result is byte-identical at any thread
+// count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "db/design.hpp"
+#include "db/lib.hpp"
+#include "db/tech.hpp"
+#include "lefdef/lexer.hpp"
+
+namespace pao::lefdef {
+
+struct StreamOptions {
+  ParseOptions parse;
+  /// Worker count for the chunk jobs (util::resolveThreads semantics:
+  /// 0 = hardware concurrency). Results are byte-identical at any value.
+  int numThreads = 0;
+  /// Target bytes per chunk; chunks never split an entity. Granularity
+  /// affects scheduling only, never results.
+  std::size_t chunkBytes = 1 << 20;
+};
+
+/// Observability of one ingest run (all fields are outputs).
+struct IngestStats {
+  std::size_t bytes = 0;       ///< input size
+  std::size_t chunks = 0;      ///< parallel section chunks parsed
+  std::size_t components = 0;  ///< instances appended
+  std::size_t nets = 0;        ///< nets appended
+  bool mapped = false;         ///< file came from mmap (vs read fallback)
+  bool legacyFallback = false;  ///< maxErrors bail-out re-parse ran
+  double parseSeconds = 0;     ///< wall seconds (file forms only)
+};
+
+/// Streamed equivalent of parseDef(text, design, opts): same results, same
+/// diagnostics, same recovery behaviour (see header comment for the one
+/// strict-mode residue divergence).
+ParseResult parseDefStream(std::string_view text, db::Design& design,
+                           const StreamOptions& opts,
+                           IngestStats* stats = nullptr);
+
+/// Opens `path` via FileSource (mmap with read() fallback) and runs
+/// parseDefStream. Injects the "def.io" fault point before opening, so the
+/// CLI fault contract carries over from the slurp path.
+ParseResult parseDefFile(const std::string& path, db::Design& design,
+                         const StreamOptions& opts,
+                         IngestStats* stats = nullptr);
+
+/// LEF ingest over a FileSource view ("lef.io" fault point). LEF files are
+/// library-sized, not design-sized, so the parse itself is the legacy
+/// serial one — the win here is mmap + zero-copy, not chunking.
+ParseResult parseLefFile(const std::string& path, db::Tech& tech,
+                         db::Library& lib, const ParseOptions& opts,
+                         IngestStats* stats = nullptr);
+
+}  // namespace pao::lefdef

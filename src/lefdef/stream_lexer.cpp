@@ -1,0 +1,220 @@
+#include "lefdef/stream_lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pao::lefdef {
+
+LineIndex::LineIndex(std::string_view text) : text_(text) {
+  lineStart_.push_back(0);
+  for (std::size_t i = text.find('\n'); i != std::string_view::npos;
+       i = text.find('\n', i + 1)) {
+    lineStart_.push_back(i + 1);
+  }
+}
+
+std::size_t LineIndex::lineOf(std::size_t offset) const {
+  const auto it =
+      std::upper_bound(lineStart_.begin(), lineStart_.end(), offset);
+  return static_cast<std::size_t>(it - lineStart_.begin());
+}
+
+std::size_t LineIndex::colOf(std::size_t offset) const {
+  return offset - lineStart_[lineOf(offset) - 1] + 1;
+}
+
+std::string LineIndex::lineText(std::size_t line) const {
+  if (line == 0 || line > lineStart_.size()) return std::string();
+  const std::size_t begin = lineStart_[line - 1];
+  std::size_t end = text_.find('\n', begin);
+  if (end == std::string_view::npos) end = text_.size();
+  return std::string(text_.substr(begin, end - begin));
+}
+
+StreamLexer::StreamLexer(std::string_view fullText, std::size_t begin,
+                         std::size_t end, const LineIndex& lines,
+                         std::string_view file)
+    : text_(fullText),
+      cur_(begin),
+      end_(std::min(end, fullText.size())),
+      lines_(&lines),
+      file_(file) {}
+
+const StreamLexer::Tok* StreamLexer::buffered(std::size_t ahead) {
+  if (head_ > 0 && head_ == buf_.size()) {
+    buf_.clear();
+    head_ = 0;
+  }
+  while (buf_.size() - head_ <= ahead) {
+    // Scan one more token; delimiter rules mirror Lexer's constructor.
+    while (cur_ < end_) {
+      const char c = text_[cur_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++cur_;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (cur_ < end_ && text_[cur_] != '\n') ++cur_;
+        continue;
+      }
+      break;
+    }
+    if (cur_ >= end_) return nullptr;
+    const std::size_t at = cur_;
+    const char c = text_[cur_];
+    if (c == ';' || c == '(' || c == ')') {
+      buf_.push_back({text_.substr(cur_, 1), at});
+      ++cur_;
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = cur_ + 1;
+      while (j < end_ && text_[j] != '"') ++j;
+      buf_.push_back({text_.substr(cur_ + 1, j - cur_ - 1), at});
+      cur_ = j < end_ ? j + 1 : j;
+      continue;
+    }
+    std::size_t j = cur_;
+    while (j < end_ && !std::isspace(static_cast<unsigned char>(text_[j])) &&
+           text_[j] != ';' && text_[j] != '(' && text_[j] != ')' &&
+           text_[j] != '#') {
+      ++j;
+    }
+    buf_.push_back({text_.substr(cur_, j - cur_), at});
+    cur_ = j;
+  }
+  return &buf_[head_ + ahead];
+}
+
+std::string_view StreamLexer::peek(std::size_t ahead) {
+  const Tok* t = buffered(ahead);
+  return t != nullptr ? t->text : std::string_view();
+}
+
+std::string_view StreamLexer::next() {
+  const Tok* t = buffered(0);
+  if (t == nullptr) {
+    throw ParseError(diagHere("LEX001", "unexpected end of input"));
+  }
+  lastOff_ = t->off;
+  haveLast_ = true;
+  ++head_;
+  ++consumed_;
+  return t->text;
+}
+
+bool StreamLexer::accept(std::string_view tok) {
+  const Tok* t = buffered(0);
+  if (t != nullptr && t->text == tok) {
+    lastOff_ = t->off;
+    haveLast_ = true;
+    ++head_;
+    ++consumed_;
+    return true;
+  }
+  return false;
+}
+
+void StreamLexer::expect(std::string_view tok) {
+  const Tok* t = buffered(0);
+  if (t == nullptr || t->text != tok) {
+    const std::string got =
+        t == nullptr ? "end of input" : "'" + std::string(t->text) + "'";
+    throw ParseError(diagHere(
+        "LEX002", "expected '" + std::string(tok) + "', got " + got));
+  }
+  lastOff_ = t->off;
+  haveLast_ = true;
+  ++head_;
+  ++consumed_;
+}
+
+void StreamLexer::skipStatement() {
+  // See Lexer::skipStatement: LEX001 on truncation keeps section loops from
+  // spinning forever.
+  while (next() != ";") {
+  }
+}
+
+void StreamLexer::syncTo(std::initializer_list<std::string_view> stops) {
+  while (!done()) {
+    const std::string_view tok = peek();
+    for (const std::string_view stop : stops) {
+      if (tok == stop) return;
+    }
+    if (next() == ";") return;
+  }
+}
+
+double StreamLexer::nextDouble() {
+  const std::string tok(next());
+  try {
+    return std::stod(tok);
+  } catch (const std::exception&) {
+    throw ParseError(diagPrev("LEX003", "expected number, got '" + tok + "'"));
+  }
+}
+
+long long StreamLexer::nextInt() {
+  return roundClamped(nextDouble());
+}
+
+geom::Coord StreamLexer::nextDbu(int dbuPerMicron) {
+  return static_cast<geom::Coord>(roundClamped(nextDouble() * dbuPerMicron));
+}
+
+std::size_t StreamLexer::line() {
+  const Tok* t = buffered(0);
+  if (t != nullptr) return lines_->lineOf(t->off);
+  return haveLast_ ? lines_->lineOf(lastOff_) : 0;
+}
+
+std::size_t StreamLexer::col() {
+  const Tok* t = buffered(0);
+  if (t != nullptr) return lines_->colOf(t->off);
+  return haveLast_ ? lines_->colOf(lastOff_) : 0;
+}
+
+std::size_t StreamLexer::byteOffset() {
+  const Tok* t = buffered(0);
+  return t != nullptr ? t->off : end_;
+}
+
+void StreamLexer::seekTo(std::size_t offset) {
+  cur_ = offset;
+  buf_.clear();
+  head_ = 0;
+}
+
+util::Diag StreamLexer::diagHere(std::string_view code, std::string message) {
+  // At end of input point at the most recently consumed token (the last
+  // token of the range — matching Lexer, which points at tokens_.back()).
+  const Tok* t = buffered(0);
+  if (t != nullptr) return diagAt(t->off, true, code, std::move(message));
+  return diagAt(lastOff_, haveLast_, code, std::move(message));
+}
+
+util::Diag StreamLexer::diagPrev(std::string_view code, std::string message) {
+  // Before the first next() Lexer's diagPrev points at token 0 — i.e. the
+  // current peek token.
+  if (haveLast_) return diagAt(lastOff_, true, code, std::move(message));
+  const Tok* t = buffered(0);
+  if (t != nullptr) return diagAt(t->off, true, code, std::move(message));
+  return diagAt(0, false, code, std::move(message));
+}
+
+util::Diag StreamLexer::diagAt(std::size_t off, bool located,
+                               std::string_view code, std::string message) {
+  util::Diag d;
+  d.code = std::string(code);
+  d.message = std::move(message);
+  d.loc.file = file_;
+  if (located) {
+    d.loc.line = lines_->lineOf(off);
+    d.loc.col = lines_->colOf(off);
+    d.excerpt = lines_->lineText(d.loc.line);
+  }
+  return d;
+}
+
+}  // namespace pao::lefdef

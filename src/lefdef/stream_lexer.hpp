@@ -1,0 +1,117 @@
+// Lazy tokenizer for the streaming ingest path. Token-for-token identical
+// to lefdef::Lexer (same delimiter set, comment/quote rules, diagnostics
+// and recovery helpers) but it materializes nothing up front: tokens are
+// string_views into the (mmap-backed) source, produced on demand, so a
+// multi-hundred-MB DEF costs no token-vector or per-token std::string
+// allocations. A StreamLexer is bounded to a byte range [begin, end) of
+// the full text — the whole file for the serial section driver, one
+// entity-aligned chunk for a parallel COMPONENTS/NETS worker — while
+// line/column/excerpt information always resolves against the full text
+// via a shared LineIndex, so chunk-worker diagnostics are byte-identical
+// to the legacy single-pass parse.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/geom.hpp"
+#include "lefdef/lexer.hpp"
+#include "util/diag.hpp"
+
+namespace pao::lefdef {
+
+/// Newline index over the full source text: maps byte offsets to 1-based
+/// line/column and extracts excerpt lines. Built once per file, shared
+/// read-only by every chunk worker.
+class LineIndex {
+ public:
+  explicit LineIndex(std::string_view text);
+
+  std::size_t lineOf(std::size_t offset) const;
+  std::size_t colOf(std::size_t offset) const;
+  /// The full source line `line` lives on (1-based; "" when unknown).
+  std::string lineText(std::size_t line) const;
+
+ private:
+  std::string_view text_;
+  std::vector<std::size_t> lineStart_;
+};
+
+class StreamLexer {
+ public:
+  /// Tokenizes fullText[begin, end). `lines` must index the same fullText
+  /// and outlive the lexer. Ranges are token-aligned by construction (the
+  /// section chunker only cuts at entity starts).
+  StreamLexer(std::string_view fullText, std::size_t begin, std::size_t end,
+              const LineIndex& lines, std::string_view file);
+  /// Whole-text form (serial drivers).
+  StreamLexer(std::string_view fullText, const LineIndex& lines,
+              std::string_view file)
+      : StreamLexer(fullText, 0, fullText.size(), lines, file) {}
+
+  bool done() { return buffered(0) == nullptr; }
+  /// Current token without consuming ("" at end of input).
+  std::string_view peek(std::size_t ahead = 0);
+  /// Consumes and returns the current token.
+  std::string_view next();
+  /// Consumes the current token iff it equals `tok`.
+  bool accept(std::string_view tok);
+  /// Consumes the current token, raising ParseError unless it equals `tok`.
+  void expect(std::string_view tok);
+  /// Consumes tokens up to and including the next ';'. Raises LEX001 if
+  /// input ends first (truncated statement).
+  void skipStatement();
+
+  double nextDouble();
+  long long nextInt();
+  geom::Coord nextDbu(int dbuPerMicron);
+
+  /// Line/column of the current token (the last token at end of input).
+  std::size_t line();
+  std::size_t col();
+  /// Count of tokens consumed — recovery progress guard (only ever
+  /// compared for equality, so it need not match legacy token indices).
+  std::size_t pos() const { return consumed_; }
+  /// Byte offset (into the full text) where the current token starts, or
+  /// the range end at end of input. Drives the section chunker.
+  std::size_t byteOffset();
+
+  /// Repositions the scan to byte `offset`, discarding the lookahead
+  /// buffer. pos() is preserved (it only guards recovery progress). Used
+  /// by the streaming section driver to re-enter the serial grammar at a
+  /// junk statement the chunk workers stopped at.
+  void seekTo(std::size_t offset);
+
+  /// Error-recovery resync; see Lexer::syncTo.
+  void syncTo(std::initializer_list<std::string_view> stops);
+
+  util::Diag diagHere(std::string_view code, std::string message);
+  util::Diag diagPrev(std::string_view code, std::string message);
+
+ private:
+  struct Tok {
+    std::string_view text;
+    std::size_t off = 0;
+  };
+
+  /// Pointer to the ahead-th unconsumed token, or nullptr past the end.
+  const Tok* buffered(std::size_t ahead);
+  util::Diag diagAt(std::size_t off, bool located, std::string_view code,
+                    std::string message);
+
+  std::string_view text_;  ///< full source (excerpts, bounds)
+  std::size_t cur_;        ///< scan position
+  std::size_t end_;        ///< range end (treated as end of input)
+  const LineIndex* lines_;
+  std::string file_;
+  std::vector<Tok> buf_;  ///< lookahead ring: buf_[head_..) pending
+  std::size_t head_ = 0;
+  std::size_t consumed_ = 0;
+  std::size_t lastOff_ = 0;  ///< offset of most recently consumed token
+  bool haveLast_ = false;
+};
+
+}  // namespace pao::lefdef

@@ -59,7 +59,7 @@ bool isKnownTopLevelKey(std::string_view key) {
   static constexpr std::string_view kKnown[] = {
       "schema", "tool",    "env",   "design", "config", "args",
       "timings", "oracle", "session", "cache", "drc",   "router",
-      "bench",  "metrics", "notes", "degraded", "profile"};
+      "bench",  "metrics", "notes", "degraded", "profile", "ingest"};
   for (const std::string_view k : kKnown) {
     if (k == key) return true;
   }
@@ -162,6 +162,38 @@ bool validateReport(const Json& doc, std::string* error) {
     }
     if (!validateProfileSection(*profile, error)) return false;
   }
+  const Json* ingest = doc.find("ingest");
+  if (ingest != nullptr) {
+    if (schema->asString() != kReportSchemaV2) {
+      return failValidation(error,
+                            "'ingest' section requires schema pao-report/2");
+    }
+    if (!ingest->isObject()) {
+      return failValidation(error, "'ingest' is not an object");
+    }
+    for (const std::string_view key :
+         {"bytes", "chunks", "components", "nets", "peakRssBytes"}) {
+      const Json* v = ingest->find(key);
+      if (v == nullptr || !v->isInt()) {
+        return failValidation(error, "ingest." + std::string(key) +
+                                         " missing or not an integer");
+      }
+    }
+    for (const std::string_view key : {"mbPerSec", "instsPerSec"}) {
+      const Json* v = ingest->find(key);
+      if (v == nullptr || !v->isNumber()) {
+        return failValidation(error, "ingest." + std::string(key) +
+                                         " missing or not a number");
+      }
+    }
+    for (const std::string_view key : {"mapped", "legacyFallback"}) {
+      const Json* v = ingest->find(key);
+      if (v == nullptr || !v->isBool()) {
+        return failValidation(error, "ingest." + std::string(key) +
+                                         " missing or not a boolean");
+      }
+    }
+  }
   return true;
 }
 
@@ -178,6 +210,12 @@ bool isTimingKey(std::string_view key) {
     return true;
   }
   return hasSuffix(key, "Seconds") || hasSuffix(key, "Micros");
+}
+
+/// Machine-valued ingest keys: throughput and memory depend on the host
+/// (and the run), not the work, so they are stripped like timings.
+bool isMachineRateKey(std::string_view key) {
+  return key == "mbPerSec" || key == "instsPerSec" || key == "peakRssBytes";
 }
 
 /// Schedule-valued "profile" keys: measured on one particular run with one
@@ -197,6 +235,7 @@ Json normalizeImpl(const Json& doc, bool insideProfile) {
       Json out = Json::object();
       for (const auto& [key, value] : doc.members()) {
         if (isTimingKey(key)) continue;
+        if (isMachineRateKey(key)) continue;
         if (insideProfile && isProfileScheduleKey(key)) continue;
         out.set(key, normalizeImpl(value, insideProfile || key == "profile"));
       }

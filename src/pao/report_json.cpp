@@ -92,4 +92,24 @@ obs::Json degradedSectionJson(const std::vector<DegradedEvent>& events) {
   return arr;
 }
 
+obs::Json ingestSectionJson(const IngestReport& r) {
+  obs::Json j = obs::Json::object();
+  j.set("bytes", obs::Json(r.defBytes));
+  j.set("lefBytes", obs::Json(r.lefBytes));
+  j.set("chunks", obs::Json(r.chunks));
+  j.set("components", obs::Json(r.components));
+  j.set("nets", obs::Json(r.nets));
+  j.set("mapped", obs::Json(r.mapped));
+  j.set("legacyFallback", obs::Json(r.legacyFallback));
+  j.set("parseSeconds", obs::Json(r.parseSeconds));
+  const double secs = r.parseSeconds > 0 ? r.parseSeconds : 1e-9;
+  j.set("mbPerSec",
+        obs::Json(static_cast<double>(r.defBytes) / (1024.0 * 1024.0) /
+                  secs));
+  j.set("instsPerSec",
+        obs::Json(static_cast<double>(r.components) / secs));
+  j.set("peakRssBytes", obs::Json(static_cast<long long>(r.peakRssBytes)));
+  return j;
+}
+
 }  // namespace pao::core

@@ -6,6 +6,8 @@
 // here rather than open-coding JSON in a tool.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,5 +48,25 @@ obs::Json cacheSectionJson(const AccessCache& cache);
 /// "degraded" section: one object per event, in the order given (callers
 /// sort canonically first — see OracleSession::snapshot()).
 obs::Json degradedSectionJson(const std::vector<DegradedEvent>& events);
+
+/// Inputs for the "ingest" section (pao-report/2, streamed front end only).
+/// Plain values rather than lefdef::IngestStats so pao_core stays
+/// independent of the lefdef layer; pao_cli copies the stats over.
+struct IngestReport {
+  std::size_t lefBytes = 0;
+  std::size_t defBytes = 0;
+  std::size_t chunks = 0;
+  std::size_t components = 0;
+  std::size_t nets = 0;
+  bool mapped = false;
+  bool legacyFallback = false;
+  double parseSeconds = 0;       ///< DEF parse wall time
+  std::uint64_t peakRssBytes = 0;  ///< util::peakRssBytes() after ingest
+};
+
+/// "ingest" section: sizes, chunking, throughput and peak RSS of a streamed
+/// parse. mbPerSec/instsPerSec/peakRssBytes are machine-valued and stripped
+/// by obs::normalizeForCompare; the count keys are schedule-invariant.
+obs::Json ingestSectionJson(const IngestReport& r);
 
 }  // namespace pao::core

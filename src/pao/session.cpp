@@ -45,7 +45,7 @@ OracleSession::OracleSession(db::Design& design, OracleConfig cfg)
       mutableDesign_(&design),
       cfg_(cfg),
       cache_(cfg.cache),
-      index_(design) {
+      index_(design, cfg.numThreads) {
   buildAll();
 }
 
@@ -54,7 +54,7 @@ OracleSession::OracleSession(const db::Design& design, OracleConfig cfg)
       mutableDesign_(nullptr),
       cfg_(cfg),
       cache_(cfg.cache),
-      index_(design) {
+      index_(design, cfg.numThreads) {
   buildAll();
 }
 

@@ -1,6 +1,12 @@
 #include "util/cpu_time.hpp"
 
+#include <cstdio>
+#include <cstring>
 #include <ctime>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace pao::util {
 
@@ -13,6 +19,36 @@ double threadCpuSeconds() {
 #else
   return 0.0;
 #endif
+}
+
+std::uint64_t peakRssBytes() {
+  // VmHWM is the kernel's own high-water mark and survives allocator
+  // free()s that never return pages; prefer it where procfs exists.
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    std::uint64_t kb = 0;
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0 &&
+          std::sscanf(line + 6, "%llu",
+                      reinterpret_cast<unsigned long long*>(&kb)) == 1) {
+        std::fclose(f);
+        return kb * 1024;
+      }
+    }
+    std::fclose(f);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+    return static_cast<std::uint64_t>(ru.ru_maxrss);
+#else
+    return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return 0;
 }
 
 }  // namespace pao::util

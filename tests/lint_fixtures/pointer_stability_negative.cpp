@@ -47,3 +47,16 @@ int suppressedDequeCase(std::deque<int>& dq) {
   // pao-lint: allow(pointer-stability): dq is a deque; refs survive growth
   return ref;
 }
+
+// Safe: viewOf's result copied by value before the next intern() (the
+// default "interner" annotation only bites on reference bindings).
+struct Names {
+  const std::string& viewOf(int id);
+  int intern(const std::string& s);
+};
+
+int copyBeforeIntern(Names& names) {
+  const std::string v = names.viewOf(0);
+  names.intern("fresh");
+  return static_cast<int>(v.size());
+}

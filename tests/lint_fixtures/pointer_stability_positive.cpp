@@ -35,3 +35,16 @@ int pushBackInvalidates() {
   vals.push_back(8);
   return ref;             // line 36: use-after-invalidation
 }
+
+// Interner-style default annotation (group "interner"): viewOf() returns a
+// reference into a vector slot that the next intern() may reallocate.
+struct Names {
+  const std::string& viewOf(int id);
+  int intern(const std::string& s);
+};
+
+int viewHeldAcrossIntern(Names& names) {
+  const std::string& v = names.viewOf(0);
+  names.intern("fresh");              // may grow the id->view vector
+  return static_cast<int>(v.size());  // line 49: use-after-invalidation
+}

@@ -103,12 +103,27 @@ TEST(LintLexer, IgnoresSyntaxDocumentationMentioningAllow) {
 TEST(LintPointerStability, FlagsAllKnownPositives) {
   const auto fs = lintFixture("pointer_stability_positive.cpp");
   const auto live = unsuppressed(fs);
-  ASSERT_EQ(live.size(), 3u);
+  ASSERT_EQ(live.size(), 4u);
   for (const Finding* f : live) EXPECT_EQ(f->rule, "pointer-stability");
   EXPECT_EQ(live[0]->line, 20);  // generic emplace_back dangle
   EXPECT_EQ(live[1]->line, 27);  // annotated accessor dangle
   EXPECT_EQ(live[2]->line, 36);  // push_back invalidation
+  EXPECT_EQ(live[3]->line, 49);  // interner viewOf held across intern
   EXPECT_NE(live[1]->message.find("addWidget"), std::string::npos);
+  EXPECT_NE(live[3]->message.find("intern"), std::string::npos);
+}
+
+// The interner accessors ship in the built-in annotation list (see
+// util/interner.hpp's storage contract), not just in test options.
+TEST(LintPointerStability, DefaultAccessorsCoverInterner) {
+  const auto acc = pao::lint::defaultAccessors();
+  const auto has = [&acc](const std::string& method) {
+    return std::any_of(acc.begin(), acc.end(), [&](const auto& a) {
+      return a.method == method && a.group == "interner";
+    });
+  };
+  EXPECT_TRUE(has("viewOf"));
+  EXPECT_TRUE(has("intern"));
 }
 
 TEST(LintPointerStability, AcceptsAllKnownNegatives) {

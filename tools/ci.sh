@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI entry point: ten legs over the same tree —
+# CI entry point: eleven legs over the same tree —
 #   1. Release        (the tier-1 gate: fast, optimizer-exposed UB surfaces;
 #                      ctest includes the pao_lint_tree static-analysis gate)
 #   2. Lint           (explicit pao_lint run over src/tools/tests/examples/
@@ -15,19 +15,22 @@
 #                      the profile smoke: analyze --profile-out on the mixed
 #                      preset at --threads 4 must emit a valid pao-report/2
 #                      whose headroom exceeds 1)
-#   4. Fault matrix   (tests/fault_matrix.sh: every cataloged fault point
+#   4. Scale smoke    (huge-preset gen -> analyze --stream -> report_check
+#                      ingest -> bench_scale self-checks; PAO_CI_SCALE=1
+#                      for the full ~1.5M-instance acceptance run)
+#   5. Fault matrix   (tests/fault_matrix.sh: every cataloged fault point
 #                      under --keep-going recovers or degrades with the
 #                      documented exit code and a valid pao-report/1)
-#   5. Service smoke  (tests/serve_smoke.sh: boot the pao_serve daemon on a
+#   6. Service smoke  (tests/serve_smoke.sh: boot the pao_serve daemon on a
 #                      Unix socket, drive load/move/save/report through
 #                      pao_client, assert normalized byte-equivalence with a
 #                      fresh `pao_cli analyze`, and report_check the metrics
-#                      snapshot; the serve fault points ride in leg 4 and
+#                      snapshot; the serve fault points ride in leg 5 and
 #                      the concurrency soak rides the TSan ctest leg)
-#   6. OBS/FAULTS=OFF (zero-overhead gate: a build with instrumentation and
+#   7. OBS/FAULTS=OFF (zero-overhead gate: a build with instrumentation and
 #                      fault injection compiled out must not reference the
 #                      obs registry, tracer, or fault registry at all)
-#   7. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
+#   8. TSan           (RelWithDebInfo + -fsanitize=thread, exercising the
 #                      job-graph executor paths in DrcEngine::checkAll, the
 #                      oracle Steps 1-3 pipeline graph, router planning, and
 #                      the pao_serve soak: >=4 concurrent clients over 2
@@ -35,9 +38,10 @@
 #                      dedicated soak — the JobGraph suite repeated under
 #                      oversubscription and the oracle graph-vs-batch
 #                      equivalence at threads 1/4/0)
-#   8. UBSan          (-fsanitize=undefined with all diagnostics fatal)
-#   9. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
-#                      LEF/DEF parsers and cache reader, zero findings)
+#   9. UBSan          (-fsanitize=undefined with all diagnostics fatal)
+#  10. UBSan fuzz     (pao_fuzz: >=10k seeded mutation iterations over the
+#                      LEF/DEF parsers, the streamed/legacy differential,
+#                      and the cache reader, zero findings)
 # The whole tree builds with -Wall -Wextra -Werror in every leg.
 # Usage: tools/ci.sh [source-dir]   (defaults to the script's parent repo)
 set -eu
@@ -115,6 +119,22 @@ PROF_HEADROOM=$("$BI_DIR/tools/report_check" profile "$BI_DIR/ci_prof_p.json" \
   2>&1 | sed -n 's/^ *headroom *: *\([0-9.][0-9.]*\).*/\1/p')
 echo "profile headroom: ${PROF_HEADROOM:-missing}"
 awk "BEGIN { exit !(${PROF_HEADROOM:-0} > 1.0) }"
+
+echo "== Scale smoke (streaming ingest) =="
+# ROADMAP item 3 acceptance path at CI-friendly size: stream-generate a
+# huge-preset design, ingest it with the chunked parallel parser, validate
+# the report's ingest section (throughput and peak RSS must be recorded),
+# and run the scale bench's self-checks (streamed==legacy fingerprint,
+# shard-count invariance, nonzero throughput). PAO_CI_SCALE=1 reproduces
+# the full ~1.5M-instance acceptance run.
+SCALE=${PAO_CI_SCALE:-0.02}
+"$BI_DIR/tools/pao_cli" gen h "$SCALE" "$BI_DIR/ci_scale"
+"$BI_DIR/tools/pao_cli" analyze "$BI_DIR/ci_scale.lef" "$BI_DIR/ci_scale.def" \
+  --stream --threads 4 --report-json "$BI_DIR/ci_scale_r.json"
+"$BI_DIR/tools/report_check" ingest "$BI_DIR/ci_scale_r.json"
+env PAO_BENCH_REPORT_DIR="$BI_DIR" PAO_SCALE="$SCALE" \
+  "$BI_DIR/bench/bench_scale"
+"$BI_DIR/tools/report_check" ingest "$BI_DIR/BENCH_scale.json"
 
 echo "== Fault-injection matrix =="
 # Every cataloged fault point, injected one at a time via PAO_FAULTS, must

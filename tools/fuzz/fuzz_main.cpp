@@ -1,7 +1,7 @@
 // pao_fuzz — deterministic mutation fuzzer for the LEF/DEF parsers and the
 // access-cache reader.
 //
-//   pao_fuzz <lef|def|cache|all> <corpus-dir> <iterations> [seed]
+//   pao_fuzz <lef|def|cache|stream|all> <corpus-dir> <iterations> [seed]
 //
 // Each iteration picks a corpus file of the target kind, applies 1-4 seeded
 // mutations (truncation, span deletion/duplication, byte flips, dictionary
@@ -11,7 +11,12 @@
 //     accumulates diagnostics and returns whatever parsed;
 //   * strict-mode parsing may throw lefdef::ParseError and nothing else;
 //   * AccessCache::load never throws: it merges entries or rejects the file
-//     with a reason.
+//     with a reason;
+//   * the `stream` target is differential: parseDefStream with a small
+//     randomized chunk size (so mutations land mid-chunk and truncations
+//     cut entities at chunk edges) must match the legacy parse on every
+//     mutated input — same design fingerprint, same diagnostics in
+//     recovery mode, and the same first ParseError in strict mode.
 // Any crash, unexpected exception type, or sanitizer trap is a finding.
 // Everything is a pure function of (corpus, iterations, seed), so a failing
 // run is reproduced by re-running with the same arguments; the iteration
@@ -32,8 +37,10 @@
 #include <vector>
 
 #include "db/design.hpp"
+#include "db/fingerprint.hpp"
 #include "lefdef/def_parser.hpp"
 #include "lefdef/lef_parser.hpp"
+#include "lefdef/stream.hpp"
 #include "pao/access_cache.hpp"
 
 namespace fs = std::filesystem;
@@ -217,6 +224,105 @@ Violation fuzzDefOnce(const std::string& input, const db::Tech& tech,
                               [&] { lefdef::parseDef(input, design); });
 }
 
+/// Differential check: the chunked streaming parser must be observably
+/// identical to the legacy parser on arbitrary mutated input (DESIGN.md
+/// "Streaming ingest & scale" — the only allowed divergence is the
+/// strict-mode partial residue on the target design, which fingerprinting
+/// two separate targets never observes).
+Violation fuzzStreamOnce(const std::string& input, const db::Tech& tech,
+                         const db::Library& lib, Rng& rng) {
+  lefdef::StreamOptions so;
+  so.parse.file = "<fuzz>";
+  so.numThreads = 1 + static_cast<int>(rng.below(3));
+  so.chunkBytes = 64 + rng.below(4096);
+
+  // Recovery mode: neither parser may throw, and they must agree on the
+  // parsed design and the full diagnostic stream.
+  {
+    lefdef::ParseOptions opts = so.parse;
+    opts.recover = true;
+    db::Design legacy;
+    legacy.tech = &tech;
+    legacy.lib = &lib;
+    lefdef::ParseResult lr;
+    Violation v = expectNoThrow("recovery parseDef (legacy)", [&] {
+      lr = lefdef::parseDef(input, legacy, opts);
+    });
+    if (v.failed) return v;
+    db::Design streamed;
+    streamed.tech = &tech;
+    streamed.lib = &lib;
+    lefdef::StreamOptions ropts = so;
+    ropts.parse.recover = true;
+    lefdef::ParseResult sr;
+    v = expectNoThrow("recovery parseDefStream", [&] {
+      sr = lefdef::parseDefStream(input, streamed, ropts);
+    });
+    if (v.failed) return v;
+    if (db::designFingerprint(legacy) != db::designFingerprint(streamed)) {
+      return {true, "recovery streamed design diverged from legacy"};
+    }
+    if (lr.diags.size() != sr.diags.size()) {
+      return {true, "recovery streamed diag count " +
+                        std::to_string(sr.diags.size()) + " != legacy " +
+                        std::to_string(lr.diags.size())};
+    }
+    for (std::size_t i = 0; i < lr.diags.size(); ++i) {
+      if (lr.diags[i].format() != sr.diags[i].format()) {
+        return {true, "recovery diag " + std::to_string(i) +
+                          " diverged: " + sr.diags[i].format() + " vs " +
+                          lr.diags[i].format()};
+      }
+    }
+  }
+
+  // Strict mode: same outcome — both succeed with identical designs, or
+  // both throw ParseError carrying the file's first error.
+  std::string legacyErr;
+  std::string streamErr;
+  bool legacyThrew = false;
+  bool streamThrew = false;
+  db::Design legacy;
+  legacy.tech = &tech;
+  legacy.lib = &lib;
+  try {
+    lefdef::parseDef(input, legacy, so.parse);
+  } catch (const lefdef::ParseError& e) {
+    legacyThrew = true;
+    legacyErr = e.diag.format();
+  } catch (const std::exception& e) {
+    return {true, std::string("strict parseDef threw a non-ParseError: ") +
+                      e.what()};
+  }
+  db::Design streamed;
+  streamed.tech = &tech;
+  streamed.lib = &lib;
+  try {
+    lefdef::parseDefStream(input, streamed, so);
+  } catch (const lefdef::ParseError& e) {
+    streamThrew = true;
+    streamErr = e.diag.format();
+  } catch (const std::exception& e) {
+    return {true,
+            std::string("strict parseDefStream threw a non-ParseError: ") +
+                e.what()};
+  }
+  if (legacyThrew != streamThrew) {
+    return {true, std::string("strict outcome diverged: legacy ") +
+                      (legacyThrew ? "threw" : "succeeded") +
+                      ", streamed " + (streamThrew ? "threw" : "succeeded")};
+  }
+  if (legacyThrew && legacyErr != streamErr) {
+    return {true,
+            "strict first error diverged: " + streamErr + " vs " + legacyErr};
+  }
+  if (!legacyThrew &&
+      db::designFingerprint(legacy) != db::designFingerprint(streamed)) {
+    return {true, "strict streamed design diverged from legacy"};
+  }
+  return {};
+}
+
 Violation fuzzCacheOnce(const std::string& input, const db::Tech& tech,
                         const db::Library& lib) {
   return expectNoThrow("AccessCache::load", [&] {
@@ -228,7 +334,7 @@ Violation fuzzCacheOnce(const std::string& input, const db::Tech& tech,
 
 int usage() {
   std::fprintf(stderr,
-               "usage: pao_fuzz <lef|def|cache|all> <corpus-dir> "
+               "usage: pao_fuzz <lef|def|cache|stream|all> <corpus-dir> "
                "<iterations> [seed]\n");
   return 2;
 }
@@ -243,7 +349,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
   if (iterations <= 0 ||
-      (kind != "lef" && kind != "def" && kind != "cache" && kind != "all")) {
+      (kind != "lef" && kind != "def" && kind != "cache" &&
+       kind != "stream" && kind != "all")) {
     return usage();
   }
   if (!fs::is_directory(dir)) {
@@ -255,11 +362,13 @@ int main(int argc, char** argv) {
   const bool doLef = kind == "lef" || kind == "all";
   const bool doDef = kind == "def" || kind == "all";
   const bool doCache = kind == "cache" || kind == "all";
+  const bool doStream = kind == "stream" || kind == "all";
   const std::vector<std::string> lefs = corpusOf(dir, ".lef");
   const std::vector<std::string> defs = corpusOf(dir, ".def");
   const std::vector<std::string> caches = corpusOf(dir, ".cache");
   if ((doLef && lefs.empty()) || (doDef && (defs.empty() || lefs.empty())) ||
-      (doCache && (caches.empty() || lefs.empty()))) {
+      (doCache && (caches.empty() || lefs.empty())) ||
+      (doStream && (defs.empty() || lefs.empty()))) {
     std::fprintf(stderr,
                  "pao_fuzz: corpus needs .lef seeds (plus .def/.cache for "
                  "those modes)\n");
@@ -276,28 +385,37 @@ int main(int argc, char** argv) {
   long executed = 0;
   for (long i = 0; i < iterations; ++i) {
     Violation v;
-    std::string what;
-    switch (rng.next() % 3) {
+    std::string input;
+    switch (rng.next() % 4) {
       case 0:
         if (!doLef) continue;
-        v = fuzzLefOnce(mutate(lefs[rng.below(lefs.size())], lefs, rng));
+        input = mutate(lefs[rng.below(lefs.size())], lefs, rng);
+        v = fuzzLefOnce(input);
         break;
       case 1:
         if (!doDef) continue;
-        v = fuzzDefOnce(mutate(defs[rng.below(defs.size())], defs, rng),
-                        tech, lib);
+        input = mutate(defs[rng.below(defs.size())], defs, rng);
+        v = fuzzDefOnce(input, tech, lib);
+        break;
+      case 2:
+        if (!doStream) continue;
+        input = mutate(defs[rng.below(defs.size())], defs, rng);
+        v = fuzzStreamOnce(input, tech, lib, rng);
         break;
       default:
         if (!doCache) continue;
-        v = fuzzCacheOnce(
-            mutate(caches[rng.below(caches.size())], caches, rng), tech,
-            lib);
+        input = mutate(caches[rng.below(caches.size())], caches, rng);
+        v = fuzzCacheOnce(input, tech, lib);
         break;
     }
     ++executed;
     if (v.failed) {
       std::fprintf(stderr, "pao_fuzz: iteration %ld (seed %llu): %s\n", i,
                    static_cast<unsigned long long>(seed), v.what.c_str());
+      std::ofstream dump("pao_fuzz_failure.txt", std::ios::binary);
+      dump << input;
+      std::fprintf(stderr, "pao_fuzz: failing input written to "
+                           "pao_fuzz_failure.txt\n");
       return 1;
     }
   }

@@ -531,11 +531,13 @@ void runFileRules(std::string_view path, const LexResult& lexed,
 Options::Options() : accessors(defaultAccessors()) {}
 
 std::vector<AccessorAnnotation> defaultAccessors() {
-  // Intentionally empty: the known unstable accessors (Tech::addLayer,
-  // Tech::addViaDef) now return references into deque storage, which never
-  // relocates. Register new vector-backed accessors here as
-  // {"methodName", "groupName"}.
-  return {};
+  // Tech::addLayer / Tech::addViaDef once lived here but now return
+  // references into deque storage, which never relocates. The remaining
+  // entries are util::StringInterner's accessors: viewOf() hands out a
+  // reference into the id->view vector and intern() can grow it, so a
+  // viewOf reference held across an intern() dangles (the interned BYTES
+  // are block-stable; the string_view slot is not).
+  return {{"viewOf", "interner"}, {"intern", "interner"}};
 }
 
 bool isKnownRule(std::string_view rule) {

@@ -145,10 +145,12 @@ struct FileInput {
   std::string src;
 };
 
-/// The built-in annotation list. Empty today on purpose: Tech::addLayer /
-/// Tech::addViaDef were the known offenders and were moved to stable
-/// (deque-backed) storage; add entries here when introducing a new accessor
-/// that hands out references into a std::vector.
+/// The built-in annotation list. Currently util::StringInterner's viewOf /
+/// intern (group "interner"): viewOf returns a reference into a vector that
+/// intern can grow. (Tech::addLayer / Tech::addViaDef were the original
+/// offenders and were moved to stable deque-backed storage.) Add entries
+/// here when introducing a new accessor that hands out references into a
+/// std::vector.
 std::vector<AccessorAnnotation> defaultAccessors();
 
 /// True when `rule` is a rule id findings can carry (and allow() can name).

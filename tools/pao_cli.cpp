@@ -75,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "benchgen/huge.hpp"
 #include "benchgen/testcase.hpp"
 #include "db/legality.hpp"
 #include "lefdef/def_parser.hpp"
@@ -82,6 +83,7 @@
 #include "lefdef/def_writer.hpp"
 #include "lefdef/lef_parser.hpp"
 #include "lefdef/lef_writer.hpp"
+#include "lefdef/stream.hpp"
 #include "obs/enabled.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -92,6 +94,7 @@
 #include "pao/report_json.hpp"
 #include "pao/session.hpp"
 #include "router/router.hpp"
+#include "util/cpu_time.hpp"
 #include "util/fault.hpp"
 
 namespace {
@@ -102,9 +105,9 @@ int usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  pao_cli gen <preset> <scale> <out-prefix>\n"
+      "  pao_cli gen <preset> <scale> <out-prefix>   (preset 0-9, a, m, h)\n"
       "  pao_cli analyze <lef> <def> [--mode bca|nobca|legacy] [--threads N]"
-      " [--report-failed N] [--cache-in f] [--cache-out f]"
+      " [--stream] [--report-failed N] [--cache-in f] [--cache-out f]"
       " [--report-json f|-] [--trace-out f] [--profile-out f|-]"
       " [--strict|--keep-going] [--step3-budget S] [--faults SPEC]\n"
       "  pao_cli route <lef> <def> [--out routed.def] [--threads N]"
@@ -383,6 +386,57 @@ void load(LoadedDesign& ld, const char* lefPath, const char* defPath,
                ld.design.nets.size());
 }
 
+/// Streamed variant of load(): mmap-backed single-pass ingest via
+/// lefdef::parseLefFile/parseDefFile (chunked parallel DEF sections). Same
+/// diagnostics/recovery contract and the same "lef.io"/"def.io" fault
+/// points (injected inside the *File forms before the file is opened).
+/// Fills `ir` for the report's "ingest" section.
+void loadStreamed(LoadedDesign& ld, const char* lefPath, const char* defPath,
+                  RobustOpts& rob, int numThreads, core::IngestReport& ir) {
+  lefdef::ParseOptions lefOpts;
+  lefOpts.file = lefPath;
+  lefOpts.recover = rob.keepGoing;
+  lefdef::IngestStats lefStats;
+  reportDiags(lefdef::parseLefFile(lefPath, ld.tech, ld.lib, lefOpts,
+                                   &lefStats),
+              rob);
+  ld.design.tech = &ld.tech;
+  ld.design.lib = &ld.lib;
+  lefdef::StreamOptions defOpts;
+  defOpts.parse.file = defPath;
+  defOpts.parse.recover = rob.keepGoing;
+  defOpts.numThreads = numThreads;
+  lefdef::IngestStats defStats;
+  reportDiags(lefdef::parseDefFile(defPath, ld.design, defOpts, &defStats),
+              rob);
+  ir.lefBytes = lefStats.bytes;
+  ir.defBytes = defStats.bytes;
+  ir.chunks = defStats.chunks;
+  ir.components = defStats.components;
+  ir.nets = defStats.nets;
+  ir.mapped = defStats.mapped;
+  ir.legacyFallback = defStats.legacyFallback;
+  ir.parseSeconds = defStats.parseSeconds;
+  ir.peakRssBytes = util::peakRssBytes();
+  const double secs = ir.parseSeconds > 0 ? ir.parseSeconds : 1e-9;
+  std::fprintf(stderr,
+               "loaded '%s': %zu layers, %zu masters, %zu instances, %zu "
+               "nets\n",
+               ld.design.name.c_str(), ld.tech.layers().size(),
+               ld.lib.masters().size(), ld.design.instances.size(),
+               ld.design.nets.size());
+  std::fprintf(stderr,
+               "  streamed ingest  : %.1f MB in %zu chunks, %.1f MB/s, "
+               "%.0f insts/s, peak RSS %.1f MB%s%s\n",
+               static_cast<double>(ir.defBytes) / (1024.0 * 1024.0),
+               ir.chunks,
+               static_cast<double>(ir.defBytes) / (1024.0 * 1024.0) / secs,
+               static_cast<double>(ir.components) / secs,
+               static_cast<double>(ir.peakRssBytes) / (1024.0 * 1024.0),
+               ir.mapped ? "" : " (read fallback)",
+               ir.legacyFallback ? " (legacy fallback)" : "");
+}
+
 int cmdList() {
   std::fprintf(stderr, "%-16s %10s %8s %10s %6s\n", "preset", "#cells",
                "#macros", "#nets", "node");
@@ -401,6 +455,10 @@ int cmdList() {
                mixed.name.c_str(), mixed.numCells, mixed.numMacros,
                mixed.numNets,
                mixed.node == benchgen::Node::k45 ? "45nm" : "32nm");
+  const benchgen::HugeSpec huge = benchgen::hugeSpec();
+  std::fprintf(stderr, "%-2s %-13s %10zu %8d %10zu %6s\n", "h",
+               huge.name.c_str(), huge.numCells, 0, huge.numNets,
+               huge.node == benchgen::Node::k45 ? "45nm" : "32nm");
   return 0;
 }
 
@@ -409,6 +467,29 @@ int cmdGen(int argc, char** argv) {
   const std::string which = argv[2];
   const double scale = std::atof(argv[3]);
   const std::string prefix = argv[4];
+
+  if (which == "h" || which == "huge") {
+    // The huge preset streams the DEF straight to disk — the design is
+    // never materialized, so scale 6+ (10M instances) fits in memory.
+    const benchgen::HugeSpec hs = benchgen::hugeSpec();
+    const benchgen::HugeTechLib tl = benchgen::makeHugeTechLib(hs);
+    std::ofstream lef(prefix + ".lef");
+    lef << lefdef::writeLef(*tl.tech, *tl.lib);
+    std::ofstream def(prefix + ".def");
+    const benchgen::HugeCounts counts = benchgen::writeHugeDef(
+        hs, scale > 0 ? scale : 1.0, *tl.tech, *tl.lib, def);
+    if (!lef || !def) {
+      std::fprintf(stderr, "cannot write %s.lef / %s.def\n", prefix.c_str(),
+                   prefix.c_str());
+      return 3;
+    }
+    std::fprintf(stderr,
+                 "wrote %s.lef / %s.def (%zu instances, %zu nets, %d rows, "
+                 "streamed)\n",
+                 prefix.c_str(), prefix.c_str(), counts.cells, counts.nets,
+                 counts.rows);
+    return 0;
+  }
 
   benchgen::TestcaseSpec spec;
   if (which == "a" || which == "aes14") {
@@ -445,6 +526,7 @@ int cmdAnalyze(int argc, char** argv) {
   ObsOutputs outputs;
   RobustOpts rob;
   bool badSpec = false;
+  bool stream = false;
   for (int i = 4; i < argc; ++i) {
     if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
@@ -452,6 +534,8 @@ int cmdAnalyze(int argc, char** argv) {
       if (mode == "nobca") cfg = core::withoutBcaConfig();
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       cfg.numThreads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--stream") == 0) {
+      stream = true;
     } else if (std::strcmp(argv[i], "--report-failed") == 0 && i + 1 < argc) {
       reportFailed = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--cache-in") == 0 && i + 1 < argc) {
@@ -469,7 +553,12 @@ int cmdAnalyze(int argc, char** argv) {
 
   outputs.startTracing();
   LoadedDesign ld;
-  load(ld, argv[2], argv[3], rob);
+  core::IngestReport ingest;
+  if (stream) {
+    loadStreamed(ld, argv[2], argv[3], rob, cfg.numThreads, ingest);
+  } else {
+    load(ld, argv[2], argv[3], rob);
+  }
 
   core::AccessCache cache;
   if (cacheIn != nullptr || cacheOut != nullptr) cfg.cache = &cache;
@@ -526,6 +615,13 @@ int cmdAnalyze(int argc, char** argv) {
   report.section("session") = core::sessionSectionJson(session.stats());
   if (cfg.cache != nullptr) {
     report.section("cache") = core::cacheSectionJson(cache);
+  }
+  if (stream) {
+    // "ingest" is a pao-report/2 section; only streamed runs carry it, so
+    // the default analyze report stays v1 and byte-comparable with the
+    // service report (tests/serve_smoke.sh).
+    report.doc().set("schema", obs::Json(obs::kReportSchemaV2));
+    report.section("ingest") = core::ingestSectionJson(ingest);
   }
 
   int code = failed.failedPins == 0 ? 0 : 1;

@@ -18,6 +18,10 @@
 //                                              print the critical path,
 //                                              headroom and per-worker
 //                                              utilization
+//   report_check ingest <file.json>            validate a pao-report/2 doc
+//                                              with an "ingest" section and
+//                                              check the throughput and
+//                                              peak-RSS figures are positive
 //
 // Exit 0 = valid / equal, 1 = invalid / different, 2 = usage or I/O error.
 // Diagnostics go to stderr; nothing is written to stdout.
@@ -42,7 +46,8 @@ int usage() {
                "  report_check compare <a.json> <b.json> [--ignore KEY ...]\n"
                "  report_check metrics <file.json>\n"
                "  report_check sarif <file.json>\n"
-               "  report_check profile <file.json>\n");
+               "  report_check profile <file.json>\n"
+               "  report_check ingest <file.json>\n");
   return 2;
 }
 
@@ -292,6 +297,50 @@ int cmdProfile(const char* path) {
   return 0;
 }
 
+/// Validates a pao-report/2 document carrying an "ingest" section (shape
+/// checked by validateReport) and additionally requires the machine-valued
+/// figures — throughput and peak RSS — to be present and positive, which
+/// validateReport deliberately does not: those keys are stripped by
+/// normalizeForCompare, so this is the one gate that looks at them.
+int cmdIngest(const char* path) {
+  pao::obs::Json doc;
+  if (!parseFile(path, doc)) return 2;
+  std::string error;
+  if (!pao::obs::validateReport(doc, &error)) {
+    std::fprintf(stderr, "%s: invalid report: %s\n", path, error.c_str());
+    return 1;
+  }
+  const pao::obs::Json* ingest = doc.find("ingest");
+  if (ingest == nullptr) {
+    std::fprintf(stderr, "%s: report carries no 'ingest' section\n", path);
+    return 1;
+  }
+  for (const char* key :
+       {"bytes", "components", "mbPerSec", "instsPerSec", "peakRssBytes"}) {
+    const pao::obs::Json* v = ingest->find(key);
+    if (v == nullptr || !v->isNumber() || v->asDouble() <= 0) {
+      std::fprintf(stderr, "%s: ingest.%s missing or not positive\n", path,
+                   key);
+      return 1;
+    }
+  }
+  const auto num = [&](const char* key) {
+    return ingest->find(key)->asDouble();
+  };
+  std::fprintf(stderr, "%s: valid ingest\n", path);
+  std::fprintf(stderr,
+               "  input             : %.1f MB DEF in %.0f chunk(s)%s\n",
+               num("bytes") / (1024.0 * 1024.0), num("chunks"),
+               ingest->find("mapped")->asBool() ? " (mmap)" : "");
+  std::fprintf(stderr, "  entities          : %.0f components, %.0f nets\n",
+               num("components"), num("nets"));
+  std::fprintf(stderr, "  throughput        : %.1f MB/s, %.0f insts/s\n",
+               num("mbPerSec"), num("instsPerSec"));
+  std::fprintf(stderr, "  peak RSS          : %.1f MB\n",
+               num("peakRssBytes") / (1024.0 * 1024.0));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,6 +348,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "report" && argc == 3) return cmdReport(argv[2]);
   if (cmd == "profile" && argc == 3) return cmdProfile(argv[2]);
+  if (cmd == "ingest" && argc == 3) return cmdIngest(argv[2]);
   if (cmd == "sarif" && argc == 3) return cmdSarif(argv[2]);
   if (cmd == "trace") return cmdTrace(argc, argv);
   if (cmd == "metrics" && argc == 3) return cmdMetrics(argv[2]);
